@@ -1,0 +1,45 @@
+# gccache build/test/reproduction driver.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench repro repro-quick fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+	@test -z "$$(gofmt -l .)" || (gofmt -l . && echo 'gofmt: files need formatting' && exit 1)
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/concurrent/ ./internal/cachesim/ ./internal/experiments/
+
+cover:
+	$(GO) test -cover ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table/figure of the paper plus the validation
+# experiments into results/ (exits non-zero if any claim fails).
+repro:
+	$(GO) run ./cmd/gcrepro -out results
+
+repro-quick:
+	$(GO) run ./cmd/gcrepro -out results -quick
+
+# Short fuzz passes over the parsing/serialization surfaces.
+fuzz:
+	$(GO) test ./internal/trace/ -fuzz FuzzReadArbitraryBytes -fuzztime 30s
+	$(GO) test ./internal/trace/ -fuzz FuzzBinaryRoundTrip -fuzztime 30s
+	$(GO) test ./internal/trace/ -fuzz FuzzReadText -fuzztime 30s
+	$(GO) test ./internal/workload/ -fuzz FuzzFromSpec -fuzztime 30s
+
+clean:
+	rm -rf results
+	$(GO) clean -testcache

@@ -1,0 +1,85 @@
+// Command gcbounds prints the paper's analytic artifacts: Table 1,
+// Table 2, and the Figure 3 / Figure 6 bound curves, as aligned text or
+// CSV.
+//
+// Usage:
+//
+//	gcbounds -artifact table1 -h 16384 -B 64
+//	gcbounds -artifact figure3 -k 1280000 -B 64 -points 60 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gccache/internal/bounds"
+	"gccache/internal/experiments"
+	"gccache/internal/render"
+)
+
+func main() {
+	var (
+		artifact = flag.String("artifact", "table1", "one of: table1, table2, figure3, figure6, list")
+		k        = flag.Float64("k", 1.28e6, "online cache size (figure3/figure6)")
+		h        = flag.Float64("h", 16384, "optimal cache size (table1)")
+		B        = flag.Float64("B", 64, "block size")
+		size     = flag.Float64("size", 65536, "layer size i = b = h (table2)")
+		points   = flag.Int("points", 60, "sweep points (figures)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of text")
+	)
+	flag.Parse()
+
+	if *artifact == "list" {
+		t := &render.Table{
+			Title: fmt.Sprintf("bound catalog, evaluated at k=%s h=%s B=%s",
+				render.FormatFloat(*k), render.FormatFloat(*h), render.FormatFloat(*B)),
+			Headers: []string{"name", "source", "statement", "domain", "value"},
+		}
+		for _, e := range bounds.Catalog() {
+			t.AddRow(e.Name, e.Source, e.Statement, e.Domain, e.Eval(*k, *h, *B))
+		}
+		var err error
+		if *csv {
+			err = t.WriteCSV(os.Stdout)
+		} else {
+			err = t.WriteText(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var rep *experiments.Report
+	switch *artifact {
+	case "table1":
+		rep = experiments.Table1(*h, *B)
+	case "table2":
+		rep = experiments.Table2(*B, []float64{2, 3, 4}, *size)
+	case "figure3":
+		rep = experiments.Figure3(*k, *B, *points)
+	case "figure6":
+		rep = experiments.Figure6(*k, *B, []float64{*k / 2048, *k / 128, *k / 8}, *points)
+	default:
+		fmt.Fprintf(os.Stderr, "gcbounds: unknown artifact %q\n", *artifact)
+		os.Exit(2)
+	}
+	if *csv {
+		for _, t := range rep.Tables {
+			if err := t.WriteCSV(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	} else if err := rep.WriteText(os.Stdout); err != nil {
+		fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gcbounds: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Command gcopt computes offline-optimal costs for a trace: the exact GC
+// optimum on small instances, and certified lower/upper brackets on
+// large ones, alongside the traditional Belady optimum.
+//
+// Usage:
+//
+//	gcopt -workload 'blockruns:blocks=64,B=8,run=4,len=2000' -k 32 -B 8
+//	gcopt -trace reqs.gct -k 1024 -B 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gccache/internal/model"
+	"gccache/internal/opt"
+	"gccache/internal/trace"
+	"gccache/internal/workload"
+)
+
+func main() {
+	var (
+		spec      = flag.String("workload", "", workload.SpecHelp)
+		traceFile = flag.String("trace", "", "read a gctrace binary file")
+		k         = flag.Int("k", 64, "cache size in items")
+		B         = flag.Int("B", 8, "block size")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		exact     = flag.Bool("exact", false,
+			"force the exact exponential solver (requires a small distinct-item universe)")
+	)
+	flag.Parse()
+
+	var tr trace.Trace
+	var err error
+	switch {
+	case *traceFile != "":
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+	case *spec != "":
+		tr, err = workload.FromSpec(*spec, *seed)
+	default:
+		fatal(fmt.Errorf("need -workload or -trace"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	geo := model.NewFixed(*B)
+
+	fmt.Printf("trace: %d requests, %d distinct items, %d distinct blocks\n",
+		len(tr), tr.Distinct(), tr.DistinctBlocks(geo))
+	fmt.Printf("traditional Belady optimum (item granularity): %d\n", opt.Belady(tr, *k))
+	est := opt.EstimateOPT(tr, geo, *k)
+	fmt.Printf("GC optimum bracket: %d ≤ OPT ≤ %d (upper via %s)\n",
+		est.Lower, est.Upper, est.UpperMethod)
+
+	if *exact || tr.Distinct() <= opt.MaxExactUniverse {
+		val, err := opt.Exact(tr, geo, *k)
+		if err != nil {
+			fmt.Printf("exact solver: %v\n", err)
+			if *exact {
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Printf("exact GC optimum: %d\n", val)
+		if val < est.Lower || val > est.Upper {
+			fatal(fmt.Errorf("bracket violated: exact %d outside [%d, %d]", val, est.Lower, est.Upper))
+		}
+	} else {
+		fmt.Printf("(exact solver skipped: %d distinct items > limit %d; pass -exact to force)\n",
+			tr.Distinct(), opt.MaxExactUniverse)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "gcopt: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,49 @@
+// Command gcrepro regenerates every table and figure of the paper plus
+// the empirical validation experiments (E1–E10), writing each report to
+// an output directory as text and CSV. It exits non-zero if any of the
+// paper's claims fails to reproduce.
+//
+// Usage:
+//
+//	gcrepro -out results/
+//	gcrepro -out results/ -quick     # reduced scales for CI
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gccache/internal/experiments"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "results", "output directory")
+		quick = flag.Bool("quick", false, "reduced scales (CI-friendly)")
+	)
+	flag.Parse()
+
+	failures := 0
+	for _, spec := range experiments.Registry() {
+		start := time.Now()
+		rep := spec.Run(*quick)
+		if err := rep.WriteFiles(*out); err != nil {
+			fmt.Fprintf(os.Stderr, "gcrepro: writing %s: %v\n", rep.Name, err)
+			os.Exit(1)
+		}
+		status := "ok"
+		if err := rep.Err(); err != nil {
+			status = err.Error()
+			failures++
+		}
+		fmt.Printf("%-22s -> %s/%s.txt (%.1fs) %s\n",
+			spec.Label, *out, rep.Name, time.Since(start).Seconds(), status)
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "gcrepro: %d experiment(s) failed to reproduce\n", failures)
+		os.Exit(1)
+	}
+	fmt.Printf("all artifacts reproduced into %s/\n", *out)
+}

@@ -1,0 +1,49 @@
+package gccache_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandSmoke builds and runs every CLI once with representative
+// flags, guarding against flag/wiring regressions. Skipped under -short
+// (each invocation pays a `go run` compile).
+func TestCommandSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test compiles all six binaries")
+	}
+	dir := t.TempDir()
+	traceFile := filepath.Join(dir, "t.gct")
+
+	cases := []struct {
+		name string
+		args []string
+		want string // substring expected on stdout
+	}{
+		{"gcbounds-table1", []string{"run", "./cmd/gcbounds", "-artifact", "table1", "-h", "1024", "-B", "16"}, "Sleator-Tarjan"},
+		{"gcbounds-fig3-csv", []string{"run", "./cmd/gcbounds", "-artifact", "figure3", "-points", "10", "-csv"}, "iblp-ub"},
+		{"gctrace-gen", []string{"run", "./cmd/gctrace", "-workload", "cyclic:n=64,len=2000", "-B", "8", "-out", traceFile}, "wrote 2000 requests"},
+		{"gcsim-file", []string{"run", "./cmd/gcsim", "-k", "128", "-B", "8", "-trace", traceFile, "-policy", "iblp,item-lru"}, "iblp"},
+		{"gcopt", []string{"run", "./cmd/gcopt", "-workload", "blockruns:blocks=4,B=4,run=2,len=40", "-k", "8", "-B", "4"}, "exact GC optimum"},
+		{"gcadversary", []string{"run", "./cmd/gcadversary", "-construction", "thm2", "-policy", "item-lru", "-k", "128", "-h", "33", "-B", "8", "-phases", "5"}, "ratio"},
+		{"gcrepro-quick-table1-only", []string{"run", "./cmd/gcbounds", "-artifact", "table2"}, "Fault-rate"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cmd := exec.Command("go", c.args...)
+			cmd.Dir = "."
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%v: %v\n%s", c.args, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}

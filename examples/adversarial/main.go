@@ -1,0 +1,61 @@
+// Adversarial lower bounds, live: run the paper's §4 constructions
+// against real policy implementations and watch the measured competitive
+// ratios land on the analytic bounds — then watch IBLP escape them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gccache"
+)
+
+func main() {
+	const (
+		B      = 16
+		k      = 512
+		h      = B + 1 + 14*B // 241: h ≥ B with B | (k−h+1) — exact bound
+		phases = 40
+	)
+	geo := gccache.NewFixedGeometry(B)
+
+	fmt.Println("Theorem 2 construction (kills Item Caches):")
+	for _, mk := range []func() gccache.Cache{
+		func() gccache.Cache { return gccache.NewItemLRU(k) },
+		func() gccache.Cache { return gccache.NewFIFO(k) },
+		func() gccache.Cache { return gccache.NewIBLPEvenSplit(k, geo) },
+	} {
+		c := mk()
+		res, err := gccache.RunItemCacheAdversary(c, geo, h, phases)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s measured ratio %7.2f   (Theorem 2 bound for item caches: %.2f)\n",
+			c.Name(), res.Ratio(), res.BoundClaim)
+	}
+
+	fmt.Println("\nTheorem 3 construction (kills Block Caches):")
+	hBlock := 8
+	res, err := gccache.RunBlockCacheAdversary(gccache.NewBlockLRU(k, geo), geo, hBlock, phases)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %-20s measured ratio %7.2f   (Theorem 3 bound: %.2f)\n",
+		"block-lru", res.Ratio(), res.BoundClaim)
+
+	fmt.Println("\nTheorem 4 construction (any deterministic policy, measured a):")
+	for _, a := range []int{1, 4, 16} {
+		c := gccache.NewAThreshold(k, a, geo)
+		res, err := gccache.RunGeneralAdversary(c, geo, h, phases)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-20s measured ratio %7.2f   (Theorem 4 bound at a=%d: %.2f)\n",
+			c.Name(), res.Ratio(), a, res.BoundClaim)
+	}
+
+	fmt.Println("\nreading: each single-granularity policy realizes its lower bound;")
+	fmt.Println("IBLP's block layer turns the Theorem 2 trace's fresh-block sweeps")
+	fmt.Println("into spatial hits, so its measured ratio collapses — the gap the")
+	fmt.Println("paper proves can be as large as ≈B×.")
+}

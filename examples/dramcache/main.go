@@ -1,0 +1,83 @@
+// DRAM-cache scenario: the paper's motivating granularity boundary
+// (§1: SRAM lines of 64 B backed by DRAM rows of 2–4 KB; die-stacked
+// DRAM caches such as Footprint/Unison take "some or all of the
+// larger-granularity block into the smaller-granularity cache").
+//
+// We model an on-package cache of 64-item rows (B = 64) in front of slow
+// memory, and drive it with a composite application: a row-major matrix
+// sweep (high spatial locality), a pointer-chasing phase (none), and a
+// hot working set of descriptors (temporal locality). The example shows
+// why production DRAM caches moved to footprint-style designs — exactly
+// the load-some-or-all policy space the paper formalizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gccache"
+	"gccache/internal/trace"
+	"gccache/internal/workload"
+)
+
+func main() {
+	const (
+		rowItems  = 64   // items per DRAM row (B)
+		cacheSize = 8192 // on-package cache capacity in items
+	)
+	geo := gccache.NewFixedGeometry(rowItems)
+
+	// Phase 1: row-major sweep over a 256×512 matrix (spatial locality).
+	matrix := workload.MatrixTraversal(256, 512, true, 2)
+	// Phase 2: pointer chasing — scattered single-item accesses.
+	chase := workload.Scatter(workload.Zipf(20000, 1.01, 120000, 7), rowItems, 7)
+	// Phase 3: hot descriptors, one per row, hammered repeatedly.
+	hot, err := workload.HotCold{
+		HotItems: 64, BlockSize: rowItems, HotFraction: 0.9,
+		ColdUniverse: 50000, Length: 120000, Seed: 7,
+	}.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := workload.Phased(matrix, chase, hot)
+
+	fmt.Println("composite application:", len(app), "accesses across 3 phases")
+	fmt.Printf("%-24s %10s %12s %13s\n", "design", "misses", "miss ratio", "spatial hits")
+
+	designs := []gccache.Cache{
+		// Conventional line cache: ignores the row granularity entirely.
+		gccache.NewItemLRU(cacheSize),
+		// Page-based DRAM cache: allocates whole rows (pollution-prone).
+		gccache.NewBlockLRU(cacheSize, geo),
+		// Row-fetch with line-grain eviction (the a=1 design of §4.4).
+		gccache.NewBlockLoadItemEvict(cacheSize, geo),
+		// Footprint cache (Jevdjic et al.): learns which lines of a row
+		// were used last residency and fetches exactly those.
+		gccache.NewFootprint(cacheSize, geo),
+		// The paper's IBLP: a line layer in front of a row layer.
+		gccache.NewIBLPEvenSplit(cacheSize, geo),
+	}
+	perPhase := [][3]float64{}
+	for _, c := range designs {
+		st := gccache.RunCold(c, app)
+		fmt.Printf("%-24s %10d %12.4f %13d\n", st.Policy, st.Misses, st.MissRatio(), st.SpatialHits)
+		// Per-phase breakdown for the summary below.
+		var ratios [3]float64
+		for pi, ph := range []trace.Trace{matrix, chase, hot} {
+			ratios[pi] = gccache.RunCold(c, ph).MissRatio()
+		}
+		perPhase = append(perPhase, ratios)
+	}
+
+	fmt.Println("\nper-phase miss ratios (matrix / pointer-chase / hot-set):")
+	names := []string{"line cache (item-lru)", "page cache (block-lru)",
+		"row-fetch, line-evict (a=1)", "footprint (predicted subset)", "iblp"}
+	for i, n := range names {
+		fmt.Printf("  %-34s %.4f / %.4f / %.4f\n", n, perPhase[i][0], perPhase[i][1], perPhase[i][2])
+	}
+	fmt.Println("\ntakeaway: the line cache loses the matrix phase B×; the page cache")
+	fmt.Println("loses the pointer chase to row pollution; the footprint cache pays")
+	fmt.Println("a full training pass before its predictions kick in; row-fetch with")
+	fmt.Println("line-grain eviction and IBLP are robust in all three phases — the")
+	fmt.Println("design space Theorems 2–4 delimit.")
+}

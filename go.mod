@@ -1,0 +1,3 @@
+module gccache
+
+go 1.22

@@ -1,0 +1,170 @@
+// Package adversary implements the paper's lower-bound constructions as
+// *adaptive request generators*: each drives a live online cache, probing
+// its contents (cachesim.Cache.Contains) to always request what hurts
+// most, exactly as the proofs of Theorems 2, 3, 4, and the Sleator–Tarjan
+// bound prescribe. Alongside the online policy's measured miss count,
+// each adversary accounts the cost of the explicit offline strategy from
+// the corresponding proof — a valid execution, hence an upper bound on
+// OPT — so OnlineMisses/OptMisses is a certified empirical lower bound on
+// the policy's competitive ratio.
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/model"
+	"gccache/internal/opt"
+	"gccache/internal/trace"
+)
+
+// Result reports one adversarial run.
+type Result struct {
+	Policy string
+	// OnlineMisses is the measured miss count of the online policy over
+	// the phase portion of the trace (warmup excluded).
+	OnlineMisses int64
+	// OptMisses is the cost of the proof's explicit offline strategy on
+	// the same portion — an upper bound on the true OPT cost.
+	OptMisses int64
+	// Accesses counts phase requests issued.
+	Accesses int64
+	// Phases is the number of completed construction phases.
+	Phases int
+	// BoundClaim is the analytic lower bound the construction targets.
+	BoundClaim float64
+	// Trace is the generated request sequence including warmup when the
+	// adversary was asked to record it (nil otherwise).
+	Trace trace.Trace
+}
+
+// Ratio returns the measured competitive-ratio lower bound.
+func (r Result) Ratio() float64 {
+	if r.OptMisses == 0 {
+		if r.OnlineMisses == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return float64(r.OnlineMisses) / float64(r.OptMisses)
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: online=%d opt=%d ratio=%.3f (claim ≥ %.3f over %d phases)",
+		r.Policy, r.OnlineMisses, r.OptMisses, r.Ratio(), r.BoundClaim, r.Phases)
+}
+
+// driver wraps a cache with miss counting and optional trace recording.
+type driver struct {
+	cache   cachesim.Cache
+	geo     model.Geometry
+	misses  int64
+	access  int64
+	record  bool
+	trace   trace.Trace
+	nextBlk uint64
+}
+
+func newDriver(c cachesim.Cache, geo model.Geometry, record bool) *driver {
+	return &driver{cache: c, geo: geo, record: record}
+}
+
+// request issues one access and returns whether it hit.
+func (d *driver) request(it model.Item) bool {
+	a := d.cache.Access(it)
+	d.access++
+	if !a.Hit {
+		d.misses++
+	}
+	if d.record {
+		d.trace = append(d.trace, it)
+	}
+	return a.Hit
+}
+
+// freshBlock returns the items of a never-before-used block.
+func (d *driver) freshBlock() []model.Item {
+	b := d.nextBlk
+	d.nextBlk++
+	return d.geo.ItemsOf(model.Block(b))
+}
+
+// resetCounters zeroes the miss/access counters (after warmup).
+func (d *driver) resetCounters() { d.misses, d.access = 0, 0 }
+
+// pickAbsent returns an item from candidates that the cache does not
+// currently hold, and whether one exists.
+func pickAbsent(c cachesim.Cache, candidates []model.Item) (model.Item, bool) {
+	for _, it := range candidates {
+		if !c.Contains(it) {
+			return it, true
+		}
+	}
+	return 0, false
+}
+
+// SleatorTarjanConfig parameterizes the classic traditional-caching
+// adversary (k+1-item universe, always request the absent item).
+type SleatorTarjanConfig struct {
+	// OptSize is h, the offline cache size to compare against.
+	OptSize int
+	// Accesses is the trace length after warmup.
+	Accesses int
+	// Spacing places universe items this many addresses apart so no two
+	// share a block (set ≥ the geometry's block size).
+	Spacing int
+	// Record keeps the generated trace in the result.
+	Record bool
+}
+
+// SleatorTarjan runs the classic lower-bound construction against c and
+// computes the offline cost *exactly* with Belady on the generated trace
+// (traditional caching is polynomial offline). The measured ratio
+// approaches k/(k−h+1) for LRU-like item caches.
+func SleatorTarjan(c cachesim.Cache, cfg SleatorTarjanConfig) (Result, error) {
+	k := c.Capacity()
+	if cfg.OptSize < 1 || cfg.OptSize > k {
+		return Result{}, fmt.Errorf("adversary: h=%d outside [1, k=%d]", cfg.OptSize, k)
+	}
+	if cfg.Spacing < 1 {
+		cfg.Spacing = 1
+	}
+	universe := make([]model.Item, k+1)
+	for i := range universe {
+		universe[i] = model.Item(uint64(i) * uint64(cfg.Spacing))
+	}
+	c.Reset()
+	// Warmup: touch the whole universe so the cache is full.
+	for _, it := range universe {
+		c.Access(it)
+	}
+	keys := make([]uint64, 0, cfg.Accesses)
+	misses := int64(0)
+	for n := 0; n < cfg.Accesses; n++ {
+		it, ok := pickAbsent(c, universe)
+		if !ok {
+			// The cache somehow holds all k+1 items (capacity violation);
+			// treat as a hit on the first item to avoid looping.
+			it = universe[0]
+		}
+		if a := c.Access(it); !a.Hit {
+			misses++
+		}
+		keys = append(keys, uint64(it))
+	}
+	res := Result{
+		Policy:       c.Name(),
+		OnlineMisses: misses,
+		OptMisses:    opt.BeladyKeys(keys, cfg.OptSize),
+		Accesses:     int64(len(keys)),
+		Phases:       1,
+	}
+	if cfg.Record {
+		res.Trace = make(trace.Trace, len(keys))
+		for i, key := range keys {
+			res.Trace[i] = model.Item(key)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,243 @@
+package adversary
+
+import (
+	"math"
+	"testing"
+
+	"gccache/internal/core"
+	"gccache/internal/model"
+	"gccache/internal/policy"
+)
+
+func TestSleatorTarjanAgainstLRU(t *testing.T) {
+	// LRU with k=32 vs h=16: measured ratio must approach k/(k−h+1) ≈ 1.88
+	// and never (statistically) exceed it by much.
+	k, h := 32, 16
+	c := policy.NewItemLRU(k)
+	res, err := SleatorTarjan(c, SleatorTarjanConfig{OptSize: h, Accesses: 20000, Spacing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(k) / float64(k-h+1)
+	if res.OnlineMisses != res.Accesses {
+		t.Errorf("LRU should miss every adversarial access: %d/%d", res.OnlineMisses, res.Accesses)
+	}
+	if math.Abs(res.Ratio()-want) > 0.12*want {
+		t.Errorf("ratio = %.3f, want ≈ %.3f", res.Ratio(), want)
+	}
+}
+
+func TestSleatorTarjanAgainstFIFO(t *testing.T) {
+	k, h := 24, 12
+	res, err := SleatorTarjan(policy.NewFIFO(k), SleatorTarjanConfig{OptSize: h, Accesses: 10000, Spacing: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FIFO also misses everything against the adaptive adversary.
+	if res.OnlineMisses != res.Accesses {
+		t.Errorf("FIFO misses %d of %d", res.OnlineMisses, res.Accesses)
+	}
+	if res.Ratio() < 1.5 {
+		t.Errorf("ratio = %.3f, too small", res.Ratio())
+	}
+}
+
+func TestSleatorTarjanRecordsTrace(t *testing.T) {
+	res, err := SleatorTarjan(policy.NewItemLRU(8),
+		SleatorTarjanConfig{OptSize: 4, Accesses: 100, Spacing: 4, Record: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) != 100 {
+		t.Errorf("trace length %d", len(res.Trace))
+	}
+	if _, err := SleatorTarjan(policy.NewItemLRU(8), SleatorTarjanConfig{OptSize: 0, Accesses: 1}); err == nil {
+		t.Error("h=0 accepted")
+	}
+}
+
+func TestItemCacheAdversaryMatchesTheorem2(t *testing.T) {
+	// Pick B | (k−h+1) so the bound is exact: k=128, h=33, B=8 →
+	// k−h+1 = 96 = 12 blocks. Bound: B(k−B+1)/(k−h+1) = 8·121/96 ≈ 10.08.
+	k, h, B := 128, 33, 8
+	geo := model.NewFixed(B)
+	res, err := ItemCache(policy.NewItemLRU(k), geo, Config{OptSize: h, Phases: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnlineMisses != res.Accesses {
+		t.Fatalf("item cache should miss every access: %d/%d", res.OnlineMisses, res.Accesses)
+	}
+	// Measured ratio per phase: (96 + h−B)/12 = (96+25)/12 ≈ 10.08 = claim.
+	if math.Abs(res.Ratio()-res.BoundClaim) > 0.05*res.BoundClaim {
+		t.Errorf("ratio %.3f vs claim %.3f", res.Ratio(), res.BoundClaim)
+	}
+}
+
+func TestItemCacheAdversaryOnFIFO(t *testing.T) {
+	k, h, B := 64, 17, 4
+	geo := model.NewFixed(B)
+	res, err := ItemCache(policy.NewFIFO(k), geo, Config{OptSize: h, Phases: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ratio() < 0.9*res.BoundClaim {
+		t.Errorf("FIFO ratio %.3f below claim %.3f", res.Ratio(), res.BoundClaim)
+	}
+}
+
+func TestItemCacheAdversaryValidation(t *testing.T) {
+	geo := model.NewFixed(8)
+	if _, err := ItemCache(policy.NewItemLRU(64), geo, Config{OptSize: 4, Phases: 1}); err == nil {
+		t.Error("h < B accepted")
+	}
+	if _, err := ItemCache(policy.NewItemLRU(64), geo, Config{OptSize: 16, Phases: 0}); err == nil {
+		t.Error("phases=0 accepted")
+	}
+}
+
+func TestBlockCacheAdversaryMatchesTheorem3(t *testing.T) {
+	// k=256, B=8 → 32 frames; h=16. Bound: k/(k−B(h−1)) = 256/136 ≈ 1.88.
+	k, h, B := 256, 16, 8
+	geo := model.NewFixed(B)
+	res, err := BlockCache(policy.NewBlockLRU(k, geo), geo, Config{OptSize: h, Phases: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OnlineMisses != res.Accesses {
+		t.Fatalf("block cache should miss every access: %d/%d", res.OnlineMisses, res.Accesses)
+	}
+	if math.Abs(res.Ratio()-res.BoundClaim) > 0.05*res.BoundClaim {
+		t.Errorf("ratio %.3f vs claim %.3f", res.Ratio(), res.BoundClaim)
+	}
+}
+
+func TestBlockCacheAdversaryRequiresFrames(t *testing.T) {
+	geo := model.NewFixed(8)
+	// k/B = 4 frames < h = 8.
+	if _, err := BlockCache(policy.NewBlockLRU(32, geo), geo, Config{OptSize: 8, Phases: 1}); err == nil {
+		t.Error("insufficient frames accepted")
+	}
+}
+
+func TestGeneralAdversaryOnAThreshold(t *testing.T) {
+	// Theorem 4 with measured a: an a-threshold policy reveals a = its
+	// parameter (the adversary keeps requesting absent block items; after
+	// a distinct misses the whole block is loaded).
+	k, h, B := 128, 32, 8
+	geo := model.NewFixed(B)
+	for _, a := range []int{1, 4, 8} {
+		c := policy.NewAThreshold(k, a, geo)
+		res, err := General(c, geo, Config{OptSize: h, Phases: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ratio() < 0.85*res.BoundClaim {
+			t.Errorf("a=%d: ratio %.3f below claim %.3f", a, res.Ratio(), res.BoundClaim)
+		}
+		// The claim itself must reflect the policy's a (measured aMax = a).
+		wantClaim := (float64(a)*(float64(k-h+1)) + float64(B)*float64(h-a)) / float64(k-h+1)
+		if math.Abs(res.BoundClaim-wantClaim) > 1e-9 {
+			t.Errorf("a=%d: claim %.3f, want %.3f (measured a mismatch)", a, res.BoundClaim, wantClaim)
+		}
+	}
+}
+
+func TestGeneralAdversaryOnItemLRUMeasuresAEqualsB(t *testing.T) {
+	k, h, B := 96, 24, 8
+	geo := model.NewFixed(B)
+	res, err := General(policy.NewItemLRU(k), geo, Config{OptSize: h, Phases: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ItemLRU never loads siblings, so every block in step 2 takes B
+	// accesses: the claim must equal the Theorem 2 bound.
+	wantClaim := (float64(B)*float64(k-h+1) + float64(B)*float64(h-B)) / float64(k-h+1)
+	if math.Abs(res.BoundClaim-wantClaim) > 1e-9 {
+		t.Errorf("claim %.3f, want %.3f", res.BoundClaim, wantClaim)
+	}
+	if res.Ratio() < 0.85*res.BoundClaim {
+		t.Errorf("ratio %.3f below claim %.3f", res.Ratio(), res.BoundClaim)
+	}
+}
+
+func TestIBLPEscapesSingleGranularityAdversaries(t *testing.T) {
+	// Running the Theorem 2 (item-cache) adversary against IBLP must give
+	// a ratio far below the item-cache bound: the block layer hits most
+	// of each fresh block. This is the paper's whole point.
+	k, h, B := 128, 33, 8
+	geo := model.NewFixed(B)
+	iblp := core.NewIBLP(k/2, k/2, geo)
+	res, err := ItemCache(iblp, geo, Config{OptSize: h, Phases: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	itemBound := res.BoundClaim
+	if res.Ratio() > 0.6*itemBound {
+		t.Errorf("IBLP ratio %.3f should sit well below the item bound %.3f", res.Ratio(), itemBound)
+	}
+}
+
+func TestLocalityAdversaryBoundHolds(t *testing.T) {
+	// Theorem 8: every deterministic policy's fault rate on the family
+	// trace is at least the bound computed from the measured f and g.
+	B := 4
+	geo := model.NewFixed(B)
+	k := 24
+	for _, mk := range []func() (name string, res LocalityResult, err error){
+		func() (string, LocalityResult, error) {
+			c := policy.NewItemLRU(k)
+			r, err := Locality(c, geo, LocalityConfig{P: 2, Phases: 4})
+			return "item-lru", r, err
+		},
+		func() (string, LocalityResult, error) {
+			c := policy.NewFIFO(k)
+			r, err := Locality(c, geo, LocalityConfig{P: 2, Phases: 4})
+			return "fifo", r, err
+		},
+		func() (string, LocalityResult, error) {
+			c := core.NewIBLPEvenSplit(k, geo)
+			r, err := Locality(c, geo, LocalityConfig{P: 2, Phases: 4})
+			return "iblp", r, err
+		},
+	} {
+		name, res, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.IsNaN(res.Bound) || res.Bound <= 0 {
+			t.Fatalf("%s: degenerate bound %v", name, res.Bound)
+		}
+		if res.FaultRate < res.Bound*(1-1e-9) {
+			t.Errorf("%s: fault rate %.5f below Theorem 8 bound %.5f", name, res.FaultRate, res.Bound)
+		}
+	}
+}
+
+func TestLocalityAdversaryValidation(t *testing.T) {
+	geo := model.NewFixed(4)
+	if _, err := Locality(policy.NewItemLRU(16), geo, LocalityConfig{P: 0.5, Phases: 1}); err == nil {
+		t.Error("P<1 accepted")
+	}
+	if _, err := Locality(policy.NewItemLRU(16), geo, LocalityConfig{P: 2, Phases: 0}); err == nil {
+		t.Error("phases=0 accepted")
+	}
+	if _, err := Locality(policy.NewItemLRU(1), geo, LocalityConfig{P: 2, Phases: 1}); err == nil {
+		t.Error("k too small accepted")
+	}
+}
+
+func TestResultStringAndRatioEdges(t *testing.T) {
+	r := Result{Policy: "x", OnlineMisses: 10, OptMisses: 0}
+	if !math.IsInf(r.Ratio(), 1) {
+		t.Error("opt=0, online>0 should be Inf")
+	}
+	r = Result{OnlineMisses: 0, OptMisses: 0}
+	if r.Ratio() != 1 {
+		t.Error("0/0 should be 1")
+	}
+	r = Result{Policy: "x", OnlineMisses: 4, OptMisses: 2, Phases: 1}
+	if r.String() == "" {
+		t.Error("String empty")
+	}
+}

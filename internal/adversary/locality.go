@@ -1,0 +1,146 @@
+package adversary
+
+import (
+	"fmt"
+	"math"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/locality"
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// LocalityConfig parameterizes the Theorem 8 construction in the extended
+// locality-of-reference model.
+type LocalityConfig struct {
+	// P shapes the item working-set function f(n) = n^(1/P) that the
+	// generated phases are consistent with (P ≥ 1; the paper's Table 2
+	// uses polynomial families).
+	P float64
+	// Phases is the number of phases to generate.
+	Phases int
+	// Record keeps the generated trace.
+	Record bool
+}
+
+// LocalityResult reports a Theorem 8 run: the measured fault rate of the
+// online policy on the generated family trace, and the Theorem 8 lower
+// bound evaluated on the *measured* working-set functions of that exact
+// trace (so the comparison makes no modeling assumptions).
+type LocalityResult struct {
+	Policy string
+	// FaultRate is misses/accesses over the generated trace.
+	FaultRate float64
+	// Bound is g(f⁻¹(k+1)−2)/(f⁻¹(k+1)−2) with measured f, g.
+	Bound float64
+	// PhaseLength is f⁻¹(k+1)−2, the construction's phase length.
+	PhaseLength int
+	Accesses    int64
+	Trace       trace.Trace
+}
+
+// Locality runs the Theorem 8 family against c. The universe is k+1 items
+// packed into ⌈(k+1)/B⌉ blocks; each phase is k−1 repetitions whose
+// lengths grow with f⁻¹, and each repetition hammers one item chosen to
+// be absent from the online cache (preferring blocks already touched in
+// the phase, which keeps g(n) — and hence the bound — low while still
+// forcing one miss per repetition).
+func Locality(c cachesim.Cache, geo model.Geometry, cfg LocalityConfig) (LocalityResult, error) {
+	k := c.Capacity()
+	if cfg.P < 1 {
+		return LocalityResult{}, fmt.Errorf("adversary: locality exponent P=%v < 1", cfg.P)
+	}
+	if cfg.Phases < 1 {
+		return LocalityResult{}, fmt.Errorf("adversary: phases=%d < 1", cfg.Phases)
+	}
+	if k < 3 {
+		return LocalityResult{}, fmt.Errorf("adversary: cache size %d too small for the construction", k)
+	}
+	f := locality.Poly{C: 1, P: cfg.P}
+	phaseLen := int(math.Round(f.Inverse(float64(k+1)))) - 2
+	if phaseLen < k+1 {
+		phaseLen = k + 1
+	}
+
+	// Universe: k+1 items in consecutive blocks.
+	universe := make([]model.Item, k+1)
+	for i := range universe {
+		universe[i] = model.Item(i)
+	}
+	c.Reset()
+
+	var gen trace.Trace
+	misses := int64(0)
+	request := func(it model.Item) {
+		if a := c.Access(it); !a.Hit {
+			misses++
+		}
+		gen = append(gen, it)
+	}
+
+	for p := 0; p < cfg.Phases; p++ {
+		touchedItems := make(map[model.Item]bool, k+1)
+		touchedBlocks := make(map[model.Block]bool)
+		// Repetition start positions (1-indexed accesses within phase):
+		// repetition j begins at f⁻¹(j+1)−1, per Albers et al.
+		pos := 0
+		var current model.Item
+		pick := func() model.Item {
+			// Preference 1: absent item from an already-touched block.
+			for _, it := range universe {
+				if !touchedItems[it] && touchedBlocks[geo.BlockOf(it)] && !c.Contains(it) {
+					return it
+				}
+			}
+			// Preference 2: any absent untouched item.
+			for _, it := range universe {
+				if !touchedItems[it] && !c.Contains(it) {
+					return it
+				}
+			}
+			// Fallback: any untouched item.
+			for _, it := range universe {
+				if !touchedItems[it] {
+					return it
+				}
+			}
+			return universe[0]
+		}
+		current = pick()
+		touchedItems[current] = true
+		touchedBlocks[geo.BlockOf(current)] = true
+		reps := 1
+		for pos < phaseLen {
+			boundary := int(math.Round(f.Inverse(float64(reps+1)))) - 1
+			if pos >= boundary && reps < k-1 {
+				reps++
+				current = pick()
+				touchedItems[current] = true
+				touchedBlocks[geo.BlockOf(current)] = true
+			}
+			request(current)
+			pos++
+		}
+	}
+
+	lengths := locality.GeometricLengths(phaseLen)
+	lengths = append(lengths, phaseLen)
+	fm := locality.MeasureItems(gen, lengths)
+	gm := locality.MeasureBlocks(gen, geo, lengths)
+	n := fm.Inverse(float64(k+1)) - 2
+	bound := math.NaN()
+	if n > 0 {
+		bound = gm.Eval(n) / n
+	}
+	res := LocalityResult{
+		Policy:      c.Name(),
+		FaultRate:   float64(misses) / float64(len(gen)),
+		Bound:       bound,
+		PhaseLength: phaseLen,
+		Accesses:    int64(len(gen)),
+	}
+	if cfg.Record {
+		res.Trace = gen
+	}
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package bounds
+
+// CatalogEntry documents one bound of the paper as implemented here:
+// which result it is, its closed form, its domain, and a callable
+// evaluator over the standard (k, h, B) parameters (i and b derived via
+// the §5.3 optimal split where needed).
+type CatalogEntry struct {
+	// Name is the short identifier used by the tools ("thm2-item-lb").
+	Name string
+	// Source cites the paper result ("Theorem 2").
+	Source string
+	// Statement is the closed form, in ASCII math.
+	Statement string
+	// Domain states the parameter constraints.
+	Domain string
+	// Eval computes the bound at (k, h, B).
+	Eval func(k, h, B float64) float64
+}
+
+// Catalog returns every competitive-ratio bound in the repository, in
+// paper order. Fault-rate bounds (Theorems 8–11) take locality functions
+// rather than sizes and are documented on their functions instead.
+func Catalog() []CatalogEntry {
+	return []CatalogEntry{
+		{
+			Name:      "sleator-tarjan",
+			Source:    "Sleator & Tarjan 1985 (paper §4.1)",
+			Statement: "k / (k - h + 1)",
+			Domain:    "k >= h >= 1",
+			Eval:      func(k, h, B float64) float64 { return SleatorTarjan(k, h) },
+		},
+		{
+			Name:      "thm2-item-lb",
+			Source:    "Theorem 2",
+			Statement: "B(k - B + 1) / (k - h + 1)",
+			Domain:    "k >= h >= B >= 1",
+			Eval:      ItemCacheLB,
+		},
+		{
+			Name:      "thm3-block-lb",
+			Source:    "Theorem 3",
+			Statement: "k / (k - B(h - 1)); +Inf when k <= B(h-1)",
+			Domain:    "k >= h >= 1, B >= 1",
+			Eval:      BlockCacheLB,
+		},
+		{
+			Name:      "thm4-general-lb",
+			Source:    "Theorem 4 (best a)",
+			Statement: "min over a in {1, B} of (a(k-h+1) + B(h-a)) / (k-h+1)",
+			Domain:    "k >= h >= 1, B >= 1",
+			Eval:      GeneralLBBest,
+		},
+		{
+			Name:      "thm5-item-layer-ub",
+			Source:    "Theorem 5",
+			Statement: "i / (i - h) with i = optimal item layer",
+			Domain:    "i > h >= 1",
+			Eval: func(k, h, B float64) float64 {
+				return ItemLayerUB(OptimalItemLayer(k, h, B), h)
+			},
+		},
+		{
+			Name:      "thm6-block-layer-ub",
+			Source:    "Theorem 6",
+			Statement: "min(B, (b + 2Bh - B) / (b + B)) with b = k - optimal item layer",
+			Domain:    "b >= 0, h >= 1, B >= 1",
+			Eval: func(k, h, B float64) float64 {
+				return BlockLayerUB(k-OptimalItemLayer(k, h, B), h, B)
+			},
+		},
+		{
+			Name:      "thm7-iblp-ub",
+			Source:    "Theorem 7 + §5.3 sizing",
+			Statement: "(k+B-1)(k-h+B(2h-1))/(k-h+B)^2 above the §5.3 threshold; (2Bk-B^2-B)/(2(k-h)) below",
+			Domain:    "k > h >= 1, B >= 1",
+			Eval:      IBLPKnownH,
+		},
+		{
+			Name:      "item-lru-ub",
+			Source:    "derived (§2 baseline; see bounds.ItemLRUUB)",
+			Statement: "B * k / (k - h + 1)",
+			Domain:    "k >= h >= 1, B >= 1",
+			Eval:      ItemLRUUB,
+		},
+		{
+			Name:      "block-lru-ub",
+			Source:    "derived (§2 baseline; see bounds.BlockLRUUB)",
+			Statement: "floor(k/B) / (floor(k/B) - h + 1); +Inf when k/B <= h-1",
+			Domain:    "k, h, B >= 1",
+			Eval:      BlockLRUUB,
+		},
+	}
+}

@@ -1,0 +1,87 @@
+// Package bounds transcribes every closed-form bound in the paper:
+// the Sleator–Tarjan baseline, the GC lower bounds of Theorems 2–4, the
+// IBLP upper bounds of Theorems 5–7 with the §5.3 partition-sizing rules,
+// and the fault-rate bounds of Theorems 8–11 in the extended locality
+// model. All bounds take the cache sizes as float64 so sweeps and root
+// finding compose cleanly; callers pass integral sizes when they have
+// them.
+//
+// Conventions: k is the online cache size, h the offline (optimal) cache
+// size, B the block size, i and b the IBLP layer sizes. A returned +Inf
+// means the bound is vacuous (no finite competitive ratio) for those
+// parameters; NaN means the parameters are outside the bound's domain.
+package bounds
+
+import "math"
+
+// SleatorTarjan returns the classic lower bound k/(k−h+1) on the
+// competitive ratio of any deterministic policy in *traditional* caching
+// (no spatial locality), which LRU matches. Domain: k ≥ h ≥ 1.
+func SleatorTarjan(k, h float64) float64 {
+	if h < 1 || k < h {
+		return math.NaN()
+	}
+	return k / (k - h + 1)
+}
+
+// ItemCacheLB returns Theorem 2: any Item Cache (a policy that loads only
+// the requested item) has competitive ratio at least B(k−B+1)/(k−h+1) in
+// the GC model. Domain: k ≥ h ≥ B ≥ 1.
+func ItemCacheLB(k, h, B float64) float64 {
+	if B < 1 || h < B || k < h {
+		return math.NaN()
+	}
+	return B * (k - B + 1) / (k - h + 1)
+}
+
+// BlockCacheLB returns Theorem 3: any Block Cache (loads and evicts whole
+// blocks) has competitive ratio at least k/(k−B(h−1)). The bound is +Inf
+// when k ≤ B(h−1): a Block Cache needs nearly B× augmentation before any
+// finite ratio is possible. Domain: k ≥ h ≥ 1, B ≥ 1.
+func BlockCacheLB(k, h, B float64) float64 {
+	if B < 1 || h < 1 || k < h {
+		return math.NaN()
+	}
+	den := k - B*(h-1)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return k / den
+}
+
+// GeneralLB returns Theorem 4: a deterministic policy that needs a
+// consecutive distinct accesses to a block before loading all of it has
+// competitive ratio at least (a(k−h+1)+B(h−a))/(k−h+1).
+// Domain: k ≥ h ≥ a ≥ 1, 1 ≤ a ≤ B.
+func GeneralLB(k, h, B, a float64) float64 {
+	if a < 1 || a > B || h < a || k < h {
+		return math.NaN()
+	}
+	return (a*(k-h+1) + B*(h-a)) / (k - h + 1)
+}
+
+// GeneralLBBest returns the Theorem 4 bound minimized over the policy's
+// choice of a — the strongest lower bound that applies to *every*
+// deterministic policy. Per §4.4 the expression is linear in a, so the
+// minimum is at a=1 or a=B (a=B reduces to the Item Cache bound).
+func GeneralLBBest(k, h, B float64) float64 {
+	lo := GeneralLB(k, h, B, 1)
+	hi := GeneralLB(k, h, B, B)
+	if math.IsNaN(lo) {
+		return hi
+	}
+	if math.IsNaN(hi) {
+		return lo
+	}
+	return math.Min(lo, hi)
+}
+
+// GeneralLBArgmin returns the a ∈ {1, B} minimizing Theorem 4's bound:
+// 1 when k−h+1 > B (temporal term dominates), B otherwise, matching the
+// §4.4 design discussion.
+func GeneralLBArgmin(k, h, B float64) float64 {
+	if k-h+1 > B {
+		return 1
+	}
+	return B
+}

@@ -1,0 +1,183 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v ± %v", name, got, want, tol)
+	}
+}
+
+func relApprox(t *testing.T, name string, got, want, relTol float64) {
+	t.Helper()
+	if math.IsNaN(got) || math.Abs(got-want) > relTol*math.Abs(want) {
+		t.Errorf("%s = %v, want %v (rel tol %v)", name, got, want, relTol)
+	}
+}
+
+func TestSleatorTarjan(t *testing.T) {
+	// k = h: ratio k (LRU with equal sizes is k-competitive... k/(k−h+1)=k).
+	approx(t, "ST(8,8)", SleatorTarjan(8, 8), 8, 1e-12)
+	// k = 2h − 1: exactly 2... k/(k−h+1) = (2h−1)/h.
+	approx(t, "ST(15,8)", SleatorTarjan(15, 8), 15.0/8, 1e-12)
+	if !math.IsNaN(SleatorTarjan(4, 8)) {
+		t.Error("ST with k < h should be NaN")
+	}
+	if !math.IsNaN(SleatorTarjan(4, 0)) {
+		t.Error("ST with h < 1 should be NaN")
+	}
+}
+
+func TestItemCacheLBMatchesTheorem2(t *testing.T) {
+	// B(k−B+1)/(k−h+1) at k=100, h=10, B=4: 4·97/91.
+	approx(t, "Thm2", ItemCacheLB(100, 10, 4), 4.0*97/91, 1e-12)
+	// With B=1 and h=1 reduces to Sleator–Tarjan: 1·k/(k−h+1).
+	approx(t, "Thm2 B=1", ItemCacheLB(100, 10, 1), SleatorTarjan(100, 10), 1e-12)
+	if !math.IsNaN(ItemCacheLB(100, 2, 4)) {
+		t.Error("h < B should be NaN")
+	}
+}
+
+func TestBlockCacheLBMatchesTheorem3(t *testing.T) {
+	// k/(k−B(h−1)) at k=100, h=10, B=4: 100/64.
+	approx(t, "Thm3", BlockCacheLB(100, 10, 4), 100.0/64, 1e-12)
+	// Infinite when k ≤ B(h−1).
+	if !math.IsInf(BlockCacheLB(36, 10, 4), 1) {
+		t.Error("k = B(h−1) should be +Inf")
+	}
+	if !math.IsInf(BlockCacheLB(20, 10, 4), 1) {
+		t.Error("k < B(h−1) should be +Inf")
+	}
+	// With B=1 reduces to k/(k−h+1) = Sleator–Tarjan.
+	approx(t, "Thm3 B=1", BlockCacheLB(100, 10, 1), SleatorTarjan(100, 10), 1e-12)
+}
+
+func TestGeneralLBEndpoints(t *testing.T) {
+	k, h, B := 1000.0, 100.0, 8.0
+	// a = B reduces to the Item Cache bound.
+	approx(t, "Thm4 a=B", GeneralLB(k, h, B, B), ItemCacheLB(k, h, B), 1e-9)
+	// a = 1: (k−h+1+B(h−1))/(k−h+1).
+	approx(t, "Thm4 a=1", GeneralLB(k, h, B, 1), (k-h+1+B*(h-1))/(k-h+1), 1e-12)
+	if !math.IsNaN(GeneralLB(k, h, B, 0)) || !math.IsNaN(GeneralLB(k, h, B, B+1)) {
+		t.Error("a outside [1,B] should be NaN")
+	}
+}
+
+func TestGeneralLBBestIsMinOverAllA(t *testing.T) {
+	for _, p := range []struct{ k, h, B float64 }{
+		{1000, 100, 8}, {120, 100, 64}, {50000, 200, 64}, {300, 299, 16},
+	} {
+		best := GeneralLBBest(p.k, p.h, p.B)
+		scan := math.Inf(1)
+		for a := 1.0; a <= p.B; a++ {
+			if v := GeneralLB(p.k, p.h, p.B, a); !math.IsNaN(v) && v < scan {
+				scan = v
+			}
+		}
+		relApprox(t, "GeneralLBBest vs scan", best, scan, 1e-12)
+		// §4.4: the argmin is at an endpoint.
+		am := GeneralLBArgmin(p.k, p.h, p.B)
+		relApprox(t, "argmin value", GeneralLB(p.k, p.h, p.B, am), scan, 1e-12)
+	}
+}
+
+func TestGCBoundsDominateSleatorTarjan(t *testing.T) {
+	// Spatial locality can only widen the online/offline gap: the GC
+	// lower bound exceeds Sleator–Tarjan everywhere in its domain (B ≥ 2).
+	for _, kMult := range []float64{1.5, 2, 4, 16, 64, 100} {
+		h := 1024.0
+		k := kMult * h
+		B := 64.0
+		if GeneralLBBest(k, h, B) < SleatorTarjan(k, h)-1e-9 {
+			t.Errorf("GC LB < ST at k=%v", k)
+		}
+	}
+}
+
+func TestTable1SalientPoints(t *testing.T) {
+	// Table 1 at B=64 with a large h; the paper's entries are the
+	// leading-order approximations of these numbers.
+	h, B := 16384.0, 64.0
+	st, lower, upper := Table1(h, B)
+
+	// Sleator–Tarjan column: k=2h ⇒ 2, meet at 2, ratio 2 at any large k.
+	approx(t, "ST @2h", st.ConstantAugmentation.Ratio, 2, 1e-3)
+	approx(t, "ST meet aug", st.Meeting.Augmentation, 2, 1e-3)
+
+	// GC lower bound column: k≈2h ⇒ ≈B; meet ≈ 1+√B; k≈Bh ⇒ ≈2.
+	approx(t, "LB @2h", lower.ConstantAugmentation.Ratio, B, 1.5)
+	approx(t, "LB meet", lower.Meeting.Augmentation, 1+math.Sqrt(B), 0.2)
+	approx(t, "LB @Bh", lower.ConstantRatio.Ratio, 2, 0.1)
+
+	// GC upper bound column: k≈2h ⇒ ≈2B; meet ≈ √(2B); k≈Bh ⇒ ≈3.
+	approx(t, "UB @2h", upper.ConstantAugmentation.Ratio, 2*B, 1)
+	if upper.Meeting.Augmentation < math.Sqrt(2*B) || upper.Meeting.Augmentation > 1.3*math.Sqrt(2*B) {
+		t.Errorf("UB meet = %v, want ≈ √(2B) = %v", upper.Meeting.Augmentation, math.Sqrt(2*B))
+	}
+	approx(t, "UB @Bh", upper.ConstantRatio.Ratio, 3, 0.2)
+
+	// Table 1's headline: the GC model adds a Θ(B) penalty to the product
+	// ratio × augmentation relative to ST at every salient point.
+	prodST := st.ConstantAugmentation.Ratio * st.ConstantAugmentation.Augmentation
+	prodLB := lower.ConstantAugmentation.Ratio * lower.ConstantAugmentation.Augmentation
+	if prodLB < 0.5*B*prodST/2 {
+		t.Errorf("LB product %v should be ≈ B/2 × ST product %v", prodLB, prodST)
+	}
+}
+
+func TestMeetingPointMonotoneBound(t *testing.T) {
+	h := 100.0
+	k, ok := MeetingPoint(func(k float64) float64 { return SleatorTarjan(k, h) }, h, h+1, 100*h)
+	if !ok {
+		t.Fatal("no meeting point for ST")
+	}
+	// Exact solution of k/(k−h+1) = k/h is k−h+1 = h ⇒ k = 2h−1.
+	approx(t, "ST meet k", k, 2*h-1, 1e-6)
+}
+
+func TestAugmentationForRatio(t *testing.T) {
+	h := 100.0
+	bound := func(k float64) float64 { return SleatorTarjan(k, h) }
+	k, ok := AugmentationForRatio(bound, 1.25, h+1, 100*h)
+	if !ok {
+		t.Fatal("no crossing")
+	}
+	// k/(k−h+1) = 1.25 ⇒ k = 5(h−1) ⇒ 495.
+	approx(t, "k for ratio 1.25", k, 495, 1e-6)
+	if _, ok := AugmentationForRatio(bound, 0.5, h+1, 100*h); ok {
+		t.Error("impossible target should not bracket")
+	}
+}
+
+func TestCatalogEntriesEvaluate(t *testing.T) {
+	k, h, B := 4096.0, 256.0, 64.0
+	for _, e := range Catalog() {
+		if e.Name == "" || e.Source == "" || e.Statement == "" || e.Domain == "" {
+			t.Errorf("catalog entry %+v missing documentation", e)
+		}
+		v := e.Eval(k, h, B)
+		if math.IsNaN(v) {
+			t.Errorf("%s: NaN inside its domain", e.Name)
+		}
+		if !math.IsInf(v, 1) && v < 1-1e-9 {
+			t.Errorf("%s: competitive bound %v below 1", e.Name, v)
+		}
+	}
+	// Catalog agreement with the direct functions.
+	for _, e := range Catalog() {
+		switch e.Name {
+		case "sleator-tarjan":
+			if e.Eval(k, h, B) != SleatorTarjan(k, h) {
+				t.Error("catalog ST disagrees")
+			}
+		case "thm7-iblp-ub":
+			if e.Eval(k, h, B) != IBLPKnownH(k, h, B) {
+				t.Error("catalog Thm7 disagrees")
+			}
+		}
+	}
+}

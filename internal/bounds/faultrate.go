@@ -1,0 +1,77 @@
+package bounds
+
+import (
+	"math"
+
+	"gccache/internal/locality"
+)
+
+// FaultRateLB returns Theorem 8: in the extended locality model with item
+// working-set function f and block working-set function g, any
+// deterministic policy with cache size k has fault rate at least
+//
+//	g(f⁻¹(k+1) − 2) / (f⁻¹(k+1) − 2).
+//
+// Domain: k ≥ 1 and f⁻¹(k+1) > 2 (windows long enough to exercise k+1
+// distinct items). Returns NaN outside the domain.
+func FaultRateLB(k float64, f, g locality.Func) float64 {
+	if k < 1 {
+		return math.NaN()
+	}
+	n := f.Inverse(k+1) - 2
+	if n <= 0 {
+		return math.NaN()
+	}
+	return g.Eval(n) / n
+}
+
+// ItemLayerFaultUB returns Theorem 9: the fault rate of IBLP's item layer
+// (an LRU cache of size i in the traditional model, which granularity
+// change can only improve) is at most (i−1)/(f⁻¹(i+1) − 2).
+// The conservative InverseLow is used so that sparsely measured profiles
+// can only inflate, never deflate, the upper bound.
+func ItemLayerFaultUB(i float64, f locality.Func) float64 {
+	if i < 1 {
+		return math.NaN()
+	}
+	n := f.InverseLow(i+1) - 2
+	if n <= 0 {
+		return math.NaN()
+	}
+	return (i - 1) / n
+}
+
+// BlockLayerFaultUB returns Theorem 10: the block layer is an LRU cache
+// of effective size b/B serving the *block* request stream, so its fault
+// rate is at most (b/B − 1)/(g⁻¹(b/B + 1) − 2), with g as the
+// items-per-window function.
+//
+// Note: the theorem statement in the paper prints f⁻¹ here, but its proof
+// ("using the number of blocks in a window g(n) as the items per window
+// function") and every Table 2 row require g⁻¹; we implement the proof.
+func BlockLayerFaultUB(b, B float64, g locality.Func) float64 {
+	if B < 1 || b < B {
+		return math.NaN()
+	}
+	eff := b / B
+	n := g.InverseLow(eff+1) - 2
+	if n <= 0 {
+		return math.NaN()
+	}
+	return (eff - 1) / n
+}
+
+// IBLPFaultUB returns Theorem 11: IBLP misses only when both layers miss,
+// so its fault rate is at most the minimum of the two layer bounds.
+func IBLPFaultUB(i, b, B float64, f, g locality.Func) float64 {
+	iu := ItemLayerFaultUB(i, f)
+	bu := BlockLayerFaultUB(b, B, g)
+	switch {
+	case math.IsNaN(iu):
+		return bu
+	case math.IsNaN(bu):
+		return iu
+	default:
+		return math.Min(iu, bu)
+	}
+}

@@ -1,0 +1,118 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"gccache/internal/locality"
+)
+
+func TestFaultRateLBTable2Row1(t *testing.T) {
+	// f = g = √n (no spatial locality): lower bound ≈ 1/h for a cache of
+	// size h (Table 2 row 1, h = cache size).
+	f := locality.Poly{C: 1, P: 2}
+	h := 10000.0
+	got := FaultRateLB(h, f, f)
+	relApprox(t, "LB √n", got, 1/h, 0.01)
+}
+
+func TestFaultRateLBTable2SpatialRows(t *testing.T) {
+	f := locality.Poly{C: 1, P: 2}
+	B := 64.0
+	h := 10000.0
+	// g = f/√B: LB ≈ 1/(√B·h).
+	g2 := locality.Scaled{F: f, Gamma: math.Sqrt(B)}
+	relApprox(t, "LB f/√B", FaultRateLB(h, f, g2), 1/(math.Sqrt(B)*h), 0.01)
+	// g = f/B: LB ≈ 1/(B·h).
+	g3 := locality.Scaled{F: f, Gamma: B}
+	relApprox(t, "LB f/B", FaultRateLB(h, f, g3), 1/(B*h), 0.01)
+}
+
+func TestFaultRateLBGeneralP(t *testing.T) {
+	// f = n^{1/p}: LB ≈ 1/h^{p−1} (rows 4–6 of Table 2, g = f).
+	for _, p := range []float64{2, 3, 4} {
+		f := locality.Poly{C: 1, P: p}
+		h := 500.0
+		relApprox(t, "LB n^{1/p}", FaultRateLB(h, f, f), 1/math.Pow(h, p-1), 0.05)
+	}
+}
+
+func TestItemLayerFaultUBTable2(t *testing.T) {
+	// (i−1)/(f⁻¹(i+1)−2) ≈ 1/i^{p−1} for f = n^{1/p}.
+	for _, p := range []float64{2, 3} {
+		f := locality.Poly{C: 1, P: p}
+		i := 4096.0
+		relApprox(t, "item UB", ItemLayerFaultUB(i, f), 1/math.Pow(i, p-1), 0.01)
+	}
+}
+
+func TestBlockLayerFaultUBTable2(t *testing.T) {
+	B := 64.0
+	b := 65536.0
+	f := locality.Poly{C: 1, P: 2}
+	// g = f (no spatial locality): block UB ≈ B^{p−1}/b^{p−1} = B/b.
+	relApprox(t, "block UB g=f", BlockLayerFaultUB(b, B, f), B/b, 0.01)
+	// g = f/√B: block UB ≈ 1/b (Table 2 row 2, p=2).
+	g2 := locality.Scaled{F: f, Gamma: math.Sqrt(B)}
+	relApprox(t, "block UB g=f/√B", BlockLayerFaultUB(b, B, g2), 1/b, 0.01)
+	// g = f/B: block UB ≈ 1/(B·b) (Table 2 row 3, p=2).
+	g3 := locality.Scaled{F: f, Gamma: B}
+	relApprox(t, "block UB g=f/B", BlockLayerFaultUB(b, B, g3), 1/(B*b), 0.01)
+}
+
+func TestIBLPFaultUBTakesMin(t *testing.T) {
+	f := locality.Poly{C: 1, P: 2}
+	B := 64.0
+	i, b := 4096.0, 4096.0
+	// With g = f/B, block layer is far better; the min must pick it.
+	g := locality.Scaled{F: f, Gamma: B}
+	iu := ItemLayerFaultUB(i, f)
+	bu := BlockLayerFaultUB(b, B, g)
+	got := IBLPFaultUB(i, b, B, f, g)
+	approx(t, "min", got, math.Min(iu, bu), 1e-15)
+	if got != bu {
+		t.Errorf("expected block layer to win: item %v block %v", iu, bu)
+	}
+}
+
+func TestFaultRateMeetingPoint(t *testing.T) {
+	// §7.3: with ratio f/g = B^{1−1/p}, the two layer bounds meet at
+	// ≈ 1/i^{p−1} for i = b.
+	for _, p := range []float64{2, 3} {
+		B := 64.0
+		f := locality.Poly{C: 1, P: p}
+		g := locality.Scaled{F: f, Gamma: math.Pow(B, 1-1/p)}
+		i := 32768.0
+		iu := ItemLayerFaultUB(i, f)
+		bu := BlockLayerFaultUB(i, B, g)
+		relApprox(t, "meeting UBs", iu, bu, 0.05)
+		relApprox(t, "meeting value", iu, 1/math.Pow(i, p-1), 0.05)
+	}
+}
+
+func TestFaultBoundsDomains(t *testing.T) {
+	f := locality.Poly{C: 1, P: 2}
+	if !math.IsNaN(FaultRateLB(0.5, f, f)) {
+		t.Error("k<1 should be NaN")
+	}
+	if !math.IsNaN(ItemLayerFaultUB(0.5, f)) {
+		t.Error("i<1 should be NaN")
+	}
+	if !math.IsNaN(BlockLayerFaultUB(10, 64, f)) {
+		t.Error("b<B should be NaN")
+	}
+	// Tiny cache where f⁻¹(k+1) ≤ 2 is out of the model's domain.
+	if !math.IsNaN(FaultRateLB(1, locality.Poly{C: 10, P: 1}, f)) {
+		t.Error("degenerate window should be NaN")
+	}
+}
+
+func TestIBLPFaultUBHandlesPartialDomains(t *testing.T) {
+	f := locality.Poly{C: 1, P: 2}
+	// Block layer out of domain (b < B): fall back to the item bound.
+	got := IBLPFaultUB(4096, 10, 64, f, f)
+	approx(t, "fallback item", got, ItemLayerFaultUB(4096, f), 1e-15)
+	// Item layer out of domain: fall back to the block bound.
+	got = IBLPFaultUB(0.5, 65536, 64, f, f)
+	approx(t, "fallback block", got, BlockLayerFaultUB(65536, 64, f), 1e-15)
+}

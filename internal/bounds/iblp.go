@@ -1,0 +1,238 @@
+package bounds
+
+import "math"
+
+// ItemLayerUB returns Theorem 5: considering only temporal-locality hits,
+// the IBLP item layer of size i has competitive ratio at most i/(i−h)
+// against an optimal cache of size h. Domain: i > h ≥ 1. +Inf at i ≤ h.
+func ItemLayerUB(i, h float64) float64 {
+	if h < 1 || i < h {
+		return math.NaN()
+	}
+	if i == h {
+		return math.Inf(1)
+	}
+	return i / (i - h)
+}
+
+// BlockLayerUB returns Theorem 6: considering only spatial-locality hits,
+// the IBLP block layer of size b has competitive ratio at most
+// min(B, (b+2Bh−B)/(b+B)). Domain: b ≥ 0, h ≥ 1, B ≥ 1.
+func BlockLayerUB(b, h, B float64) float64 {
+	if B < 1 || h < 1 || b < 0 {
+		return math.NaN()
+	}
+	return math.Min(B, (b+2*B*h-B)/(b+B))
+}
+
+// Theorem7RegionBoundary returns the item-layer size at which Theorem 7
+// switches expressions: i* = (2Bb − b + 2B² + B)/(2B). Below it the block
+// layer's load count t is interior (< B); above it t saturates at B.
+func Theorem7RegionBoundary(b, B float64) float64 {
+	return (2*B*b - b + 2*B*B + B) / (2 * B)
+}
+
+// IBLPUB returns Theorem 7: the competitive ratio of IBLP with item layer
+// i and block layer b against an optimal cache of size h is at most
+//
+//	(b+B(2i−1))² / (8B(B+b)(i−h))        if i ≤ (2Bb−b+2B²+B)/(2B)
+//	(2Bi−Bb+b−B²−B) / (2i−2h)            otherwise.
+//
+// Domain: i > h ≥ 1, b ≥ 0, B ≥ 1. +Inf at i ≤ h (the item layer alone
+// must out-size the optimal cache for the analysis to bound anything).
+func IBLPUB(i, b, h, B float64) float64 {
+	if B < 1 || h < 1 || b < 0 || i < 0 {
+		return math.NaN()
+	}
+	if i <= h {
+		return math.Inf(1)
+	}
+	if i <= Theorem7RegionBoundary(b, B) {
+		num := b + B*(2*i-1)
+		return num * num / (8 * B * (B + b) * (i - h))
+	}
+	return (2*B*i - B*b + b - B*B - B) / (2*i - 2*h)
+}
+
+// OptimalSplitThreshold returns the §5.3 threshold on k below which IBLP
+// should devote everything to the item layer (i = k, b = 0):
+// k ≥ (3Bh − h − B² − B)/(B − 1) is required for a nonzero block layer to
+// pay off. For B = 1 (no granularity change) the threshold is −∞: the
+// block layer never helps.
+func OptimalSplitThreshold(h, B float64) float64 {
+	if B <= 1 {
+		return math.Inf(-1)
+	}
+	return (3*B*h - h - B*B - B) / (B - 1)
+}
+
+// OptimalItemLayer returns the §5.3 optimal item-layer size i for total
+// cache size k against a known optimal cache size h:
+//
+//	i = (k² + 4Bhk − hk + 4B²h − 3Bh − B²) / (2Bk + k + 2Bh − h + 2B² − 3B)
+//
+// when k is above OptimalSplitThreshold, and i = k otherwise. The result
+// is clamped to [h+1, k] so that the Theorem 7 domain holds (IBLP needs
+// i > h) and the block layer is b = k − i ≥ 0.
+func OptimalItemLayer(k, h, B float64) float64 {
+	if k < h || h < 1 || B < 1 {
+		return math.NaN()
+	}
+	i := k
+	if B > 1 && k >= OptimalSplitThreshold(h, B) {
+		num := k*k + 4*B*h*k - h*k + 4*B*B*h - 3*B*h - B*B
+		den := 2*B*k + k + 2*B*h - h + 2*B*B - 3*B
+		if den > 0 {
+			i = num / den
+		}
+	}
+	return math.Min(k, math.Max(h+1, i))
+}
+
+// IBLPKnownH returns the §5.3 closed-form competitive ratio of IBLP when
+// the optimal cache size h is known and the layers are sized optimally:
+//
+//	(k+B−1)(k−h+B(2h−1)) / (k−h+B)²          if k ≥ threshold
+//	(2Bk−B²−B) / (2(k−h))                    otherwise (i = k, Item Cache)
+//
+// Domain: k > h ≥ 1. +Inf at k ≤ h.
+func IBLPKnownH(k, h, B float64) float64 {
+	if h < 1 || B < 1 || k < h {
+		return math.NaN()
+	}
+	if k == h {
+		return math.Inf(1)
+	}
+	if B > 1 && k >= OptimalSplitThreshold(h, B) {
+		return (k + B - 1) * (k - h + B*(2*h-1)) / ((k - h + B) * (k - h + B))
+	}
+	return (2*B*k - B*B - B) / (2 * (k - h))
+}
+
+// IBLPApproxRatio returns the §5.3 large-cache approximation
+// (k > h ≫ B ≫ 1): k(k+2Bh)/(k−h)² if k ≥ 3h, else Bk/(k−h).
+func IBLPApproxRatio(k, h, B float64) float64 {
+	if k <= h {
+		return math.Inf(1)
+	}
+	if k >= 3*h {
+		return k * (k + 2*B*h) / ((k - h) * (k - h))
+	}
+	return B * k / (k - h)
+}
+
+// Theorem7LP numerically maximizes the §5.2 combined linear program —
+//
+//	maximize 1/(1 − r − s(t−1))
+//	s.t.     h ≥ r·i + s·U(t),  1 ≥ r + s·t,  0 ≤ r, 0 ≤ s, 1 ≤ t ≤ B
+//
+// where U(t) = Σ_{j=0}^{t−1} (1 + j(b/B+1)) is the triangle-shaped cache
+// usage of a t-item spatial load — and returns the maximized ratio. It is
+// the machine check (experiment E5) that the Theorem 7 closed form
+// dominates the program's true optimum. For fixed (r, t), the optimal s
+// saturates the tighter constraint, so the search is two-dimensional.
+func Theorem7LP(i, b, h, B float64, grid int) float64 {
+	if grid < 8 {
+		grid = 8
+	}
+	usage := func(t float64) float64 {
+		// Triangle sum with the continuous analogue of Σ j = t(t−1)/2.
+		return t + (b/B+1)*t*(t-1)/2
+	}
+	best := 1.0
+	eval := func(r, t float64) float64 {
+		if r < 0 || r > 1 || t < 1 || t > B {
+			return math.Inf(-1)
+		}
+		s := math.Inf(1)
+		if u := usage(t); u > 0 {
+			if rem := h - r*i; rem >= 0 {
+				s = rem / u
+			} else {
+				return math.Inf(-1)
+			}
+		}
+		if cap := (1 - r) / t; cap < s {
+			s = cap
+		}
+		if s < 0 {
+			return math.Inf(-1)
+		}
+		hits := r + s*(t-1)
+		if hits >= 1 {
+			return math.Inf(1)
+		}
+		return 1 / (1 - hits)
+	}
+	for ri := 0; ri <= grid; ri++ {
+		r := float64(ri) / float64(grid)
+		for ti := 0; ti <= grid; ti++ {
+			t := 1 + (B-1)*float64(ti)/float64(grid)
+			if v := eval(r, t); v > best {
+				best = v
+			}
+		}
+	}
+	// Local refinement around the coarse optimum.
+	refine := func(rc, tc, span float64) {
+		for ri := -grid; ri <= grid; ri++ {
+			r := rc + span*float64(ri)/float64(grid)
+			for ti := -grid; ti <= grid; ti++ {
+				t := tc + span*(B-1)*float64(ti)/float64(grid)
+				if v := eval(r, t); v > best {
+					best = v
+				}
+			}
+		}
+	}
+	// Re-scan to find where the best was, then refine twice.
+	bestR, bestT := 0.0, 1.0
+	for ri := 0; ri <= grid; ri++ {
+		r := float64(ri) / float64(grid)
+		for ti := 0; ti <= grid; ti++ {
+			t := 1 + (B-1)*float64(ti)/float64(grid)
+			if eval(r, t) == best {
+				bestR, bestT = r, t
+			}
+		}
+	}
+	refine(bestR, bestT, 1/float64(grid))
+	refine(bestR, bestT, 1/float64(grid*grid))
+	return best
+}
+
+// Theorem6LP numerically maximizes the block-layer-only program of §5.2
+// (r fixed to 0): used to cross-check the Theorem 6 closed form.
+func Theorem6LP(b, h, B float64, grid int) float64 {
+	return theorem6LPAtR(0, math.Inf(1), b, h, B, grid)
+}
+
+func theorem6LPAtR(r, i, b, h, B float64, grid int) float64 {
+	if grid < 8 {
+		grid = 8
+	}
+	usage := func(t float64) float64 { return t + (b/B+1)*t*(t-1)/2 }
+	best := 1.0
+	for ti := 0; ti <= grid*grid; ti++ {
+		t := 1 + (B-1)*float64(ti)/float64(grid*grid)
+		rem := h
+		if !math.IsInf(i, 1) {
+			rem = h - r*i
+		}
+		if rem < 0 {
+			continue
+		}
+		s := math.Min(rem/usage(t), (1-r)/t)
+		if s < 0 {
+			continue
+		}
+		hits := r + s*(t-1)
+		if hits >= 1 {
+			return math.Inf(1)
+		}
+		if v := 1 / (1 - hits); v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,166 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+)
+
+func TestItemLayerUBMatchesSleatorTarjanShape(t *testing.T) {
+	// Theorem 5 is i/(i−h): the ST upper bound for LRU without the −1
+	// (the paper drops the miss slot).
+	approx(t, "Thm5", ItemLayerUB(200, 100), 2, 1e-12)
+	if !math.IsInf(ItemLayerUB(100, 100), 1) {
+		t.Error("i=h should be +Inf")
+	}
+	if !math.IsNaN(ItemLayerUB(50, 100)) {
+		t.Error("i<h should be NaN")
+	}
+}
+
+func TestBlockLayerUBMatchesTheorem6(t *testing.T) {
+	b, h, B := 1024.0, 100.0, 64.0
+	want := (b + 2*B*h - B) / (b + B)
+	approx(t, "Thm6", BlockLayerUB(b, h, B), want, 1e-12)
+	// The bound saturates at B for tiny block layers.
+	approx(t, "Thm6 cap", BlockLayerUB(0, 100, 64), 64, 1e-12)
+	// And approaches 1 for enormous block layers: b → ∞ ⇒ ratio → 1.
+	if v := BlockLayerUB(1e12, 100, 64); v > 1.001 {
+		t.Errorf("huge b: ratio = %v, want → 1", v)
+	}
+}
+
+func TestTheorem6ClosedFormMatchesLP(t *testing.T) {
+	// Experiment E5 (block layer): the transcribed closed form equals the
+	// numeric optimum of the §5.2 spatial-locality program.
+	for _, p := range []struct{ b, h, B float64 }{
+		{1024, 100, 64}, {4096, 50, 64}, {256, 40, 16}, {65536, 100, 64},
+	} {
+		closed := BlockLayerUB(p.b, p.h, p.B)
+		lp := Theorem6LP(p.b, p.h, p.B, 64)
+		// The grid under-approximates the max slightly; it must never
+		// exceed the closed form by more than numeric noise.
+		if lp > closed*(1+1e-6) {
+			t.Errorf("LP %v exceeds closed form %v at %+v", lp, closed, p)
+		}
+		relApprox(t, "Thm6 LP vs closed", lp, closed, 0.01)
+	}
+}
+
+func TestTheorem7ClosedFormMatchesLP(t *testing.T) {
+	// Experiment E5 (combined): Theorem 7's piecewise closed form equals
+	// the numeric optimum of the combined program.
+	h, B := 16384.0, 64.0
+	for _, mult := range []float64{2, 3, 8, 64} {
+		k := mult * h
+		i := OptimalItemLayer(k, h, B)
+		b := k - i
+		closed := IBLPUB(i, b, h, B)
+		lp := Theorem7LP(i, b, h, B, 64)
+		if lp > closed*(1+1e-6) {
+			t.Errorf("k=%vh: LP %v exceeds closed form %v", mult, lp, closed)
+		}
+		relApprox(t, "Thm7 LP vs closed", lp, closed, 0.01)
+	}
+}
+
+func TestTheorem7RegionsAgreeAtBoundary(t *testing.T) {
+	b, B := 2048.0, 64.0
+	h := 10.0
+	iStar := Theorem7RegionBoundary(b, B)
+	lo := IBLPUB(iStar*(1-1e-9), b, h, B)
+	hi := IBLPUB(iStar*(1+1e-9), b, h, B)
+	relApprox(t, "Thm7 continuity", lo, hi, 1e-6)
+}
+
+func TestIBLPKnownHEqualsTheorem7AtOptimalSplit(t *testing.T) {
+	h, B := 16384.0, 64.0
+	for _, mult := range []float64{1.5, 2, 3, 8, 64, 200} {
+		k := mult * h
+		i := OptimalItemLayer(k, h, B)
+		relApprox(t, "§5.3 vs Thm7", IBLPKnownH(k, h, B), IBLPUB(i, k-i, h, B), 1e-9)
+	}
+}
+
+func TestOptimalItemLayerIsArgmin(t *testing.T) {
+	h, B := 4096.0, 64.0
+	for _, mult := range []float64{2, 4, 16, 64} {
+		k := mult * h
+		iOpt := OptimalItemLayer(k, h, B)
+		rOpt := IBLPUB(iOpt, k-iOpt, h, B)
+		// Scan i over its domain; no choice may beat the formula by more
+		// than discretization noise.
+		steps := 4000
+		for s := 0; s <= steps; s++ {
+			i := h + 1 + (k-h-1)*float64(s)/float64(steps)
+			if v := IBLPUB(i, k-i, h, B); v < rOpt*(1-1e-6) {
+				t.Fatalf("k=%vh: i=%v gives %v < formula %v at i=%v", mult, i, v, rOpt, iOpt)
+			}
+		}
+	}
+}
+
+func TestIBLPBelowThresholdIsItemCache(t *testing.T) {
+	h, B := 1000.0, 64.0
+	thr := OptimalSplitThreshold(h, B)
+	k := thr * 0.9
+	if OptimalItemLayer(k, h, B) != k {
+		t.Errorf("below threshold, i should be k; got %v (k=%v)", OptimalItemLayer(k, h, B), k)
+	}
+	// §5.3 small-k form: (2Bk−B²−B)/(2(k−h)).
+	want := (2*B*k - B*B - B) / (2 * (k - h))
+	approx(t, "small-k ratio", IBLPKnownH(k, h, B), want, 1e-9)
+}
+
+func TestIBLPUpperBoundAboveLowerBound(t *testing.T) {
+	// Soundness: the achievable upper bound can never sit below the
+	// universal lower bound.
+	h, B := 16384.0, 64.0
+	for mult := 1.25; mult <= 128; mult *= 2 {
+		k := mult * h
+		lb := GeneralLBBest(k, h, B)
+		ub := IBLPKnownH(k, h, B)
+		if ub < lb-1e-9 {
+			t.Errorf("k=%vh: UB %v < LB %v", mult, ub, lb)
+		}
+		// Table 1: they differ by at most ≈3×.
+		if ub > 3.2*lb {
+			t.Errorf("k=%vh: UB %v > 3.2 × LB %v", mult, ub, lb)
+		}
+	}
+}
+
+func TestIBLPApproxRatioTracksExact(t *testing.T) {
+	h, B := 65536.0, 64.0
+	for _, mult := range []float64{2, 3, 8, 64} {
+		k := mult * h
+		exact := IBLPKnownH(k, h, B)
+		appr := IBLPApproxRatio(k, h, B)
+		relApprox(t, "§5.3 approximation", appr, exact, 0.25)
+	}
+	if !math.IsInf(IBLPApproxRatio(10, 10, 4), 1) {
+		t.Error("k=h should be +Inf")
+	}
+}
+
+func TestIBLPUBDomain(t *testing.T) {
+	if !math.IsInf(IBLPUB(100, 50, 100, 8), 1) {
+		t.Error("i=h should be +Inf")
+	}
+	if !math.IsNaN(IBLPUB(-1, 50, 10, 8)) {
+		t.Error("negative i should be NaN")
+	}
+	if !math.IsNaN(IBLPKnownH(50, 100, 8)) {
+		t.Error("k<h should be NaN")
+	}
+	if !math.IsInf(IBLPKnownH(100, 100, 8), 1) {
+		t.Error("k=h should be +Inf")
+	}
+}
+
+func TestOptimalSplitThresholdB1(t *testing.T) {
+	if !math.IsInf(OptimalSplitThreshold(100, 1), -1) {
+		t.Error("B=1: block layer never helps, threshold −∞")
+	}
+	// B=1, so i=k and the ratio reduces to (2k−2)/(2(k−h)) = (k−1)/(k−h).
+	approx(t, "B=1 ratio", IBLPKnownH(200, 100, 1), 199.0/100, 1e-12)
+}

@@ -1,0 +1,38 @@
+package bounds
+
+import "math"
+
+// ItemLRUUB returns an upper bound on Item-LRU's competitive ratio in the
+// GC model: B·k/(k−h+1). Derivation: LRU is k/(k−h+1)-competitive
+// against the item-granularity offline optimum (Sleator–Tarjan), and the
+// item-granularity optimum pays at most B× the GC optimum (it can
+// simulate any GC execution by loading the ≤ B items of each unit-cost
+// block load individually). Together with Theorem 2's B(k−B+1)/(k−h+1)
+// lower bound this pins Item-LRU's GC competitiveness to Θ(B·k/(k−h+1)).
+func ItemLRUUB(k, h, B float64) float64 {
+	st := SleatorTarjan(k, h)
+	if math.IsNaN(st) || B < 1 {
+		return math.NaN()
+	}
+	return B * st
+}
+
+// BlockLRUUB returns an upper bound on Block-LRU's competitive ratio in
+// the GC model: (k/B)/((k/B)−h+1), i.e. the Sleator–Tarjan bound for an
+// LRU cache of k/B block frames compared against an optimal cache of h
+// *blocks*. Derivation: a GC-optimal execution with h items holds at most
+// h distinct blocks and pays one block load per miss, so it induces a
+// feasible block-granularity schedule with h frames whose cost equals the
+// GC optimum; Block-LRU is classic LRU over that block request stream
+// with ⌊k/B⌋ frames. The bound is +Inf when k/B ≤ h−1, matching
+// Theorem 3's pollution penalty.
+func BlockLRUUB(k, h, B float64) float64 {
+	if B < 1 || h < 1 || k < 1 {
+		return math.NaN()
+	}
+	frames := math.Floor(k / B)
+	if frames-h+1 <= 0 {
+		return math.Inf(1)
+	}
+	return frames / (frames - h + 1)
+}

@@ -1,0 +1,122 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based invariants over random parameter draws: the structural
+// facts every bound in the paper must satisfy regardless of parameters.
+
+// drawParams maps raw fuzz input to a valid (k, h, B) triple with
+// k ≥ h ≥ B ≥ 2.
+func drawParams(rawK, rawH, rawB uint16) (k, h, B float64) {
+	B = float64(2 + rawB%128)
+	h = B + float64(rawH%4096)
+	k = h + float64(uint32(rawK)*2%100000)
+	return k, h, B
+}
+
+func TestPropBoundsAtLeastOne(t *testing.T) {
+	prop := func(rawK, rawH, rawB uint16) bool {
+		k, h, B := drawParams(rawK, rawH, rawB)
+		for _, v := range []float64{
+			SleatorTarjan(k, h),
+			ItemCacheLB(k, h, B),
+			GeneralLBBest(k, h, B),
+			IBLPKnownH(k+1, h, B),
+		} {
+			if math.IsNaN(v) || v < 1-1e-9 {
+				return false
+			}
+		}
+		// BlockCacheLB may be +Inf, but never below 1.
+		if v := BlockCacheLB(k, h, B); !math.IsInf(v, 1) && v < 1-1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropOrderingSTBelowGCBelowIBLP(t *testing.T) {
+	prop := func(rawK, rawH, rawB uint16) bool {
+		k, h, B := drawParams(rawK, rawH, rawB)
+		k++ // ensure k > h so the upper bound is finite
+		st := SleatorTarjan(k, h)
+		gc := GeneralLBBest(k, h, B)
+		ub := IBLPKnownH(k, h, B)
+		return st <= gc*(1+1e-9) && gc <= ub*(1+1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropBoundsDecreaseInK(t *testing.T) {
+	prop := func(rawK, rawH, rawB uint16, rawStep uint8) bool {
+		k, h, B := drawParams(rawK, rawH, rawB)
+		k++
+		step := 1 + float64(rawStep)
+		for _, f := range []func(k float64) float64{
+			func(k float64) float64 { return SleatorTarjan(k, h) },
+			func(k float64) float64 { return GeneralLBBest(k, h, B) },
+			func(k float64) float64 { return IBLPKnownH(k, h, B) },
+		} {
+			if f(k+step) > f(k)*(1+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropGeneralLBBestNeverAboveAnyA(t *testing.T) {
+	prop := func(rawK, rawH, rawB uint16, rawA uint8) bool {
+		k, h, B := drawParams(rawK, rawH, rawB)
+		a := 1 + math.Mod(float64(rawA), B)
+		if a > h {
+			return true
+		}
+		return GeneralLBBest(k, h, B) <= GeneralLB(k, h, B, a)*(1+1e-9)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropOptimalItemLayerInRange(t *testing.T) {
+	prop := func(rawK, rawH, rawB uint16) bool {
+		k, h, B := drawParams(rawK, rawH, rawB)
+		k++
+		i := OptimalItemLayer(k, h, B)
+		if math.IsNaN(i) {
+			return false
+		}
+		return i >= h && i <= k
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropIBLPUBNeverBelowItsBlockLayerFloor(t *testing.T) {
+	// The combined bound can never beat 1, and the optimally split cache
+	// is never worse than devoting everything to the item layer.
+	prop := func(rawK, rawH, rawB uint16) bool {
+		k, h, B := drawParams(rawK, rawH, rawB)
+		k++
+		opt := IBLPKnownH(k, h, B)
+		itemOnly := IBLPUB(k, 0, h, B)
+		return opt <= itemOnly*(1+1e-9) && opt >= 1-1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,89 @@
+package bounds
+
+import (
+	"math"
+
+	"gccache/internal/numopt"
+)
+
+// RatioFunc is a competitive-ratio bound as a function of the online
+// cache size k, with all other parameters (h, B, …) already bound.
+type RatioFunc func(k float64) float64
+
+// MeetingPoint finds the online size k at which bound(k) equals the
+// augmentation factor k/h — Table 1's "Ratio = Augmentation" column.
+// Bounds in this paper decrease in k while k/h increases, so the crossing
+// is unique; it is located by bisection on [kLo, kHi]. ok is false if the
+// bracket does not straddle the crossing.
+func MeetingPoint(bound RatioFunc, h, kLo, kHi float64) (k float64, ok bool) {
+	f := func(k float64) float64 {
+		v := bound(k)
+		if math.IsInf(v, 1) {
+			return math.MaxFloat64
+		}
+		if math.IsNaN(v) {
+			return math.MaxFloat64
+		}
+		return v - k/h
+	}
+	return numopt.Bisect(f, kLo, kHi, 200)
+}
+
+// AugmentationForRatio finds the online size k at which bound(k) drops to
+// the target ratio — Table 1's "Constant Ratio" column. The bound must be
+// decreasing in k on [kLo, kHi]. ok is false if the target is not
+// bracketed.
+func AugmentationForRatio(bound RatioFunc, target, kLo, kHi float64) (k float64, ok bool) {
+	f := func(k float64) float64 {
+		v := bound(k)
+		if math.IsInf(v, 1) || math.IsNaN(v) {
+			return math.MaxFloat64
+		}
+		return v - target
+	}
+	return numopt.Bisect(f, kLo, kHi, 200)
+}
+
+// SalientPoint is one cell of Table 1: an augmentation factor k/h and the
+// competitive ratio at that augmentation.
+type SalientPoint struct {
+	Augmentation float64 // k/h
+	Ratio        float64
+}
+
+// Table1Column holds the three salient points of one Table 1 column for
+// a given bound.
+type Table1Column struct {
+	// ConstantAugmentation is the ratio at k = 2h.
+	ConstantAugmentation SalientPoint
+	// Meeting is the point where ratio = augmentation.
+	Meeting SalientPoint
+	// ConstantRatio is the augmentation at which the ratio reaches the
+	// column's asymptotic floor (2 for ST and the GC lower bound, 3 for
+	// the GC upper bound), probed at k = Bh as in the paper.
+	ConstantRatio SalientPoint
+}
+
+// Table1ColumnFor computes the salient points of Table 1 for an arbitrary
+// ratio bound at optimal size h and block size B.
+func Table1ColumnFor(bound RatioFunc, h, B float64) Table1Column {
+	var col Table1Column
+	col.ConstantAugmentation = SalientPoint{Augmentation: 2, Ratio: bound(2 * h)}
+	if k, ok := MeetingPoint(bound, h, h+1, 4*B*B*h); ok {
+		col.Meeting = SalientPoint{Augmentation: k / h, Ratio: bound(k)}
+	} else {
+		col.Meeting = SalientPoint{Augmentation: math.NaN(), Ratio: math.NaN()}
+	}
+	col.ConstantRatio = SalientPoint{Augmentation: B, Ratio: bound(B * h)}
+	return col
+}
+
+// Table1 computes all three Table 1 columns at optimal size h and block
+// size B: the Sleator–Tarjan baseline, the GC lower bound (Theorem 4
+// minimized over a), and the GC upper bound (IBLP, §5.3 sizing).
+func Table1(h, B float64) (st, lower, upper Table1Column) {
+	st = Table1ColumnFor(func(k float64) float64 { return SleatorTarjan(k, h) }, h, B)
+	lower = Table1ColumnFor(func(k float64) float64 { return GeneralLBBest(k, h, B) }, h, B)
+	upper = Table1ColumnFor(func(k float64) float64 { return IBLPKnownH(k, h, B) }, h, B)
+	return st, lower, upper
+}

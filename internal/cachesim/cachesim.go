@@ -1,0 +1,253 @@
+// Package cachesim defines the cache-policy interface of the GC caching
+// simulator, the per-run statistics (including the paper's split of hits
+// into temporal and spatial), and the trace runner.
+//
+// The simulator charges cost exactly as Definition 1 of the paper: a hit
+// is free; a miss costs one unit regardless of how many items of the
+// missed item's block the policy chooses to load.
+package cachesim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// Access describes the effect of a single request on a cache.
+type Access struct {
+	// Hit reports whether the requested item was in cache.
+	Hit bool
+	// Loaded lists the items inserted to serve a miss (the requested item
+	// first, then any free siblings from the same block). Empty on hits.
+	// The slice may be reused by the cache on the next call; callers that
+	// retain it must copy.
+	Loaded []model.Item
+	// Evicted lists the items removed to make room. The slice may be
+	// reused by the cache on the next call.
+	Evicted []model.Item
+}
+
+// Cache is an online GC cache policy. Implementations own their state;
+// the runner only drives requests and aggregates statistics.
+//
+// Contains must reflect the post-Access state and is what adaptive
+// adversaries probe to construct worst-case traces.
+type Cache interface {
+	// Name identifies the policy (for reports).
+	Name() string
+	// Access serves one request and returns its effect.
+	Access(it model.Item) Access
+	// Contains reports whether it is currently cached.
+	Contains(it model.Item) bool
+	// Len returns the number of cached items.
+	Len() int
+	// Capacity returns k, the configured maximum number of cached items.
+	Capacity() int
+	// Reset empties the cache and clears policy state.
+	Reset()
+}
+
+// Stats aggregates the outcome of running a trace through a cache.
+type Stats struct {
+	Policy   string
+	Accesses int64
+	Hits     int64
+	// Misses is also the cost: each miss triggers exactly one unit-cost
+	// block load.
+	Misses int64
+	// SpatialHits counts hits to items that were in cache only because an
+	// earlier miss on a *different* item of the same block loaded them
+	// (the item had not been accessed since that load). All other hits
+	// are TemporalHits. SpatialHits + TemporalHits == Hits.
+	SpatialHits  int64
+	TemporalHits int64
+	// ItemsLoaded counts every item insertion (≥ Misses).
+	ItemsLoaded int64
+	// Evictions counts every item removal.
+	Evictions int64
+}
+
+// MissRatio returns Misses/Accesses, or 0 for an empty run.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// HitRatio returns Hits/Accesses, or 0 for an empty run.
+func (s Stats) HitRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cost returns the total load cost charged to the cache (== Misses).
+func (s Stats) Cost() int64 { return s.Misses }
+
+// Add accumulates other into s for multi-run aggregation.
+func (s *Stats) Add(other Stats) {
+	s.Accesses += other.Accesses
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.SpatialHits += other.SpatialHits
+	s.TemporalHits += other.TemporalHits
+	s.ItemsLoaded += other.ItemsLoaded
+	s.Evictions += other.Evictions
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: accesses=%d hits=%d (temporal=%d spatial=%d) misses=%d missRatio=%.4f",
+		s.Policy, s.Accesses, s.Hits, s.TemporalHits, s.SpatialHits, s.Misses, s.MissRatio())
+}
+
+// Recorder incrementally classifies accesses into the Stats fields.
+// It tracks which cached items were loaded as free siblings and never
+// accessed since, so hits can be split into spatial and temporal exactly
+// as §2 of the paper defines them, independent of the policy.
+type Recorder struct {
+	stats Stats
+	// pristine holds items loaded by a miss on a different item and not
+	// accessed since; a hit on a pristine item is a spatial hit.
+	pristine map[model.Item]struct{}
+}
+
+// NewRecorder returns a Recorder for the named policy.
+func NewRecorder(policy string) *Recorder {
+	return &Recorder{
+		stats:    Stats{Policy: policy},
+		pristine: make(map[model.Item]struct{}),
+	}
+}
+
+// Observe records the outcome of one request.
+func (r *Recorder) Observe(it model.Item, a Access) {
+	r.stats.Accesses++
+	if a.Hit {
+		r.stats.Hits++
+		if _, ok := r.pristine[it]; ok {
+			r.stats.SpatialHits++
+			delete(r.pristine, it)
+		} else {
+			r.stats.TemporalHits++
+		}
+		return
+	}
+	r.stats.Misses++
+	r.stats.ItemsLoaded += int64(len(a.Loaded))
+	r.stats.Evictions += int64(len(a.Evicted))
+	for _, v := range a.Evicted {
+		delete(r.pristine, v)
+	}
+	for _, l := range a.Loaded {
+		if l == it {
+			continue
+		}
+		r.pristine[l] = struct{}{}
+	}
+	// The requested item itself has now been accessed.
+	delete(r.pristine, it)
+}
+
+// Stats returns the accumulated statistics.
+func (r *Recorder) Stats() Stats { return r.stats }
+
+// NetChanges reconciles a step's load and eviction lists to *net*
+// changes: an item that was transiently loaded and evicted (or evicted
+// and reloaded) within one access is removed from both lists. Policies
+// whose internal mechanics overshoot capacity mid-step call this before
+// returning an Access, so that Loaded always means absent→present and
+// Evicted always means present→absent.
+func NetChanges(loaded, evicted []model.Item) (netLoaded, netEvicted []model.Item) {
+	if len(loaded) == 0 || len(evicted) == 0 {
+		return loaded, evicted
+	}
+	inBoth := make(map[model.Item]int, len(evicted))
+	for _, e := range evicted {
+		inBoth[e]++
+	}
+	netLoaded = loaded[:0]
+	for _, l := range loaded {
+		if inBoth[l] > 0 {
+			inBoth[l]--
+			continue
+		}
+		netLoaded = append(netLoaded, l)
+	}
+	netEvicted = evicted[:0]
+	for _, e := range evicted {
+		// Rebuild evicted with the matched pairs removed; counts in
+		// inBoth now hold the *unmatched* evictions per item.
+		if n := inBoth[e]; n > 0 {
+			inBoth[e]--
+			netEvicted = append(netEvicted, e)
+		}
+	}
+	return netLoaded, netEvicted
+}
+
+// Run replays tr through c (without resetting it first) and returns the
+// statistics. Use c.Reset() beforehand for a cold-start run.
+func Run(c Cache, tr trace.Trace) Stats {
+	rec := NewRecorder(c.Name())
+	for _, it := range tr {
+		rec.Observe(it, c.Access(it))
+	}
+	return rec.Stats()
+}
+
+// RunCold resets c and then replays tr.
+func RunCold(c Cache, tr trace.Trace) Stats {
+	c.Reset()
+	return Run(c, tr)
+}
+
+// ParallelFor runs fn(i) for i in [0, n) on up to workers goroutines
+// (GOMAXPROCS if workers <= 0). It is the sweep engine used by the
+// experiment harness; fn must be safe to call concurrently for distinct i.
+func ParallelFor(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// RunSeeds replays tr through independently seeded instances of a
+// randomized policy and returns the per-seed miss ratios — the input for
+// variance reporting on GCM/Marking-style policies whose behaviour
+// depends on coin flips.
+func RunSeeds(build func(seed int64) Cache, tr trace.Trace, seeds []int64) []float64 {
+	out := make([]float64, len(seeds))
+	ParallelFor(len(seeds), 0, func(i int) {
+		out[i] = RunCold(build(seeds[i]), tr).MissRatio()
+	})
+	return out
+}

@@ -1,0 +1,130 @@
+package cachesim
+
+import (
+	"fmt"
+
+	"gccache/internal/model"
+)
+
+// Validator wraps a Cache and checks, on every access, that the policy's
+// observable behaviour is a legal execution of the paper's Definition 1:
+//
+//   - a hit is reported iff the item was present (per the validator's
+//     shadow copy of the contents), and no loads accompany it (loads cost
+//     a unit; hits are free);
+//   - on a miss, the loaded set contains the requested item, lies
+//     entirely within the requested item's block, and is disjoint from
+//     the current contents (Loaded/Evicted report *net* changes — see
+//     NetChanges);
+//   - evicted items were present, and the requested item is never evicted
+//     by its own access (demand caching);
+//   - the contents never exceed the declared capacity, and the wrapped
+//     cache's Contains/Len agree with the shadow copy.
+//
+// The first violation is latched in Err; subsequent accesses pass
+// through. Wrap any policy with NewValidator in tests to certify it
+// against the model.
+type Validator struct {
+	inner    Cache
+	geo      model.Geometry
+	shadow   map[model.Item]struct{}
+	err      error
+	accesses int64
+}
+
+var _ Cache = (*Validator)(nil)
+
+// NewValidator wraps c for model-conformance checking under geo.
+func NewValidator(c Cache, geo model.Geometry) *Validator {
+	return &Validator{
+		inner:  c,
+		geo:    geo,
+		shadow: make(map[model.Item]struct{}, c.Capacity()),
+	}
+}
+
+// Err returns the first recorded violation, or nil.
+func (v *Validator) Err() error { return v.err }
+
+func (v *Validator) failf(format string, args ...any) {
+	if v.err == nil {
+		v.err = fmt.Errorf("cachesim: access %d (%s): %s",
+			v.accesses, v.inner.Name(), fmt.Sprintf(format, args...))
+	}
+}
+
+// Name implements Cache.
+func (v *Validator) Name() string { return v.inner.Name() }
+
+// Access implements Cache, checking the inner policy's step.
+func (v *Validator) Access(it model.Item) Access {
+	v.accesses++
+	_, wasPresent := v.shadow[it]
+	a := v.inner.Access(it)
+
+	if a.Hit != wasPresent {
+		v.failf("hit=%v but item %d present=%v", a.Hit, it, wasPresent)
+	}
+	if a.Hit && len(a.Loaded) > 0 {
+		v.failf("loads on a hit: %v", a.Loaded)
+	}
+	if !a.Hit {
+		blk := v.geo.BlockOf(it)
+		foundSelf := false
+		for _, l := range a.Loaded {
+			if l == it {
+				foundSelf = true
+			}
+			if v.geo.BlockOf(l) != blk {
+				v.failf("loaded %d outside requested block %d", l, blk)
+			}
+			if _, dup := v.shadow[l]; dup {
+				v.failf("loaded %d already present (not a net change)", l)
+			}
+		}
+		if !foundSelf {
+			v.failf("loaded set %v missing requested item %d", a.Loaded, it)
+		}
+	}
+	for _, e := range a.Evicted {
+		if e == it {
+			v.failf("requested item %d evicted by its own access", it)
+		}
+		if _, ok := v.shadow[e]; !ok {
+			v.failf("evicted %d was not present (not a net change)", e)
+		}
+		delete(v.shadow, e)
+	}
+	for _, l := range a.Loaded {
+		v.shadow[l] = struct{}{}
+	}
+	if _, ok := v.shadow[it]; !ok {
+		v.failf("requested item %d not resident after its access (demand caching)", it)
+	}
+	if len(v.shadow) > v.inner.Capacity() {
+		v.failf("contents %d exceed capacity %d", len(v.shadow), v.inner.Capacity())
+	}
+	// Cross-check the wrapped cache's own view.
+	if !v.inner.Contains(it) {
+		v.failf("Contains(%d) false right after it was served", it)
+	}
+	if got, want := v.inner.Len(), len(v.shadow); got != want {
+		v.failf("Len()=%d disagrees with shadow %d", got, want)
+	}
+	return a
+}
+
+// Contains implements Cache.
+func (v *Validator) Contains(it model.Item) bool { return v.inner.Contains(it) }
+
+// Len implements Cache.
+func (v *Validator) Len() int { return v.inner.Len() }
+
+// Capacity implements Cache.
+func (v *Validator) Capacity() int { return v.inner.Capacity() }
+
+// Reset implements Cache.
+func (v *Validator) Reset() {
+	v.inner.Reset()
+	clear(v.shadow)
+}

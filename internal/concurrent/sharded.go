@@ -1,0 +1,174 @@
+// Package concurrent provides a thread-safe, sharded GC cache for
+// parallel trace replay. Real deployments of the paper's setting (shared
+// DRAM caches, storage-server buffer pools) serve many request streams
+// at once; Sharded partitions the item universe by *block* across
+// independently locked policy instances, so every unit-cost block load —
+// the operation the GC model prices — stays entirely within one shard
+// and needs exactly one lock acquisition.
+package concurrent
+
+import (
+	"fmt"
+	"sync"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// Sharded is a lock-striped cache composed of per-shard policy
+// instances. It implements cachesim.Cache, so it can also be driven
+// single-threaded, validated, and compared against its flat equivalent.
+type Sharded struct {
+	geo    model.Geometry
+	shards []shard
+	mask   uint64
+}
+
+type shard struct {
+	mu  sync.Mutex
+	c   cachesim.Cache
+	rec *cachesim.Recorder
+	// pad keeps shard headers off shared cache lines under contention.
+	_ [64]byte
+}
+
+// NewSharded builds a sharded cache with nShards power-of-two shards;
+// build constructs each shard's policy with its share of the total
+// capacity. The geometry must match the one the shard policies use.
+func NewSharded(nShards, totalCapacity int, geo model.Geometry,
+	build func(shardCapacity int) cachesim.Cache) (*Sharded, error) {
+	if nShards < 1 || nShards&(nShards-1) != 0 {
+		return nil, fmt.Errorf("concurrent: shard count %d is not a positive power of two", nShards)
+	}
+	if totalCapacity < nShards {
+		return nil, fmt.Errorf("concurrent: capacity %d below one item per shard (%d)", totalCapacity, nShards)
+	}
+	if geo == nil {
+		return nil, fmt.Errorf("concurrent: nil geometry")
+	}
+	s := &Sharded{geo: geo, shards: make([]shard, nShards), mask: uint64(nShards - 1)}
+	per := totalCapacity / nShards
+	for i := range s.shards {
+		c := build(per)
+		if c == nil {
+			return nil, fmt.Errorf("concurrent: builder returned nil for shard %d", i)
+		}
+		s.shards[i].c = c
+		s.shards[i].rec = cachesim.NewRecorder(c.Name())
+	}
+	return s, nil
+}
+
+// shardOf hashes the item's *block* so all siblings share a shard.
+func (s *Sharded) shardOf(it model.Item) *shard {
+	b := uint64(s.geo.BlockOf(it))
+	// splitmix64-style finalizer for uniform shard selection.
+	b ^= b >> 30
+	b *= 0xbf58476d1ce4e5b9
+	b ^= b >> 27
+	b *= 0x94d049bb133111eb
+	b ^= b >> 31
+	return &s.shards[b&s.mask]
+}
+
+// Name implements cachesim.Cache.
+func (s *Sharded) Name() string {
+	return fmt.Sprintf("sharded(%d×%s)", len(s.shards), s.shards[0].c.Name())
+}
+
+// Access implements cachesim.Cache; it is safe for concurrent use.
+func (s *Sharded) Access(it model.Item) cachesim.Access {
+	sh := s.shardOf(it)
+	sh.mu.Lock()
+	a := sh.c.Access(it)
+	sh.rec.Observe(it, a)
+	sh.mu.Unlock()
+	return a
+}
+
+// Contains implements cachesim.Cache.
+func (s *Sharded) Contains(it model.Item) bool {
+	sh := s.shardOf(it)
+	sh.mu.Lock()
+	ok := sh.c.Contains(it)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len implements cachesim.Cache (sums shard contents; the value is a
+// snapshot, exact only when quiescent).
+func (s *Sharded) Len() int {
+	total := 0
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		total += s.shards[i].c.Len()
+		s.shards[i].mu.Unlock()
+	}
+	return total
+}
+
+// Capacity implements cachesim.Cache.
+func (s *Sharded) Capacity() int {
+	total := 0
+	for i := range s.shards {
+		total += s.shards[i].c.Capacity()
+	}
+	return total
+}
+
+// Reset implements cachesim.Cache.
+func (s *Sharded) Reset() {
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		s.shards[i].c.Reset()
+		s.shards[i].rec = cachesim.NewRecorder(s.shards[i].c.Name())
+		s.shards[i].mu.Unlock()
+	}
+}
+
+// Stats merges the per-shard statistics (quiescent snapshot).
+func (s *Sharded) Stats() cachesim.Stats {
+	out := cachesim.Stats{Policy: s.Name()}
+	for i := range s.shards {
+		s.shards[i].mu.Lock()
+		out.Add(s.shards[i].rec.Stats())
+		s.shards[i].mu.Unlock()
+	}
+	return out
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Replay drives the sharded cache with one goroutine per stream and
+// returns the merged statistics. Streams interleave nondeterministically,
+// as real concurrent clients would.
+func Replay(s *Sharded, streams []trace.Trace) cachesim.Stats {
+	var wg sync.WaitGroup
+	for _, st := range streams {
+		wg.Add(1)
+		go func(tr trace.Trace) {
+			defer wg.Done()
+			for _, it := range tr {
+				s.Access(it)
+			}
+		}(st)
+	}
+	wg.Wait()
+	return s.Stats()
+}
+
+// SplitStreams deals a trace round-robin into n request streams —
+// a simple way to turn a single-client trace into a concurrent workload
+// while preserving each item's overall frequency.
+func SplitStreams(tr trace.Trace, n int) []trace.Trace {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]trace.Trace, n)
+	for i, it := range tr {
+		out[i%n] = append(out[i%n], it)
+	}
+	return out
+}

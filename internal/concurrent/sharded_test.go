@@ -1,0 +1,221 @@
+package concurrent
+
+import (
+	"sync"
+	"testing"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/core"
+	"gccache/internal/model"
+	"gccache/internal/policy"
+	"gccache/internal/trace"
+	"gccache/internal/workload"
+)
+
+func newIBLPSharded(t *testing.T, shards, total, B int) *Sharded {
+	t.Helper()
+	geo := model.NewFixed(B)
+	s, err := NewSharded(shards, total, geo, func(per int) cachesim.Cache {
+		return core.NewIBLPEvenSplit(per, geo)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewShardedValidation(t *testing.T) {
+	geo := model.NewFixed(4)
+	build := func(per int) cachesim.Cache { return policy.NewItemLRU(per) }
+	if _, err := NewSharded(3, 64, geo, build); err == nil {
+		t.Error("non-power-of-two accepted")
+	}
+	if _, err := NewSharded(0, 64, geo, build); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := NewSharded(8, 4, geo, build); err == nil {
+		t.Error("capacity below shard count accepted")
+	}
+	if _, err := NewSharded(2, 64, nil, build); err == nil {
+		t.Error("nil geometry accepted")
+	}
+	if _, err := NewSharded(2, 64, geo, func(int) cachesim.Cache { return nil }); err == nil {
+		t.Error("nil shard cache accepted")
+	}
+}
+
+func TestBlockSiblingsShareShard(t *testing.T) {
+	s := newIBLPSharded(t, 8, 512, 16)
+	for blk := 0; blk < 200; blk++ {
+		base := model.Item(blk * 16)
+		want := s.shardOf(base)
+		for off := 1; off < 16; off++ {
+			if got := s.shardOf(base + model.Item(off)); got != want {
+				t.Fatalf("block %d split across shards", blk)
+			}
+		}
+	}
+}
+
+func TestSingleShardMatchesFlatPolicy(t *testing.T) {
+	geo := model.NewFixed(8)
+	s, err := NewSharded(1, 64, geo, func(per int) cachesim.Cache {
+		return core.NewIBLPEvenSplit(per, geo)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := core.NewIBLPEvenSplit(64, geo)
+	tr, err := workload.FromSpec("blockruns:blocks=32,B=8,run=4,len=20000", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := cachesim.RunCold(s, tr)
+	want := cachesim.RunCold(flat, tr)
+	if got.Misses != want.Misses || got.SpatialHits != want.SpatialHits {
+		t.Errorf("sharded(1) %+v != flat %+v", got, want)
+	}
+	// Internal recorder agrees with the external one.
+	if st := s.Stats(); st.Misses != got.Misses {
+		t.Errorf("internal stats misses %d != %d", st.Misses, got.Misses)
+	}
+}
+
+func TestConcurrentReplayAccounting(t *testing.T) {
+	s := newIBLPSharded(t, 8, 1024, 16)
+	tr, err := workload.FromSpec("blockruns:blocks=256,B=16,run=8,len=80000", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := SplitStreams(tr, 8)
+	st := Replay(s, streams)
+	if st.Accesses != int64(len(tr)) {
+		t.Fatalf("accesses %d != %d", st.Accesses, len(tr))
+	}
+	if st.Hits+st.Misses != st.Accesses {
+		t.Fatalf("hits %d + misses %d != accesses %d", st.Hits, st.Misses, st.Accesses)
+	}
+	if st.SpatialHits+st.TemporalHits != st.Hits {
+		t.Fatalf("hit split inconsistent: %+v", st)
+	}
+	if s.Len() > s.Capacity() {
+		t.Fatalf("Len %d > Capacity %d", s.Len(), s.Capacity())
+	}
+	if st.SpatialHits == 0 {
+		t.Error("spatial workload produced no spatial hits")
+	}
+}
+
+func TestConcurrentHammerSameBlocks(t *testing.T) {
+	// Many goroutines hammering a tiny universe: exercises shard mutex
+	// paths under contention (run with -race in CI).
+	s := newIBLPSharded(t, 4, 256, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				s.Access(model.Item((i*7 + seed) % 64))
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Accesses != 16*5000 {
+		t.Fatalf("accesses = %d", st.Accesses)
+	}
+	s.Reset()
+	if s.Stats().Accesses != 0 || s.Len() != 0 {
+		t.Error("Reset")
+	}
+}
+
+func TestShardedConformsToModel(t *testing.T) {
+	// Single-threaded, the sharded composite is itself a legal GC cache.
+	geo := model.NewFixed(8)
+	s, err := NewSharded(4, 128, geo, func(per int) cachesim.Cache {
+		return core.NewIBLPEvenSplit(per, geo)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := cachesim.NewValidator(s, geo)
+	tr, err := workload.FromSpec("blockruns:blocks=64,B=8,run=4,len=10000", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachesim.Run(v, tr)
+	if err := v.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitStreams(t *testing.T) {
+	tr := trace.Trace{1, 2, 3, 4, 5}
+	streams := SplitStreams(tr, 2)
+	if len(streams) != 2 || len(streams[0]) != 3 || len(streams[1]) != 2 {
+		t.Fatalf("streams = %v", streams)
+	}
+	if streams[0][0] != 1 || streams[1][0] != 2 {
+		t.Errorf("round robin broken: %v", streams)
+	}
+	if got := SplitStreams(tr, 0); len(got) != 1 {
+		t.Error("n=0 not clamped")
+	}
+}
+
+func TestNameAndNumShards(t *testing.T) {
+	s := newIBLPSharded(t, 4, 128, 8)
+	if s.NumShards() != 4 {
+		t.Error("NumShards")
+	}
+	if s.Name() == "" {
+		t.Error("Name")
+	}
+}
+
+func BenchmarkShardedParallelAccess(b *testing.B) {
+	geo := model.NewFixed(64)
+	s, err := NewSharded(16, 1<<14, geo, func(per int) cachesim.Cache {
+		return core.NewIBLPEvenSplit(per, geo)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := workload.FromSpec("blockruns:blocks=1024,B=64,run=8,len=65536", 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Access(tr[i&65535])
+			i++
+		}
+	})
+}
+
+func BenchmarkFlatMutexAccess(b *testing.B) {
+	// Baseline for the sharding win: one global lock around one policy.
+	geo := model.NewFixed(64)
+	flat := core.NewIBLPEvenSplit(1<<14, geo)
+	var mu sync.Mutex
+	tr, err := workload.FromSpec("blockruns:blocks=1024,B=64,run=8,len=65536", 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			mu.Lock()
+			flat.Access(tr[i&65535])
+			mu.Unlock()
+			i++
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/lrulist"
+	"gccache/internal/model"
+)
+
+// AdaptiveIBLP extends IBLP with online partition adaptation — the
+// repository's answer to the §5.3 dilemma that the optimal i/b split
+// depends on the unknown offline comparison size (Figure 6). In the
+// style of ARC's ghost lists, it remembers recently evicted item-layer
+// items and block-layer blocks; a miss that would have been an
+// item-layer hit votes to grow the item layer, and one that would have
+// been a block-layer hit votes to grow the block layer. Layer *targets*
+// shift by one item (or one block frame) per vote and are enacted lazily
+// on subsequent evictions, so the cache never exceeds its total budget.
+type AdaptiveIBLP struct {
+	capacity int
+	geo      model.Geometry
+
+	targetItem int // current item-layer target; block target = capacity − targetItem
+
+	items *lrulist.List[model.Item]
+
+	blocks    *lrulist.List[model.Block]
+	resident  map[model.Block][]model.Item
+	inBlock   map[model.Item]struct{}
+	blockUsed int
+
+	ghostItems  *lrulist.List[model.Item]  // recently evicted from the item layer
+	ghostBlocks *lrulist.List[model.Block] // recently evicted from the block layer
+
+	loaded  []model.Item
+	evicted []model.Item
+}
+
+var _ cachesim.Cache = (*AdaptiveIBLP)(nil)
+
+// NewAdaptiveIBLP returns an adaptive-partition IBLP of total capacity k
+// under g, starting from an even split. It panics if k < 2 or g is nil.
+func NewAdaptiveIBLP(k int, g model.Geometry) *AdaptiveIBLP {
+	if k < 2 {
+		panic(fmt.Sprintf("core: AdaptiveIBLP capacity %d < 2", k))
+	}
+	if g == nil {
+		panic("core: AdaptiveIBLP nil geometry")
+	}
+	return &AdaptiveIBLP{
+		capacity:    k,
+		geo:         g,
+		targetItem:  k / 2,
+		items:       lrulist.New[model.Item](k),
+		blocks:      lrulist.New[model.Block](k/maxInt(1, g.BlockSize()) + 1),
+		resident:    make(map[model.Block][]model.Item),
+		inBlock:     make(map[model.Item]struct{}),
+		ghostItems:  lrulist.New[model.Item](k),
+		ghostBlocks: lrulist.New[model.Block](k/maxInt(1, g.BlockSize()) + 1),
+	}
+}
+
+// Name implements cachesim.Cache.
+func (c *AdaptiveIBLP) Name() string { return fmt.Sprintf("adaptive-iblp(k=%d)", c.capacity) }
+
+// ItemLayerTarget returns the current adaptive item-layer target.
+func (c *AdaptiveIBLP) ItemLayerTarget() int { return c.targetItem }
+
+// Access implements cachesim.Cache.
+func (c *AdaptiveIBLP) Access(it model.Item) cachesim.Access {
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
+	blk := c.geo.BlockOf(it)
+
+	if c.items.Contains(it) {
+		c.items.MoveToFront(it)
+		return cachesim.Access{Hit: true}
+	}
+	if _, ok := c.inBlock[it]; ok {
+		c.blocks.MoveToFront(blk)
+		c.admitItemLayer(it)
+		c.rebalance()
+		return cachesim.Access{Hit: true, Evicted: c.evicted}
+	}
+
+	// Miss: consult the ghosts before loading. The item layer may grow
+	// until only one block frame remains (spatial protection: full-block
+	// accesses can always be matched by a large item layer on *capacity*,
+	// but only a block frame delivers cold-miss spatial hits).
+	B := maxInt(1, c.geo.BlockSize())
+	maxItemTarget := c.capacity - B
+	if maxItemTarget < c.capacity/2 {
+		maxItemTarget = c.capacity
+	}
+	// Votes are symmetric (±1 item): a ±B block-sized step lets streaming
+	// phantom-hit votes overpower temporal ones and pin the partition
+	// just below a working-set cliff.
+	if c.ghostItems.Contains(it) {
+		c.ghostItems.Remove(it)
+		c.targetItem = minInt(maxItemTarget, c.targetItem+1)
+	} else if c.ghostBlocks.Contains(blk) {
+		c.ghostBlocks.Remove(blk)
+		c.targetItem = maxInt(0, c.targetItem-1)
+	}
+
+	c.admitItemLayer(it)
+	c.admitBlockLayer(blk, it)
+	c.rebalance()
+	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
+}
+
+func (c *AdaptiveIBLP) admitItemLayer(it model.Item) {
+	was := c.present(it)
+	c.items.PushFront(it)
+	c.ghostItems.Remove(it)
+	if !was {
+		c.loaded = append(c.loaded, it)
+	}
+}
+
+func (c *AdaptiveIBLP) admitBlockLayer(blk model.Block, requested model.Item) {
+	targetBlock := c.capacity - c.targetItem
+	if targetBlock <= 0 {
+		return
+	}
+	if old, ok := c.resident[blk]; ok {
+		c.dropBlock(blk, old, false)
+	}
+	want := c.geo.ItemsOf(blk)
+	if len(want) > targetBlock {
+		want = truncateAround(want, requested, targetBlock)
+	}
+	for c.blockUsed+len(want) > targetBlock {
+		victim, ok := c.blocks.Back()
+		if !ok {
+			break
+		}
+		c.dropBlock(victim, c.resident[victim], true)
+	}
+	if c.blockUsed+len(want) > targetBlock {
+		return
+	}
+	hold := make([]model.Item, len(want))
+	copy(hold, want)
+	c.resident[blk] = hold
+	c.blocks.PushFront(blk)
+	c.ghostBlocks.Remove(blk)
+	c.blockUsed += len(hold)
+	for _, x := range hold {
+		was := c.present(x)
+		c.inBlock[x] = struct{}{}
+		if !was {
+			c.loaded = append(c.loaded, x)
+		}
+	}
+}
+
+// rebalance enacts the current targets: shrink whichever layer exceeds
+// its target, and trim ghosts to bounded sizes.
+func (c *AdaptiveIBLP) rebalance() {
+	for c.items.Len() > c.targetItem {
+		victim, ok := c.items.PopBack()
+		if !ok {
+			break
+		}
+		c.ghostItems.PushFront(victim)
+		if !c.present(victim) {
+			c.evicted = append(c.evicted, victim)
+		}
+	}
+	targetBlock := c.capacity - c.targetItem
+	for c.blockUsed > targetBlock {
+		victim, ok := c.blocks.Back()
+		if !ok {
+			break
+		}
+		c.dropBlock(victim, c.resident[victim], true)
+	}
+	// Ghosts remember up to twice the capacity: one-pass traffic churns
+	// the real layers fast, and a ghost that forgets before the first
+	// re-reference never votes.
+	for c.ghostItems.Len() > 2*c.capacity {
+		c.ghostItems.PopBack()
+	}
+	maxGhostBlocks := 2*c.capacity/maxInt(1, c.geo.BlockSize()) + 1
+	for c.ghostBlocks.Len() > maxGhostBlocks {
+		c.ghostBlocks.PopBack()
+	}
+}
+
+func (c *AdaptiveIBLP) dropBlock(blk model.Block, items []model.Item, remember bool) {
+	for _, x := range items {
+		delete(c.inBlock, x)
+		if !c.present(x) {
+			c.evicted = append(c.evicted, x)
+		}
+	}
+	c.blockUsed -= len(items)
+	delete(c.resident, blk)
+	c.blocks.Remove(blk)
+	if remember {
+		c.ghostBlocks.PushFront(blk)
+	}
+}
+
+func (c *AdaptiveIBLP) present(it model.Item) bool {
+	if c.items.Contains(it) {
+		return true
+	}
+	_, ok := c.inBlock[it]
+	return ok
+}
+
+// Contains implements cachesim.Cache.
+func (c *AdaptiveIBLP) Contains(it model.Item) bool { return c.present(it) }
+
+// Len implements cachesim.Cache.
+func (c *AdaptiveIBLP) Len() int {
+	n := c.blockUsed
+	c.items.Each(func(it model.Item) bool {
+		if _, dup := c.inBlock[it]; !dup {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Capacity implements cachesim.Cache.
+func (c *AdaptiveIBLP) Capacity() int { return c.capacity }
+
+// Reset implements cachesim.Cache.
+func (c *AdaptiveIBLP) Reset() {
+	c.items.Clear()
+	c.blocks.Clear()
+	clear(c.resident)
+	clear(c.inBlock)
+	c.blockUsed = 0
+	c.ghostItems.Clear()
+	c.ghostBlocks.Clear()
+	c.targetItem = c.capacity / 2
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

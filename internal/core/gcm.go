@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/model"
+)
+
+// GCM is Granularity-Change Marking (§6.1), the paper's randomized
+// policy. It extends classic marking to the GC model: requested items are
+// marked; on a miss the whole accessed block is loaded but only the
+// requested item is marked, so spatial-locality items enter the cache
+// without displacing marked (temporal-locality) items. Evictions choose a
+// uniformly random *unmarked* item; when every resident item is marked,
+// all marks are cleared (a new phase) before evicting.
+//
+// In the common case where 0 < unmarked < B, loading a block therefore
+// replaces exactly the unmarked items with (randomly selected) items of
+// the accessed block, as the paper describes.
+type GCM struct {
+	capacity int
+	geo      model.Geometry
+	rng      *rand.Rand
+
+	items  []model.Item       // indexable resident set
+	index  map[model.Item]int // item -> position in items
+	marked map[model.Item]struct{}
+
+	loaded  []model.Item
+	evicted []model.Item
+}
+
+var _ cachesim.Cache = (*GCM)(nil)
+
+// NewGCM returns a GCM cache of capacity k under g with the given seed.
+// It panics if k < 1 or g is nil.
+func NewGCM(k int, g model.Geometry, seed int64) *GCM {
+	if k < 1 {
+		panic(fmt.Sprintf("core: GCM capacity %d < 1", k))
+	}
+	if g == nil {
+		panic("core: GCM nil geometry")
+	}
+	return &GCM{
+		capacity: k,
+		geo:      g,
+		rng:      rand.New(rand.NewSource(seed)),
+		index:    make(map[model.Item]int, k),
+		marked:   make(map[model.Item]struct{}, k),
+	}
+}
+
+// Name implements cachesim.Cache.
+func (c *GCM) Name() string { return "gcm" }
+
+// Access implements cachesim.Cache.
+func (c *GCM) Access(it model.Item) cachesim.Access {
+	if _, ok := c.index[it]; ok {
+		c.marked[it] = struct{}{}
+		return cachesim.Access{Hit: true}
+	}
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
+
+	// Ensure room for the requested item itself.
+	if len(c.items) >= c.capacity {
+		c.evictOne()
+	}
+	c.insert(it)
+	c.marked[it] = struct{}{}
+	c.loaded = append(c.loaded, it)
+
+	// Load the rest of the block, unmarked, into whatever free space and
+	// unmarked slots exist. Siblings are taken in random order so that
+	// when slots run short the retained subset is a random selection, as
+	// §6.1 specifies.
+	siblings := c.shuffledSiblings(it)
+	for _, sib := range siblings {
+		if _, resident := c.index[sib]; resident {
+			continue
+		}
+		if len(c.items) >= c.capacity {
+			if len(c.marked) >= len(c.items) {
+				break // no unmarked victims: stop loading, do NOT reset phase
+			}
+			c.evictOne()
+		}
+		c.insert(sib)
+		c.loaded = append(c.loaded, sib)
+	}
+	// A random eviction may hit a sibling loaded earlier in this same
+	// access; report net changes only.
+	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
+}
+
+// shuffledSiblings returns the non-requested items of it's block in a
+// random order.
+func (c *GCM) shuffledSiblings(it model.Item) []model.Item {
+	all := c.geo.ItemsOf(c.geo.BlockOf(it))
+	out := make([]model.Item, 0, len(all))
+	for _, x := range all {
+		if x != it {
+			out = append(out, x)
+		}
+	}
+	c.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// evictOne removes one random unmarked item, starting a new phase first
+// if everything is marked.
+func (c *GCM) evictOne() {
+	if len(c.marked) >= len(c.items) {
+		clear(c.marked) // phase boundary
+	}
+	for {
+		victim := c.items[c.rng.Intn(len(c.items))]
+		if _, m := c.marked[victim]; m {
+			continue
+		}
+		c.remove(victim)
+		c.evicted = append(c.evicted, victim)
+		return
+	}
+}
+
+func (c *GCM) insert(it model.Item) {
+	c.index[it] = len(c.items)
+	c.items = append(c.items, it)
+}
+
+func (c *GCM) remove(it model.Item) {
+	pos := c.index[it]
+	last := len(c.items) - 1
+	c.items[pos] = c.items[last]
+	c.index[c.items[pos]] = pos
+	c.items = c.items[:last]
+	delete(c.index, it)
+	delete(c.marked, it)
+}
+
+// Contains implements cachesim.Cache.
+func (c *GCM) Contains(it model.Item) bool {
+	_, ok := c.index[it]
+	return ok
+}
+
+// Len implements cachesim.Cache.
+func (c *GCM) Len() int { return len(c.items) }
+
+// Capacity implements cachesim.Cache.
+func (c *GCM) Capacity() int { return c.capacity }
+
+// Reset implements cachesim.Cache.
+func (c *GCM) Reset() {
+	c.items = c.items[:0]
+	clear(c.index)
+	clear(c.marked)
+}
+
+// MarkedCount reports the number of currently marked items (for tests).
+func (c *GCM) MarkedCount() int { return len(c.marked) }

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/model"
+	"gccache/internal/policy"
+	"gccache/internal/trace"
+)
+
+func TestGCMLoadsBlockUnmarked(t *testing.T) {
+	g := model.NewFixed(4)
+	c := NewGCM(8, g, 1)
+	mustMiss(t, c, 1)
+	// Whole block loaded, only 1 marked.
+	for it := model.Item(0); it < 4; it++ {
+		if !c.Contains(it) {
+			t.Errorf("missing %d", it)
+		}
+	}
+	if c.MarkedCount() != 1 {
+		t.Errorf("MarkedCount = %d, want 1", c.MarkedCount())
+	}
+	mustHit(t, c, 2) // spatial hit marks 2
+	if c.MarkedCount() != 2 {
+		t.Errorf("MarkedCount = %d, want 2", c.MarkedCount())
+	}
+}
+
+func TestGCMSiblingsDoNotEvictMarked(t *testing.T) {
+	g := model.NewFixed(4)
+	c := NewGCM(4, g, 2)
+	// Fill with 4 marked items from distinct blocks.
+	for _, it := range []model.Item{0, 4, 8, 12} {
+		mustMiss(t, c, it)
+	}
+	if c.MarkedCount() != 4 {
+		t.Fatalf("MarkedCount = %d", c.MarkedCount())
+	}
+	// Miss on 16: all marked → phase reset, evict one for 16 itself.
+	// Siblings 17..19 may then replace only unmarked items.
+	mustMiss(t, c, 16)
+	if !c.Contains(16) {
+		t.Fatal("requested item absent")
+	}
+	if c.Len() != 4 {
+		t.Errorf("Len = %d, want 4", c.Len())
+	}
+	// 16 is marked; everything else unmarked or replaced by siblings.
+	if c.MarkedCount() != 1 {
+		t.Errorf("MarkedCount = %d, want 1 after phase reset", c.MarkedCount())
+	}
+}
+
+func TestGCMStopsLoadingWhenAllMarked(t *testing.T) {
+	g := model.NewFixed(4)
+	c := NewGCM(2, g, 3)
+	mustMiss(t, c, 0) // loads 0 (marked) + one random sibling (unmarked)
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	sibling := model.Item(0)
+	for it := model.Item(1); it < 4; it++ {
+		if c.Contains(it) {
+			sibling = it
+		}
+	}
+	mustHit(t, c, sibling) // mark the sibling
+	if c.MarkedCount() != 2 {
+		t.Fatalf("MarkedCount = %d", c.MarkedCount())
+	}
+	// Miss on 4: phase reset happens for the requested item's slot, but
+	// after loading 4 (marked), siblings can only replace unmarked items.
+	mustMiss(t, c, 4)
+	if !c.Contains(4) {
+		t.Fatal("4 absent")
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d, want 2", c.Len())
+	}
+}
+
+func TestGCMNoSpatialLocalityStillCorrect(t *testing.T) {
+	// Geometry with B=1: GCM degenerates to classic marking.
+	g := model.NewFixed(1)
+	c := NewGCM(4, g, 4)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 3000; i++ {
+		c.Access(model.Item(rng.Intn(20)))
+		if c.Len() > c.Capacity() {
+			t.Fatalf("Len %d > cap", c.Len())
+		}
+	}
+}
+
+func TestGCMDeterministicWithSeed(t *testing.T) {
+	g := model.NewFixed(4)
+	rng := rand.New(rand.NewSource(10))
+	tr := make(trace.Trace, 3000)
+	for i := range tr {
+		tr[i] = model.Item(rng.Intn(64))
+	}
+	a := cachesim.RunCold(NewGCM(16, g, 99), tr)
+	b := cachesim.RunCold(NewGCM(16, g, 99), tr)
+	if a.Misses != b.Misses {
+		t.Errorf("same seed, different misses: %d vs %d", a.Misses, b.Misses)
+	}
+}
+
+func TestGCMBeatsPlainMarkingOnSpatialScan(t *testing.T) {
+	// §6.1: plain marking pays ≥ B misses per fresh block scanned; GCM
+	// pays 1. Sequential scan over fresh blocks shows the gap.
+	g := model.NewFixed(8)
+	var tr trace.Trace
+	for it := model.Item(0); it < 2048; it++ {
+		tr = append(tr, it)
+	}
+	gcm := cachesim.RunCold(NewGCM(64, g, 5), tr)
+	mark := cachesim.RunCold(policy.NewMarking(64, 5), tr)
+	if gcm.Misses*4 > mark.Misses {
+		t.Errorf("GCM %d misses vs marking %d: expected ≈B× gap", gcm.Misses, mark.Misses)
+	}
+}
+
+func TestGCMCapacityInvariant(t *testing.T) {
+	g := model.NewFixed(4)
+	c := NewGCM(10, g, 12)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 8000; i++ {
+		c.Access(model.Item(rng.Intn(120)))
+		if c.Len() > c.Capacity() {
+			t.Fatalf("Len %d > cap %d", c.Len(), c.Capacity())
+		}
+	}
+	c.Reset()
+	if c.Len() != 0 || c.MarkedCount() != 0 {
+		t.Error("Reset")
+	}
+}
+
+func TestGCMPanics(t *testing.T) {
+	g := model.NewFixed(2)
+	for _, fn := range []func(){
+		func() { NewGCM(0, g, 1) },
+		func() { NewGCM(4, nil, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	if NewGCM(4, g, 1).Name() != "gcm" {
+		t.Error("Name")
+	}
+}

@@ -1,0 +1,264 @@
+// Package core implements the paper's contributions: the Item-Block
+// Layered Partitioning (IBLP) deterministic policy of §5, the
+// Granularity-Change Marking (GCM) randomized policy of §6, and the §5.3
+// partition-sizing rules that split a cache of size k into an item layer
+// of size i and a block layer of size b = k − i.
+package core
+
+import (
+	"fmt"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/lrulist"
+	"gccache/internal/model"
+)
+
+// IBLP is Item-Block Layered Partitioning (§5.1): an Item Cache running
+// LRU (the *item layer*, size i) in front of a Block Cache running LRU
+// (the *block layer*, size b). Every access is served by the item layer
+// first; only accesses that miss there reach the block layer, so bursts
+// of temporal locality cannot reorder the block layer's LRU list. On a
+// full miss the requested item enters the item layer and its entire block
+// enters the block layer. The layers are neither inclusive nor exclusive:
+// each holds its own copy.
+type IBLP struct {
+	itemSize  int // i
+	blockSize int // b
+	geo       model.Geometry
+
+	items *lrulist.List[model.Item] // item layer, MRU..LRU
+
+	blocks    *lrulist.List[model.Block]   // block layer order, MRU..LRU
+	resident  map[model.Block][]model.Item // items held per block-layer block
+	inBlock   map[model.Item]struct{}      // membership in block layer
+	blockUsed int                          // items currently in block layer
+
+	// promoteOnItemHit is an ablation switch (see NewIBLPPromoteAll): when
+	// set, item-layer hits also refresh the block layer's LRU order,
+	// violating the §5.1 design rule. Off for the real policy.
+	promoteOnItemHit bool
+
+	loaded  []model.Item
+	evicted []model.Item
+}
+
+var _ cachesim.Cache = (*IBLP)(nil)
+
+// NewIBLP returns an IBLP cache with item layer i and block layer b under
+// geometry g. Either layer may be zero (i=0 degenerates to a Block Cache,
+// b=0 — or any b smaller than the largest block — to an Item Cache). It
+// panics if i < 0, b < 0, i+b < 1, or g is nil.
+func NewIBLP(i, b int, g model.Geometry) *IBLP {
+	if i < 0 || b < 0 || i+b < 1 {
+		panic(fmt.Sprintf("core: IBLP layer sizes i=%d b=%d invalid", i, b))
+	}
+	if g == nil {
+		panic("core: IBLP nil geometry")
+	}
+	return &IBLP{
+		itemSize:  i,
+		blockSize: b,
+		geo:       g,
+		items:     lrulist.New[model.Item](i),
+		blocks:    lrulist.New[model.Block](b/maxInt(1, g.BlockSize()) + 1),
+		resident:  make(map[model.Block][]model.Item),
+		inBlock:   make(map[model.Item]struct{}),
+	}
+}
+
+// NewIBLPEvenSplit returns an IBLP cache with i = ⌈k/2⌉, b = ⌊k/2⌋, the
+// split analyzed in §7.3.
+func NewIBLPEvenSplit(k int, g model.Geometry) *IBLP {
+	return NewIBLP((k+1)/2, k/2, g)
+}
+
+// NewIBLPPromoteAll returns the ablation variant in which item-layer hits
+// *do* reorder the block layer. §5.1 explains why this is harmful: blocks
+// with a few hot items pollute the block layer. Exposed so the effect can
+// be measured (experiment E8).
+func NewIBLPPromoteAll(i, b int, g model.Geometry) *IBLP {
+	c := NewIBLP(i, b, g)
+	c.promoteOnItemHit = true
+	return c
+}
+
+// ItemLayerSize returns i.
+func (c *IBLP) ItemLayerSize() int { return c.itemSize }
+
+// BlockLayerSize returns b.
+func (c *IBLP) BlockLayerSize() int { return c.blockSize }
+
+// Name implements cachesim.Cache.
+func (c *IBLP) Name() string {
+	if c.promoteOnItemHit {
+		return fmt.Sprintf("iblp-promote-all(i=%d,b=%d)", c.itemSize, c.blockSize)
+	}
+	return fmt.Sprintf("iblp(i=%d,b=%d)", c.itemSize, c.blockSize)
+}
+
+// Access implements cachesim.Cache.
+func (c *IBLP) Access(it model.Item) cachesim.Access {
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
+
+	if c.items.Contains(it) {
+		c.items.MoveToFront(it)
+		if c.promoteOnItemHit {
+			blk := c.geo.BlockOf(it)
+			if _, ok := c.resident[blk]; ok {
+				c.blocks.MoveToFront(blk)
+			}
+		}
+		return cachesim.Access{Hit: true}
+	}
+
+	blk := c.geo.BlockOf(it)
+	if _, ok := c.inBlock[it]; ok {
+		// Block-layer hit: serve it, refresh the block's recency, and
+		// copy the item into the item layer (an internal move — free).
+		c.blocks.MoveToFront(blk)
+		c.admitItemLayer(it)
+		return cachesim.Access{Hit: true, Evicted: c.evicted}
+	}
+
+	// Full miss: one unit-cost load brings the requested item into the
+	// item layer and the whole block into the block layer. The requested
+	// item always ends up resident: either the item layer holds it, or
+	// (i = 0) the block layer admits a copy truncated around it.
+	c.admitItemLayer(it)
+	c.admitBlockLayer(blk, it)
+	// Replacing a stale truncated block copy can evict and reload the
+	// same items within one step; report net changes only.
+	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
+}
+
+// admitItemLayer inserts it at the item layer's MRU position, evicting
+// its LRU as needed, and maintains overall loaded/evicted accounting.
+func (c *IBLP) admitItemLayer(it model.Item) {
+	if c.itemSize == 0 {
+		return
+	}
+	was := c.present(it)
+	c.items.PushFront(it)
+	if !was {
+		c.loaded = append(c.loaded, it)
+	}
+	for c.items.Len() > c.itemSize {
+		victim, _ := c.items.PopBack()
+		if !c.present(victim) {
+			c.evicted = append(c.evicted, victim)
+		}
+	}
+}
+
+// admitBlockLayer loads blk's full item set into the block layer,
+// evicting LRU blocks until it fits. Blocks larger than the layer are
+// truncated around the requested item.
+func (c *IBLP) admitBlockLayer(blk model.Block, requested model.Item) {
+	if c.blockSize == 0 {
+		return
+	}
+	if old, ok := c.resident[blk]; ok {
+		// Only possible for a previously truncated copy; replace it.
+		c.dropBlock(blk, old)
+	}
+	want := c.geo.ItemsOf(blk)
+	if len(want) > c.blockSize {
+		want = truncateAround(want, requested, c.blockSize)
+	}
+	for c.blockUsed+len(want) > c.blockSize {
+		victim, ok := c.blocks.Back()
+		if !ok {
+			break
+		}
+		c.dropBlock(victim, c.resident[victim])
+	}
+	if c.blockUsed+len(want) > c.blockSize {
+		return // layer cannot hold this block at all
+	}
+	hold := make([]model.Item, len(want))
+	copy(hold, want)
+	c.resident[blk] = hold
+	c.blocks.PushFront(blk)
+	c.blockUsed += len(hold)
+	for _, x := range hold {
+		was := c.present(x)
+		c.inBlock[x] = struct{}{}
+		if !was {
+			c.loaded = append(c.loaded, x)
+		}
+	}
+}
+
+func (c *IBLP) dropBlock(blk model.Block, items []model.Item) {
+	for _, x := range items {
+		delete(c.inBlock, x)
+		if !c.present(x) {
+			c.evicted = append(c.evicted, x)
+		}
+	}
+	c.blockUsed -= len(items)
+	delete(c.resident, blk)
+	c.blocks.Remove(blk)
+}
+
+// present reports overall membership (either layer).
+func (c *IBLP) present(it model.Item) bool {
+	if c.items.Contains(it) {
+		return true
+	}
+	_, ok := c.inBlock[it]
+	return ok
+}
+
+// truncateAround returns up to n items of all, guaranteed to include must.
+func truncateAround(all []model.Item, must model.Item, n int) []model.Item {
+	out := make([]model.Item, 0, n)
+	out = append(out, must)
+	for _, x := range all {
+		if len(out) >= n {
+			break
+		}
+		if x != must {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Contains implements cachesim.Cache.
+func (c *IBLP) Contains(it model.Item) bool { return c.present(it) }
+
+// Len returns the number of distinct items present across both layers.
+func (c *IBLP) Len() int {
+	n := c.blockUsed
+	c.items.Each(func(it model.Item) bool {
+		if _, dup := c.inBlock[it]; !dup {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Capacity implements cachesim.Cache; it is i + b, the total space the
+// two layers may occupy (duplicated items consume space in both layers,
+// exactly as in the paper's non-inclusive, non-exclusive design).
+func (c *IBLP) Capacity() int { return c.itemSize + c.blockSize }
+
+// Reset implements cachesim.Cache.
+func (c *IBLP) Reset() {
+	c.items.Clear()
+	c.blocks.Clear()
+	clear(c.resident)
+	clear(c.inBlock)
+	c.blockUsed = 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

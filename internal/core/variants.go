@@ -1,0 +1,270 @@
+package core
+
+import (
+	"fmt"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/lrulist"
+	"gccache/internal/model"
+	"gccache/internal/policy"
+)
+
+// IBLPInclusive is the §5.1 ablation in which the block layer is
+// *inclusive* of the item layer. As the paper observes, "the item layer
+// would not contribute to the overall hit rate": every item-layer
+// resident is also a block-layer resident, so the reachable contents are
+// exactly those of a Block Cache of size b — with i items of budget spent
+// on duplicates. It is implemented as such, a Block Cache that charges
+// itself for the wasted item layer.
+type IBLPInclusive struct {
+	inner     *policy.BlockLRU
+	itemSize  int
+	blockSize int
+}
+
+var _ cachesim.Cache = (*IBLPInclusive)(nil)
+
+// NewIBLPInclusive returns the inclusive ablation variant with nominal
+// layer sizes i and b (total budget i+b, useful contents ≤ b).
+func NewIBLPInclusive(i, b int, g model.Geometry) *IBLPInclusive {
+	if i < 0 || b < 1 {
+		panic(fmt.Sprintf("core: IBLPInclusive layer sizes i=%d b=%d invalid", i, b))
+	}
+	return &IBLPInclusive{inner: policy.NewBlockLRU(b, g), itemSize: i, blockSize: b}
+}
+
+// Name implements cachesim.Cache.
+func (c *IBLPInclusive) Name() string {
+	return fmt.Sprintf("iblp-inclusive(i=%d,b=%d)", c.itemSize, c.blockSize)
+}
+
+// Access implements cachesim.Cache.
+func (c *IBLPInclusive) Access(it model.Item) cachesim.Access { return c.inner.Access(it) }
+
+// Contains implements cachesim.Cache.
+func (c *IBLPInclusive) Contains(it model.Item) bool { return c.inner.Contains(it) }
+
+// Len implements cachesim.Cache.
+func (c *IBLPInclusive) Len() int { return c.inner.Len() }
+
+// Capacity implements cachesim.Cache: the full i+b budget, of which only
+// b is ever useful — the point of the ablation.
+func (c *IBLPInclusive) Capacity() int { return c.itemSize + c.blockSize }
+
+// Reset implements cachesim.Cache.
+func (c *IBLPInclusive) Reset() { c.inner.Reset() }
+
+// IBLPExclusive is the §5.1 ablation in which the layers are *exclusive*:
+// no item is ever held twice. On a block-layer hit the item migrates out
+// of the block copy into the item layer. The paper notes this "would
+// avoid duplicating items, but would require a more complicated method of
+// tracking items to ensure none are evicted before their lifetimes expire
+// in both partitions" — the hazard being that migrated-out items leave
+// holes, so a block evicted from the block layer takes its remaining
+// (unaccessed) siblings with it even though their spatial lifetime may
+// not be over.
+type IBLPExclusive struct {
+	itemSize  int
+	blockSize int
+	geo       model.Geometry
+
+	items *lrulist.List[model.Item]
+
+	blocks    *lrulist.List[model.Block]
+	resident  map[model.Block]map[model.Item]struct{} // holes appear as items migrate
+	inBlock   map[model.Item]model.Block
+	blockUsed int
+
+	loaded  []model.Item
+	evicted []model.Item
+}
+
+var _ cachesim.Cache = (*IBLPExclusive)(nil)
+
+// NewIBLPExclusive returns the exclusive ablation variant with item layer
+// i and block layer b under g.
+func NewIBLPExclusive(i, b int, g model.Geometry) *IBLPExclusive {
+	if i < 1 || b < 0 {
+		panic(fmt.Sprintf("core: IBLPExclusive layer sizes i=%d b=%d invalid", i, b))
+	}
+	if g == nil {
+		panic("core: IBLPExclusive nil geometry")
+	}
+	return &IBLPExclusive{
+		itemSize:  i,
+		blockSize: b,
+		geo:       g,
+		items:     lrulist.New[model.Item](i),
+		blocks:    lrulist.New[model.Block](b/maxInt(1, g.BlockSize()) + 1),
+		resident:  make(map[model.Block]map[model.Item]struct{}),
+		inBlock:   make(map[model.Item]model.Block),
+	}
+}
+
+// Name implements cachesim.Cache.
+func (c *IBLPExclusive) Name() string {
+	return fmt.Sprintf("iblp-exclusive(i=%d,b=%d)", c.itemSize, c.blockSize)
+}
+
+// Access implements cachesim.Cache.
+func (c *IBLPExclusive) Access(it model.Item) cachesim.Access {
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
+
+	if c.items.MoveToFront(it) {
+		return cachesim.Access{Hit: true}
+	}
+	if blk, ok := c.inBlock[it]; ok {
+		// Block-layer hit: migrate the item into the item layer,
+		// leaving a hole in the block copy.
+		c.removeFromBlock(it, blk)
+		c.blocks.MoveToFront(blk)
+		c.admitItem(it)
+		return cachesim.Access{Hit: true, Evicted: c.evicted}
+	}
+
+	// Miss: requested item to the item layer, remaining siblings (those
+	// not already cached anywhere) to the block layer.
+	c.admitItem(it)
+	c.loaded = append(c.loaded, it)
+	c.admitSiblings(it)
+	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
+}
+
+func (c *IBLPExclusive) admitItem(it model.Item) {
+	c.items.PushFront(it)
+	for c.items.Len() > c.itemSize {
+		victim, _ := c.items.PopBack()
+		// Exclusive: the evicted item exists nowhere else.
+		c.evicted = append(c.evicted, victim)
+	}
+}
+
+func (c *IBLPExclusive) admitSiblings(it model.Item) {
+	if c.blockSize == 0 {
+		return
+	}
+	blk := c.geo.BlockOf(it)
+	if set, ok := c.resident[blk]; ok {
+		// Refresh: drop the stale partial copy first.
+		c.dropBlock(blk, set)
+	}
+	var want []model.Item
+	for _, sib := range c.geo.ItemsOf(blk) {
+		if sib == it || c.items.Contains(sib) {
+			continue
+		}
+		want = append(want, sib)
+		if len(want) >= c.blockSize {
+			break
+		}
+	}
+	if len(want) == 0 {
+		return
+	}
+	for c.blockUsed+len(want) > c.blockSize {
+		victim, ok := c.blocks.Back()
+		if !ok {
+			return // nothing evictable and no room
+		}
+		c.dropBlock(victim, c.resident[victim])
+	}
+	set := make(map[model.Item]struct{}, len(want))
+	for _, x := range want {
+		set[x] = struct{}{}
+		c.inBlock[x] = blk
+		c.loaded = append(c.loaded, x)
+	}
+	c.resident[blk] = set
+	c.blocks.PushFront(blk)
+	c.blockUsed += len(set)
+}
+
+func (c *IBLPExclusive) removeFromBlock(it model.Item, blk model.Block) {
+	set := c.resident[blk]
+	delete(set, it)
+	delete(c.inBlock, it)
+	c.blockUsed--
+	if len(set) == 0 {
+		delete(c.resident, blk)
+		c.blocks.Remove(blk)
+	}
+}
+
+func (c *IBLPExclusive) dropBlock(blk model.Block, set map[model.Item]struct{}) {
+	for x := range set {
+		delete(c.inBlock, x)
+		// Exclusive: dropping the block copy is a true eviction — the
+		// lifetime hazard §5.1 warns about.
+		c.evicted = append(c.evicted, x)
+	}
+	c.blockUsed -= len(set)
+	delete(c.resident, blk)
+	c.blocks.Remove(blk)
+}
+
+// Contains implements cachesim.Cache.
+func (c *IBLPExclusive) Contains(it model.Item) bool {
+	if c.items.Contains(it) {
+		return true
+	}
+	_, ok := c.inBlock[it]
+	return ok
+}
+
+// Len implements cachesim.Cache: exclusive, so no double counting.
+func (c *IBLPExclusive) Len() int { return c.items.Len() + c.blockUsed }
+
+// Capacity implements cachesim.Cache.
+func (c *IBLPExclusive) Capacity() int { return c.itemSize + c.blockSize }
+
+// Reset implements cachesim.Cache.
+func (c *IBLPExclusive) Reset() {
+	c.items.Clear()
+	c.blocks.Clear()
+	clear(c.resident)
+	clear(c.inBlock)
+	c.blockUsed = 0
+}
+
+// GCMMarkAll is the §6.1 ablation of GCM that marks *every* loaded item,
+// not just the requested one. The paper: "a policy that loads and marks
+// every item in the block also has issues ... when the trace does not
+// provide spatial locality, the effective size of the cache is reduced by
+// the excess items" — marked never-used siblings crowd out live items
+// until the phase ends.
+type GCMMarkAll struct {
+	inner *GCM
+}
+
+var _ cachesim.Cache = (*GCMMarkAll)(nil)
+
+// NewGCMMarkAll returns the mark-everything ablation of GCM.
+func NewGCMMarkAll(k int, g model.Geometry, seed int64) *GCMMarkAll {
+	return &GCMMarkAll{inner: NewGCM(k, g, seed)}
+}
+
+// Name implements cachesim.Cache.
+func (c *GCMMarkAll) Name() string { return "gcm-mark-all" }
+
+// Access implements cachesim.Cache.
+func (c *GCMMarkAll) Access(it model.Item) cachesim.Access {
+	a := c.inner.Access(it)
+	for _, l := range a.Loaded {
+		c.inner.marked[l] = struct{}{}
+	}
+	return a
+}
+
+// Contains implements cachesim.Cache.
+func (c *GCMMarkAll) Contains(it model.Item) bool { return c.inner.Contains(it) }
+
+// Len implements cachesim.Cache.
+func (c *GCMMarkAll) Len() int { return c.inner.Len() }
+
+// Capacity implements cachesim.Cache.
+func (c *GCMMarkAll) Capacity() int { return c.inner.Capacity() }
+
+// Reset implements cachesim.Cache.
+func (c *GCMMarkAll) Reset() { c.inner.Reset() }

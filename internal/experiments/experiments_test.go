@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The experiment entry points are self-checking: each records violated
+// expectations in Report.Failures. The tests assert clean runs at reduced
+// (fast) parameter scales, plus presentation-layer behavior.
+
+func TestTable1Reproduces(t *testing.T) {
+	r := Table1(16384, 64)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 3 {
+		t.Fatalf("unexpected shape: %+v", r.Tables)
+	}
+}
+
+func TestTable2Reproduces(t *testing.T) {
+	r := Table2(64, []float64{2, 3, 4}, 65536)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables[0].Rows) != 9 {
+		t.Fatalf("want 9 rows (3 p × 3 g), got %d", len(r.Tables[0].Rows))
+	}
+}
+
+func TestFigure3Reproduces(t *testing.T) {
+	r := Figure3(1.28e6, 64, 40)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Charts) != 1 {
+		t.Fatal("missing chart")
+	}
+}
+
+func TestFigure6Reproduces(t *testing.T) {
+	r := Figure6(1.28e6, 64, []float64{512, 8192, 131072}, 40)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReductionCheckClean(t *testing.T) {
+	r := ReductionCheck(8, 7)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables[0].Rows) != 8 {
+		t.Fatalf("want 8 rows, got %d", len(r.Tables[0].Rows))
+	}
+}
+
+func TestLPCrossCheckClean(t *testing.T) {
+	r := LPCrossCheck(64)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdversarySweepClean(t *testing.T) {
+	r := AdversarySweep(64, 8)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultRateCheckClean(t *testing.T) {
+	r := FaultRateCheck(24, 4, 2, 3)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyShootoutClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shootout is the slowest experiment")
+	}
+	r := PolicyShootout(512, 16, 11)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationsClean(t *testing.T) {
+	r := Ablations(512, 16, 5)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 5 {
+		t.Fatalf("want 5 ablation tables, got %d", len(r.Tables))
+	}
+}
+
+func TestFigure3EmpiricalClean(t *testing.T) {
+	r := Figure3Empirical(256, 16, 10)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportWriteTextIncludesEverything(t *testing.T) {
+	r := Table1(1024, 16)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"experiment table1", "Sleator-Tarjan", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report text missing %q", want)
+		}
+	}
+}
+
+func TestReportWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	r := Table1(1024, 16)
+	if err := r.WriteFiles(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1.txt")); err != nil {
+		t.Errorf("txt missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1_0.csv")); err != nil {
+		t.Errorf("csv missing: %v", err)
+	}
+}
+
+func TestReportErrAggregates(t *testing.T) {
+	r := &Report{Name: "x"}
+	if r.Err() != nil {
+		t.Error("clean report errored")
+	}
+	r.Failf("boom %d", 1)
+	r.Failf("boom %d", 2)
+	err := r.Err()
+	if err == nil || !strings.Contains(err.Error(), "2 expectation(s)") {
+		t.Errorf("Err = %v", err)
+	}
+}
+
+func TestFigure5StressClean(t *testing.T) {
+	r := Figure5Stress(96, 96, 8, 48, 60000)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomizedComparisonClean(t *testing.T) {
+	r := RandomizedComparison(512, 16, 10, 3)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 3 {
+		t.Fatalf("want 3 tables (adversarial, stride, seed variance), got %d", len(r.Tables))
+	}
+}
+
+func TestFigure2DemoClean(t *testing.T) {
+	r := Figure2Demo()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(r.Tables))
+	}
+	// The Figure 2 instance's optimum is 4 misses (loads of A, B, C and
+	// the A reload).
+	found := false
+	for _, row := range r.Tables[0].Rows {
+		if row[0] == "GC optimal misses (reduced instance)" && row[1] == "4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("expected GC optimum 4 in summary table")
+	}
+}
+
+func TestFigure6EmpiricalClean(t *testing.T) {
+	r := Figure6Empirical(128, 8, 64, 40000)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveStudyClean(t *testing.T) {
+	r := AdaptiveStudy(512, 16, 3)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure1DemoClean(t *testing.T) {
+	r := Figure1Demo()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure4DemoClean(t *testing.T) {
+	r := Figure4Demo()
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryEndToEnd runs every registered artifact at quick scale:
+// the single test that certifies the whole reproduction.
+func TestRegistryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick-scale reproduction")
+	}
+	for _, spec := range Registry() {
+		spec := spec
+		t.Run(spec.Label, func(t *testing.T) {
+			rep := spec.Run(true)
+			if err := rep.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if rep.Name == "" || (len(rep.Tables) == 0 && len(rep.Charts) == 0) {
+				t.Fatalf("artifact %q produced no content", spec.Label)
+			}
+		})
+	}
+}
+
+func TestMRCStudyClean(t *testing.T) {
+	r := MRCStudy(16, 4)
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 3 || len(r.Charts) != 3 {
+		t.Fatalf("want 3 tables + 3 charts, got %d/%d", len(r.Tables), len(r.Charts))
+	}
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gccache/internal/opt"
+	"gccache/internal/render"
+	"gccache/internal/vsc"
+)
+
+// Figure2Demo reproduces the paper's Figure 2: the Theorem 1 reduction
+// applied to the figure's variable-size caching instance — items A (size
+// 2), B (size 1), C (size 3), cache size 3, trace A B A C A — showing the
+// generated GC trace, the exact optimal costs on both sides, and the
+// optimal cache's contents over time (the figure's "Optimal Cache" rows).
+func Figure2Demo() *Report {
+	r := &Report{Name: "figure2-demo"}
+	in := vsc.Instance{
+		Sizes:     []int{2, 1, 3}, // A, B, C
+		CacheSize: 3,
+		Trace:     []int{0, 1, 0, 2, 0}, // A B A C A
+	}
+	names := []string{"A", "B", "C"}
+
+	vOPT, err := vsc.Exact(in)
+	if err != nil {
+		r.Failf("vsc exact: %v", err)
+		return r
+	}
+	red, err := vsc.Reduce(in)
+	if err != nil {
+		r.Failf("reduce: %v", err)
+		return r
+	}
+	gOPT, sched, err := opt.ExactSchedule(red.Trace, red.Geometry, red.CacheSize)
+	if err != nil {
+		r.Failf("gc exact: %v", err)
+		return r
+	}
+	if gOPT != vOPT {
+		r.Failf("reduction broke on the Figure 2 instance: VSC %d vs GC %d", vOPT, gOPT)
+	}
+	if verified, err := opt.VerifySchedule(red.Trace, red.Geometry, red.CacheSize, sched); err != nil {
+		r.Failf("optimal schedule is not a legal execution: %v", err)
+	} else if verified != gOPT {
+		r.Failf("schedule cost %d != optimum %d", verified, gOPT)
+	}
+
+	summary := &render.Table{
+		Title:   "Figure 2 instance: A(size 2), B(1), C(3); cache 3; trace A B A C A",
+		Headers: []string{"quantity", "value"},
+	}
+	summary.AddRow("VSC optimal misses", vOPT)
+	summary.AddRow("GC optimal misses (reduced instance)", gOPT)
+	summary.AddRow("GC trace length (Σ z²)", len(red.Trace))
+	r.Tables = append(r.Tables, summary)
+
+	// Render the optimal execution as the figure draws it: one column per
+	// access, rows showing contents (as active-set member names).
+	label := func(it interface{ String() string }) string { return it.String() }
+	_ = label
+	itemName := func(raw uint64) string {
+		for j, set := range red.ActiveSets {
+			for pos, member := range set {
+				if uint64(member) == raw {
+					return fmt.Sprintf("%s%d", names[j], pos+1)
+				}
+			}
+		}
+		return fmt.Sprintf("?%d", raw)
+	}
+	exec := &render.Table{
+		Title:   "optimal GC execution (hits ·, misses with loads/evicts)",
+		Headers: []string{"t", "request", "action", "contents after"},
+	}
+	for i, st := range sched {
+		req := itemName(uint64(red.Trace[i]))
+		action := "hit"
+		if !st.Hit {
+			var loads []string
+			for _, l := range st.Load {
+				loads = append(loads, itemName(uint64(l)))
+			}
+			action = "miss, load {" + strings.Join(loads, " ") + "}"
+			if len(st.Evict) > 0 {
+				var evs []string
+				for _, e := range st.Evict {
+					evs = append(evs, itemName(uint64(e)))
+				}
+				action += ", evict {" + strings.Join(evs, " ") + "}"
+			}
+		}
+		var contents []string
+		for _, c := range st.Contents {
+			contents = append(contents, itemName(uint64(c)))
+		}
+		exec.AddRow(i+1, req, action, strings.Join(contents, " "))
+	}
+	r.Tables = append(r.Tables, exec)
+
+	// The proof's structural claim: the optimum loads and evicts whole
+	// active sets. Verify on this schedule: after every step, each
+	// block's resident count is 0 or the full active set...
+	for i, st := range sched {
+		counts := make(map[int]int)
+		for _, c := range st.Contents {
+			for j, set := range red.ActiveSets {
+				for _, member := range set {
+					if member == c {
+						counts[j]++
+					}
+				}
+			}
+		}
+		for j, cnt := range counts {
+			if cnt != 0 && cnt != in.Sizes[j] {
+				// Partial residency mid-burst is fine (the set is being
+				// streamed in); only flag it if it persists at a burst
+				// boundary, i.e. when the next access goes to a different
+				// block.
+				if i+1 < len(red.Trace) &&
+					red.Geometry.BlockOf(red.Trace[i+1]) != red.Geometry.BlockOf(red.Trace[i]) {
+					r.Notef("partial active set %s (%d/%d) at burst boundary t=%d — allowed but the proof shows full sets are always optimal too",
+						names[j], cnt, in.Sizes[j], i+1)
+				}
+			}
+		}
+	}
+	r.Notef("the reduced instance's optimum equals the VSC optimum (%d), certified by the exact solvers and a verified schedule", vOPT)
+	return r
+}

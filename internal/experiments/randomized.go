@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gccache/internal/adversary"
+	"gccache/internal/cachesim"
+	"gccache/internal/core"
+	"gccache/internal/model"
+	"gccache/internal/policy"
+	"gccache/internal/render"
+	"gccache/internal/stats"
+	"gccache/internal/workload"
+)
+
+// RandomizedComparison runs the §6 study: how GCM relates to classic
+// marking (which ignores granularity change) and to the mark-everything
+// ablation, and how the *relative* standing of load-few vs load-many
+// policies flips with the workload — the §6.2 observation that
+// randomization does not remove the comparison-size dependence.
+//
+// Part 1 drives the Theorem 2 construction (spatial-locality-rich) at
+// several comparison sizes h: classic marking pays the ≈B× penalty of
+// §6.1 while GCM escapes it. Part 2 runs a no-spatial-locality stride
+// sized near the cache capacity: now loading block siblings is pure
+// pollution, and the ordering reverses.
+func RandomizedComparison(k, B, phases int, seed int64) *Report {
+	r := &Report{Name: "randomized-comparison"}
+	geo := model.NewFixed(B)
+
+	adversarial := &render.Table{
+		Title: fmt.Sprintf("§6.1 on the Theorem 2 construction (k=%d, B=%d): measured ratio", k, B),
+		Headers: []string{"h", "item-marking", "gcm", "gcm-mark-all",
+			"marking/gcm"},
+	}
+	var rels []float64
+	for _, h := range []int{B + 1, k / 4, k / 2} {
+		if h < B {
+			continue
+		}
+		ratio := func(c cachesim.Cache) float64 {
+			res, err := adversary.ItemCache(c, geo, adversary.Config{OptSize: h, Phases: phases})
+			if err != nil {
+				r.Failf("h=%d %s: %v", h, c.Name(), err)
+				return 0
+			}
+			return res.Ratio()
+		}
+		mark := ratio(policy.NewMarking(k, seed))
+		gcm := ratio(core.NewGCM(k, geo, seed))
+		all := ratio(core.NewGCMMarkAll(k, geo, seed))
+		rel := mark / gcm
+		rels = append(rels, rel)
+		adversarial.AddRow(h, mark, gcm, all, rel)
+	}
+	r.Tables = append(r.Tables, adversarial)
+	// §6.1: against a small comparison cache, marking pays the ≈B×
+	// granularity-change penalty that GCM's sibling loads avoid...
+	if len(rels) > 0 && rels[0] < 4 {
+		r.Failf("smallest h: marking/GCM = %.2f — expected a large §6.1 gap", rels[0])
+	}
+	// ...and §6.2: the advantage *shrinks monotonically* as the
+	// comparison size h grows toward k, because cache space spent on
+	// spatial locality gets costlier relative to a similar-size optimum.
+	// This h-dependence is exactly what randomization fails to remove.
+	for i := 1; i < len(rels); i++ {
+		if rels[i] >= rels[i-1] {
+			r.Failf("marking/GCM did not shrink with h: %.2f → %.2f", rels[i-1], rels[i])
+		}
+		if rels[i] < 0.95 {
+			r.Failf("GCM fell behind marking on its own best-case traces (rel %.2f)", rels[i])
+		}
+	}
+
+	pollution := &render.Table{
+		Title:   "§6.1/§6.2 reversal on a no-spatial-locality stride (universe ≈ 0.9k)",
+		Headers: []string{"policy", "miss-ratio"},
+	}
+	stride := workload.Stride(k*9/10, B, 200000)
+	markSt := cachesim.RunCold(policy.NewMarking(k, seed), stride)
+	gcmSt := cachesim.RunCold(core.NewGCM(k, geo, seed), stride)
+	allSt := cachesim.RunCold(core.NewGCMMarkAll(k, geo, seed), stride)
+	pollution.AddRow("item-marking", markSt.MissRatio())
+	pollution.AddRow("gcm", gcmSt.MissRatio())
+	pollution.AddRow("gcm-mark-all", allSt.MissRatio())
+	r.Tables = append(r.Tables, pollution)
+	// Mark-all pins dead siblings: it must be the worst here, and
+	// markedly worse than plain marking (the §6.1 effective-size
+	// argument).
+	if allSt.MissRatio() < 2*markSt.MissRatio() && markSt.MissRatio() > 0.005 {
+		r.Failf("stride: mark-all (%.4f) not clearly worse than marking (%.4f)",
+			allSt.MissRatio(), markSt.MissRatio())
+	}
+	// GCM's unmarked siblings are evictable, so it stays within a modest
+	// factor of plain marking even with zero spatial locality.
+	if gcmSt.MissRatio() > 10*markSt.MissRatio()+0.02 {
+		r.Failf("stride: GCM (%.4f) collapsed vs marking (%.4f)",
+			gcmSt.MissRatio(), markSt.MissRatio())
+	}
+	// Seed sensitivity: randomized policies should be stable across
+	// coins — report mean ± sd miss ratios over independent seeds on a
+	// mixed workload.
+	mixed, err := workload.BlockRuns(workload.BlockRunsConfig{
+		NumBlocks: 256, BlockSize: B, MeanRunLength: float64(B) / 2,
+		ZipfS: 1.2, Length: 100000, Seed: seed,
+	})
+	if err != nil {
+		r.Failf("workload: %v", err)
+		return r
+	}
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	variance := &render.Table{
+		Title:   "Seed sensitivity on a mixed workload (8 seeds)",
+		Headers: []string{"policy", "mean miss-ratio", "sd", "min", "max"},
+	}
+	for _, rp := range []struct {
+		name  string
+		build func(seed int64) cachesim.Cache
+	}{
+		{"item-marking", func(s int64) cachesim.Cache { return policy.NewMarking(k, s) }},
+		{"gcm", func(s int64) cachesim.Cache { return core.NewGCM(k, geo, s) }},
+		{"item-random", func(s int64) cachesim.Cache { return policy.NewRandomEvict(k, s) }},
+	} {
+		ratios := cachesim.RunSeeds(rp.build, mixed, seeds)
+		sum := stats.Summarize(ratios)
+		variance.AddRow(rp.name, sum.Mean, sum.StdDev, sum.Min, sum.Max)
+		if sum.Mean > 0 && sum.StdDev > 0.25*sum.Mean {
+			r.Failf("%s: seed variance %.4f vs mean %.4f — implausibly unstable", rp.name, sum.StdDev, sum.Mean)
+		}
+	}
+	r.Tables = append(r.Tables, variance)
+
+	r.Notef("no single loading aggressiveness wins at every comparison size/workload — randomization does not resolve the §6.2 relative-competitiveness dependence")
+	return r
+}

@@ -1,0 +1,87 @@
+package experiments
+
+// Spec names one reproduction artifact and how to generate it at full or
+// quick (CI) scale. The registry is the single source of truth for the
+// gcrepro driver, the end-to-end test, and the benchmark harness.
+type Spec struct {
+	// Label is the human name shown by the driver ("Table 1").
+	Label string
+	// Full regenerates the artifact at paper scale.
+	Full func() *Report
+	// Quick regenerates it at a reduced, CI-friendly scale. Nil means
+	// Full is already cheap.
+	Quick func() *Report
+}
+
+// Registry returns every reproduction artifact in presentation order.
+func Registry() []Spec {
+	return []Spec{
+		{Label: "Figure 1 demo", Full: Figure1Demo},
+		{Label: "Figure 4 demo", Full: Figure4Demo},
+		{Label: "Table 1", Full: func() *Report { return Table1(16384, 64) }},
+		{Label: "Table 2", Full: func() *Report { return Table2(64, []float64{2, 3, 4}, 65536) }},
+		{
+			Label: "Figure 3",
+			Full:  func() *Report { return Figure3(1.28e6, 64, 80) },
+			Quick: func() *Report { return Figure3(1.28e6, 64, 30) },
+		},
+		{
+			Label: "Figure 6",
+			Full:  func() *Report { return Figure6(1.28e6, 64, []float64{512, 8192, 131072}, 80) },
+			Quick: func() *Report { return Figure6(1.28e6, 64, []float64{512, 8192, 131072}, 30) },
+		},
+		{
+			Label: "Figure 5 stress",
+			Full:  func() *Report { return Figure5Stress(256, 256, 16, 128, 150000) },
+			Quick: func() *Report { return Figure5Stress(96, 96, 8, 48, 60000) },
+		},
+		{Label: "Figure 2 demo", Full: Figure2Demo},
+		{
+			Label: "E1 reduction",
+			Full:  func() *Report { return ReductionCheck(20, 2022) },
+			Quick: func() *Report { return ReductionCheck(6, 2022) },
+		},
+		{
+			Label: "E2-E4 adversaries",
+			Full:  func() *Report { return AdversarySweep(64, 25) },
+			Quick: func() *Report { return AdversarySweep(64, 8) },
+		},
+		{Label: "E5 LP cross-check", Full: func() *Report { return LPCrossCheck(64) }},
+		{Label: "E6 fault rates", Full: func() *Report { return FaultRateCheck(24, 4, 2, 4) }},
+		{
+			Label: "E7 Figure 3 empirical",
+			Full:  func() *Report { return Figure3Empirical(256, 16, 25) },
+			Quick: func() *Report { return Figure3Empirical(256, 16, 8) },
+		},
+		{
+			Label: "E8 ablations",
+			Full:  func() *Report { return Ablations(2048, 64, 7) },
+			Quick: func() *Report { return Ablations(512, 16, 7) },
+		},
+		{
+			Label: "Figure 6 empirical",
+			Full:  func() *Report { return Figure6Empirical(256, 16, 128, 100000) },
+			Quick: func() *Report { return Figure6Empirical(128, 8, 64, 40000) },
+		},
+		{
+			Label: "E9 randomized (§6)",
+			Full:  func() *Report { return RandomizedComparison(512, 16, 25, 3) },
+			Quick: func() *Report { return RandomizedComparison(512, 16, 8, 3) },
+		},
+		{Label: "E10 adaptive split", Full: func() *Report { return AdaptiveStudy(512, 16, 3) }},
+		{Label: "MRC study", Full: func() *Report { return MRCStudy(16, 4) }},
+		{
+			Label: "policy shootout",
+			Full:  func() *Report { return PolicyShootout(2048, 64, 7) },
+			Quick: func() *Report { return PolicyShootout(512, 16, 7) },
+		},
+	}
+}
+
+// Run executes a spec at the requested scale.
+func (s Spec) Run(quick bool) *Report {
+	if quick && s.Quick != nil {
+		return s.Quick()
+	}
+	return s.Full()
+}

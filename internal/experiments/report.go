@@ -1,0 +1,114 @@
+// Package experiments regenerates every table and figure of the paper
+// and runs the empirical validation studies listed in DESIGN.md
+// (experiments T1, T2, F3, F6, E1–E8). Each entry point returns a Report
+// of rendered tables/charts plus machine-checkable notes; the cmd/gcrepro
+// binary writes them to disk and the root bench harness times them.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"gccache/internal/render"
+)
+
+// Report is the output of one experiment.
+type Report struct {
+	// Name identifies the experiment (e.g. "table1", "figure3").
+	Name string
+	// Tables and Charts hold the rendered artifacts in display order.
+	Tables []*render.Table
+	Charts []*render.Chart
+	// Notes carries free-form findings ("IBLP beats ItemLRU for k ≥ 3h").
+	Notes []string
+	// Failures lists violated expectations; a faithful reproduction run
+	// has none.
+	Failures []string
+}
+
+// Notef appends a formatted note.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Failf appends a formatted failure.
+func (r *Report) Failf(format string, args ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, args...))
+}
+
+// Err returns an error summarizing failures, or nil.
+func (r *Report) Err() error {
+	if len(r.Failures) == 0 {
+		return nil
+	}
+	return fmt.Errorf("experiment %s: %d expectation(s) violated: %s",
+		r.Name, len(r.Failures), strings.Join(r.Failures, "; "))
+}
+
+// WriteText renders the whole report to w.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "#### experiment %s ####\n", r.Name); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, c := range r.Charts {
+		if err := c.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	for _, f := range r.Failures {
+		if _, err := fmt.Fprintf(w, "FAIL: %s\n", f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteFiles writes the report as <dir>/<name>.txt plus one CSV per
+// table (<dir>/<name>_<i>.csv).
+func (r *Report) WriteFiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	txt, err := os.Create(filepath.Join(dir, r.Name+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	if err := r.WriteText(txt); err != nil {
+		return err
+	}
+	for i, t := range r.Tables {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("%s_%d.csv", r.Name, i)))
+		if err != nil {
+			return err
+		}
+		werr := t.WriteCSV(f)
+		cerr := f.Close()
+		if werr != nil {
+			return werr
+		}
+		if cerr != nil {
+			return cerr
+		}
+	}
+	return nil
+}

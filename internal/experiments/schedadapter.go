@@ -1,0 +1,15 @@
+package experiments
+
+import (
+	"gccache/internal/model"
+	"gccache/internal/opt"
+	"gccache/internal/trace"
+)
+
+// optStep aliases opt.Step for the diagram demos.
+type optStep = opt.Step
+
+// exactSchedule adapts opt.ExactSchedule to a plain item slice.
+func exactSchedule(items []model.Item, geo model.Geometry, k int) (int64, []optStep, error) {
+	return opt.ExactSchedule(trace.Trace(items), geo, k)
+}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"math"
+
+	"gccache/internal/bounds"
+	"gccache/internal/locality"
+	"gccache/internal/render"
+	"gccache/internal/stats"
+)
+
+// Table1 regenerates the paper's Table 1 ("Salient bounds for online
+// cache size k and optimal cache size h") at the given h and B: for the
+// Sleator–Tarjan baseline, the GC lower bound (Theorem 4, best a), and
+// the GC upper bound (IBLP with §5.3 sizing), it reports the competitive
+// ratio at constant augmentation (k = 2h), the ratio=augmentation meeting
+// point, and the augmentation needed for the asymptotic constant ratio —
+// alongside the paper's closed-form approximations.
+func Table1(h, B float64) *Report {
+	r := &Report{Name: "table1"}
+	st, lower, upper := bounds.Table1(h, B)
+
+	t := &render.Table{
+		Title: render.FormatFloat(B) + "=B, h=" + render.FormatFloat(h) +
+			": Augmentation ⇒ Competitive Ratio",
+		Headers: []string{"Setting", "Sleator-Tarjan", "GC Lower (paper ≈)", "GC Lower (exact)",
+			"GC Upper (paper ≈)", "GC Upper (exact)"},
+	}
+	t.AddRow("Constant Augmentation (k=2h)",
+		"2 ⇒ "+render.FormatFloat(st.ConstantAugmentation.Ratio),
+		"2 ⇒ B = "+render.FormatFloat(B),
+		"2 ⇒ "+render.FormatFloat(lower.ConstantAugmentation.Ratio),
+		"2 ⇒ 2B = "+render.FormatFloat(2*B),
+		"2 ⇒ "+render.FormatFloat(upper.ConstantAugmentation.Ratio))
+	t.AddRow("Ratio = Augmentation",
+		render.FormatFloat(st.Meeting.Augmentation)+" ⇒ "+render.FormatFloat(st.Meeting.Ratio),
+		"√B = "+render.FormatFloat(math.Sqrt(B))+" ⇒ √B",
+		render.FormatFloat(lower.Meeting.Augmentation)+" ⇒ "+render.FormatFloat(lower.Meeting.Ratio),
+		"√(2B) = "+render.FormatFloat(math.Sqrt(2*B))+" ⇒ √(2B)",
+		render.FormatFloat(upper.Meeting.Augmentation)+" ⇒ "+render.FormatFloat(upper.Meeting.Ratio))
+	t.AddRow("Constant Ratio (k=Bh)",
+		"B ⇒ "+render.FormatFloat(bounds.SleatorTarjan(B*h, h)),
+		"B ⇒ 2",
+		"B ⇒ "+render.FormatFloat(lower.ConstantRatio.Ratio),
+		"B ⇒ 3",
+		"B ⇒ "+render.FormatFloat(upper.ConstantRatio.Ratio))
+	r.Tables = append(r.Tables, t)
+
+	// Machine checks of the paper's approximations. The paper's entries
+	// are leading-order in B (e.g. the exact lower-bound meeting point is
+	// 1 + √B, printed as √B), so the agreement checks require B ≥ 32;
+	// for smaller B the exact values are still printed, with a note.
+	if B >= 32 {
+		check := func(name string, got, want, tol float64) {
+			if stats.RelErr(got, want) > tol {
+				r.Failf("%s: %v, paper claims ≈ %v", name, got, want)
+			}
+		}
+		check("GC lower @2h ≈ B", lower.ConstantAugmentation.Ratio, B, 0.05)
+		check("GC upper @2h ≈ 2B", upper.ConstantAugmentation.Ratio, 2*B, 0.05)
+		check("GC lower meet ≈ √B", lower.Meeting.Augmentation, math.Sqrt(B), 0.2)
+		check("GC upper meet ≈ √(2B)", upper.Meeting.Augmentation, math.Sqrt(2*B), 0.2)
+		check("GC lower @Bh ≈ 2", lower.ConstantRatio.Ratio, 2, 0.05)
+		check("GC upper @Bh ≈ 3", upper.ConstantRatio.Ratio, 3, 0.05)
+	} else {
+		r.Notef("B = %v < 32: the paper's leading-order entries are loose at small B; exact values shown, approximation checks skipped", B)
+	}
+	r.Notef("GC caching adds a ≈B× penalty to ratio × augmentation relative to Sleator–Tarjan (paper Table 1)")
+	return r
+}
+
+// Table2 regenerates the paper's Table 2: fault-rate bounds in the
+// extended locality model for f(n) = n^(1/p) and three spatial-locality
+// levels g ∈ {f, f/√B, f/B}, comparing an equally split IBLP cache
+// (i = b = size) against the lower bound for a cache of half the total
+// (h = size, i.e. augmentation 2). Both the paper's asymptotic forms and
+// the exact bound values are shown.
+func Table2(B float64, ps []float64, size float64) *Report {
+	r := &Report{Name: "table2"}
+	t := &render.Table{
+		Title: "Fault-rate bounds, i = b = " + render.FormatFloat(size) +
+			", h = " + render.FormatFloat(size) + ", B = " + render.FormatFloat(B),
+		Headers: []string{"f(n)", "g(n)", "LB (paper)", "LB (exact)",
+			"item UB (paper)", "item UB (exact)", "block UB (paper)", "block UB (exact)"},
+	}
+	h := size
+	i, b := size, size
+	type gCase struct {
+		label string
+		gamma float64
+		// paper's asymptotic entries as functions of (p, h/i/b, B)
+		lbPaper, itemPaper, blockPaper func(p float64) float64
+	}
+	cases := []gCase{
+		{
+			label: "f", gamma: 1,
+			lbPaper:    func(p float64) float64 { return 1 / math.Pow(h, p-1) },
+			itemPaper:  func(p float64) float64 { return 1 / math.Pow(i, p-1) },
+			blockPaper: func(p float64) float64 { return math.Pow(B, p-1) / math.Pow(b, p-1) },
+		},
+		{
+			label: "f/√B", gamma: math.Sqrt(B),
+			lbPaper:    func(p float64) float64 { return 1 / (math.Sqrt(B) * math.Pow(h, p-1)) },
+			itemPaper:  func(p float64) float64 { return 1 / math.Pow(i, p-1) },
+			blockPaper: func(p float64) float64 { return math.Pow(B, p-1) / (math.Pow(B, p/2) * math.Pow(b, p-1)) },
+		},
+		{
+			label: "f/B", gamma: B,
+			lbPaper:    func(p float64) float64 { return 1 / (B * math.Pow(h, p-1)) },
+			itemPaper:  func(p float64) float64 { return 1 / math.Pow(i, p-1) },
+			blockPaper: func(p float64) float64 { return 1 / (B * math.Pow(b, p-1)) },
+		},
+	}
+	for _, p := range ps {
+		f := locality.Poly{C: 1, P: p}
+		for _, c := range cases {
+			g := locality.Func(f)
+			if c.gamma != 1 {
+				g = locality.Scaled{F: f, Gamma: c.gamma}
+			}
+			lb := bounds.FaultRateLB(h, f, g)
+			iu := bounds.ItemLayerFaultUB(i, f)
+			bu := bounds.BlockLayerFaultUB(b, B, g)
+			fLabel := "n^(1/" + render.FormatFloat(p) + ")"
+			t.AddRow(fLabel, c.label,
+				c.lbPaper(p), lb, c.itemPaper(p), iu, c.blockPaper(p), bu)
+			// The exact values must agree with the paper's leading-order
+			// forms to within the dropped lower-order terms.
+			if stats.RelErr(lb, c.lbPaper(p)) > 0.1 {
+				r.Failf("LB mismatch at p=%v g=%s: exact %v vs paper %v", p, c.label, lb, c.lbPaper(p))
+			}
+			if stats.RelErr(iu, c.itemPaper(p)) > 0.1 {
+				r.Failf("item UB mismatch at p=%v: exact %v vs paper %v", p, iu, c.itemPaper(p))
+			}
+			// The paper's block-UB entry for g=f/√B keeps only the p=2
+			// leading term; compare against the general exact form instead
+			// of failing for p > 2 (documented in EXPERIMENTS.md).
+			if c.gamma == 1 || c.gamma == B {
+				if stats.RelErr(bu, c.blockPaper(p)) > 0.1 {
+					r.Failf("block UB mismatch at p=%v g=%s: exact %v vs paper %v", p, c.label, bu, c.blockPaper(p))
+				}
+			}
+		}
+	}
+	r.Tables = append(r.Tables, t)
+	r.Notef("IBLP's worst gap vs the half-size lower bound occurs at f/g = B^(1-1/p) (§7.3); with max spatial locality the block layer matches the baseline")
+	return r
+}

@@ -1,0 +1,276 @@
+// Package locality implements the extended locality-of-reference model of
+// §2 and §7: the Albers–Favrholdt–Giel working-set function f(n) — the
+// maximum number of distinct items in any window of n consecutive
+// requests — together with the paper's new block-granularity analogue
+// g(n), the maximum number of distinct *blocks* in any window of n
+// requests. The ratio f(n)/g(n) measures a trace's spatial locality,
+// ranging from 1 (none) to B (perfect).
+//
+// The package provides both analytic locality function families
+// (polynomials, the concave shapes the paper analyzes in §7.3) and exact
+// measurement of f and g on concrete traces.
+package locality
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// Func is a locality function: a nondecreasing, concave map from window
+// length n to a working-set size. Implementations must satisfy
+// Eval(1) ≥ 1 and be defined for all n ≥ 1.
+//
+// Inverse and InverseLow bracket the true f⁻¹(m) = min{n : f(n) ≥ m}
+// from above and below. For analytic families both equal the exact
+// inverse; for sparsely measured profiles they differ, and bound
+// formulas must pick the conservative side: lower bounds on fault rate
+// use Inverse (overstating f⁻¹ only shrinks the claimed floor), upper
+// bounds use InverseLow (understating f⁻¹ only inflates the ceiling).
+type Func interface {
+	// Eval returns f(n).
+	Eval(n float64) float64
+	// Inverse returns a value ≥ the true f⁻¹(m).
+	Inverse(m float64) float64
+	// InverseLow returns a value ≤ the true f⁻¹(m) (but ≥ 1 when m ≥ f(1)).
+	InverseLow(m float64) float64
+}
+
+// Poly is the polynomial family f(n) = C·n^(1/P) analyzed in §7.3. It is
+// concave for P ≥ 1. The paper's Table 2 uses C = 1 and P ∈ {2, p}.
+type Poly struct {
+	C float64 // leading coefficient, > 0
+	P float64 // inverse exponent, ≥ 1
+}
+
+// Eval returns C·n^(1/P).
+func (p Poly) Eval(n float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return p.C * math.Pow(n, 1/p.P)
+}
+
+// Inverse returns (m/C)^P, the exact inverse.
+func (p Poly) Inverse(m float64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return math.Pow(m/p.C, p.P)
+}
+
+// InverseLow equals Inverse: the family is continuous, so the inverse is
+// exact in both directions.
+func (p Poly) InverseLow(m float64) float64 { return p.Inverse(m) }
+
+// String renders the family, e.g. "1.0·n^(1/2)".
+func (p Poly) String() string { return fmt.Sprintf("%.3g·n^(1/%.3g)", p.C, p.P) }
+
+// Scaled divides a locality function by a constant γ ≥ 1: the natural way
+// to derive g from f, as in Table 2's g = f/√B and g = f/B rows.
+type Scaled struct {
+	F     Func
+	Gamma float64
+}
+
+// Eval returns F(n)/Gamma.
+func (s Scaled) Eval(n float64) float64 { return s.F.Eval(n) / s.Gamma }
+
+// Inverse returns the smallest n with F(n)/Gamma ≥ m.
+func (s Scaled) Inverse(m float64) float64 { return s.F.Inverse(m * s.Gamma) }
+
+// InverseLow delegates to the wrapped function's InverseLow.
+func (s Scaled) InverseLow(m float64) float64 { return s.F.InverseLow(m * s.Gamma) }
+
+// Profile is a locality function measured from a trace: the exact maximum
+// number of distinct keys over every window of each measured length.
+// Between measured lengths it interpolates conservatively (step-wise
+// constant from below), and beyond the largest measured length it is
+// clamped, so Eval never overstates locality.
+type Profile struct {
+	ns []int     // measured window lengths, ascending
+	fs []float64 // f(ns[i]), nondecreasing
+}
+
+// Eval returns the measured working-set bound at window length n.
+func (p *Profile) Eval(n float64) float64 {
+	if len(p.ns) == 0 || n < 1 {
+		return 0
+	}
+	// Largest measured length ≤ n.
+	idx := sort.SearchInts(p.ns, int(math.Floor(n))+1) - 1
+	if idx < 0 {
+		return p.fs[0]
+	}
+	return p.fs[idx]
+}
+
+// Inverse returns the smallest *measured* n with Eval(n) ≥ m, or the
+// largest measured length + 1 if none reaches m. Because the profile is
+// only sampled, this can overshoot the true f⁻¹(m) by up to one sampling
+// gap — the safe direction for fault-rate *lower* bounds.
+func (p *Profile) Inverse(m float64) float64 {
+	for i, f := range p.fs {
+		if f >= m {
+			return float64(p.ns[i])
+		}
+	}
+	if len(p.ns) == 0 {
+		return 1
+	}
+	return float64(p.ns[len(p.ns)-1] + 1)
+}
+
+// InverseLow returns one past the largest measured n with Eval(n) < m —
+// a value ≤ the true f⁻¹(m), the safe direction for fault-rate *upper*
+// bounds.
+func (p *Profile) InverseLow(m float64) float64 {
+	low := 1
+	for i, f := range p.fs {
+		if f >= m {
+			break
+		}
+		low = p.ns[i] + 1
+	}
+	if len(p.fs) > 0 && p.fs[len(p.fs)-1] < m {
+		// m is beyond the measured range: the true inverse is at least
+		// past the last measured point.
+		low = p.ns[len(p.ns)-1] + 1
+	}
+	return float64(low)
+}
+
+// Points returns the measured (n, f(n)) pairs.
+func (p *Profile) Points() (ns []int, fs []float64) {
+	ns = make([]int, len(p.ns))
+	copy(ns, p.ns)
+	fs = make([]float64, len(p.fs))
+	copy(fs, p.fs)
+	return ns, fs
+}
+
+// IsConcaveish reports whether the measured points are consistent with a
+// concave nondecreasing function (increments never grow with n). Real
+// traces satisfy this per Albers et al.; adversarially spliced traces may
+// not.
+func (p *Profile) IsConcaveish() bool {
+	for i := 2; i < len(p.ns); i++ {
+		d1 := (p.fs[i-1] - p.fs[i-2]) / float64(p.ns[i-1]-p.ns[i-2])
+		d2 := (p.fs[i] - p.fs[i-1]) / float64(p.ns[i]-p.ns[i-1])
+		if d2 > d1+1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+// MeasureItems computes the exact item working-set function f at the
+// given window lengths: f(n) = max over all windows of n consecutive
+// requests of the number of distinct items. Lengths are deduplicated,
+// sorted, and clamped to the trace length.
+func MeasureItems(tr trace.Trace, lengths []int) *Profile {
+	return measure(len(tr), lengths, func(i int) uint64 { return uint64(tr[i]) })
+}
+
+// MeasureBlocks computes the exact block working-set function g at the
+// given window lengths under geometry geo.
+func MeasureBlocks(tr trace.Trace, geo model.Geometry, lengths []int) *Profile {
+	return measure(len(tr), lengths, func(i int) uint64 { return uint64(geo.BlockOf(tr[i])) })
+}
+
+// measure runs one exact sliding-window distinct count per requested
+// length: O(T) time and O(distinct) space per length.
+func measure(total int, lengths []int, key func(i int) uint64) *Profile {
+	cleaned := cleanLengths(lengths, total)
+	p := &Profile{ns: cleaned, fs: make([]float64, len(cleaned))}
+	counts := make(map[uint64]int)
+	for li, n := range cleaned {
+		clear(counts)
+		distinct, best := 0, 0
+		for i := 0; i < total; i++ {
+			k := key(i)
+			if counts[k] == 0 {
+				distinct++
+			}
+			counts[k]++
+			if i >= n {
+				old := key(i - n)
+				counts[old]--
+				if counts[old] == 0 {
+					delete(counts, old)
+					distinct--
+				}
+			}
+			if i >= n-1 && distinct > best {
+				best = distinct
+			}
+		}
+		p.fs[li] = float64(best)
+	}
+	// Enforce monotonicity (exact values are monotone already; guard
+	// against degenerate inputs such as repeated lengths on empty traces).
+	for i := 1; i < len(p.fs); i++ {
+		if p.fs[i] < p.fs[i-1] {
+			p.fs[i] = p.fs[i-1]
+		}
+	}
+	return p
+}
+
+func cleanLengths(lengths []int, total int) []int {
+	seen := make(map[int]struct{}, len(lengths))
+	out := make([]int, 0, len(lengths))
+	for _, n := range lengths {
+		if n < 1 {
+			continue
+		}
+		if n > total {
+			n = total
+		}
+		if n == 0 {
+			continue
+		}
+		if _, dup := seen[n]; !dup {
+			seen[n] = struct{}{}
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GeometricLengths returns window lengths 1, 2, 4, …, ≤ max, plus max —
+// a sensible default sampling for profiles.
+func GeometricLengths(max int) []int {
+	var out []int
+	for n := 1; n <= max; n *= 2 {
+		out = append(out, n)
+	}
+	if len(out) == 0 || out[len(out)-1] != max {
+		out = append(out, max)
+	}
+	return out
+}
+
+// SpatialLocalityRatio returns the mean of f(n)/g(n) over the profiles'
+// common measured lengths — a scalar summary of how much spatial locality
+// a trace has (1 = none, B = maximal).
+func SpatialLocalityRatio(f, g *Profile) float64 {
+	common := 0
+	sum := 0.0
+	for i, n := range f.ns {
+		gv := g.Eval(float64(n))
+		if gv <= 0 {
+			continue
+		}
+		sum += f.fs[i] / gv
+		common++
+	}
+	if common == 0 {
+		return 1
+	}
+	return sum / float64(common)
+}

@@ -1,0 +1,300 @@
+package locality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+func TestPolyEvalInverse(t *testing.T) {
+	p := Poly{C: 2, P: 3}
+	if got := p.Eval(8); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Eval(8) = %v, want 4", got)
+	}
+	if got := p.Inverse(4); math.Abs(got-8) > 1e-9 {
+		t.Errorf("Inverse(4) = %v, want 8", got)
+	}
+	if p.Eval(0) != 0 || p.Inverse(0) != 0 {
+		t.Error("zero handling")
+	}
+	if p.String() == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestPolyInverseRoundTrip(t *testing.T) {
+	prop := func(rawN uint16, rawC, rawP uint8) bool {
+		n := float64(rawN%10000) + 1
+		c := float64(rawC%9) + 1
+		p := float64(rawP%4) + 1
+		f := Poly{C: c, P: p}
+		m := f.Eval(n)
+		back := f.Inverse(m)
+		return math.Abs(back-n) < 1e-6*n+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	f := Poly{C: 1, P: 2}
+	g := Scaled{F: f, Gamma: 8}
+	if got := g.Eval(64); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Eval(64) = %v, want 1", got)
+	}
+	// Inverse: smallest n with f(n)/8 ≥ 1 ⇒ f(n) ≥ 8 ⇒ n = 64.
+	if got := g.Inverse(1); math.Abs(got-64) > 1e-9 {
+		t.Errorf("Inverse(1) = %v, want 64", got)
+	}
+}
+
+func TestMeasureItemsSimple(t *testing.T) {
+	// Trace: 1 2 1 3. Windows: n=1 → 1 distinct; n=2 → 2; n=3 → 2
+	// (121 → 2, 213 → 3!). Recompute: windows of 3: [1 2 1]=2, [2 1 3]=3.
+	tr := trace.Trace{1, 2, 1, 3}
+	p := MeasureItems(tr, []int{1, 2, 3, 4})
+	want := map[int]float64{1: 1, 2: 2, 3: 3, 4: 3}
+	ns, fs := p.Points()
+	for idx, n := range ns {
+		if fs[idx] != want[n] {
+			t.Errorf("f(%d) = %v, want %v", n, fs[idx], want[n])
+		}
+	}
+}
+
+func TestMeasureBlocks(t *testing.T) {
+	g := model.NewFixed(2)
+	// Items 0,1 → block 0; 2,3 → block 1; 4 → block 2.
+	tr := trace.Trace{0, 1, 2, 3, 4}
+	p := MeasureBlocks(tr, g, []int{2, 4, 5})
+	// n=2: [0 1]=1 block, [1 2]=2, [2 3]=1, [3 4]=2 → max 2.
+	if got := p.Eval(2); got != 2 {
+		t.Errorf("g(2) = %v, want 2", got)
+	}
+	// n=4: [0 1 2 3] = 2 blocks, [1 2 3 4] = 3 → max 3.
+	if got := p.Eval(4); got != 3 {
+		t.Errorf("g(4) = %v, want 3", got)
+	}
+	if got := p.Eval(5); got != 3 {
+		t.Errorf("g(5) = %v, want 3", got)
+	}
+}
+
+func TestMeasureItemsMatchesNaive(t *testing.T) {
+	// Differential test against an O(T²) brute force.
+	tr := trace.Trace{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3}
+	naive := func(n int) float64 {
+		best := 0
+		for s := 0; s+n <= len(tr); s++ {
+			seen := map[model.Item]bool{}
+			for _, it := range tr[s : s+n] {
+				seen[it] = true
+			}
+			if len(seen) > best {
+				best = len(seen)
+			}
+		}
+		return float64(best)
+	}
+	lengths := []int{1, 2, 3, 5, 8, 13, 16}
+	p := MeasureItems(tr, lengths)
+	for _, n := range lengths {
+		if got := p.Eval(float64(n)); got != naive(n) {
+			t.Errorf("f(%d) = %v, naive %v", n, got, naive(n))
+		}
+	}
+}
+
+func TestProfileEvalInterpolatesConservatively(t *testing.T) {
+	tr := trace.Trace{1, 2, 3, 4, 5, 6, 7, 8}
+	p := MeasureItems(tr, []int{2, 4, 8})
+	// f(3) is not measured: must return the value at the largest measured
+	// length ≤ 3, i.e. f(2) = 2 (conservative: never overstate).
+	if got := p.Eval(3); got != 2 {
+		t.Errorf("Eval(3) = %v, want 2", got)
+	}
+	// Below the smallest measured length: clamp to the first value.
+	if got := p.Eval(1); got != 2 {
+		t.Errorf("Eval(1) = %v, want 2 (clamped)", got)
+	}
+	// Beyond the largest: clamp.
+	if got := p.Eval(100); got != 8 {
+		t.Errorf("Eval(100) = %v, want 8", got)
+	}
+}
+
+func TestProfileInverse(t *testing.T) {
+	tr := trace.Trace{1, 2, 3, 4, 5, 6, 7, 8}
+	p := MeasureItems(tr, []int{1, 2, 4, 8})
+	if got := p.Inverse(4); got != 4 {
+		t.Errorf("Inverse(4) = %v, want 4", got)
+	}
+	if got := p.Inverse(3); got != 4 {
+		t.Errorf("Inverse(3) = %v, want 4 (smallest measured n with f ≥ 3)", got)
+	}
+	// Unreachable value: one past the largest measured length.
+	if got := p.Inverse(100); got != 9 {
+		t.Errorf("Inverse(100) = %v, want 9", got)
+	}
+}
+
+func TestProfileConcavity(t *testing.T) {
+	// A sequential scan has f(n) = n: linear, which is (weakly) concave.
+	tr := make(trace.Trace, 64)
+	for i := range tr {
+		tr[i] = model.Item(i)
+	}
+	p := MeasureItems(tr, []int{1, 2, 4, 8, 16, 32, 64})
+	if !p.IsConcaveish() {
+		t.Error("scan profile should be concave")
+	}
+}
+
+func TestMeasureEmptyTrace(t *testing.T) {
+	p := MeasureItems(nil, []int{1, 2})
+	if got := p.Eval(1); got != 0 {
+		t.Errorf("empty trace Eval = %v", got)
+	}
+}
+
+func TestCleanLengths(t *testing.T) {
+	got := cleanLengths([]int{5, 1, 5, 0, -3, 100}, 10)
+	want := []int{1, 5, 10}
+	if len(got) != len(want) {
+		t.Fatalf("cleanLengths = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cleanLengths = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGeometricLengths(t *testing.T) {
+	got := GeometricLengths(20)
+	want := []int{1, 2, 4, 8, 16, 20}
+	if len(got) != len(want) {
+		t.Fatalf("GeometricLengths = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GeometricLengths = %v", got)
+		}
+	}
+	if got := GeometricLengths(16); got[len(got)-1] != 16 || len(got) != 5 {
+		t.Errorf("GeometricLengths(16) = %v", got)
+	}
+}
+
+func TestSpatialLocalityRatio(t *testing.T) {
+	g := model.NewFixed(4)
+	// Fully sequential: every window of n has ≈ n items, ≈ n/4 blocks.
+	tr := make(trace.Trace, 256)
+	for i := range tr {
+		tr[i] = model.Item(i)
+	}
+	lengths := []int{16, 32, 64, 128}
+	f := MeasureItems(tr, lengths)
+	gp := MeasureBlocks(tr, g, lengths)
+	ratio := SpatialLocalityRatio(f, gp)
+	if ratio < 3 || ratio > 4.01 {
+		t.Errorf("sequential ratio = %v, want ≈ B = 4", ratio)
+	}
+	// Strided access (one item per block): no spatial locality.
+	tr2 := make(trace.Trace, 256)
+	for i := range tr2 {
+		tr2[i] = model.Item(i * 4)
+	}
+	f2 := MeasureItems(tr2, lengths)
+	g2 := MeasureBlocks(tr2, g, lengths)
+	if r := SpatialLocalityRatio(f2, g2); math.Abs(r-1) > 1e-9 {
+		t.Errorf("strided ratio = %v, want 1", r)
+	}
+}
+
+func TestProfileInverseBracketsTruth(t *testing.T) {
+	// Sequential trace: true f(n) = n, so true f⁻¹(m) = m exactly.
+	tr := make(trace.Trace, 256)
+	for i := range tr {
+		tr[i] = model.Item(i)
+	}
+	p := MeasureItems(tr, []int{1, 4, 16, 64, 256})
+	for _, m := range []float64{2, 5, 17, 100, 256} {
+		lo, hi := p.InverseLow(m), p.Inverse(m)
+		if lo > m || hi < m {
+			t.Errorf("m=%v: bracket [%v, %v] misses true inverse %v", m, lo, hi, m)
+		}
+		if lo > hi {
+			t.Errorf("m=%v: InverseLow %v > Inverse %v", m, lo, hi)
+		}
+	}
+	// Beyond the measured range both sides sit past the last point.
+	if p.InverseLow(1000) != 257 || p.Inverse(1000) != 257 {
+		t.Errorf("beyond range: low=%v hi=%v", p.InverseLow(1000), p.Inverse(1000))
+	}
+}
+
+func TestPolyInverseLowEqualsInverse(t *testing.T) {
+	f := Poly{C: 1, P: 3}
+	if f.InverseLow(5) != f.Inverse(5) {
+		t.Error("analytic family should have exact inverse both ways")
+	}
+	s := Scaled{F: f, Gamma: 2}
+	if s.InverseLow(5) != s.Inverse(5) {
+		t.Error("scaled analytic family should have exact inverse both ways")
+	}
+}
+
+func TestTumblingBracketsExact(t *testing.T) {
+	// f̂(n) ≤ f(n) ≤ 2·f̂(n) on assorted traces.
+	traces := []trace.Trace{
+		make(trace.Trace, 500), // filled below: sequential
+	}
+	for i := range traces[0] {
+		traces[0][i] = model.Item(i)
+	}
+	cyc := make(trace.Trace, 500)
+	for i := range cyc {
+		cyc[i] = model.Item(i % 37)
+	}
+	traces = append(traces, cyc)
+	zig := make(trace.Trace, 500)
+	for i := range zig {
+		zig[i] = model.Item((i * i) % 101)
+	}
+	traces = append(traces, zig)
+	lengths := []int{1, 3, 10, 50, 200, 500}
+	for ti, tr := range traces {
+		exact := MeasureItems(tr, lengths)
+		approx := MeasureItemsTumbling(tr, lengths)
+		for _, n := range lengths {
+			fe := exact.Eval(float64(n))
+			fa := approx.Eval(float64(n))
+			if fa > fe {
+				t.Errorf("trace %d n=%d: estimate %v above exact %v", ti, n, fa, fe)
+			}
+			if fe > 2*fa {
+				t.Errorf("trace %d n=%d: exact %v above 2× estimate %v", ti, n, fe, fa)
+			}
+		}
+	}
+}
+
+func TestTumblingBlocks(t *testing.T) {
+	g := model.NewFixed(4)
+	tr := make(trace.Trace, 256)
+	for i := range tr {
+		tr[i] = model.Item(i)
+	}
+	exact := MeasureBlocks(tr, g, []int{16, 64})
+	approx := MeasureBlocksTumbling(tr, g, []int{16, 64})
+	for _, n := range []float64{16, 64} {
+		if approx.Eval(n) > exact.Eval(n) || exact.Eval(n) > 2*approx.Eval(n) {
+			t.Errorf("n=%v: bracket violated (%v vs %v)", n, approx.Eval(n), exact.Eval(n))
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package locality
+
+import (
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// StackDistances computes, in one O(T log T) pass (Mattson's algorithm
+// with a Fenwick tree), the LRU stack distance of every request: the
+// number of distinct keys referenced since the previous reference to the
+// same key, or -1 for cold (first) references. An LRU cache of capacity
+// k hits a request iff its stack distance is ≤ k, so one pass yields the
+// exact miss count for every capacity simultaneously.
+func StackDistances(keys []uint64) []int {
+	n := len(keys)
+	dist := make([]int, n)
+	bit := newFenwick(n + 1)
+	lastPos := make(map[uint64]int, 256)
+	for i, k := range keys {
+		if prev, ok := lastPos[k]; ok {
+			// Distinct keys touched in (prev, i) = number of "live" marks
+			// after prev. Each key keeps a single mark at its most recent
+			// position.
+			dist[i] = bit.rangeSum(prev+1, i-1)
+			bit.add(prev, -1)
+		} else {
+			dist[i] = -1
+		}
+		bit.add(i, 1)
+		lastPos[k] = i
+	}
+	return dist
+}
+
+// MissRatioCurve returns the exact LRU miss counts at the requested
+// cache sizes for the item trace: curve[i] = misses of an LRU cache with
+// sizes[i] slots. Sizes need not be sorted; non-positive sizes count
+// every request as a miss.
+func MissRatioCurve(tr trace.Trace, sizes []int) []int64 {
+	keys := make([]uint64, len(tr))
+	for i, it := range tr {
+		keys[i] = uint64(it)
+	}
+	return missCurve(keys, sizes)
+}
+
+// BlockMissRatioCurve is MissRatioCurve at block granularity: the exact
+// miss counts of a block-granularity LRU (one slot = one block frame)
+// for each frame count — the Theorem 3 baseline's whole miss-ratio curve
+// in one pass.
+func BlockMissRatioCurve(tr trace.Trace, geo model.Geometry, frames []int) []int64 {
+	keys := make([]uint64, len(tr))
+	for i, it := range tr {
+		keys[i] = uint64(geo.BlockOf(it))
+	}
+	return missCurve(keys, frames)
+}
+
+func missCurve(keys []uint64, sizes []int) []int64 {
+	dists := StackDistances(keys)
+	out := make([]int64, len(sizes))
+	for si, k := range sizes {
+		var misses int64
+		for _, d := range dists {
+			// An LRU cache of k slots holds the k most recent distinct
+			// keys, so a request hits iff fewer than k distinct *other*
+			// keys intervened: d < k.
+			if d < 0 || d >= k {
+				misses++
+			}
+		}
+		out[si] = misses
+	}
+	return out
+}
+
+// fenwick is a binary indexed tree over positions with point updates and
+// prefix sums.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(pos, delta int) {
+	for i := pos + 1; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += delta
+	}
+}
+
+// prefix returns the sum of [0, pos].
+func (f *fenwick) prefix(pos int) int {
+	s := 0
+	for i := pos + 1; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}
+
+// rangeSum returns the sum of [lo, hi]; empty ranges yield 0.
+func (f *fenwick) rangeSum(lo, hi int) int {
+	if hi < lo {
+		return 0
+	}
+	if lo == 0 {
+		return f.prefix(hi)
+	}
+	return f.prefix(hi) - f.prefix(lo-1)
+}

@@ -1,0 +1,58 @@
+package locality
+
+import (
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// MeasureItemsTumbling estimates the item working-set function f using
+// tumbling (non-overlapping) windows instead of all sliding windows: one
+// pass and one counter reset per window, O(T) per length regardless of
+// window size — the profiler to reach for on very long traces.
+//
+// Guarantee: the estimate brackets the truth within a factor of two,
+//
+//	f̂(n) ≤ f(n) ≤ 2·f̂(n),
+//
+// because every sliding window of length n is covered by at most two
+// consecutive tumbling windows, and some tumbling window *is* a sliding
+// window. The estimate is therefore safe wherever an under-approximation
+// of f is safe (e.g. the Theorem 8 lower bound via Inverse); use the
+// exact MeasureItems for the Theorem 9–11 upper bounds.
+func MeasureItemsTumbling(tr trace.Trace, lengths []int) *Profile {
+	return measureTumbling(len(tr), lengths, func(i int) uint64 { return uint64(tr[i]) })
+}
+
+// MeasureBlocksTumbling is MeasureItemsTumbling for the block function g.
+func MeasureBlocksTumbling(tr trace.Trace, geo model.Geometry, lengths []int) *Profile {
+	return measureTumbling(len(tr), lengths, func(i int) uint64 { return uint64(geo.BlockOf(tr[i])) })
+}
+
+func measureTumbling(total int, lengths []int, key func(i int) uint64) *Profile {
+	cleaned := cleanLengths(lengths, total)
+	p := &Profile{ns: cleaned, fs: make([]float64, len(cleaned))}
+	counts := make(map[uint64]struct{})
+	for li, n := range cleaned {
+		best := 0
+		for start := 0; start < total; start += n {
+			end := start + n
+			if end > total {
+				end = total
+			}
+			clear(counts)
+			for i := start; i < end; i++ {
+				counts[key(i)] = struct{}{}
+			}
+			if len(counts) > best {
+				best = len(counts)
+			}
+		}
+		p.fs[li] = float64(best)
+	}
+	for i := 1; i < len(p.fs); i++ {
+		if p.fs[i] < p.fs[i-1] {
+			p.fs[i] = p.fs[i-1]
+		}
+	}
+	return p
+}

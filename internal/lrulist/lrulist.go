@@ -1,0 +1,189 @@
+// Package lrulist provides an intrusive, allocation-conscious LRU order
+// list keyed by comparable IDs. It is the workhorse ordering structure
+// shared by every replacement policy in this repository: O(1) lookup,
+// promotion, insertion, and victim selection.
+//
+// The zero value is not usable; construct with New.
+package lrulist
+
+// node is a doubly-linked list element. Nodes are pooled and reused to
+// keep steady-state simulation allocation-free.
+type node[K comparable] struct {
+	key        K
+	prev, next *node[K]
+}
+
+// List maintains a most-recently-used ordering over a set of keys.
+// The front is the MRU end; the back is the LRU end.
+type List[K comparable] struct {
+	byKey map[K]*node[K]
+	// head and tail are sentinels; head.next is MRU, tail.prev is LRU.
+	head, tail *node[K]
+	free       *node[K] // pool of recycled nodes, chained via next
+}
+
+// New returns an empty list with capacity hint n.
+func New[K comparable](n int) *List[K] {
+	l := &List[K]{byKey: make(map[K]*node[K], n)}
+	l.head = &node[K]{}
+	l.tail = &node[K]{}
+	l.head.next = l.tail
+	l.tail.prev = l.head
+	return l
+}
+
+// Len returns the number of keys in the list.
+func (l *List[K]) Len() int { return len(l.byKey) }
+
+// Contains reports whether k is in the list.
+func (l *List[K]) Contains(k K) bool {
+	_, ok := l.byKey[k]
+	return ok
+}
+
+// PushFront inserts k at the MRU position. If k is already present it is
+// promoted instead. It returns true if k was newly inserted.
+func (l *List[K]) PushFront(k K) bool {
+	if n, ok := l.byKey[k]; ok {
+		l.unlink(n)
+		l.linkFront(n)
+		return false
+	}
+	n := l.alloc(k)
+	l.byKey[k] = n
+	l.linkFront(n)
+	return true
+}
+
+// PushBack inserts k at the LRU position. If k is already present it is
+// demoted to the LRU position. It returns true if k was newly inserted.
+func (l *List[K]) PushBack(k K) bool {
+	if n, ok := l.byKey[k]; ok {
+		l.unlink(n)
+		l.linkBack(n)
+		return false
+	}
+	n := l.alloc(k)
+	l.byKey[k] = n
+	l.linkBack(n)
+	return true
+}
+
+// MoveToFront promotes k to the MRU position. It reports whether k was
+// present.
+func (l *List[K]) MoveToFront(k K) bool {
+	n, ok := l.byKey[k]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	l.linkFront(n)
+	return true
+}
+
+// Remove deletes k and reports whether it was present.
+func (l *List[K]) Remove(k K) bool {
+	n, ok := l.byKey[k]
+	if !ok {
+		return false
+	}
+	l.unlink(n)
+	delete(l.byKey, k)
+	l.release(n)
+	return true
+}
+
+// Back returns the LRU key. ok is false if the list is empty.
+func (l *List[K]) Back() (k K, ok bool) {
+	if l.Len() == 0 {
+		return k, false
+	}
+	return l.tail.prev.key, true
+}
+
+// Front returns the MRU key. ok is false if the list is empty.
+func (l *List[K]) Front() (k K, ok bool) {
+	if l.Len() == 0 {
+		return k, false
+	}
+	return l.head.next.key, true
+}
+
+// PopBack removes and returns the LRU key. ok is false if the list is
+// empty.
+func (l *List[K]) PopBack() (k K, ok bool) {
+	k, ok = l.Back()
+	if ok {
+		l.Remove(k)
+	}
+	return k, ok
+}
+
+// Each calls fn for every key from MRU to LRU. fn must not mutate the
+// list. Iteration stops early if fn returns false.
+func (l *List[K]) Each(fn func(K) bool) {
+	for n := l.head.next; n != l.tail; n = n.next {
+		if !fn(n.key) {
+			return
+		}
+	}
+}
+
+// Keys returns all keys from MRU to LRU in a fresh slice.
+func (l *List[K]) Keys() []K {
+	out := make([]K, 0, l.Len())
+	l.Each(func(k K) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Clear removes every key, retaining allocated capacity.
+func (l *List[K]) Clear() {
+	for n := l.head.next; n != l.tail; {
+		next := n.next
+		l.release(n)
+		n = next
+	}
+	l.head.next = l.tail
+	l.tail.prev = l.head
+	clear(l.byKey)
+}
+
+func (l *List[K]) alloc(k K) *node[K] {
+	if n := l.free; n != nil {
+		l.free = n.next
+		n.key = k
+		n.next = nil
+		return n
+	}
+	return &node[K]{key: k}
+}
+
+func (l *List[K]) release(n *node[K]) {
+	var zero K
+	n.key = zero
+	n.prev = nil
+	n.next = l.free
+	l.free = n
+}
+
+func (l *List[K]) linkFront(n *node[K]) {
+	n.prev = l.head
+	n.next = l.head.next
+	l.head.next.prev = n
+	l.head.next = n
+}
+
+func (l *List[K]) linkBack(n *node[K]) {
+	n.next = l.tail
+	n.prev = l.tail.prev
+	l.tail.prev.next = n
+	l.tail.prev = n
+}
+
+func (l *List[K]) unlink(n *node[K]) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+}

@@ -1,0 +1,241 @@
+package lrulist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	l := New[int](0)
+	if l.Len() != 0 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if _, ok := l.Back(); ok {
+		t.Error("Back on empty returned ok")
+	}
+	if _, ok := l.Front(); ok {
+		t.Error("Front on empty returned ok")
+	}
+	if _, ok := l.PopBack(); ok {
+		t.Error("PopBack on empty returned ok")
+	}
+	if l.Remove(3) {
+		t.Error("Remove on empty returned true")
+	}
+	if l.MoveToFront(3) {
+		t.Error("MoveToFront on empty returned true")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	l := New[int](4)
+	for _, k := range []int{1, 2, 3} {
+		if !l.PushFront(k) {
+			t.Fatalf("PushFront(%d) reported duplicate", k)
+		}
+	}
+	// Order: 3 2 1 (MRU..LRU)
+	if got := l.Keys(); len(got) != 3 || got[0] != 3 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("Keys = %v", got)
+	}
+	l.MoveToFront(1) // 1 3 2
+	if back, _ := l.Back(); back != 2 {
+		t.Errorf("Back = %d, want 2", back)
+	}
+	if front, _ := l.Front(); front != 1 {
+		t.Errorf("Front = %d, want 1", front)
+	}
+	if k, ok := l.PopBack(); !ok || k != 2 {
+		t.Errorf("PopBack = %d,%v", k, ok)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestPushFrontDuplicatePromotes(t *testing.T) {
+	l := New[string](0)
+	l.PushFront("a")
+	l.PushFront("b")
+	if l.PushFront("a") {
+		t.Error("duplicate PushFront reported new")
+	}
+	if front, _ := l.Front(); front != "a" {
+		t.Errorf("Front = %q, want a", front)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestPushBack(t *testing.T) {
+	l := New[int](0)
+	l.PushFront(1)
+	l.PushBack(2) // 1 2
+	if back, _ := l.Back(); back != 2 {
+		t.Errorf("Back = %d, want 2", back)
+	}
+	l.PushBack(1) // 2 1: existing key demoted
+	if back, _ := l.Back(); back != 1 {
+		t.Errorf("Back after demote = %d, want 1", back)
+	}
+}
+
+func TestClearAndReuse(t *testing.T) {
+	l := New[int](0)
+	for i := 0; i < 10; i++ {
+		l.PushFront(i)
+	}
+	l.Clear()
+	if l.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", l.Len())
+	}
+	if l.Contains(5) {
+		t.Error("Contains(5) after Clear")
+	}
+	// Reuse pooled nodes.
+	l.PushFront(42)
+	if front, _ := l.Front(); front != 42 {
+		t.Errorf("Front = %d", front)
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	l := New[int](0)
+	for i := 0; i < 5; i++ {
+		l.PushFront(i)
+	}
+	n := 0
+	l.Each(func(int) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("visited %d, want 2", n)
+	}
+}
+
+// referenceLRU is a naive slice-backed model for differential testing.
+type referenceLRU struct{ keys []int } // index 0 = MRU
+
+func (r *referenceLRU) pushFront(k int) {
+	r.remove(k)
+	r.keys = append([]int{k}, r.keys...)
+}
+func (r *referenceLRU) remove(k int) {
+	for i, x := range r.keys {
+		if x == k {
+			r.keys = append(r.keys[:i], r.keys[i+1:]...)
+			return
+		}
+	}
+}
+func (r *referenceLRU) moveToFront(k int) {
+	for _, x := range r.keys {
+		if x == k {
+			r.pushFront(k)
+			return
+		}
+	}
+}
+func (r *referenceLRU) popBack() (int, bool) {
+	if len(r.keys) == 0 {
+		return 0, false
+	}
+	k := r.keys[len(r.keys)-1]
+	r.keys = r.keys[:len(r.keys)-1]
+	return k, true
+}
+
+// TestDifferential drives the list and a naive model with the same random
+// operation stream and checks full-order agreement.
+func TestDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := New[int](0)
+	ref := &referenceLRU{}
+	for step := 0; step < 20000; step++ {
+		k := rng.Intn(30)
+		switch rng.Intn(4) {
+		case 0:
+			l.PushFront(k)
+			ref.pushFront(k)
+		case 1:
+			l.Remove(k)
+			ref.remove(k)
+		case 2:
+			l.MoveToFront(k)
+			ref.moveToFront(k)
+		case 3:
+			a, aok := l.PopBack()
+			b, bok := ref.popBack()
+			if aok != bok || a != b {
+				t.Fatalf("step %d: PopBack %d,%v vs ref %d,%v", step, a, aok, b, bok)
+			}
+		}
+		if l.Len() != len(ref.keys) {
+			t.Fatalf("step %d: Len %d vs ref %d", step, l.Len(), len(ref.keys))
+		}
+	}
+	got := l.Keys()
+	if len(got) != len(ref.keys) {
+		t.Fatalf("final len %d vs %d", len(got), len(ref.keys))
+	}
+	for i := range got {
+		if got[i] != ref.keys[i] {
+			t.Fatalf("final order differs at %d: %v vs %v", i, got, ref.keys)
+		}
+	}
+}
+
+// Property: after pushing a sequence of distinct keys, Keys() is the
+// reverse of the push order.
+func TestPushOrderProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		l := New[uint8](0)
+		seen := make(map[uint8]bool)
+		var distinct []uint8
+		for _, k := range raw {
+			if !seen[k] {
+				seen[k] = true
+				distinct = append(distinct, k)
+				l.PushFront(k)
+			}
+		}
+		got := l.Keys()
+		if len(got) != len(distinct) {
+			return false
+		}
+		for i := range got {
+			if got[i] != distinct[len(distinct)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPushFrontHit(b *testing.B) {
+	l := New[uint64](1024)
+	for i := uint64(0); i < 1024; i++ {
+		l.PushFront(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.PushFront(uint64(i) % 1024)
+	}
+}
+
+func BenchmarkPushPopSteadyState(b *testing.B) {
+	l := New[uint64](1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.PushFront(uint64(i))
+		if l.Len() > 1024 {
+			l.PopBack()
+		}
+	}
+}

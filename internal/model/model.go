@@ -1,0 +1,170 @@
+// Package model defines the basic vocabulary of the Granularity-Change
+// (GC) Caching Problem: items, blocks, and the geometry that partitions
+// the item universe into blocks of at most B items.
+//
+// In the GC Caching Problem (Beckmann, Gibbons, McGuffey; SPAA 2022) a
+// cache of size k serves requests to unit-size items. Items are grouped
+// into disjoint blocks of at most B items, and on a miss the cache may
+// load any subset of the missed item's block — so long as it contains the
+// item — for a single unit of cost. Items are individually cacheable and
+// evictable; only the *load* happens at block granularity.
+package model
+
+import "fmt"
+
+// Item identifies a unit-size cacheable datum. The item universe is the
+// non-negative integers; adversaries allocate fresh items without bound.
+type Item uint64
+
+// Block identifies a block: a set of at most B items that can be loaded
+// together for unit cost.
+type Block uint64
+
+// Geometry describes the partition of items into blocks. Implementations
+// must be consistent: ItemsOf(BlockOf(it)) contains it, all blocks are
+// disjoint, and no block exceeds BlockSize items.
+type Geometry interface {
+	// BlockOf returns the block containing it.
+	BlockOf(it Item) Block
+	// ItemsOf returns the items of block b in a stable order. Callers
+	// must not mutate the returned slice.
+	ItemsOf(b Block) []Item
+	// BlockSize returns B, the maximum number of items in any block.
+	BlockSize() int
+}
+
+// Fixed is the canonical geometry: item i belongs to block i/B, and block
+// b holds items [b*B, (b+1)*B). Every block is full. This is the geometry
+// of a memory address space split into aligned lines.
+type Fixed struct {
+	b     int
+	cache []Item // scratch reused by ItemsOf; one allocation per call avoided
+}
+
+// NewFixed returns the aligned geometry with block size b.
+// It panics if b < 1.
+func NewFixed(b int) *Fixed {
+	if b < 1 {
+		panic(fmt.Sprintf("model: block size %d < 1", b))
+	}
+	return &Fixed{b: b}
+}
+
+// BlockOf returns it / B.
+func (g *Fixed) BlockOf(it Item) Block { return Block(uint64(it) / uint64(g.b)) }
+
+// ItemsOf returns the B items [b*B, (b+1)*B). The returned slice is
+// freshly allocated on first use per call site pattern; it is safe to
+// retain but must not be mutated.
+func (g *Fixed) ItemsOf(b Block) []Item {
+	items := make([]Item, g.b)
+	base := uint64(b) * uint64(g.b)
+	for i := range items {
+		items[i] = Item(base + uint64(i))
+	}
+	return items
+}
+
+// BlockSize returns B.
+func (g *Fixed) BlockSize() int { return g.b }
+
+// IndexInBlock returns the offset of it within its block.
+func (g *Fixed) IndexInBlock(it Item) int { return int(uint64(it) % uint64(g.b)) }
+
+// Table is an explicit geometry built from a list of blocks with possibly
+// different (≤ B) sizes. It is used by the variable-size-caching reduction
+// (Theorem 1), where only the "active set" of each block is ever touched.
+type Table struct {
+	blockOf map[Item]Block
+	itemsOf map[Block][]Item
+	maxSize int
+}
+
+// NewTable builds a geometry from explicit blocks. Block IDs are assigned
+// in slice order. It returns an error if any item appears twice or any
+// block is empty.
+func NewTable(blocks [][]Item) (*Table, error) {
+	t := &Table{
+		blockOf: make(map[Item]Block),
+		itemsOf: make(map[Block][]Item),
+	}
+	for i, blk := range blocks {
+		if len(blk) == 0 {
+			return nil, fmt.Errorf("model: block %d is empty", i)
+		}
+		id := Block(i)
+		for _, it := range blk {
+			if _, dup := t.blockOf[it]; dup {
+				return nil, fmt.Errorf("model: item %d in multiple blocks", it)
+			}
+			t.blockOf[it] = id
+		}
+		items := make([]Item, len(blk))
+		copy(items, blk)
+		t.itemsOf[id] = items
+		if len(blk) > t.maxSize {
+			t.maxSize = len(blk)
+		}
+	}
+	return t, nil
+}
+
+// MustTable is NewTable that panics on error; for tests and literals.
+func MustTable(blocks [][]Item) *Table {
+	t, err := NewTable(blocks)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// BlockOf returns the block of it. Items not in any declared block are
+// placed in a singleton pseudo-block derived from the item ID, offset past
+// the declared ID range, so the geometry remains total.
+func (t *Table) BlockOf(it Item) Block {
+	if b, ok := t.blockOf[it]; ok {
+		return b
+	}
+	return Block(uint64(len(t.itemsOf)) + uint64(it))
+}
+
+// ItemsOf returns the items of b; for pseudo-blocks it returns the single
+// implied item.
+func (t *Table) ItemsOf(b Block) []Item {
+	if items, ok := t.itemsOf[b]; ok {
+		return items
+	}
+	return []Item{Item(uint64(b) - uint64(len(t.itemsOf)))}
+}
+
+// BlockSize returns the maximum declared block size (at least 1).
+func (t *Table) BlockSize() int {
+	if t.maxSize < 1 {
+		return 1
+	}
+	return t.maxSize
+}
+
+// NumBlocks returns the number of declared blocks.
+func (t *Table) NumBlocks() int { return len(t.itemsOf) }
+
+// Config bundles the standing parameters of a GC caching instance.
+type Config struct {
+	// CacheSize is k, the number of unit-size items the cache can hold.
+	CacheSize int
+	// Geometry is the item-to-block partition.
+	Geometry Geometry
+}
+
+// Validate reports whether the configuration is usable. The paper assumes
+// k ≥ B (in fact k ≫ B); we only require k ≥ 1 and a geometry, leaving
+// k ≥ B checks to policies that need them.
+func (c Config) Validate() error {
+	if c.CacheSize < 1 {
+		return fmt.Errorf("model: cache size %d < 1", c.CacheSize)
+	}
+	if c.Geometry == nil {
+		return fmt.Errorf("model: nil geometry")
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedBlockOf(t *testing.T) {
+	g := NewFixed(4)
+	cases := []struct {
+		it   Item
+		want Block
+	}{
+		{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {1023, 255},
+	}
+	for _, c := range cases {
+		if got := g.BlockOf(c.it); got != c.want {
+			t.Errorf("BlockOf(%d) = %d, want %d", c.it, got, c.want)
+		}
+	}
+}
+
+func TestFixedItemsOf(t *testing.T) {
+	g := NewFixed(3)
+	items := g.ItemsOf(2)
+	want := []Item{6, 7, 8}
+	if len(items) != len(want) {
+		t.Fatalf("ItemsOf(2) = %v, want %v", items, want)
+	}
+	for i := range want {
+		if items[i] != want[i] {
+			t.Errorf("ItemsOf(2)[%d] = %d, want %d", i, items[i], want[i])
+		}
+	}
+}
+
+func TestFixedBlockSize(t *testing.T) {
+	for _, b := range []int{1, 2, 64, 4096} {
+		if got := NewFixed(b).BlockSize(); got != b {
+			t.Errorf("BlockSize() = %d, want %d", got, b)
+		}
+	}
+}
+
+func TestFixedPanicsOnBadB(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFixed(0) did not panic")
+		}
+	}()
+	NewFixed(0)
+}
+
+func TestFixedIndexInBlock(t *testing.T) {
+	g := NewFixed(8)
+	if got := g.IndexInBlock(13); got != 5 {
+		t.Errorf("IndexInBlock(13) = %d, want 5", got)
+	}
+}
+
+// Property: every item of Fixed geometry round-trips through its block.
+func TestFixedRoundTrip(t *testing.T) {
+	for _, b := range []int{1, 2, 7, 64} {
+		g := NewFixed(b)
+		prop := func(raw uint32) bool {
+			it := Item(raw)
+			blk := g.BlockOf(it)
+			found := false
+			for _, x := range g.ItemsOf(blk) {
+				if x == it {
+					found = true
+				}
+				if g.BlockOf(x) != blk {
+					return false
+				}
+			}
+			return found
+		}
+		if err := quick.Check(prop, nil); err != nil {
+			t.Errorf("B=%d: %v", b, err)
+		}
+	}
+}
+
+// Property: Fixed blocks of consecutive IDs are disjoint and contiguous.
+func TestFixedBlocksDisjoint(t *testing.T) {
+	g := NewFixed(5)
+	seen := make(map[Item]bool)
+	for b := Block(0); b < 100; b++ {
+		for _, it := range g.ItemsOf(b) {
+			if seen[it] {
+				t.Fatalf("item %d in two blocks", it)
+			}
+			seen[it] = true
+		}
+	}
+	if len(seen) != 500 {
+		t.Fatalf("expected 500 distinct items, got %d", len(seen))
+	}
+}
+
+func TestTableBasic(t *testing.T) {
+	g := MustTable([][]Item{{10, 11, 12}, {20}, {30, 31}})
+	if g.BlockSize() != 3 {
+		t.Errorf("BlockSize = %d, want 3", g.BlockSize())
+	}
+	if g.NumBlocks() != 3 {
+		t.Errorf("NumBlocks = %d, want 3", g.NumBlocks())
+	}
+	if g.BlockOf(11) != 0 || g.BlockOf(20) != 1 || g.BlockOf(31) != 2 {
+		t.Error("BlockOf wrong for declared items")
+	}
+	items := g.ItemsOf(0)
+	if len(items) != 3 || items[0] != 10 || items[2] != 12 {
+		t.Errorf("ItemsOf(0) = %v", items)
+	}
+}
+
+func TestTableDuplicateItem(t *testing.T) {
+	if _, err := NewTable([][]Item{{1, 2}, {2, 3}}); err == nil {
+		t.Fatal("duplicate item accepted")
+	}
+}
+
+func TestTableEmptyBlock(t *testing.T) {
+	if _, err := NewTable([][]Item{{1}, {}}); err == nil {
+		t.Fatal("empty block accepted")
+	}
+}
+
+func TestTablePseudoBlocks(t *testing.T) {
+	g := MustTable([][]Item{{0, 1}})
+	// Item 99 is undeclared: it should live in a singleton pseudo-block
+	// that round-trips.
+	b := g.BlockOf(99)
+	items := g.ItemsOf(b)
+	if len(items) != 1 || items[0] != 99 {
+		t.Fatalf("pseudo block of 99 = %v", items)
+	}
+	// Pseudo-blocks must not collide with declared blocks.
+	if b == g.BlockOf(0) {
+		t.Fatal("pseudo block collides with declared block")
+	}
+}
+
+func TestTablePseudoBlocksDistinct(t *testing.T) {
+	g := MustTable([][]Item{{0}})
+	if g.BlockOf(100) == g.BlockOf(101) {
+		t.Fatal("distinct undeclared items share a pseudo-block")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	g := NewFixed(4)
+	if err := (Config{CacheSize: 8, Geometry: g}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{CacheSize: 0, Geometry: g}).Validate(); err == nil {
+		t.Error("zero cache size accepted")
+	}
+	if err := (Config{CacheSize: 8}).Validate(); err == nil {
+		t.Error("nil geometry accepted")
+	}
+}
+
+func TestMustTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustTable with dup did not panic")
+		}
+	}()
+	MustTable([][]Item{{1}, {1}})
+}

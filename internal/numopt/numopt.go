@@ -1,0 +1,119 @@
+// Package numopt provides the small numeric routines the bound
+// cross-checks need: bisection root finding, golden-section maximization,
+// and coarse-grid + refinement maximization in one and two dimensions.
+//
+// The paper solved its linear programs symbolically (in Mathematica);
+// this package is the independent numeric check that our transcribed
+// closed forms actually maximize the same programs (experiment E5).
+package numopt
+
+import "math"
+
+// Bisect finds x in [lo, hi] with f(x) ≈ 0, assuming f is continuous and
+// f(lo), f(hi) have opposite signs. It returns the midpoint after iters
+// halvings (53 is ample for float64) and ok=false if the signs match.
+func Bisect(f func(float64) float64, lo, hi float64, iters int) (float64, bool) {
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, true
+	}
+	if fhi == 0 {
+		return hi, true
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, false
+	}
+	for i := 0; i < iters; i++ {
+		mid := lo + (hi-lo)/2
+		fmid := f(mid)
+		if fmid == 0 {
+			return mid, true
+		}
+		if (fmid > 0) == (flo > 0) {
+			lo, flo = mid, fmid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2, true
+}
+
+// invPhi is 1/φ, the golden-section step.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenMax maximizes a unimodal f on [lo, hi] by golden-section search,
+// returning the maximizing x and f(x).
+func GoldenMax(f func(float64) float64, lo, hi float64, iters int) (x, fx float64) {
+	a, b := lo, hi
+	c := b - invPhi*(b-a)
+	d := a + invPhi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < iters; i++ {
+		if fc > fd {
+			b, d, fd = d, c, fc
+			c = b - invPhi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + invPhi*(b-a)
+			fd = f(d)
+		}
+	}
+	x = (a + b) / 2
+	return x, f(x)
+}
+
+// GridMax1 maximizes f on [lo, hi] with a coarse scan of n points followed
+// by golden-section refinement around the best cell. It tolerates
+// non-unimodal f as long as the global maximum's basin spans at least one
+// grid cell.
+func GridMax1(f func(float64) float64, lo, hi float64, n int) (x, fx float64) {
+	if n < 2 {
+		n = 2
+	}
+	bestX, bestF := lo, math.Inf(-1)
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		xi := lo + float64(i)*step
+		if v := f(xi); v > bestF {
+			bestX, bestF = xi, v
+		}
+	}
+	a := math.Max(lo, bestX-step)
+	b := math.Min(hi, bestX+step)
+	rx, rfx := GoldenMax(f, a, b, 80)
+	if rfx >= bestF {
+		return rx, rfx
+	}
+	return bestX, bestF
+}
+
+// GridMax2 maximizes f(x, y) on [xlo,xhi]×[ylo,yhi] with a coarse n×n scan
+// followed by two rounds of local refinement.
+func GridMax2(f func(x, y float64) float64, xlo, xhi, ylo, yhi float64, n int) (x, y, fxy float64) {
+	if n < 2 {
+		n = 2
+	}
+	bestX, bestY, bestF := xlo, ylo, math.Inf(-1)
+	scan := func(xa, xb, ya, yb float64) {
+		xs := (xb - xa) / float64(n-1)
+		ys := (yb - ya) / float64(n-1)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				xi := xa + float64(i)*xs
+				yj := ya + float64(j)*ys
+				if v := f(xi, yj); v > bestF {
+					bestX, bestY, bestF = xi, yj, v
+				}
+			}
+		}
+	}
+	scan(xlo, xhi, ylo, yhi)
+	for round := 0; round < 3; round++ {
+		xs := (xhi - xlo) / float64(n-1) / math.Pow(float64(n)/2, float64(round))
+		ys := (yhi - ylo) / float64(n-1) / math.Pow(float64(n)/2, float64(round))
+		scan(math.Max(xlo, bestX-xs), math.Min(xhi, bestX+xs),
+			math.Max(ylo, bestY-ys), math.Min(yhi, bestY+ys))
+	}
+	return bestX, bestY, bestF
+}

@@ -1,0 +1,72 @@
+package numopt
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBisectRoot(t *testing.T) {
+	x, ok := Bisect(func(x float64) float64 { return x*x - 2 }, 0, 2, 80)
+	if !ok {
+		t.Fatal("Bisect failed")
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-9 {
+		t.Errorf("root = %v, want √2", x)
+	}
+}
+
+func TestBisectEndpoints(t *testing.T) {
+	if x, ok := Bisect(func(x float64) float64 { return x }, 0, 5, 10); !ok || x != 0 {
+		t.Errorf("root at lo: %v %v", x, ok)
+	}
+	if x, ok := Bisect(func(x float64) float64 { return x - 5 }, 0, 5, 10); !ok || x != 5 {
+		t.Errorf("root at hi: %v %v", x, ok)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	if _, ok := Bisect(func(x float64) float64 { return x*x + 1 }, -1, 1, 10); ok {
+		t.Error("Bisect claimed a root without sign change")
+	}
+}
+
+func TestGoldenMax(t *testing.T) {
+	x, fx := GoldenMax(func(x float64) float64 { return -(x - 3) * (x - 3) }, 0, 10, 100)
+	if math.Abs(x-3) > 1e-6 || math.Abs(fx) > 1e-10 {
+		t.Errorf("GoldenMax = %v, %v", x, fx)
+	}
+}
+
+func TestGridMax1(t *testing.T) {
+	// Bimodal: global max at x = 8.
+	f := func(x float64) float64 {
+		return math.Exp(-(x-2)*(x-2)) + 2*math.Exp(-(x-8)*(x-8))
+	}
+	x, fx := GridMax1(f, 0, 10, 101)
+	if math.Abs(x-8) > 1e-4 {
+		t.Errorf("GridMax1 x = %v, want 8", x)
+	}
+	if math.Abs(fx-2) > 1e-4 {
+		t.Errorf("GridMax1 f = %v, want ≈2", fx)
+	}
+}
+
+func TestGridMax2(t *testing.T) {
+	f := func(x, y float64) float64 {
+		return -(x-1.5)*(x-1.5) - (y+0.5)*(y+0.5) + 7
+	}
+	x, y, fxy := GridMax2(f, -5, 5, -5, 5, 41)
+	if math.Abs(x-1.5) > 1e-2 || math.Abs(y+0.5) > 1e-2 {
+		t.Errorf("GridMax2 at (%v,%v)", x, y)
+	}
+	if math.Abs(fxy-7) > 1e-3 {
+		t.Errorf("GridMax2 value %v, want ≈7", fxy)
+	}
+}
+
+func TestGridMax1DegenerateN(t *testing.T) {
+	x, _ := GridMax1(func(x float64) float64 { return -x * x }, -1, 1, 1)
+	if math.Abs(x) > 1e-6 {
+		t.Errorf("x = %v, want 0", x)
+	}
+}

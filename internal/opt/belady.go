@@ -1,0 +1,121 @@
+// Package opt provides offline baselines for the GC caching problem:
+// Belady's exact optimum for traditional (item-granularity) caching, an
+// exact exponential solver for small GC instances (the problem is
+// NP-complete, Theorem 1), and polynomial heuristics that bracket the GC
+// optimum from both sides on large instances.
+package opt
+
+import (
+	"container/heap"
+	"math"
+
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// BeladyKeys returns the exact minimum number of misses for a traditional
+// cache of k slots serving the key sequence (Belady/MIN: on a miss with a
+// full cache, evict the resident key whose next use is farthest in the
+// future). Keys are opaque; callers map items or blocks onto them.
+func BeladyKeys(keys []uint64, k int) int64 {
+	if k < 1 || len(keys) == 0 {
+		return int64(len(keys))
+	}
+	next := nextUse(keys)
+	// latest[k] is the next-use value of k's most recent access: the only
+	// non-stale heap entry for that key (lazy deletion).
+	latest := make(map[uint64]int, k)
+	cached := make(map[uint64]struct{}, k)
+	pq := &farthestHeap{}
+	misses := int64(0)
+	for i, key := range keys {
+		if _, ok := cached[key]; ok {
+			latest[key] = next[i]
+			heap.Push(pq, useEntry{key: key, next: next[i]})
+			continue
+		}
+		misses++
+		if len(cached) >= k {
+			for {
+				top := heap.Pop(pq).(useEntry)
+				if _, resident := cached[top.key]; !resident {
+					continue // key already evicted: stale entry
+				}
+				if top.next != latest[top.key] {
+					continue // superseded by a fresher access: stale
+				}
+				delete(cached, top.key)
+				break
+			}
+		}
+		cached[key] = struct{}{}
+		latest[key] = next[i]
+		heap.Push(pq, useEntry{key: key, next: next[i]})
+	}
+	return misses
+}
+
+// useEntry is a heap element: a key and the position of its next use.
+type useEntry struct {
+	key  uint64
+	next int
+}
+
+// farthestHeap is a max-heap on next-use position.
+type farthestHeap []useEntry
+
+func (h farthestHeap) Len() int           { return len(h) }
+func (h farthestHeap) Less(i, j int) bool { return h[i].next > h[j].next }
+func (h farthestHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *farthestHeap) Push(x any)        { *h = append(*h, x.(useEntry)) }
+func (h *farthestHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// nextUse returns, for each position i, the index of the next occurrence
+// of keys[i]; positions with no future occurrence get distinct values
+// beyond any real index so "farthest" stays strictly ordered.
+func nextUse(keys []uint64) []int {
+	const inf = math.MaxInt / 2
+	next := make([]int, len(keys))
+	last := make(map[uint64]int, 64)
+	for i := len(keys) - 1; i >= 0; i-- {
+		if j, ok := last[keys[i]]; ok {
+			next[i] = j
+		} else {
+			next[i] = inf - i
+		}
+		last[keys[i]] = i
+	}
+	return next
+}
+
+// Belady returns the exact optimal miss count of a traditional item cache
+// of size k on tr. It is a valid GC execution (one that never exploits
+// free siblings), hence an upper bound on the GC optimum.
+func Belady(tr trace.Trace, k int) int64 {
+	keys := make([]uint64, len(tr))
+	for i, it := range tr {
+		keys[i] = uint64(it)
+	}
+	return BeladyKeys(keys, k)
+}
+
+// BlockLowerBound returns a certified lower bound on the GC optimum: the
+// Belady-optimal miss count of a block-level cache with k block slots on
+// the block-mapped trace. Any GC execution with k items holds at most k
+// distinct blocks at once and pays one block load per miss, and its hits
+// occur only when the block is (partially) resident — so the induced
+// block-level schedule is feasible for a k-slot block cache and the
+// block-level optimum cannot exceed the GC optimum.
+func BlockLowerBound(tr trace.Trace, geo model.Geometry, k int) int64 {
+	keys := make([]uint64, len(tr))
+	for i, it := range tr {
+		keys[i] = uint64(geo.BlockOf(it))
+	}
+	return BeladyKeys(keys, k)
+}

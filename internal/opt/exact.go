@@ -1,0 +1,161 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// MaxExactUniverse bounds the distinct-item count the exact solver
+// accepts. Offline GC caching is NP-complete (Theorem 1); the solver is
+// a frontier dynamic program over cache-content bitmasks and is meant for
+// certifying heuristics and the reduction on small instances.
+const MaxExactUniverse = 20
+
+// Exact returns the exact GC-caching optimum (minimum miss count) for tr
+// under geo with cache size k.
+//
+// States are bitmasks of cached items over the trace's distinct-item
+// universe. On a miss to x the cache may load any L ⊆ block(x)\cache with
+// x ∈ L and evict anything, so the reachable next states are exactly the
+// S ⊆ (cache ∪ block(x)) with x ∈ S and |S| ≤ k. Because extra cached
+// items never hurt (evictions are free and capacity binds only on load),
+// only maximal states matter; the frontier is additionally pruned by
+// dominance (drop S if a superset with no larger cost survives).
+func Exact(tr trace.Trace, geo model.Geometry, k int) (int64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("opt: cache size %d < 1", k)
+	}
+	if len(tr) == 0 {
+		return 0, nil
+	}
+	// Index the universe.
+	index := make(map[model.Item]int)
+	for _, it := range tr {
+		if _, ok := index[it]; !ok {
+			index[it] = len(index)
+		}
+	}
+	n := len(index)
+	if n > MaxExactUniverse {
+		return 0, fmt.Errorf("opt: %d distinct items exceeds exact-solver limit %d", n, MaxExactUniverse)
+	}
+	// Per-item: bitmask of its block restricted to the universe.
+	blockMask := make([]uint32, n)
+	for it, idx := range index {
+		var m uint32
+		for _, sib := range geo.ItemsOf(geo.BlockOf(it)) {
+			if j, ok := index[sib]; ok {
+				m |= 1 << uint(j)
+			}
+		}
+		blockMask[idx] = m
+	}
+
+	frontier := map[uint32]int64{0: 0}
+	for _, it := range tr {
+		x := index[it]
+		xbit := uint32(1) << uint(x)
+		next := make(map[uint32]int64, len(frontier))
+		relax := func(mask uint32, cost int64) {
+			if old, ok := next[mask]; !ok || cost < old {
+				next[mask] = cost
+			}
+		}
+		for mask, cost := range frontier {
+			if mask&xbit != 0 {
+				relax(mask, cost)
+				continue
+			}
+			avail := mask | blockMask[x]
+			// Enumerate maximal next states: keep x plus any
+			// min(k, |avail|) − 1 of the other available items.
+			others := avail &^ xbit
+			keep := k - 1
+			if cnt := bits.OnesCount32(others); cnt <= keep {
+				relax(avail, cost+1)
+				continue
+			}
+			forEachSubsetOfSize(others, keep, func(sub uint32) {
+				relax(sub|xbit, cost+1)
+			})
+		}
+		frontier = pruneDominated(next)
+		if len(frontier) == 0 {
+			return 0, fmt.Errorf("opt: state space exhausted (internal error)")
+		}
+	}
+	best := int64(math.MaxInt64)
+	for _, cost := range frontier {
+		if cost < best {
+			best = cost
+		}
+	}
+	return best, nil
+}
+
+// forEachSubsetOfSize calls fn for every subset of set with exactly size
+// bits (size ≤ popcount(set); size ≥ 0).
+func forEachSubsetOfSize(set uint32, size int, fn func(uint32)) {
+	// Collect bit positions.
+	var positions []uint
+	for s := set; s != 0; s &= s - 1 {
+		positions = append(positions, uint(bits.TrailingZeros32(s)))
+	}
+	if size < 0 {
+		return
+	}
+	if size == 0 {
+		fn(0)
+		return
+	}
+	var rec func(start int, remaining int, acc uint32)
+	rec = func(start, remaining int, acc uint32) {
+		if remaining == 0 {
+			fn(acc)
+			return
+		}
+		for idx := start; idx <= len(positions)-remaining; idx++ {
+			rec(idx+1, remaining-1, acc|1<<positions[idx])
+		}
+	}
+	rec(0, size, 0)
+}
+
+// pruneDominated removes states dominated by a superset with cost no
+// larger. Quadratic in frontier size; frontiers stay small thanks to the
+// maximal-state generation.
+func pruneDominated(states map[uint32]int64) map[uint32]int64 {
+	type st struct {
+		mask uint32
+		cost int64
+	}
+	list := make([]st, 0, len(states))
+	for m, c := range states {
+		list = append(list, st{m, c})
+	}
+	out := make(map[uint32]int64, len(list))
+	for i, a := range list {
+		dominated := false
+		for j, b := range list {
+			if i == j {
+				continue
+			}
+			if b.mask&a.mask == a.mask && b.cost <= a.cost {
+				// b is a superset with cost ≤ a's. Strict domination, or
+				// tie-break equal masks by index to keep exactly one.
+				if b.mask != a.mask || b.cost != a.cost || j < i {
+					dominated = true
+					break
+				}
+			}
+		}
+		if !dominated {
+			out[a.mask] = a.cost
+		}
+	}
+	return out
+}

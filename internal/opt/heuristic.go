@@ -1,0 +1,286 @@
+package opt
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// BlockBelady returns the miss count of the offline *block-granularity*
+// policy: every miss loads the whole block, evictions remove the resident
+// block whose next (block-level) use is farthest, and blocks are
+// whole-block accounted against the k-item budget. It is a valid GC
+// execution, hence an upper bound on the GC optimum — tight on spatially
+// local traces, poor under pollution.
+func BlockBelady(tr trace.Trace, geo model.Geometry, k int) int64 {
+	if len(tr) == 0 {
+		return 0
+	}
+	blockKeys := make([]uint64, len(tr))
+	for i, it := range tr {
+		blockKeys[i] = uint64(geo.BlockOf(it))
+	}
+	next := nextUse(blockKeys)
+
+	resident := make(map[model.Block]int) // block -> item count held
+	held := make(map[model.Item]struct{})
+	latest := make(map[uint64]int)
+	pq := &farthestHeap{}
+	size := 0
+	misses := int64(0)
+	for i, it := range tr {
+		blk := geo.BlockOf(it)
+		if _, ok := held[it]; ok {
+			latest[uint64(blk)] = next[i]
+			heap.Push(pq, useEntry{key: uint64(blk), next: next[i]})
+			continue
+		}
+		misses++
+		// Load the whole block (or as much as fits the budget k).
+		items := geo.ItemsOf(blk)
+		want := len(items)
+		if want > k {
+			want = k
+		}
+		// Drop a stale partial copy if present.
+		if cnt, ok := resident[blk]; ok && cnt > 0 {
+			for _, x := range items {
+				delete(held, x)
+			}
+			size -= cnt
+			delete(resident, blk)
+		}
+		for size+want > k {
+			top := heap.Pop(pq).(useEntry)
+			vb := model.Block(top.key)
+			if _, ok := resident[vb]; !ok {
+				continue
+			}
+			if top.next != latest[top.key] {
+				continue
+			}
+			for _, x := range geo.ItemsOf(vb) {
+				delete(held, x)
+			}
+			size -= resident[vb]
+			delete(resident, vb)
+		}
+		loaded := 0
+		held[it] = struct{}{}
+		loaded++
+		for _, x := range items {
+			if loaded >= want {
+				break
+			}
+			if x == it {
+				continue
+			}
+			held[x] = struct{}{}
+			loaded++
+		}
+		resident[blk] = loaded
+		size += loaded
+		latest[uint64(blk)] = next[i]
+		heap.Push(pq, useEntry{key: uint64(blk), next: next[i]})
+	}
+	return misses
+}
+
+// GreedySibling returns the miss count of an offline item-granularity
+// Belady variant that additionally prefetches free siblings when doing so
+// displaces only items with strictly farther next uses. It is a valid GC
+// execution (siblings ride the miss's unit-cost load), hence an upper
+// bound on the GC optimum, and it is the strongest of the package's
+// heuristics on mixed-locality traces.
+func GreedySibling(tr trace.Trace, geo model.Geometry, k int) int64 {
+	if len(tr) == 0 {
+		return 0
+	}
+	// Per-item next-use chains.
+	itemKeys := make([]uint64, len(tr))
+	for i, it := range tr {
+		itemKeys[i] = uint64(it)
+	}
+	next := nextUse(itemKeys)
+
+	cached := make(map[model.Item]struct{}, k)
+	latest := make(map[uint64]int, k)
+	pq := &farthestHeap{}
+	misses := int64(0)
+	occ := occurrences(tr)
+
+	const noProtect = model.Item(math.MaxUint64)
+	// evictFarthest removes the resident item with the farthest next use,
+	// skipping protect (a just-requested item must stay resident through
+	// its access — Definition 1's load subset contains it).
+	evictFarthest := func(protect model.Item) (farNext int, ok bool) {
+		var held []useEntry
+		defer func() {
+			for _, e := range held {
+				heap.Push(pq, e)
+			}
+		}()
+		for pq.Len() > 0 {
+			top := heap.Pop(pq).(useEntry)
+			it := model.Item(top.key)
+			if _, resident := cached[it]; !resident {
+				continue
+			}
+			if top.next != latest[top.key] {
+				continue
+			}
+			if it == protect {
+				held = append(held, top)
+				continue
+			}
+			delete(cached, it)
+			return top.next, true
+		}
+		return 0, false
+	}
+	peekFarthest := func(protect model.Item) (int, bool) {
+		var held []useEntry
+		defer func() {
+			for _, e := range held {
+				heap.Push(pq, e)
+			}
+		}()
+		for pq.Len() > 0 {
+			top := (*pq)[0]
+			it := model.Item(top.key)
+			_, resident := cached[it]
+			if !resident || top.next != latest[top.key] {
+				heap.Pop(pq)
+				continue
+			}
+			if it == protect {
+				held = append(held, heap.Pop(pq).(useEntry))
+				continue
+			}
+			return top.next, true
+		}
+		return 0, false
+	}
+	insert := func(it model.Item, nu int) {
+		cached[it] = struct{}{}
+		latest[uint64(it)] = nu
+		heap.Push(pq, useEntry{key: uint64(it), next: nu})
+	}
+
+	for i, it := range tr {
+		if _, ok := cached[it]; ok {
+			latest[uint64(it)] = next[i]
+			heap.Push(pq, useEntry{key: uint64(it), next: next[i]})
+			continue
+		}
+		misses++
+		if len(cached) >= k {
+			evictFarthest(noProtect)
+		}
+		insert(it, next[i])
+
+		// Prefetch siblings in order of soonest next use, while they beat
+		// the farthest resident item. The requested item itself is
+		// protected: it must remain resident through this access.
+		sibs := occ.siblingUses(geo, it, i)
+		for _, s := range sibs {
+			if _, resident := cached[s.item]; resident {
+				continue
+			}
+			if len(cached) < k {
+				insert(s.item, s.next)
+				continue
+			}
+			far, ok := peekFarthest(it)
+			if !ok || far <= s.next {
+				break
+			}
+			evictFarthest(it)
+			insert(s.item, s.next)
+		}
+	}
+	return misses
+}
+
+// siblingUse pairs a block sibling with its next use at-or-after
+// position pos.
+type siblingUse struct {
+	item model.Item
+	next int
+}
+
+// occurrenceIndex maps each item to the sorted positions at which it is
+// requested, enabling O(log T) next-use queries.
+type occurrenceIndex map[model.Item][]int
+
+func occurrences(tr trace.Trace) occurrenceIndex {
+	occ := make(occurrenceIndex, 64)
+	for i, it := range tr {
+		occ[it] = append(occ[it], i)
+	}
+	return occ
+}
+
+// nextAfter returns the first position > pos at which it is requested,
+// and whether one exists.
+func (occ occurrenceIndex) nextAfter(it model.Item, pos int) (int, bool) {
+	ps := occ[it]
+	idx := sort.SearchInts(ps, pos+1)
+	if idx >= len(ps) {
+		return 0, false
+	}
+	return ps[idx], true
+}
+
+// siblingUses returns it's block siblings that are used again strictly
+// after pos, soonest first.
+func (occ occurrenceIndex) siblingUses(geo model.Geometry, it model.Item, pos int) []siblingUse {
+	blk := geo.BlockOf(it)
+	var out []siblingUse
+	for _, sib := range geo.ItemsOf(blk) {
+		if sib == it {
+			continue
+		}
+		if nu, ok := occ.nextAfter(sib, pos); ok {
+			out = append(out, siblingUse{item: sib, next: nu})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].next < out[b].next })
+	return out
+}
+
+// Estimate brackets the GC optimum on tr: Lower ≤ OPT ≤ Upper.
+// Lower is the certified block-level Belady bound; Upper is the best of
+// the valid offline executions (item Belady, block Belady, greedy
+// sibling prefetch).
+type Estimate struct {
+	Lower int64
+	Upper int64
+	// UpperMethod names the heuristic that achieved Upper.
+	UpperMethod string
+}
+
+// EstimateOPT computes the bracket.
+func EstimateOPT(tr trace.Trace, geo model.Geometry, k int) Estimate {
+	e := Estimate{Lower: BlockLowerBound(tr, geo, k)}
+	candidates := []struct {
+		name string
+		cost int64
+	}{
+		{"item-belady", Belady(tr, k)},
+		{"block-belady", BlockBelady(tr, geo, k)},
+		{"greedy-sibling", GreedySibling(tr, geo, k)},
+	}
+	e.Upper = candidates[0].cost
+	e.UpperMethod = candidates[0].name
+	for _, c := range candidates[1:] {
+		if c.cost < e.Upper {
+			e.Upper = c.cost
+			e.UpperMethod = c.name
+		}
+	}
+	return e
+}

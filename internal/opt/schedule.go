@@ -1,0 +1,200 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// Step describes the optimal cache's action on one access.
+type Step struct {
+	// Hit reports whether the access was served from cache.
+	Hit bool
+	// Load lists the items brought in (requested item first). Empty on
+	// hits.
+	Load []model.Item
+	// Evict lists the items removed.
+	Evict []model.Item
+	// Contents is the cache contents after the step, in item order.
+	Contents []model.Item
+}
+
+// ExactSchedule computes the exact GC optimum like Exact and additionally
+// reconstructs one optimal schedule: which items each miss loads and
+// evicts. Subject to the same MaxExactUniverse limit.
+func ExactSchedule(tr trace.Trace, geo model.Geometry, k int) (int64, []Step, error) {
+	if k < 1 {
+		return 0, nil, fmt.Errorf("opt: cache size %d < 1", k)
+	}
+	if len(tr) == 0 {
+		return 0, nil, nil
+	}
+	index := make(map[model.Item]int)
+	var items []model.Item
+	for _, it := range tr {
+		if _, ok := index[it]; !ok {
+			index[it] = len(index)
+			items = append(items, it)
+		}
+	}
+	n := len(index)
+	if n > MaxExactUniverse {
+		return 0, nil, fmt.Errorf("opt: %d distinct items exceeds exact-solver limit %d", n, MaxExactUniverse)
+	}
+	blockMask := make([]uint32, n)
+	for it, idx := range index {
+		var m uint32
+		for _, sib := range geo.ItemsOf(geo.BlockOf(it)) {
+			if j, ok := index[sib]; ok {
+				m |= 1 << uint(j)
+			}
+		}
+		blockMask[idx] = m
+	}
+
+	type entry struct {
+		cost   int64
+		parent uint32
+	}
+	frontiers := make([]map[uint32]entry, len(tr)+1)
+	frontiers[0] = map[uint32]entry{0: {cost: 0}}
+	for step, it := range tr {
+		x := index[it]
+		xbit := uint32(1) << uint(x)
+		next := make(map[uint32]entry)
+		relax := func(mask uint32, cost int64, parent uint32) {
+			if old, ok := next[mask]; !ok || cost < old.cost {
+				next[mask] = entry{cost: cost, parent: parent}
+			}
+		}
+		for mask, e := range frontiers[step] {
+			if mask&xbit != 0 {
+				relax(mask, e.cost, mask)
+				continue
+			}
+			avail := mask | blockMask[x]
+			others := avail &^ xbit
+			keep := k - 1
+			if cnt := bits.OnesCount32(others); cnt <= keep {
+				relax(avail, e.cost+1, mask)
+				continue
+			}
+			forEachSubsetOfSize(others, keep, func(sub uint32) {
+				relax(sub|xbit, e.cost+1, mask)
+			})
+		}
+		// Dominance pruning must preserve parents; prune on (mask, cost)
+		// only.
+		costs := make(map[uint32]int64, len(next))
+		for m, e := range next {
+			costs[m] = e.cost
+		}
+		pruned := pruneDominated(costs)
+		keep := make(map[uint32]entry, len(pruned))
+		for m := range pruned {
+			keep[m] = next[m]
+		}
+		frontiers[step+1] = keep
+	}
+
+	best := int64(math.MaxInt64)
+	var bestMask uint32
+	for m, e := range frontiers[len(tr)] {
+		if e.cost < best {
+			best, bestMask = e.cost, m
+		}
+	}
+	// Walk parents backwards to recover the mask sequence.
+	masks := make([]uint32, len(tr)+1)
+	masks[len(tr)] = bestMask
+	for step := len(tr); step >= 1; step-- {
+		masks[step-1] = frontiers[step][masks[step]].parent
+	}
+	// Translate mask transitions into steps.
+	itemsOf := func(mask uint32) []model.Item {
+		var out []model.Item
+		for m := mask; m != 0; m &= m - 1 {
+			out = append(out, items[bits.TrailingZeros32(m)])
+		}
+		return out
+	}
+	steps := make([]Step, len(tr))
+	for i, it := range tr {
+		prev, cur := masks[i], masks[i+1]
+		st := Step{
+			Hit:      prev&(1<<uint(index[it])) != 0,
+			Contents: itemsOf(cur),
+		}
+		if loadMask := cur &^ prev; loadMask != 0 {
+			// Requested item first.
+			if loadMask&(1<<uint(index[it])) != 0 {
+				st.Load = append(st.Load, it)
+				loadMask &^= 1 << uint(index[it])
+			}
+			st.Load = append(st.Load, itemsOf(loadMask)...)
+		}
+		st.Evict = itemsOf(prev &^ cur)
+		steps[i] = st
+	}
+	return best, steps, nil
+}
+
+// VerifySchedule replays a schedule against the model and returns its
+// cost, erroring on any illegal step (wrong hit flag, load outside the
+// requested block, eviction of an absent item, capacity overflow, or a
+// missed demand load).
+func VerifySchedule(tr trace.Trace, geo model.Geometry, k int, steps []Step) (int64, error) {
+	if len(steps) != len(tr) {
+		return 0, fmt.Errorf("opt: schedule length %d != trace length %d", len(steps), len(tr))
+	}
+	contents := make(map[model.Item]struct{}, k)
+	cost := int64(0)
+	for i, it := range tr {
+		st := steps[i]
+		_, present := contents[it]
+		if st.Hit != present {
+			return 0, fmt.Errorf("opt: step %d: hit=%v but present=%v", i, st.Hit, present)
+		}
+		if st.Hit && len(st.Load) > 0 {
+			return 0, fmt.Errorf("opt: step %d: load on a hit", i)
+		}
+		if !st.Hit {
+			cost++
+			blk := geo.BlockOf(it)
+			self := false
+			for _, l := range st.Load {
+				if geo.BlockOf(l) != blk {
+					return 0, fmt.Errorf("opt: step %d: load %d outside block %d", i, l, blk)
+				}
+				if _, dup := contents[l]; dup {
+					return 0, fmt.Errorf("opt: step %d: load %d already present", i, l)
+				}
+				if l == it {
+					self = true
+				}
+			}
+			if !self {
+				return 0, fmt.Errorf("opt: step %d: requested item %d not loaded", i, it)
+			}
+		}
+		for _, e := range st.Evict {
+			if _, ok := contents[e]; !ok {
+				return 0, fmt.Errorf("opt: step %d: evict %d not present", i, e)
+			}
+			if e == it {
+				return 0, fmt.Errorf("opt: step %d: evicted the requested item", i)
+			}
+			delete(contents, e)
+		}
+		for _, l := range st.Load {
+			contents[l] = struct{}{}
+		}
+		if len(contents) > k {
+			return 0, fmt.Errorf("opt: step %d: %d items exceed capacity %d", i, len(contents), k)
+		}
+	}
+	return cost, nil
+}

@@ -1,0 +1,141 @@
+package policy
+
+import (
+	"fmt"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/lrulist"
+	"gccache/internal/model"
+)
+
+// BlockLRU is the paper's Block Cache baseline: it raises the cache's own
+// granularity to blocks — on a miss it loads *all* items of the requested
+// block, and it evicts whole blocks in LRU order. It performs well on
+// spatial locality but suffers the pollution penalty of Theorem 3: when
+// only one item per block is live, the effective capacity shrinks by B×.
+type BlockLRU struct {
+	capacity int
+	geo      model.Geometry
+	order    *lrulist.List[model.Block]
+	resident map[model.Block][]model.Item // items actually held per block
+	present  map[model.Item]struct{}
+	size     int // total items held
+	loaded   []model.Item
+	evicted  []model.Item
+}
+
+var _ cachesim.Cache = (*BlockLRU)(nil)
+
+// NewBlockLRU returns a Block Cache holding at most k items under g.
+// It panics if k < 1 or g is nil.
+func NewBlockLRU(k int, g model.Geometry) *BlockLRU {
+	if k < 1 {
+		panic(fmt.Sprintf("policy: BlockLRU capacity %d < 1", k))
+	}
+	if g == nil {
+		panic("policy: BlockLRU nil geometry")
+	}
+	return &BlockLRU{
+		capacity: k,
+		geo:      g,
+		order:    lrulist.New[model.Block](k / g.BlockSize()),
+		resident: make(map[model.Block][]model.Item),
+		present:  make(map[model.Item]struct{}),
+	}
+}
+
+// Name implements cachesim.Cache.
+func (c *BlockLRU) Name() string { return "block-lru" }
+
+// Access implements cachesim.Cache.
+func (c *BlockLRU) Access(it model.Item) cachesim.Access {
+	if _, ok := c.present[it]; ok {
+		c.order.MoveToFront(c.geo.BlockOf(it))
+		return cachesim.Access{Hit: true}
+	}
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
+	blk := c.geo.BlockOf(it)
+
+	// If a truncated copy of the block is resident (possible only when a
+	// block exceeded capacity earlier), discard it before reloading.
+	if old, ok := c.resident[blk]; ok {
+		c.dropBlock(blk, old)
+	}
+
+	all := c.geo.ItemsOf(blk)
+	// Degenerate case: a block larger than the whole cache. Load the
+	// requested item plus as many siblings as fit.
+	want := all
+	if len(all) > c.capacity {
+		want = truncateAround(all, it, c.capacity)
+	}
+
+	// Evict whole LRU blocks until the new block fits.
+	for c.size+len(want) > c.capacity {
+		victim, ok := c.order.Back()
+		if !ok {
+			break
+		}
+		c.dropBlock(victim, c.resident[victim])
+	}
+
+	hold := make([]model.Item, len(want))
+	copy(hold, want)
+	c.resident[blk] = hold
+	c.order.PushFront(blk)
+	c.size += len(hold)
+	for _, x := range hold {
+		c.present[x] = struct{}{}
+		c.loaded = append(c.loaded, x)
+	}
+	// A truncated copy replaced in the same step would otherwise report
+	// its surviving items as both evicted and loaded.
+	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
+}
+
+func (c *BlockLRU) dropBlock(blk model.Block, items []model.Item) {
+	for _, x := range items {
+		delete(c.present, x)
+		c.evicted = append(c.evicted, x)
+	}
+	c.size -= len(items)
+	delete(c.resident, blk)
+	c.order.Remove(blk)
+}
+
+// truncateAround returns up to n items of all, guaranteed to include must.
+func truncateAround(all []model.Item, must model.Item, n int) []model.Item {
+	out := make([]model.Item, 0, n)
+	out = append(out, must)
+	for _, x := range all {
+		if len(out) >= n {
+			break
+		}
+		if x != must {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Contains implements cachesim.Cache.
+func (c *BlockLRU) Contains(it model.Item) bool {
+	_, ok := c.present[it]
+	return ok
+}
+
+// Len implements cachesim.Cache.
+func (c *BlockLRU) Len() int { return c.size }
+
+// Capacity implements cachesim.Cache.
+func (c *BlockLRU) Capacity() int { return c.capacity }
+
+// Reset implements cachesim.Cache.
+func (c *BlockLRU) Reset() {
+	c.order.Clear()
+	clear(c.resident)
+	clear(c.present)
+	c.size = 0
+}

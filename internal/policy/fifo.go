@@ -1,0 +1,61 @@
+package policy
+
+import (
+	"fmt"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/lrulist"
+	"gccache/internal/model"
+)
+
+// FIFO is a first-in-first-out Item Cache: hits do not refresh an item's
+// position, so eviction order is pure insertion order. Like every Item
+// Cache it is subject to the Theorem 2 lower bound.
+type FIFO struct {
+	capacity int
+	order    *lrulist.List[model.Item]
+	loaded   []model.Item
+	evicted  []model.Item
+}
+
+var _ cachesim.Cache = (*FIFO)(nil)
+
+// NewFIFO returns a FIFO Item Cache of capacity k items. It panics if
+// k < 1.
+func NewFIFO(k int) *FIFO {
+	if k < 1 {
+		panic(fmt.Sprintf("policy: FIFO capacity %d < 1", k))
+	}
+	return &FIFO{capacity: k, order: lrulist.New[model.Item](k)}
+}
+
+// Name implements cachesim.Cache.
+func (c *FIFO) Name() string { return "item-fifo" }
+
+// Access implements cachesim.Cache.
+func (c *FIFO) Access(it model.Item) cachesim.Access {
+	if c.order.Contains(it) {
+		return cachesim.Access{Hit: true} // no promotion: FIFO
+	}
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
+	c.order.PushFront(it)
+	c.loaded = append(c.loaded, it)
+	for c.order.Len() > c.capacity {
+		victim, _ := c.order.PopBack()
+		c.evicted = append(c.evicted, victim)
+	}
+	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
+}
+
+// Contains implements cachesim.Cache.
+func (c *FIFO) Contains(it model.Item) bool { return c.order.Contains(it) }
+
+// Len implements cachesim.Cache.
+func (c *FIFO) Len() int { return c.order.Len() }
+
+// Capacity implements cachesim.Cache.
+func (c *FIFO) Capacity() int { return c.capacity }
+
+// Reset implements cachesim.Cache.
+func (c *FIFO) Reset() { c.order.Clear() }

@@ -1,0 +1,70 @@
+// Package policy implements the baseline online replacement policies of
+// the GC caching model: the single-granularity Item Cache and Block Cache
+// of §2 ("Baseline policies"), classic FIFO/Random/Marking references,
+// and the a-threshold family of §4.3 that loads a whole block only after
+// a distinct items of it have been touched.
+//
+// The paper's own contributions (IBLP and GCM) live in internal/core.
+package policy
+
+import (
+	"fmt"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/lrulist"
+	"gccache/internal/model"
+)
+
+// ItemLRU is the paper's Item Cache baseline: a traditional LRU cache
+// that loads only the requested item on a miss and evicts the
+// least-recently-used item. It performs well on temporal locality and
+// poorly on spatial locality (Theorem 2).
+type ItemLRU struct {
+	capacity int
+	order    *lrulist.List[model.Item]
+	loaded   []model.Item
+	evicted  []model.Item
+}
+
+var _ cachesim.Cache = (*ItemLRU)(nil)
+
+// NewItemLRU returns an Item Cache of capacity k items. It panics if
+// k < 1.
+func NewItemLRU(k int) *ItemLRU {
+	if k < 1 {
+		panic(fmt.Sprintf("policy: ItemLRU capacity %d < 1", k))
+	}
+	return &ItemLRU{capacity: k, order: lrulist.New[model.Item](k)}
+}
+
+// Name implements cachesim.Cache.
+func (c *ItemLRU) Name() string { return "item-lru" }
+
+// Access implements cachesim.Cache.
+func (c *ItemLRU) Access(it model.Item) cachesim.Access {
+	if c.order.Contains(it) {
+		c.order.MoveToFront(it)
+		return cachesim.Access{Hit: true}
+	}
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
+	c.order.PushFront(it)
+	c.loaded = append(c.loaded, it)
+	for c.order.Len() > c.capacity {
+		victim, _ := c.order.PopBack()
+		c.evicted = append(c.evicted, victim)
+	}
+	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
+}
+
+// Contains implements cachesim.Cache.
+func (c *ItemLRU) Contains(it model.Item) bool { return c.order.Contains(it) }
+
+// Len implements cachesim.Cache.
+func (c *ItemLRU) Len() int { return c.order.Len() }
+
+// Capacity implements cachesim.Cache.
+func (c *ItemLRU) Capacity() int { return c.capacity }
+
+// Reset implements cachesim.Cache.
+func (c *ItemLRU) Reset() { c.order.Clear() }

@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"testing"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+func TestItemLRUBasicEviction(t *testing.T) {
+	c := NewItemLRU(2)
+	mustMiss(t, c, 1)
+	mustMiss(t, c, 2)
+	mustHit(t, c, 1) // promote 1; LRU is 2
+	a := c.Access(3) // evicts 2
+	if a.Hit {
+		t.Fatal("unexpected hit on 3")
+	}
+	if len(a.Evicted) != 1 || a.Evicted[0] != 2 {
+		t.Fatalf("Evicted = %v, want [2]", a.Evicted)
+	}
+	if !c.Contains(1) || c.Contains(2) || !c.Contains(3) {
+		t.Error("wrong contents after eviction")
+	}
+	if c.Len() != 2 || c.Capacity() != 2 {
+		t.Errorf("Len=%d Cap=%d", c.Len(), c.Capacity())
+	}
+}
+
+func TestItemLRUSequentialScanMissesAll(t *testing.T) {
+	c := NewItemLRU(8)
+	tr := make(trace.Trace, 0, 100)
+	for i := 0; i < 100; i++ {
+		tr = append(tr, model.Item(i))
+	}
+	s := cachesim.Run(c, tr)
+	if s.Misses != 100 || s.Hits != 0 {
+		t.Errorf("scan: %+v", s)
+	}
+}
+
+func TestItemLRUWorkingSetFits(t *testing.T) {
+	c := NewItemLRU(4)
+	tr := trace.Trace{0, 1, 2, 3}.Repeat(25)
+	s := cachesim.Run(c, tr)
+	if s.Misses != 4 {
+		t.Errorf("misses = %d, want 4 (cold only)", s.Misses)
+	}
+	if s.TemporalHits != 96 || s.SpatialHits != 0 {
+		t.Errorf("hits split = %d/%d", s.TemporalHits, s.SpatialHits)
+	}
+}
+
+func TestItemLRUReset(t *testing.T) {
+	c := NewItemLRU(2)
+	c.Access(1)
+	c.Reset()
+	if c.Len() != 0 || c.Contains(1) {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestItemLRUPanicsOnBadCapacity(t *testing.T) {
+	assertPanics(t, func() { NewItemLRU(0) })
+}
+
+func TestItemLRUNeverLoadsSiblings(t *testing.T) {
+	c := NewItemLRU(10)
+	a := c.Access(5)
+	if len(a.Loaded) != 1 || a.Loaded[0] != 5 {
+		t.Errorf("Loaded = %v, want [5]", a.Loaded)
+	}
+}
+
+// Helpers shared by the policy tests.
+
+func mustHit(t *testing.T, c cachesim.Cache, it model.Item) cachesim.Access {
+	t.Helper()
+	a := c.Access(it)
+	if !a.Hit {
+		t.Fatalf("%s: access %d: want hit", c.Name(), it)
+	}
+	return a
+}
+
+func mustMiss(t *testing.T, c cachesim.Cache, it model.Item) cachesim.Access {
+	t.Helper()
+	a := c.Access(it)
+	if a.Hit {
+		t.Fatalf("%s: access %d: want miss", c.Name(), it)
+	}
+	return a
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+// checkInvariants verifies the universal cache invariants after a run.
+func checkInvariants(t *testing.T, c cachesim.Cache) {
+	t.Helper()
+	if c.Len() > c.Capacity() {
+		t.Fatalf("%s: Len %d > Capacity %d", c.Name(), c.Len(), c.Capacity())
+	}
+}

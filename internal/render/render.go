@@ -1,0 +1,223 @@
+// Package render formats experiment output as aligned text tables, CSV,
+// and ASCII line charts — the presentation layer for every table and
+// figure the repository regenerates from the paper.
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(values ...any) {
+	row := make([]string, len(values))
+	for i, v := range values {
+		switch x := v.(type) {
+		case float64:
+			row[i] = FormatFloat(x)
+		case string:
+			row[i] = x
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// FormatFloat renders a float compactly: integers without decimals,
+// small magnitudes with 4 significant digits, infinities as ∞.
+func FormatFloat(x float64) string {
+	switch {
+	case math.IsInf(x, 1):
+		return "inf"
+	case math.IsInf(x, -1):
+		return "-inf"
+	case math.IsNaN(x):
+		return "-"
+	case x == math.Trunc(x) && math.Abs(x) < 1e15:
+		return fmt.Sprintf("%.0f", x)
+	case math.Abs(x) >= 0.01:
+		return fmt.Sprintf("%.4g", x)
+	default:
+		return fmt.Sprintf("%.3e", x)
+	}
+}
+
+// WriteText writes the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV writes the table as CSV (no quoting needed for our numeric
+// content; commas in cells are replaced by semicolons defensively).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	clean := func(s string) string { return strings.ReplaceAll(s, ",", ";") }
+	cells := make([]string, 0, len(t.Headers))
+	for _, h := range t.Headers {
+		cells = append(cells, clean(h))
+	}
+	b.WriteString(strings.Join(cells, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		cells = cells[:0]
+		for _, c := range row {
+			cells = append(cells, clean(c))
+		}
+		b.WriteString(strings.Join(cells, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Series is one named line of a chart.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart is an ASCII line chart over a shared X axis — used to eyeball the
+// Figure 3 / Figure 6 curves in terminal output. Y values are plotted on
+// a log10 scale when LogY is set (competitive ratios span decades).
+type Chart struct {
+	Title  string
+	XName  string
+	X      []float64
+	Series []Series
+	Width  int
+	Height int
+	LogY   bool
+}
+
+// WriteText renders the chart.
+func (c *Chart) WriteText(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	tr := func(y float64) float64 {
+		if c.LogY {
+			if y <= 0 {
+				return math.NaN()
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for _, y := range s.Y {
+			v := tr(y)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", c.Title)
+	}
+	if math.IsInf(lo, 1) || lo == hi {
+		b.WriteString("(no plottable data)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+	n := len(c.X)
+	for si, s := range c.Series {
+		mark := marks[si%len(marks)]
+		for xi := 0; xi < n && xi < len(s.Y); xi++ {
+			v := tr(s.Y[xi])
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			col := 0
+			if n > 1 {
+				col = xi * (width - 1) / (n - 1)
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(height-1)))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+	toY := func(v float64) float64 {
+		if c.LogY {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = FormatFloat(toY(hi))
+		case height - 1:
+			label = FormatFloat(toY(lo))
+		case (height - 1) / 2:
+			label = FormatFloat(toY((hi + lo) / 2))
+		}
+		fmt.Fprintf(&b, "%10s |%s\n", label, line)
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%10s  %-20s ... %20s (%s)\n", "",
+		FormatFloat(c.X[0]), FormatFloat(c.X[len(c.X)-1]), c.XName)
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%10s  [%c] %s\n", "", marks[si%len(marks)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,113 @@
+package render
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFormatFloat(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{2, "2"},
+		{2.5, "2.5"},
+		{math.Inf(1), "inf"},
+		{math.Inf(-1), "-inf"},
+		{math.NaN(), "-"},
+		{0.0001234, "1.234e-04"},
+		{123456, "123456"},
+	}
+	for _, c := range cases {
+		if got := FormatFloat(c.in); got != c.want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tb.AddRow("alpha", 1.0)
+	tb.AddRow("b", math.Inf(1))
+	var buf bytes.Buffer
+	if err := tb.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demo", "name", "alpha", "inf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Alignment: every data line has the two columns separated.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Errorf("want 5 lines, got %d", len(lines))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a,b", "c"}}
+	tb.AddRow("x,y", 2.0)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "a;b,c\n") {
+		t.Errorf("header line: %q", out)
+	}
+	if !strings.Contains(out, "x;y,2") {
+		t.Errorf("row line: %q", out)
+	}
+}
+
+func TestChartRendersAllSeries(t *testing.T) {
+	ch := &Chart{
+		Title: "test",
+		XName: "x",
+		X:     []float64{1, 2, 3, 4},
+		Series: []Series{
+			{Name: "up", Y: []float64{1, 2, 3, 4}},
+			{Name: "down", Y: []float64{4, 3, 2, 1}},
+		},
+		Width: 40, Height: 10,
+	}
+	var buf bytes.Buffer
+	if err := ch.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "[*] up") || !strings.Contains(out, "[+] down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("marks missing:\n%s", out)
+	}
+}
+
+func TestChartLogScaleAndDegenerate(t *testing.T) {
+	ch := &Chart{
+		X:      []float64{1, 10},
+		Series: []Series{{Name: "s", Y: []float64{1, 1000}}},
+		LogY:   true,
+	}
+	var buf bytes.Buffer
+	if err := ch.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "1000") {
+		t.Errorf("log chart missing max label:\n%s", buf.String())
+	}
+	// Degenerate: constant series.
+	ch2 := &Chart{X: []float64{1, 2}, Series: []Series{{Name: "c", Y: []float64{5, 5}}}}
+	buf.Reset()
+	if err := ch2.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no plottable data") {
+		t.Errorf("degenerate chart output:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,72 @@
+// Package stats provides the small numeric summaries the experiment
+// harness reports: means, extrema, standard deviation, and geometric
+// means of ratios.
+package stats
+
+import "math"
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes a Summary; NaNs are skipped, an empty (or all-NaN)
+// sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		s.N++
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	if s.N == 0 {
+		return Summary{}
+	}
+	s.Mean = sum / float64(s.N)
+	varsum := 0.0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		d := x - s.Mean
+		varsum += d * d
+	}
+	if s.N > 1 {
+		s.StdDev = math.Sqrt(varsum / float64(s.N-1))
+	}
+	return s
+}
+
+// GeoMean returns the geometric mean of strictly positive values; zero,
+// negative, and NaN entries are skipped. Empty input yields NaN.
+func GeoMean(xs []float64) float64 {
+	logs := 0.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 && !math.IsNaN(x) && !math.IsInf(x, 0) {
+			logs += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return math.Exp(logs / float64(n))
+}
+
+// RelErr returns |got−want|/|want|, or |got| when want == 0.
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeSkipsNaN(t *testing.T) {
+	s := Summarize([]float64{math.NaN(), 2, math.NaN()})
+	if s.N != 1 || s.Mean != 2 || s.StdDev != 0 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty Summary = %+v", z)
+	}
+	if z := Summarize([]float64{math.NaN()}); z.N != 0 {
+		t.Errorf("all-NaN Summary = %+v", z)
+	}
+}
+
+func TestSummarizeBounds(t *testing.T) {
+	prop := func(raw []float64) bool {
+		// Clamp magnitudes so the sum cannot overflow: the property is
+		// about ordering, not extreme-value arithmetic.
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				xs[i] = math.NaN()
+				continue
+			}
+			xs[i] = math.Mod(x, 1e6)
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 && s.StdDev >= 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 0, -1, math.NaN(), math.Inf(1)}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean with junk = %v, want 2", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("GeoMean(nil) should be NaN")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if RelErr(11, 10) != 0.1 {
+		t.Errorf("RelErr = %v", RelErr(11, 10))
+	}
+	if RelErr(3, 0) != 3 {
+		t.Errorf("RelErr vs 0 = %v", RelErr(3, 0))
+	}
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"gccache/internal/model"
+)
+
+// FuzzReadArbitraryBytes asserts the binary decoder never panics or
+// over-allocates on adversarial input, and that valid round trips are
+// exact.
+func FuzzReadArbitraryBytes(f *testing.F) {
+	var seed bytes.Buffer
+	if err := (Trace{1, 2, 3}).Write(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("gctrace\x01garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr, err := Read(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode and decode to the same trace.
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-decode: %v", err)
+		}
+		if len(back) != len(tr) {
+			t.Fatalf("round trip changed length")
+		}
+		for i := range tr {
+			if back[i] != tr[i] {
+				t.Fatalf("round trip changed content")
+			}
+		}
+	})
+}
+
+// FuzzBinaryRoundTrip drives the encoder with arbitrary item sequences.
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		tr := make(Trace, len(raw)/2)
+		for i := range tr {
+			// Mix small and large magnitudes to stress delta encoding.
+			tr[i] = model.Item(uint64(raw[2*i]) | uint64(raw[2*i+1])<<40)
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(tr) {
+			t.Fatal("length changed")
+		}
+		for i := range tr {
+			if back[i] != tr[i] {
+				t.Fatal("content changed")
+			}
+		}
+	})
+}
+
+// FuzzReadText asserts the text decoder never panics.
+func FuzzReadText(f *testing.F) {
+	f.Add("1\n2\n# c\n3\n")
+	f.Add("-1\n")
+	f.Add("999999999999999999999999\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		tr, err := ReadText(bytes.NewReader([]byte(s)))
+		if err == nil && tr != nil {
+			_ = tr.Distinct()
+		}
+	})
+}

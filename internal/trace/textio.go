@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gccache/internal/model"
+)
+
+// WriteText serializes the trace as plain text, one decimal item ID per
+// line — the interchange format for external tools and hand-written
+// fixtures. Lines beginning with '#' are comments on read.
+func (t Trace) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, it := range t {
+		if _, err := fmt.Fprintln(bw, uint64(it)); err != nil {
+			return fmt.Errorf("trace: write text: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the plain-text trace format: one decimal item ID per
+// line, blank lines and '#' comments ignored.
+func ReadText(r io.Reader) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	var out Trace
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseUint(line, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %q is not an item ID", lineNo, line)
+		}
+		out = append(out, model.Item(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read text: %w", err)
+	}
+	return out, nil
+}

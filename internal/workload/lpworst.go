@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// LPWorstConfig parameterizes LPWorstCase, the executable realization of
+// the paper's Figure 5 worst-case pattern for IBLP(i, b).
+type LPWorstConfig struct {
+	// ItemLayer and BlockLayer are the IBLP layer sizes the trace is
+	// tailored against.
+	ItemLayer  int
+	BlockLayer int
+	// BlockSize is B.
+	BlockSize int
+	// SpatialShare in [0,1] is the fraction of accesses drawn from the
+	// spatial component (the LP's s·t mass); the rest exercise the
+	// temporal component (the LP's r mass).
+	SpatialShare float64
+	// Length is the number of requests.
+	Length int
+}
+
+// LPWorstCase generates the adversarial access pattern of Figure 5:
+//
+//   - a *temporal* component cycling over ItemLayer+1 single-item blocks,
+//     so the item layer (LRU of size i) misses every visit while a
+//     prescient cache can retain and hit them;
+//   - a *spatial* component cycling over BlockLayer/B + 1 blocks, taking
+//     the next item (round-robin) of each block per visit, so the block
+//     layer (LRU over b/B frames) misses every visit while a prescient
+//     cache that loads t items per unit-cost miss hits the next t−1
+//     visits — the staggered triangle of the §5.2 cache-usage argument.
+//
+// The two components are deterministically interleaved according to
+// SpatialShare. Addresses are laid out so the components never share
+// blocks.
+func LPWorstCase(cfg LPWorstConfig) (trace.Trace, error) {
+	if cfg.ItemLayer < 1 || cfg.BlockLayer < 0 || cfg.BlockSize < 1 || cfg.Length < 0 {
+		return nil, fmt.Errorf("workload: bad LPWorstCase config %+v", cfg)
+	}
+	if cfg.SpatialShare < 0 || cfg.SpatialShare > 1 {
+		return nil, fmt.Errorf("workload: SpatialShare %v outside [0,1]", cfg.SpatialShare)
+	}
+	B := uint64(cfg.BlockSize)
+	// Temporal universe: i+1 items, one per block, in low address space.
+	tN := uint64(cfg.ItemLayer + 1)
+	// Spatial universe: b/B + 1 full blocks, placed above the temporal
+	// region.
+	sN := uint64(cfg.BlockLayer/cfg.BlockSize + 1)
+	sBase := (tN + 1) * B
+
+	tr := make(trace.Trace, 0, cfg.Length)
+	var tPos, sVisit uint64
+	sOffsets := make([]uint64, sN) // per-block round-robin offset
+	// Error-diffusion interleave: emit spatial accesses at SpatialShare
+	// density without randomness.
+	acc := 0.0
+	for len(tr) < cfg.Length {
+		acc += cfg.SpatialShare
+		if acc >= 1 {
+			acc--
+			blk := sVisit % sN
+			off := sOffsets[blk]
+			sOffsets[blk] = (off + 1) % B
+			tr = append(tr, model.Item(sBase+blk*B+off))
+			sVisit++
+		} else {
+			tr = append(tr, model.Item((tPos%tN)*B))
+			tPos++
+		}
+	}
+	return tr, nil
+}
