@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench repro repro-quick fuzz clean
+.PHONY: all build vet test race cover bench bench-json repro repro-quick fuzz clean
 
 all: build vet test
 
@@ -24,6 +24,14 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Refresh BENCH_baseline.json: re-measure the replay/sweep/per-access
+# hot-path benchmarks and record them under "current", preserving the
+# committed "pre_change" section so the file tracks the performance
+# trajectory (see DESIGN.md, Performance notes).
+HOTPATH_BENCH = ^(BenchmarkRunTrace|BenchmarkRunTraceGeneric|BenchmarkSweep|BenchmarkAccess(ItemLRU|BlockLRU|IBLP|GCM|AThreshold))$$
+bench-json:
+	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem . | $(GO) run ./cmd/gcbenchjson -out BENCH_baseline.json
 
 # Regenerate every table/figure of the paper plus the validation
 # experiments into results/ (exits non-zero if any claim fails).

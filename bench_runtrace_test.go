@@ -1,0 +1,76 @@
+package gccache_test
+
+import (
+	"testing"
+
+	"gccache"
+	"gccache/internal/model"
+	"gccache/internal/workload"
+)
+
+func runTraceWorkload(b *testing.B) (*model.Fixed, gccache.Trace) {
+	b.Helper()
+	g := model.NewFixed(64)
+	tr, err := workload.BlockRuns(workload.BlockRunsConfig{
+		NumBlocks: 4096, BlockSize: 64, MeanRunLength: 8,
+		ZipfS: 1.2, Length: 1 << 16, Seed: 42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, tr
+}
+
+// BenchmarkRunTrace measures the end-to-end trace-replay hot path — policy
+// access, recorder classification, and net-change reconciliation — by
+// replaying one BlockRuns trace per iteration through the even-split IBLP
+// on the dense (bounded-universe) path. BENCH_baseline.json keeps the
+// pre-optimization number under "pre_change" for the trajectory.
+func BenchmarkRunTrace(b *testing.B) {
+	g, tr := runTraceWorkload(b)
+	u := model.ItemUniverse(g, tr.Universe())
+	c := gccache.NewIBLPEvenSplitBounded(4096, g, u)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := gccache.RunColdBounded(c, tr, u)
+		if st.Misses == 0 {
+			b.Fatal("implausible: zero misses")
+		}
+	}
+}
+
+// BenchmarkRunTraceGeneric is the same replay on the generic (map-backed)
+// representation — the permanent reference point for the dense path's
+// speedup, so the comparison stays reproducible on any machine.
+func BenchmarkRunTraceGeneric(b *testing.B) {
+	g, tr := runTraceWorkload(b)
+	c := gccache.NewIBLPEvenSplit(4096, g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := gccache.RunCold(c, tr)
+		if st.Misses == 0 {
+			b.Fatal("implausible: zero misses")
+		}
+	}
+}
+
+// BenchmarkSweep measures the chunked work-stealing sweep engine on a
+// 64-point grid, one pooled dense IBLP per worker reused (via the
+// RunColdBounded reset) across every point the worker claims.
+func BenchmarkSweep(b *testing.B) {
+	g, tr := runTraceWorkload(b)
+	u := model.ItemUniverse(g, tr.Universe())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gccache.Sweep(64, 0, func() gccache.Cache {
+			return gccache.NewIBLPEvenSplitBounded(4096, g, u)
+		}, func(pt int, c gccache.Cache) {
+			if st := gccache.RunColdBounded(c, tr, u); st.Misses == 0 {
+				b.Fatal("implausible: zero misses")
+			}
+		})
+	}
+}

@@ -195,8 +195,12 @@ func BenchmarkPolicyShootout(b *testing.B) {
 }
 
 // ---- Microbenchmarks: per-access policy costs on a shared workload ----
+//
+// The LRU-family and GCM benchmarks use the bounded (dense-path)
+// constructors, which the zero-allocation regression tests hold to
+// 0 allocs/op; AThreshold has no dense path and stays generic.
 
-func benchPolicy(b *testing.B, mk func(g *model.Fixed) gccache.Cache) {
+func benchPolicy(b *testing.B, mk func(g *model.Fixed, universe int) gccache.Cache) {
 	g := model.NewFixed(64)
 	tr, err := workload.BlockRuns(workload.BlockRunsConfig{
 		NumBlocks: 4096, BlockSize: 64, MeanRunLength: 8,
@@ -205,7 +209,7 @@ func benchPolicy(b *testing.B, mk func(g *model.Fixed) gccache.Cache) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	c := mk(g)
+	c := mk(g, tr.Universe())
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -214,23 +218,23 @@ func benchPolicy(b *testing.B, mk func(g *model.Fixed) gccache.Cache) {
 }
 
 func BenchmarkAccessItemLRU(b *testing.B) {
-	benchPolicy(b, func(g *model.Fixed) gccache.Cache { return gccache.NewItemLRU(4096) })
+	benchPolicy(b, func(g *model.Fixed, u int) gccache.Cache { return gccache.NewItemLRUBounded(4096, u) })
 }
 
 func BenchmarkAccessBlockLRU(b *testing.B) {
-	benchPolicy(b, func(g *model.Fixed) gccache.Cache { return gccache.NewBlockLRU(4096, g) })
+	benchPolicy(b, func(g *model.Fixed, u int) gccache.Cache { return gccache.NewBlockLRUBounded(4096, g, u) })
 }
 
 func BenchmarkAccessIBLP(b *testing.B) {
-	benchPolicy(b, func(g *model.Fixed) gccache.Cache { return gccache.NewIBLPEvenSplit(4096, g) })
+	benchPolicy(b, func(g *model.Fixed, u int) gccache.Cache { return gccache.NewIBLPEvenSplitBounded(4096, g, u) })
 }
 
 func BenchmarkAccessGCM(b *testing.B) {
-	benchPolicy(b, func(g *model.Fixed) gccache.Cache { return gccache.NewGCM(4096, g, 7) })
+	benchPolicy(b, func(g *model.Fixed, u int) gccache.Cache { return gccache.NewGCMBounded(4096, g, 7, u) })
 }
 
 func BenchmarkAccessAThreshold(b *testing.B) {
-	benchPolicy(b, func(g *model.Fixed) gccache.Cache { return gccache.NewAThreshold(4096, 2, g) })
+	benchPolicy(b, func(g *model.Fixed, u int) gccache.Cache { return gccache.NewAThreshold(4096, 2, g) })
 }
 
 // BenchmarkBelady measures the offline optimum solver on a large trace.

@@ -1,0 +1,128 @@
+// Command gcbenchjson converts `go test -bench -benchmem` output (stdin)
+// into a stable JSON snapshot of benchmark results, keyed by benchmark
+// name with the -cpu suffix stripped.
+//
+// The snapshot has two sections: "current", rewritten on every run, and
+// "pre_change", which is preserved verbatim from an existing -out file
+// (or seeded from the current results when the file does not exist yet).
+// Committing the file therefore records a performance trajectory: the
+// numbers before an optimization landed and the numbers now.
+//
+// Usage:
+//
+//	go test -run '^$' -bench <pattern> -benchmem . | gcbenchjson -out BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Result holds one benchmark's figures. BytesPerOp/AllocsPerOp are -1
+// when the run did not report memory statistics.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Snapshot is the committed file layout.
+type Snapshot struct {
+	PreChange map[string]Result `json:"pre_change"`
+	Current   map[string]Result `json:"current"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkRunTrace-8  20  59616409 ns/op  9741033 B/op  17101 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+
+func parse(r *bufio.Scanner) (map[string]Result, error) {
+	out := make(map[string]Result)
+	for r.Scan() {
+		m := benchLine.FindStringSubmatch(r.Text())
+		if m == nil {
+			continue
+		}
+		res := Result{BytesPerOp: -1, AllocsPerOp: -1}
+		var err error
+		if res.NsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
+			return nil, fmt.Errorf("bad ns/op in %q: %v", r.Text(), err)
+		}
+		if m[3] != "" {
+			if res.BytesPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+				return nil, fmt.Errorf("bad B/op in %q: %v", r.Text(), err)
+			}
+		}
+		if m[4] != "" {
+			if res.AllocsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return nil, fmt.Errorf("bad allocs/op in %q: %v", r.Text(), err)
+			}
+		}
+		out[m[1]] = res
+	}
+	return out, r.Err()
+}
+
+func main() {
+	outPath := flag.String("out", "BENCH_baseline.json", "snapshot file to write (pre_change preserved if present)")
+	flag.Parse()
+
+	cur, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcbenchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(cur) == 0 {
+		fmt.Fprintln(os.Stderr, "gcbenchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	snap := Snapshot{Current: cur}
+	if raw, err := os.ReadFile(*outPath); err == nil {
+		var old Snapshot
+		if err := json.Unmarshal(raw, &old); err != nil {
+			fmt.Fprintf(os.Stderr, "gcbenchjson: existing %s is not a snapshot: %v\n", *outPath, err)
+			os.Exit(1)
+		}
+		snap.PreChange = old.PreChange
+	}
+	if snap.PreChange == nil {
+		snap.PreChange = cur
+	}
+
+	buf, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gcbenchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "gcbenchjson: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		r := cur[n]
+		line := fmt.Sprintf("%-28s %14.0f ns/op", n, r.NsPerOp)
+		if r.AllocsPerOp >= 0 {
+			line += fmt.Sprintf(" %10.0f allocs/op", r.AllocsPerOp)
+		}
+		if pre, ok := snap.PreChange[n]; ok && pre.NsPerOp > 0 {
+			line += fmt.Sprintf("   (%.2fx vs pre_change)", pre.NsPerOp/r.NsPerOp)
+		}
+		fmt.Println(line)
+	}
+}

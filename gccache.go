@@ -56,6 +56,13 @@ func NewFixedGeometry(B int) *model.Fixed { return model.NewFixed(B) }
 // per list (used, e.g., by the Theorem 1 reduction's active sets).
 func NewTableGeometry(blocks [][]Item) (*model.Table, error) { return model.NewTable(blocks) }
 
+// ItemUniverse expands an upper bound on *requested* item IDs to cover
+// every item a block-loading policy may bring in (the whole block of
+// each requested item). Pass the result — not the raw Trace.Universe —
+// to the *Bounded constructors and RunBounded/RunColdBounded. A zero
+// return means no finite bound is derivable; use the generic path.
+func ItemUniverse(g Geometry, universe int) int { return model.ItemUniverse(g, universe) }
+
 // Simulation.
 type (
 	// Cache is an online GC caching policy.
@@ -71,6 +78,37 @@ type (
 func Run(c Cache, tr Trace) Stats     { return cachesim.Run(c, tr) }
 func RunCold(c Cache, tr Trace) Stats { return cachesim.RunCold(c, tr) }
 
+// RunBounded and RunColdBounded are Run and RunCold with the recorder on
+// its allocation-free dense path for item IDs in [0, universe). The bound
+// must cover every item the policy may LOAD, not just those requested:
+// block-loading policies pull in whole blocks, so expand Trace.Universe
+// with model.ItemUniverse(g, tr.Universe()) before passing it here.
+func RunBounded(c Cache, tr Trace, universe int) Stats {
+	return cachesim.RunBounded(c, tr, universe)
+}
+func RunColdBounded(c Cache, tr Trace, universe int) Stats {
+	return cachesim.RunColdBounded(c, tr, universe)
+}
+
+// Sweep runs fn(i) for i in [0, n) on a pool of workers with per-worker
+// reusable state (chunked work-stealing; workers ≤ 0 means GOMAXPROCS).
+func Sweep[W any](n, workers int, newWorker func() W, fn func(i int, w W)) {
+	cachesim.Sweep(n, workers, newWorker, fn)
+}
+
+// SweepCaches is Sweep with one pooled Cache per worker, Reset before
+// every grid point.
+func SweepCaches(n, workers int, build func() Cache, fn func(i int, c Cache)) {
+	cachesim.SweepCaches(n, workers, build, fn)
+}
+
+// RunSeeds replays tr under one cache per seed in parallel and returns
+// the per-seed miss ratios; caches implementing cachesim.Reseeder are
+// pooled per worker instead of rebuilt per seed.
+func RunSeeds(build func(seed int64) Cache, tr Trace, seeds []int64) []float64 {
+	return cachesim.RunSeeds(build, tr, seeds)
+}
+
 // The paper's policies (§5, §6).
 
 // NewIBLP returns an Item-Block Layered Partitioning cache with item
@@ -79,6 +117,18 @@ func NewIBLP(i, b int, g Geometry) *core.IBLP { return core.NewIBLP(i, b, g) }
 
 // NewIBLPEvenSplit returns IBLP with i = ⌈k/2⌉, b = ⌊k/2⌋ (§7.3's split).
 func NewIBLPEvenSplit(k int, g Geometry) *core.IBLP { return core.NewIBLPEvenSplit(k, g) }
+
+// NewIBLPBounded and NewIBLPEvenSplitBounded are the dense-path variants
+// of NewIBLP and NewIBLPEvenSplit for item IDs in [0, universe): flat
+// bitsets and array-backed LRU orders make steady-state accesses
+// allocation- and hash-free. Behaviour is identical to the generic
+// constructors; accessing an item ≥ universe panics.
+func NewIBLPBounded(i, b int, g Geometry, universe int) *core.IBLP {
+	return core.NewIBLPBounded(i, b, g, universe)
+}
+func NewIBLPEvenSplitBounded(k int, g Geometry, universe int) *core.IBLP {
+	return core.NewIBLPEvenSplitBounded(k, g, universe)
+}
 
 // NewIBLPTuned returns IBLP with the §5.3 optimal split for a known
 // offline comparison size h.
@@ -92,6 +142,13 @@ func NewIBLPTuned(k, h int, g Geometry) *core.IBLP {
 
 // NewGCM returns a Granularity-Change Marking cache (randomized, §6.1).
 func NewGCM(k int, g Geometry, seed int64) *core.GCM { return core.NewGCM(k, g, seed) }
+
+// NewGCMBounded is the dense-path variant of NewGCM for item IDs in
+// [0, universe); it makes identical random decisions to NewGCM with the
+// same seed.
+func NewGCMBounded(k int, g Geometry, seed int64, universe int) *core.GCM {
+	return core.NewGCMBounded(k, g, seed, universe)
+}
 
 // NewAdaptiveIBLP returns the ghost-list extension of IBLP that learns
 // its item/block split online — this repository's answer to the §5.3
@@ -134,9 +191,21 @@ func NewValidator(c Cache, g Geometry) *cachesim.Validator { return cachesim.New
 // items.
 func NewItemLRU(k int) *policy.ItemLRU { return policy.NewItemLRU(k) }
 
+// NewItemLRUBounded is the dense-path variant of NewItemLRU for item IDs
+// in [0, universe).
+func NewItemLRUBounded(k, universe int) *policy.ItemLRU {
+	return policy.NewItemLRUBounded(k, universe)
+}
+
 // NewBlockLRU returns the Block Cache baseline: loads and evicts whole
 // blocks, LRU over blocks.
 func NewBlockLRU(k int, g Geometry) *policy.BlockLRU { return policy.NewBlockLRU(k, g) }
+
+// NewBlockLRUBounded is the dense-path variant of NewBlockLRU for item
+// IDs in [0, universe).
+func NewBlockLRUBounded(k int, g Geometry, universe int) *policy.BlockLRU {
+	return policy.NewBlockLRUBounded(k, g, universe)
+}
 
 // NewFIFO returns a FIFO Item Cache.
 func NewFIFO(k int) *policy.FIFO { return policy.NewFIFO(k) }

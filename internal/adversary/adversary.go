@@ -83,11 +83,13 @@ func (d *driver) request(it model.Item) bool {
 	return a.Hit
 }
 
-// freshBlock returns the items of a never-before-used block.
+// freshBlock returns the items of a never-before-used block in a fresh
+// slice. Callers retain the result across further cache accesses, so it
+// must not alias the geometry's reusable ItemsOf scratch.
 func (d *driver) freshBlock() []model.Item {
 	b := d.nextBlk
 	d.nextBlk++
-	return d.geo.ItemsOf(model.Block(b))
+	return model.AppendItemsOf(d.geo, nil, model.Block(b))
 }
 
 // resetCounters zeroes the miss/access counters (after warmup).

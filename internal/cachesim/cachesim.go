@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"gccache/internal/model"
 	"gccache/internal/trace"
@@ -109,11 +110,19 @@ func (s Stats) String() string {
 // It tracks which cached items were loaded as free siblings and never
 // accessed since, so hits can be split into spatial and temporal exactly
 // as §2 of the paper defines them, independent of the policy.
+//
+// NewRecorder tracks pristineness in a map and accepts any item ID;
+// NewRecorderBounded swaps the map for a flat bitset over a declared item
+// universe, which keeps the replay hot path allocation- and hash-free.
 type Recorder struct {
 	stats Stats
 	// pristine holds items loaded by a miss on a different item and not
-	// accessed since; a hit on a pristine item is a spatial hit.
+	// accessed since; a hit on a pristine item is a spatial hit. nil on
+	// the bounded path.
 	pristine map[model.Item]struct{}
+	// pristineBits is the bounded-universe bitset replacement for
+	// pristine; nil on the generic path.
+	pristineBits []bool
 }
 
 // NewRecorder returns a Recorder for the named policy.
@@ -124,8 +133,27 @@ func NewRecorder(policy string) *Recorder {
 	}
 }
 
+// NewRecorderBounded returns a Recorder that tracks pristineness in a
+// flat bitset over item IDs [0, universe) — no map operations and no
+// allocation per access. It falls back to the generic map Recorder when
+// universe is non-positive or implausibly large. Observing an item ≥ the
+// declared universe panics.
+func NewRecorderBounded(policy string, universe int) *Recorder {
+	if universe <= 0 || universe > MaxBoundedUniverse {
+		return NewRecorder(policy)
+	}
+	return &Recorder{
+		stats:        Stats{Policy: policy},
+		pristineBits: make([]bool, universe),
+	}
+}
+
 // Observe records the outcome of one request.
 func (r *Recorder) Observe(it model.Item, a Access) {
+	if r.pristineBits != nil {
+		r.observeBounded(it, a)
+		return
+	}
 	r.stats.Accesses++
 	if a.Hit {
 		r.stats.Hits++
@@ -153,8 +181,54 @@ func (r *Recorder) Observe(it model.Item, a Access) {
 	delete(r.pristine, it)
 }
 
+// observeBounded is Observe on the bitset path; identical classification.
+func (r *Recorder) observeBounded(it model.Item, a Access) {
+	r.stats.Accesses++
+	if a.Hit {
+		r.stats.Hits++
+		if r.pristineBits[it] {
+			r.stats.SpatialHits++
+			r.pristineBits[it] = false
+		} else {
+			r.stats.TemporalHits++
+		}
+		return
+	}
+	r.stats.Misses++
+	r.stats.ItemsLoaded += int64(len(a.Loaded))
+	r.stats.Evictions += int64(len(a.Evicted))
+	for _, v := range a.Evicted {
+		r.pristineBits[v] = false
+	}
+	for _, l := range a.Loaded {
+		if l == it {
+			continue
+		}
+		r.pristineBits[l] = true
+	}
+	// The requested item itself has now been accessed.
+	r.pristineBits[it] = false
+}
+
 // Stats returns the accumulated statistics.
 func (r *Recorder) Stats() Stats { return r.stats }
+
+// Reset clears the Recorder for reuse under a (possibly new) policy name,
+// retaining allocated tracking state.
+func (r *Recorder) Reset(policy string) {
+	r.stats = Stats{Policy: policy}
+	if r.pristineBits != nil {
+		clear(r.pristineBits)
+		return
+	}
+	clear(r.pristine)
+}
+
+// MaxBoundedUniverse caps the item universe the bounded (flat-array)
+// simulation paths will allocate for: beyond ~4M items the footprint of
+// per-item arrays outweighs their constant-factor advantage and callers
+// should use the generic map-based paths.
+const MaxBoundedUniverse = 4 << 20
 
 // NetChanges reconciles a step's load and eviction lists to *net*
 // changes: an item that was transiently loaded and evicted (or evicted
@@ -162,28 +236,115 @@ func (r *Recorder) Stats() Stats { return r.stats }
 // whose internal mechanics overshoot capacity mid-step call this before
 // returning an Access, so that Loaded always means absent→present and
 // Evicted always means present→absent.
+//
+// NetChanges allocates a scratch map per call; policies hold a Reconciler
+// instead, which owns reusable scratch and nets in-place without
+// allocating.
 func NetChanges(loaded, evicted []model.Item) (netLoaded, netEvicted []model.Item) {
 	if len(loaded) == 0 || len(evicted) == 0 {
 		return loaded, evicted
 	}
-	inBoth := make(map[model.Item]int, len(evicted))
+	var r Reconciler
+	return r.NetChanges(loaded, evicted)
+}
+
+// Reconciler nets loaded/evicted lists (see NetChanges) using owned,
+// reusable scratch. The zero value is usable and allocates its map
+// scratch on first use; NewReconciler with a positive universe instead
+// uses generation-stamped flat arrays indexed by item ID, making the
+// netting step allocation- and hash-free on the dense path.
+//
+// A Reconciler is owned by a single policy instance and is not safe for
+// concurrent use.
+type Reconciler struct {
+	// Generic path: reusable multiset scratch, cleared per call.
+	counts map[model.Item]int32
+	// Bounded path: count[it] is valid iff stamp[it] == gen. Bumping gen
+	// invalidates every entry in O(1), so per-call scratch reset costs
+	// nothing regardless of universe size.
+	count []int32
+	stamp []uint32
+	gen   uint32
+}
+
+// NewReconciler returns a Reconciler for item IDs in [0, universe).
+// A non-positive or implausibly large universe yields a generic
+// map-scratch Reconciler that accepts any item ID.
+func NewReconciler(universe int) *Reconciler {
+	if universe <= 0 || universe > MaxBoundedUniverse {
+		return &Reconciler{}
+	}
+	return &Reconciler{
+		count: make([]int32, universe),
+		stamp: make([]uint32, universe),
+	}
+}
+
+// NetChanges nets the two lists in place and returns the trimmed slices.
+// Semantics are identical to the package-level NetChanges.
+func (r *Reconciler) NetChanges(loaded, evicted []model.Item) (netLoaded, netEvicted []model.Item) {
+	if len(loaded) == 0 || len(evicted) == 0 {
+		return loaded, evicted
+	}
+	if r.count != nil {
+		return r.netBounded(loaded, evicted)
+	}
+	if r.counts == nil {
+		r.counts = make(map[model.Item]int32, len(evicted))
+	} else {
+		clear(r.counts)
+	}
 	for _, e := range evicted {
-		inBoth[e]++
+		r.counts[e]++
 	}
 	netLoaded = loaded[:0]
 	for _, l := range loaded {
-		if inBoth[l] > 0 {
-			inBoth[l]--
+		if r.counts[l] > 0 {
+			r.counts[l]--
 			continue
 		}
 		netLoaded = append(netLoaded, l)
 	}
 	netEvicted = evicted[:0]
 	for _, e := range evicted {
-		// Rebuild evicted with the matched pairs removed; counts in
-		// inBoth now hold the *unmatched* evictions per item.
-		if n := inBoth[e]; n > 0 {
-			inBoth[e]--
+		// Rebuild evicted with the matched pairs removed; counts now hold
+		// the *unmatched* evictions per item.
+		if r.counts[e] > 0 {
+			r.counts[e]--
+			netEvicted = append(netEvicted, e)
+		}
+	}
+	return netLoaded, netEvicted
+}
+
+// netBounded is NetChanges on generation-stamped flat arrays.
+func (r *Reconciler) netBounded(loaded, evicted []model.Item) (netLoaded, netEvicted []model.Item) {
+	r.gen++
+	if r.gen == 0 {
+		// uint32 wraparound: old stamps could alias the new generation.
+		clear(r.stamp)
+		r.gen = 1
+	}
+	gen := r.gen
+	for _, e := range evicted {
+		if r.stamp[e] != gen {
+			r.stamp[e] = gen
+			r.count[e] = 0
+		}
+		r.count[e]++
+	}
+	netLoaded = loaded[:0]
+	for _, l := range loaded {
+		if r.stamp[l] == gen && r.count[l] > 0 {
+			r.count[l]--
+			continue
+		}
+		netLoaded = append(netLoaded, l)
+	}
+	netEvicted = evicted[:0]
+	for _, e := range evicted {
+		if r.count[e] > 0 {
+			r.count[e]--
 			netEvicted = append(netEvicted, e)
 		}
 	}
@@ -206,10 +367,52 @@ func RunCold(c Cache, tr trace.Trace) Stats {
 	return Run(c, tr)
 }
 
+// RunBounded is Run with a bounded-universe Recorder: item IDs in tr —
+// and every item c may load, including block siblings of requested items
+// (expand with model.ItemUniverse) — must lie in [0, universe).
+// Statistics are identical to Run's; only the tracking machinery differs.
+func RunBounded(c Cache, tr trace.Trace, universe int) Stats {
+	rec := NewRecorderBounded(c.Name(), universe)
+	for _, it := range tr {
+		rec.Observe(it, c.Access(it))
+	}
+	return rec.Stats()
+}
+
+// RunColdBounded resets c and then replays tr with a bounded Recorder.
+func RunColdBounded(c Cache, tr trace.Trace, universe int) Stats {
+	c.Reset()
+	return RunBounded(c, tr, universe)
+}
+
 // ParallelFor runs fn(i) for i in [0, n) on up to workers goroutines
 // (GOMAXPROCS if workers <= 0). It is the sweep engine used by the
-// experiment harness; fn must be safe to call concurrently for distinct i.
+// experiment harness; fn must be safe to call concurrently for distinct
+// i. Indices are handed out in chunks through a shared atomic counter, so
+// there is no per-index channel operation and idle workers steal the
+// remaining range. If fn panics, the panic is re-raised on the caller's
+// goroutine after all workers have stopped.
 func ParallelFor(n, workers int, fn func(i int)) {
+	Sweep(n, workers, func() struct{} { return struct{}{} },
+		func(i int, _ struct{}) { fn(i) })
+}
+
+// Sweep runs fn(i, w) for i in [0, n) on up to workers goroutines
+// (GOMAXPROCS if workers <= 0), where each worker goroutine owns one
+// state value built by newWorker. It is the pooled-state generalization
+// of ParallelFor: a worker's state (typically a policy cache reset
+// between grid points, or reusable scratch) is reused across every index
+// that worker processes, so a sweep over a large grid constructs only
+// O(workers) states instead of O(n).
+//
+// Work is distributed in chunks via an atomic counter (work-stealing by
+// range). A panic in fn or newWorker stops the sweep — remaining chunks
+// are abandoned — and is re-raised on the caller's goroutine once every
+// worker has stopped.
+func Sweep[W any](n, workers int, newWorker func() W, fn func(i int, w W)) {
+	if n <= 0 {
+		return
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -217,37 +420,99 @@ func ParallelFor(n, workers int, fn func(i int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		w := newWorker()
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(i, w)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	// Chunks balance stealing granularity against counter contention:
+	// several chunks per worker so uneven grid points still spread, but
+	// far fewer atomic operations than one per index.
+	chunk := n / (workers * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  atomic.Bool
+		panicVal  any
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				fn(i)
+			defer func() {
+				if p := recover(); p != nil {
+					panicOnce.Do(func() { panicVal = p })
+					panicked.Store(true)
+				}
+			}()
+			st := newWorker()
+			for {
+				start := next.Add(int64(chunk)) - int64(chunk)
+				if start >= int64(n) || panicked.Load() {
+					return
+				}
+				end := start + int64(chunk)
+				if end > int64(n) {
+					end = int64(n)
+				}
+				for i := start; i < end; i++ {
+					fn(int(i), st)
+				}
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// SweepCaches runs fn(i, c) for every grid point i in [0, n) with
+// per-worker pooled caches: each worker builds one cache with build and
+// the engine calls c.Reset() before every point, so a sweep constructs
+// O(workers) caches instead of n. Policies whose behaviour depends on a
+// seed should be re-seeded inside fn (see Reseeder) to keep results
+// independent of which worker serves which point.
+func SweepCaches(n, workers int, build func() Cache, fn func(i int, c Cache)) {
+	Sweep(n, workers, build, func(i int, c Cache) {
+		c.Reset()
+		fn(i, c)
+	})
+}
+
+// Reseeder is implemented by randomized policies whose coin flips can be
+// restarted. Reseed(seed) followed by Reset must leave the policy
+// indistinguishable from a freshly constructed instance with that seed —
+// the property that lets sweep engines reuse one cache across grid
+// points without changing any measured number.
+type Reseeder interface {
+	Reseed(seed int64)
 }
 
 // RunSeeds replays tr through independently seeded instances of a
 // randomized policy and returns the per-seed miss ratios — the input for
 // variance reporting on GCM/Marking-style policies whose behaviour
-// depends on coin flips.
+// depends on coin flips. Policies implementing Reseeder are built once
+// per worker and re-seeded per point; others are rebuilt per point.
 func RunSeeds(build func(seed int64) Cache, tr trace.Trace, seeds []int64) []float64 {
 	out := make([]float64, len(seeds))
-	ParallelFor(len(seeds), 0, func(i int) {
-		out[i] = RunCold(build(seeds[i]), tr).MissRatio()
+	type worker struct{ cache Cache }
+	Sweep(len(seeds), 0, func() *worker { return &worker{} }, func(i int, w *worker) {
+		c := w.cache
+		if c == nil {
+			c = build(seeds[i])
+			if _, ok := c.(Reseeder); ok {
+				w.cache = c // reusable: future points re-seed instead of rebuild
+			}
+		} else {
+			c.(Reseeder).Reseed(seeds[i])
+		}
+		out[i] = RunCold(c, tr).MissRatio()
 	})
 	return out
 }

@@ -8,6 +8,7 @@ package conformance
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"gccache/internal/cachesim"
@@ -55,6 +56,19 @@ func builders(k int, geo model.Geometry, seed int64) map[string]func() cachesim.
 	}
 }
 
+// boundedBuilders enumerates the dense-path (bounded) constructors,
+// which must conform exactly like their generic counterparts. universe
+// must be at least the trace's item bound (constructors expand it to
+// whole blocks themselves).
+func boundedBuilders(k int, geo model.Geometry, seed int64, universe int) map[string]func() cachesim.Cache {
+	return map[string]func() cachesim.Cache{
+		"item-lru-dense":  func() cachesim.Cache { return policy.NewItemLRUBounded(k, universe) },
+		"block-lru-dense": func() cachesim.Cache { return policy.NewBlockLRUBounded(k, geo, universe) },
+		"gcm-dense":       func() cachesim.Cache { return core.NewGCMBounded(k, geo, seed, universe) },
+		"iblp-even-dense": func() cachesim.Cache { return core.NewIBLPEvenSplitBounded(k, geo, universe) },
+	}
+}
+
 // conformanceWorkloads returns stress traces spanning the locality
 // spectrum plus tight-capacity randomness.
 func conformanceWorkloads(t *testing.T, B int, seed int64) map[string]trace.Trace {
@@ -90,7 +104,11 @@ func TestAllPoliciesConformToModel(t *testing.T) {
 	} {
 		geo := model.NewFixed(cfg.B)
 		for wname, tr := range conformanceWorkloads(t, cfg.B, 7) {
-			for pname, mk := range builders(cfg.k, geo, 7) {
+			mks := builders(cfg.k, geo, 7)
+			for n, mk := range boundedBuilders(cfg.k, geo, 7, tr.Universe()) {
+				mks[n] = mk
+			}
+			for pname, mk := range mks {
 				t.Run(fmt.Sprintf("k%d-B%d/%s/%s", cfg.k, cfg.B, wname, pname), func(t *testing.T) {
 					v := cachesim.NewValidator(mk(), geo)
 					cachesim.Run(v, tr)
@@ -105,13 +123,80 @@ func TestAllPoliciesConformToModel(t *testing.T) {
 
 func TestConformanceSurvivesReset(t *testing.T) {
 	geo := model.NewFixed(4)
-	for pname, mk := range builders(16, geo, 3) {
+	mks := builders(16, geo, 3)
+	for n, mk := range boundedBuilders(16, geo, 3, 500) {
+		mks[n] = mk
+	}
+	for pname, mk := range mks {
 		v := cachesim.NewValidator(mk(), geo)
 		cachesim.Run(v, workload.Sequential(0, 500))
 		v.Reset()
 		cachesim.Run(v, workload.CyclicScan(32, 500))
 		if err := v.Err(); err != nil {
 			t.Errorf("%s: %v", pname, err)
+		}
+	}
+}
+
+// TestConformancePooledSweep drives the chunked Sweep engine over the
+// full policy × workload grid, pooling one cache per policy per worker
+// and reusing it (Reset, plus Reseed for randomized policies) across the
+// worker's cells — certifying that the pooled-reuse fast path the
+// experiment runners rely on still conforms to Definition 1.
+func TestConformancePooledSweep(t *testing.T) {
+	const k, B = 32, 8
+	const seed = 11
+	geo := model.NewFixed(B)
+	wls := conformanceWorkloads(t, B, seed)
+	universe := 0
+	wnames := make([]string, 0, len(wls))
+	for n, tr := range wls {
+		wnames = append(wnames, n)
+		if u := tr.Universe(); u > universe {
+			universe = u
+		}
+	}
+	sort.Strings(wnames)
+	mks := builders(k, geo, seed)
+	for n, mk := range boundedBuilders(k, geo, seed, universe) {
+		mks[n] = mk
+	}
+	pnames := make([]string, 0, len(mks))
+	for n := range mks {
+		pnames = append(pnames, n)
+	}
+	sort.Strings(pnames)
+
+	type cell struct{ pi, wi int }
+	cells := make([]cell, 0, len(pnames)*len(wnames))
+	for pi := range pnames {
+		for wi := range wnames {
+			cells = append(cells, cell{pi, wi})
+		}
+	}
+	errs := make([]error, len(cells))
+	cachesim.Sweep(len(cells), 0, func() []cachesim.Cache {
+		return make([]cachesim.Cache, len(pnames))
+	}, func(ci int, pool []cachesim.Cache) {
+		c := cells[ci]
+		cache := pool[c.pi]
+		if cache == nil {
+			cache = mks[pnames[c.pi]]()
+			pool[c.pi] = cache
+		} else {
+			cache.Reset()
+			if rs, ok := cache.(cachesim.Reseeder); ok {
+				rs.Reseed(seed)
+			}
+		}
+		v := cachesim.NewValidator(cache, geo)
+		cachesim.Run(v, wls[wnames[c.wi]])
+		errs[ci] = v.Err() // distinct slot per cell: no lock needed
+	})
+	for ci, err := range errs {
+		if err != nil {
+			c := cells[ci]
+			t.Errorf("%s on %s (pooled): %v", pnames[c.pi], wnames[c.wi], err)
 		}
 	}
 }
@@ -133,7 +218,11 @@ func TestRandomConfigFuzz(t *testing.T) {
 		for i := range tr {
 			tr[i] = model.Item(rng.Intn(universe))
 		}
-		for pname, mk := range builders(k, geo, int64(round)) {
+		mks := builders(k, geo, int64(round))
+		for n, mk := range boundedBuilders(k, geo, int64(round), universe) {
+			mks[n] = mk
+		}
+		for pname, mk := range mks {
 			v := cachesim.NewValidator(mk(), geo)
 			cachesim.Run(v, tr)
 			if err := v.Err(); err != nil {

@@ -33,8 +33,10 @@ type AdaptiveIBLP struct {
 	ghostItems  *lrulist.List[model.Item]  // recently evicted from the item layer
 	ghostBlocks *lrulist.List[model.Block] // recently evicted from the block layer
 
+	rec     cachesim.Reconciler
 	loaded  []model.Item
 	evicted []model.Item
+	wantBuf []model.Item // scratch: block enumeration
 }
 
 var _ cachesim.Cache = (*AdaptiveIBLP)(nil)
@@ -107,7 +109,7 @@ func (c *AdaptiveIBLP) Access(it model.Item) cachesim.Access {
 	c.admitItemLayer(it)
 	c.admitBlockLayer(blk, it)
 	c.rebalance()
-	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
 
@@ -128,7 +130,8 @@ func (c *AdaptiveIBLP) admitBlockLayer(blk model.Block, requested model.Item) {
 	if old, ok := c.resident[blk]; ok {
 		c.dropBlock(blk, old, false)
 	}
-	want := c.geo.ItemsOf(blk)
+	c.wantBuf = model.AppendItemsOf(c.geo, c.wantBuf[:0], blk)
+	want := c.wantBuf
 	if len(want) > targetBlock {
 		want = truncateAround(want, requested, targetBlock)
 	}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/model"
+)
+
+// genTrace builds a trace with mixed spatial/temporal locality over item
+// IDs [0, universe): runs within a block, revisits, and random jumps.
+func genTrace(rng *rand.Rand, universe, length, blockSize int) []model.Item {
+	tr := make([]model.Item, 0, length)
+	cur := model.Item(rng.Intn(universe))
+	for len(tr) < length {
+		switch rng.Intn(4) {
+		case 0:
+			cur = model.Item(rng.Intn(universe))
+			tr = append(tr, cur)
+		case 1:
+			if len(tr) > 0 {
+				back := len(tr)
+				if back > 32 {
+					back = 32
+				}
+				cur = tr[len(tr)-1-rng.Intn(back)]
+			}
+			tr = append(tr, cur)
+		default:
+			base := uint64(cur) / uint64(blockSize) * uint64(blockSize)
+			for n := rng.Intn(blockSize) + 1; n > 0 && len(tr) < length; n-- {
+				cur = model.Item(base + uint64(rng.Intn(blockSize)))
+				if int(cur) >= universe {
+					cur = model.Item(universe - 1)
+				}
+				tr = append(tr, cur)
+			}
+		}
+	}
+	return tr
+}
+
+func sortedCopy(items []model.Item) []model.Item {
+	out := append([]model.Item(nil), items...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func equalItems(a, b []model.Item) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// diffCaches feeds tr to both caches and requires identical per-access
+// outcomes: Hit flags and loaded/evicted *sets* (order may legitimately
+// differ between representations; no consumer is order-sensitive).
+func diffCaches(t *testing.T, generic, dense cachesim.Cache, tr []model.Item) {
+	t.Helper()
+	for i, it := range tr {
+		ag := generic.Access(it)
+		ad := dense.Access(it)
+		if ag.Hit != ad.Hit {
+			t.Fatalf("access %d (item %d): generic hit=%v dense hit=%v", i, it, ag.Hit, ad.Hit)
+		}
+		if !equalItems(sortedCopy(ag.Loaded), sortedCopy(ad.Loaded)) {
+			t.Fatalf("access %d (item %d): loaded sets diverge\n generic %v\n dense   %v",
+				i, it, sortedCopy(ag.Loaded), sortedCopy(ad.Loaded))
+		}
+		if !equalItems(sortedCopy(ag.Evicted), sortedCopy(ad.Evicted)) {
+			t.Fatalf("access %d (item %d): evicted sets diverge\n generic %v\n dense   %v",
+				i, it, sortedCopy(ag.Evicted), sortedCopy(ad.Evicted))
+		}
+		if generic.Len() != dense.Len() {
+			t.Fatalf("access %d: Len diverged generic=%d dense=%d", i, generic.Len(), dense.Len())
+		}
+	}
+	for probe := 0; probe < 256; probe++ {
+		it := tr[probe*len(tr)/256]
+		if generic.Contains(it) != dense.Contains(it) {
+			t.Fatalf("Contains(%d) diverged", it)
+		}
+	}
+}
+
+func TestIBLPDenseMatchesGeneric(t *testing.T) {
+	const universe = 4096
+	for _, blockSize := range []int{1, 8, 64} {
+		g := model.NewFixed(blockSize)
+		rng := rand.New(rand.NewSource(int64(blockSize)))
+		tr := genTrace(rng, universe, 50000, blockSize)
+		diffCaches(t, NewIBLPEvenSplit(256, g), NewIBLPEvenSplitBounded(256, g, universe), tr)
+	}
+}
+
+// TestIBLPDenseExtremeSplits covers i=0 (pure block layer) and b=0 (pure
+// item layer) plus a block layer smaller than one block (truncation).
+func TestIBLPDenseExtremeSplits(t *testing.T) {
+	const universe = 1024
+	g := model.NewFixed(16)
+	rng := rand.New(rand.NewSource(5))
+	tr := genTrace(rng, universe, 30000, 16)
+	for _, split := range [][2]int{{0, 128}, {128, 0}, {120, 8}} {
+		i, b := split[0], split[1]
+		diffCaches(t, NewIBLP(i, b, g), NewIBLPBounded(i, b, g, universe), tr)
+	}
+}
+
+func TestIBLPDenseReset(t *testing.T) {
+	const universe = 2048
+	g := model.NewFixed(8)
+	rng := rand.New(rand.NewSource(6))
+	tr := genTrace(rng, universe, 30000, 8)
+	pooled := NewIBLPEvenSplitBounded(128, g, universe)
+	for _, it := range tr[:7000] {
+		pooled.Access(it)
+	}
+	pooled.Reset()
+	diffCaches(t, NewIBLPEvenSplit(128, g), pooled, tr)
+}
+
+// TestGCMDenseMatchesGeneric requires bit-for-bit equality: both
+// representations must consume the shared seed's random stream
+// identically, so every random eviction picks the same victim.
+func TestGCMDenseMatchesGeneric(t *testing.T) {
+	const universe = 2048
+	for _, blockSize := range []int{1, 8, 32} {
+		g := model.NewFixed(blockSize)
+		rng := rand.New(rand.NewSource(int64(100 + blockSize)))
+		tr := genTrace(rng, universe, 40000, blockSize)
+		generic := NewGCM(192, g, 77)
+		dense := NewGCMBounded(192, g, 77, universe)
+		if dense.pos == nil {
+			t.Fatalf("B=%d: bounded constructor fell back unexpectedly", blockSize)
+		}
+		diffCaches(t, generic, dense, tr)
+		if generic.MarkedCount() != dense.MarkedCount() {
+			t.Fatalf("B=%d: marked counts diverged %d vs %d",
+				blockSize, generic.MarkedCount(), dense.MarkedCount())
+		}
+	}
+}
+
+// TestGCMReseedEqualsFresh proves the Reseeder contract: Reseed+Reset on
+// a used instance must reproduce a freshly constructed cache exactly.
+func TestGCMReseedEqualsFresh(t *testing.T) {
+	const universe = 1024
+	g := model.NewFixed(8)
+	rng := rand.New(rand.NewSource(8))
+	tr := genTrace(rng, universe, 20000, 8)
+
+	pooled := NewGCMBounded(128, g, 1, universe)
+	for _, it := range tr[:5000] {
+		pooled.Access(it)
+	}
+	pooled.Reseed(99)
+	pooled.Reset()
+	fresh := NewGCMBounded(128, g, 99, universe)
+	diffCaches(t, fresh, pooled, tr)
+}
+
+func TestGCMMarkAllDenseMatchesGeneric(t *testing.T) {
+	const universe = 1024
+	g := model.NewFixed(8)
+	rng := rand.New(rand.NewSource(12))
+	tr := genTrace(rng, universe, 30000, 8)
+	generic := NewGCMMarkAll(128, g, 5)
+	dense := &GCMMarkAll{inner: NewGCMBounded(128, g, 5, universe)}
+	diffCaches(t, generic, dense, tr)
+}
+
+func TestIBLPDenseZeroAllocSteadyState(t *testing.T) {
+	const universe = 1 << 12
+	g := model.NewFixed(16)
+	c := NewIBLPEvenSplitBounded(512, g, universe)
+	for i := 0; i < universe*2; i++ {
+		c.Access(model.Item(i % universe))
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(2000, func() {
+		c.Access(model.Item(i % universe))
+		i += 37
+	}); avg != 0 {
+		t.Errorf("IBLP dense path allocates %.2f allocs/access, want 0", avg)
+	}
+}

@@ -19,20 +19,38 @@ import (
 // In the common case where 0 < unmarked < B, loading a block therefore
 // replaces exactly the unmarked items with (randomly selected) items of
 // the accessed block, as the paper describes.
+//
+// Two interchangeable representations back the policy: the generic path
+// (position and mark maps, any item IDs) and the bounded dense path
+// (NewGCMBounded — flat position/mark arrays over a declared universe;
+// steady-state accesses neither hash nor allocate). Both paths make
+// identical random decisions and consume the seeded rng identically, so
+// simulation results are bit-for-bit equal.
 type GCM struct {
 	capacity int
 	geo      model.Geometry
 	rng      *rand.Rand
 
-	items  []model.Item       // indexable resident set
+	items []model.Item // indexable resident set
+
+	// Generic path (nil on the dense path):
 	index  map[model.Item]int // item -> position in items
 	marked map[model.Item]struct{}
 
+	// Dense path (nil on the generic path): pos[it] is position+1 in
+	// items (0 = absent); markedCount tracks set bits of markedBits.
+	pos         []int32
+	markedBits  []bool
+	markedCount int
+
+	rec     cachesim.Reconciler
 	loaded  []model.Item
 	evicted []model.Item
+	sibs    []model.Item // scratch: shuffled sibling order
 }
 
 var _ cachesim.Cache = (*GCM)(nil)
+var _ cachesim.Reseeder = (*GCM)(nil)
 
 // NewGCM returns a GCM cache of capacity k under g with the given seed.
 // It panics if k < 1 or g is nil.
@@ -52,13 +70,34 @@ func NewGCM(k int, g model.Geometry, seed int64) *GCM {
 	}
 }
 
+// NewGCMBounded returns a GCM cache on the dense path for item IDs
+// [0, universe): flat position and mark arrays and an array-backed
+// net-change reconciler — no map operations and no steady-state
+// allocation. The bound is expanded to cover whole blocks (see
+// model.ItemUniverse, since sibling loads index the arrays too);
+// accessing an item beyond the expanded bound panics. It falls back to
+// the generic representation when universe is out of the bounded range.
+func NewGCMBounded(k int, g model.Geometry, seed int64, universe int) *GCM {
+	c := NewGCM(k, g, seed)
+	universe = model.ItemUniverse(g, universe)
+	if universe <= 0 || universe > cachesim.MaxBoundedUniverse {
+		return c
+	}
+	c.index = nil
+	c.marked = nil
+	c.pos = make([]int32, universe)
+	c.markedBits = make([]bool, universe)
+	c.rec = *cachesim.NewReconciler(universe)
+	return c
+}
+
 // Name implements cachesim.Cache.
 func (c *GCM) Name() string { return "gcm" }
 
 // Access implements cachesim.Cache.
 func (c *GCM) Access(it model.Item) cachesim.Access {
-	if _, ok := c.index[it]; ok {
-		c.marked[it] = struct{}{}
+	if c.contains(it) {
+		c.mark(it)
 		return cachesim.Access{Hit: true}
 	}
 	c.loaded = c.loaded[:0]
@@ -69,20 +108,19 @@ func (c *GCM) Access(it model.Item) cachesim.Access {
 		c.evictOne()
 	}
 	c.insert(it)
-	c.marked[it] = struct{}{}
+	c.mark(it)
 	c.loaded = append(c.loaded, it)
 
 	// Load the rest of the block, unmarked, into whatever free space and
 	// unmarked slots exist. Siblings are taken in random order so that
 	// when slots run short the retained subset is a random selection, as
 	// §6.1 specifies.
-	siblings := c.shuffledSiblings(it)
-	for _, sib := range siblings {
-		if _, resident := c.index[sib]; resident {
+	for _, sib := range c.shuffledSiblings(it) {
+		if c.contains(sib) {
 			continue
 		}
 		if len(c.items) >= c.capacity {
-			if len(c.marked) >= len(c.items) {
+			if c.markedLen() >= len(c.items) {
 				break // no unmarked victims: stop loading, do NOT reset phase
 			}
 			c.evictOne()
@@ -92,33 +130,33 @@ func (c *GCM) Access(it model.Item) cachesim.Access {
 	}
 	// A random eviction may hit a sibling loaded earlier in this same
 	// access; report net changes only.
-	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
 
 // shuffledSiblings returns the non-requested items of it's block in a
-// random order.
+// random order, in a scratch slice valid until the next call.
 func (c *GCM) shuffledSiblings(it model.Item) []model.Item {
-	all := c.geo.ItemsOf(c.geo.BlockOf(it))
-	out := make([]model.Item, 0, len(all))
-	for _, x := range all {
-		if x != it {
-			out = append(out, x)
+	c.sibs = model.AppendItemsOf(c.geo, c.sibs[:0], c.geo.BlockOf(it))
+	for i, x := range c.sibs {
+		if x == it {
+			c.sibs = append(c.sibs[:i], c.sibs[i+1:]...)
+			break
 		}
 	}
-	c.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
-	return out
+	c.rng.Shuffle(len(c.sibs), func(i, j int) { c.sibs[i], c.sibs[j] = c.sibs[j], c.sibs[i] })
+	return c.sibs
 }
 
 // evictOne removes one random unmarked item, starting a new phase first
 // if everything is marked.
 func (c *GCM) evictOne() {
-	if len(c.marked) >= len(c.items) {
-		clear(c.marked) // phase boundary
+	if c.markedLen() >= len(c.items) {
+		c.clearMarks() // phase boundary
 	}
 	for {
 		victim := c.items[c.rng.Intn(len(c.items))]
-		if _, m := c.marked[victim]; m {
+		if c.isMarked(victim) {
 			continue
 		}
 		c.remove(victim)
@@ -128,25 +166,85 @@ func (c *GCM) evictOne() {
 }
 
 func (c *GCM) insert(it model.Item) {
-	c.index[it] = len(c.items)
+	if c.pos != nil {
+		c.pos[it] = int32(len(c.items)) + 1
+	} else {
+		c.index[it] = len(c.items)
+	}
 	c.items = append(c.items, it)
 }
 
 func (c *GCM) remove(it model.Item) {
-	pos := c.index[it]
 	last := len(c.items) - 1
-	c.items[pos] = c.items[last]
-	c.index[c.items[pos]] = pos
+	if c.pos != nil {
+		p := c.pos[it] - 1
+		c.items[p] = c.items[last]
+		c.pos[c.items[p]] = p + 1
+		c.items = c.items[:last]
+		c.pos[it] = 0
+		if c.markedBits[it] {
+			c.markedBits[it] = false
+			c.markedCount--
+		}
+		return
+	}
+	p := c.index[it]
+	c.items[p] = c.items[last]
+	c.index[c.items[p]] = p
 	c.items = c.items[:last]
 	delete(c.index, it)
 	delete(c.marked, it)
 }
 
-// Contains implements cachesim.Cache.
-func (c *GCM) Contains(it model.Item) bool {
+func (c *GCM) contains(it model.Item) bool {
+	if c.pos != nil {
+		return c.pos[it] != 0
+	}
 	_, ok := c.index[it]
 	return ok
 }
+
+// mark marks a resident item (idempotent).
+func (c *GCM) mark(it model.Item) {
+	if c.markedBits != nil {
+		if !c.markedBits[it] {
+			c.markedBits[it] = true
+			c.markedCount++
+		}
+		return
+	}
+	c.marked[it] = struct{}{}
+}
+
+func (c *GCM) isMarked(it model.Item) bool {
+	if c.markedBits != nil {
+		return c.markedBits[it]
+	}
+	_, m := c.marked[it]
+	return m
+}
+
+func (c *GCM) markedLen() int {
+	if c.markedBits != nil {
+		return c.markedCount
+	}
+	return len(c.marked)
+}
+
+// clearMarks unmarks every resident item (O(residents), not O(universe)).
+func (c *GCM) clearMarks() {
+	if c.markedBits != nil {
+		for _, x := range c.items {
+			c.markedBits[x] = false
+		}
+		c.markedCount = 0
+		return
+	}
+	clear(c.marked)
+}
+
+// Contains implements cachesim.Cache.
+func (c *GCM) Contains(it model.Item) bool { return c.contains(it) }
 
 // Len implements cachesim.Cache.
 func (c *GCM) Len() int { return len(c.items) }
@@ -156,10 +254,23 @@ func (c *GCM) Capacity() int { return c.capacity }
 
 // Reset implements cachesim.Cache.
 func (c *GCM) Reset() {
+	if c.pos != nil {
+		for _, x := range c.items {
+			c.pos[x] = 0
+			c.markedBits[x] = false
+		}
+		c.markedCount = 0
+	} else {
+		clear(c.index)
+		clear(c.marked)
+	}
 	c.items = c.items[:0]
-	clear(c.index)
-	clear(c.marked)
 }
 
+// Reseed implements cachesim.Reseeder: it restores the rng to the state
+// of a fresh NewGCM with the given seed, so Reseed+Reset on a pooled
+// instance reproduces a newly constructed cache exactly.
+func (c *GCM) Reseed(seed int64) { c.rng = rand.New(rand.NewSource(seed)) }
+
 // MarkedCount reports the number of currently marked items (for tests).
-func (c *GCM) MarkedCount() int { return len(c.marked) }
+func (c *GCM) MarkedCount() int { return c.markedLen() }

@@ -21,25 +21,42 @@ import (
 // full miss the requested item enters the item layer and its entire block
 // enters the block layer. The layers are neither inclusive nor exclusive:
 // each holds its own copy.
+//
+// Two interchangeable representations back the policy: the generic path
+// (maps keyed by item/block IDs, any IDs accepted) and the bounded dense
+// path (NewIBLPBounded — flat bitsets plus lrulist.Dense orders over a
+// declared universe; steady-state accesses neither hash nor allocate).
+// Eviction decisions are identical on both paths.
 type IBLP struct {
 	itemSize  int // i
 	blockSize int // b
 	geo       model.Geometry
 
-	items *lrulist.List[model.Item] // item layer, MRU..LRU
+	items lrulist.Order[model.Item] // item layer, MRU..LRU
 
-	blocks    *lrulist.List[model.Block]   // block layer order, MRU..LRU
-	resident  map[model.Block][]model.Item // items held per block-layer block
-	inBlock   map[model.Item]struct{}      // membership in block layer
-	blockUsed int                          // items currently in block layer
+	blocks    lrulist.Order[model.Block] // block layer order, MRU..LRU
+	blockUsed int                        // items currently in block layer
+
+	// Generic path (nil on the dense path):
+	resident map[model.Block][]model.Item // items held per block-layer block
+	inBlock  map[model.Item]struct{}      // membership in block layer
+
+	// Dense path (nil on the generic path): inBlockBits[it] is block-layer
+	// membership; a block's resident set is re-derived from the geometry
+	// filtered by inBlockBits (blocks are disjoint, so the set bits of a
+	// resident block belong to it alone).
+	inBlockBits []bool
 
 	// promoteOnItemHit is an ablation switch (see NewIBLPPromoteAll): when
 	// set, item-layer hits also refresh the block layer's LRU order,
 	// violating the §5.1 design rule. Off for the real policy.
 	promoteOnItemHit bool
 
+	rec     cachesim.Reconciler
 	loaded  []model.Item
 	evicted []model.Item
+	want    []model.Item // scratch: the item set being admitted
+	scratch []model.Item // scratch: victim-block enumeration (dense)
 }
 
 var _ cachesim.Cache = (*IBLP)(nil)
@@ -66,10 +83,41 @@ func NewIBLP(i, b int, g model.Geometry) *IBLP {
 	}
 }
 
+// NewIBLPBounded returns an IBLP cache on the dense path for item IDs
+// [0, universe): bitset block-layer membership, Dense recency orders for
+// both layers, and an array-backed net-change reconciler — no map
+// operations and no steady-state allocation. The bound is expanded to
+// cover whole blocks (see model.ItemUniverse); accessing an item beyond
+// the expanded bound panics. It falls back to the generic representation
+// when universe is out of the bounded range or no block-ID bound is
+// derivable from g.
+func NewIBLPBounded(i, b int, g model.Geometry, universe int) *IBLP {
+	c := NewIBLP(i, b, g)
+	universe = model.ItemUniverse(g, universe)
+	blockUniverse := model.BlockUniverse(g, universe)
+	if universe <= 0 || universe > cachesim.MaxBoundedUniverse ||
+		blockUniverse <= 0 || blockUniverse > cachesim.MaxBoundedUniverse {
+		return c
+	}
+	c.resident = nil
+	c.inBlock = nil
+	c.inBlockBits = make([]bool, universe)
+	c.items = lrulist.NewDense[model.Item](universe)
+	c.blocks = lrulist.NewDense[model.Block](blockUniverse)
+	c.rec = *cachesim.NewReconciler(universe)
+	return c
+}
+
 // NewIBLPEvenSplit returns an IBLP cache with i = ⌈k/2⌉, b = ⌊k/2⌋, the
 // split analyzed in §7.3.
 func NewIBLPEvenSplit(k int, g model.Geometry) *IBLP {
 	return NewIBLP((k+1)/2, k/2, g)
+}
+
+// NewIBLPEvenSplitBounded is NewIBLPEvenSplit on the dense path (see
+// NewIBLPBounded).
+func NewIBLPEvenSplitBounded(k int, g model.Geometry, universe int) *IBLP {
+	return NewIBLPBounded((k+1)/2, k/2, g, universe)
 }
 
 // NewIBLPPromoteAll returns the ablation variant in which item-layer hits
@@ -98,22 +146,20 @@ func (c *IBLP) Name() string {
 
 // Access implements cachesim.Cache.
 func (c *IBLP) Access(it model.Item) cachesim.Access {
-	c.loaded = c.loaded[:0]
-	c.evicted = c.evicted[:0]
-
-	if c.items.Contains(it) {
-		c.items.MoveToFront(it)
+	if c.items.MoveToFront(it) {
 		if c.promoteOnItemHit {
 			blk := c.geo.BlockOf(it)
-			if _, ok := c.resident[blk]; ok {
+			if c.blocks.Contains(blk) {
 				c.blocks.MoveToFront(blk)
 			}
 		}
 		return cachesim.Access{Hit: true}
 	}
 
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
 	blk := c.geo.BlockOf(it)
-	if _, ok := c.inBlock[it]; ok {
+	if c.inBlockLayer(it) {
 		// Block-layer hit: serve it, refresh the block's recency, and
 		// copy the item into the item layer (an internal move — free).
 		c.blocks.MoveToFront(blk)
@@ -129,7 +175,7 @@ func (c *IBLP) Access(it model.Item) cachesim.Access {
 	c.admitBlockLayer(blk, it)
 	// Replacing a stale truncated block copy can evict and reload the
 	// same items within one step; report net changes only.
-	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
 
@@ -159,11 +205,12 @@ func (c *IBLP) admitBlockLayer(blk model.Block, requested model.Item) {
 	if c.blockSize == 0 {
 		return
 	}
-	if old, ok := c.resident[blk]; ok {
+	if c.blocks.Contains(blk) {
 		// Only possible for a previously truncated copy; replace it.
-		c.dropBlock(blk, old)
+		c.dropBlockLayer(blk)
 	}
-	want := c.geo.ItemsOf(blk)
+	c.want = model.AppendItemsOf(c.geo, c.want[:0], blk)
+	want := c.want
 	if len(want) > c.blockSize {
 		want = truncateAround(want, requested, c.blockSize)
 	}
@@ -172,10 +219,22 @@ func (c *IBLP) admitBlockLayer(blk model.Block, requested model.Item) {
 		if !ok {
 			break
 		}
-		c.dropBlock(victim, c.resident[victim])
+		c.dropBlockLayer(victim)
 	}
 	if c.blockUsed+len(want) > c.blockSize {
 		return // layer cannot hold this block at all
+	}
+	if c.inBlockBits != nil {
+		c.blocks.PushFront(blk)
+		c.blockUsed += len(want)
+		for _, x := range want {
+			was := c.present(x)
+			c.inBlockBits[x] = true
+			if !was {
+				c.loaded = append(c.loaded, x)
+			}
+		}
+		return
 	}
 	hold := make([]model.Item, len(want))
 	copy(hold, want)
@@ -191,7 +250,25 @@ func (c *IBLP) admitBlockLayer(blk model.Block, requested model.Item) {
 	}
 }
 
-func (c *IBLP) dropBlock(blk model.Block, items []model.Item) {
+// dropBlockLayer evicts blk from the block layer. On the dense path the
+// block's resident set is re-derived from the bitset: blocks are
+// disjoint, so exactly the set items of blk belong to it.
+func (c *IBLP) dropBlockLayer(blk model.Block) {
+	if c.inBlockBits != nil {
+		c.scratch = model.AppendItemsOf(c.geo, c.scratch[:0], blk)
+		for _, x := range c.scratch {
+			if c.inBlockBits[x] {
+				c.inBlockBits[x] = false
+				c.blockUsed--
+				if !c.present(x) {
+					c.evicted = append(c.evicted, x)
+				}
+			}
+		}
+		c.blocks.Remove(blk)
+		return
+	}
+	items := c.resident[blk]
 	for _, x := range items {
 		delete(c.inBlock, x)
 		if !c.present(x) {
@@ -203,13 +280,18 @@ func (c *IBLP) dropBlock(blk model.Block, items []model.Item) {
 	c.blocks.Remove(blk)
 }
 
-// present reports overall membership (either layer).
-func (c *IBLP) present(it model.Item) bool {
-	if c.items.Contains(it) {
-		return true
+// inBlockLayer reports block-layer membership of it.
+func (c *IBLP) inBlockLayer(it model.Item) bool {
+	if c.inBlockBits != nil {
+		return c.inBlockBits[it]
 	}
 	_, ok := c.inBlock[it]
 	return ok
+}
+
+// present reports overall membership (either layer).
+func (c *IBLP) present(it model.Item) bool {
+	return c.items.Contains(it) || c.inBlockLayer(it)
 }
 
 // truncateAround returns up to n items of all, guaranteed to include must.
@@ -234,7 +316,7 @@ func (c *IBLP) Contains(it model.Item) bool { return c.present(it) }
 func (c *IBLP) Len() int {
 	n := c.blockUsed
 	c.items.Each(func(it model.Item) bool {
-		if _, dup := c.inBlock[it]; !dup {
+		if !c.inBlockLayer(it) {
 			n++
 		}
 		return true
@@ -251,8 +333,12 @@ func (c *IBLP) Capacity() int { return c.itemSize + c.blockSize }
 func (c *IBLP) Reset() {
 	c.items.Clear()
 	c.blocks.Clear()
-	clear(c.resident)
-	clear(c.inBlock)
+	if c.inBlockBits != nil {
+		clear(c.inBlockBits)
+	} else {
+		clear(c.resident)
+		clear(c.inBlock)
+	}
 	c.blockUsed = 0
 }
 

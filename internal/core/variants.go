@@ -75,8 +75,10 @@ type IBLPExclusive struct {
 	inBlock   map[model.Item]model.Block
 	blockUsed int
 
+	rec     cachesim.Reconciler
 	loaded  []model.Item
 	evicted []model.Item
+	sibBuf  []model.Item // scratch: block enumeration
 }
 
 var _ cachesim.Cache = (*IBLPExclusive)(nil)
@@ -128,7 +130,7 @@ func (c *IBLPExclusive) Access(it model.Item) cachesim.Access {
 	c.admitItem(it)
 	c.loaded = append(c.loaded, it)
 	c.admitSiblings(it)
-	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
 
@@ -150,8 +152,9 @@ func (c *IBLPExclusive) admitSiblings(it model.Item) {
 		// Refresh: drop the stale partial copy first.
 		c.dropBlock(blk, set)
 	}
+	c.sibBuf = model.AppendItemsOf(c.geo, c.sibBuf[:0], blk)
 	var want []model.Item
-	for _, sib := range c.geo.ItemsOf(blk) {
+	for _, sib := range c.sibBuf {
 		if sib == it || c.items.Contains(sib) {
 			continue
 		}
@@ -252,10 +255,13 @@ func (c *GCMMarkAll) Name() string { return "gcm-mark-all" }
 func (c *GCMMarkAll) Access(it model.Item) cachesim.Access {
 	a := c.inner.Access(it)
 	for _, l := range a.Loaded {
-		c.inner.marked[l] = struct{}{}
+		c.inner.mark(l)
 	}
 	return a
 }
+
+// Reseed implements cachesim.Reseeder.
+func (c *GCMMarkAll) Reseed(seed int64) { c.inner.Reseed(seed) }
 
 // Contains implements cachesim.Cache.
 func (c *GCMMarkAll) Contains(it model.Item) bool { return c.inner.Contains(it) }

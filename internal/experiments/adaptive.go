@@ -41,13 +41,20 @@ func AdaptiveStudy(k, B int, seed int64) *Report {
 		{"mixed (runs ≈ B/4, zipf)", runs(float64(B)/4, 512)},
 		{"scan", workload.CyclicScan(8*k, 150000)},
 	}
+	universe := 0
+	for _, wl := range wls {
+		if u := wl.tr.Universe(); u > universe {
+			universe = u
+		}
+	}
+	universe = model.ItemUniverse(geo, universe)
 	splits := []struct {
 		name  string
 		build func() cachesim.Cache
 	}{
-		{"item-only", func() cachesim.Cache { return core.NewIBLP(k, 0, geo) }},
-		{"even", func() cachesim.Cache { return core.NewIBLPEvenSplit(k, geo) }},
-		{"block-heavy", func() cachesim.Cache { return core.NewIBLP(k/8, k-k/8, geo) }},
+		{"item-only", func() cachesim.Cache { return core.NewIBLPBounded(k, 0, geo, universe) }},
+		{"even", func() cachesim.Cache { return core.NewIBLPEvenSplitBounded(k, geo, universe) }},
+		{"block-heavy", func() cachesim.Cache { return core.NewIBLPBounded(k/8, k-k/8, geo, universe) }},
 		{"adaptive", func() cachesim.Cache { return core.NewAdaptiveIBLP(k, geo) }},
 	}
 
@@ -64,9 +71,18 @@ func AdaptiveStudy(k, B int, seed int64) *Report {
 			jobs = append(jobs, cellKey{wi, si})
 		}
 	}
-	cachesim.ParallelFor(len(jobs), 0, func(j int) {
+	// Per-worker pooled caches, one per split, built lazily and reused
+	// (RunColdBounded resets before replay) across the worker's cells.
+	cachesim.Sweep(len(jobs), 0, func() []cachesim.Cache {
+		return make([]cachesim.Cache, len(splits))
+	}, func(j int, pool []cachesim.Cache) {
 		key := jobs[j]
-		st := cachesim.RunCold(splits[key.si].build(), wls[key.wi].tr)
+		cache := pool[key.si]
+		if cache == nil {
+			cache = splits[key.si].build()
+			pool[key.si] = cache
+		}
+		st := cachesim.RunColdBounded(cache, wls[key.wi].tr, universe)
 		mu.Lock()
 		results[key] = st.MissRatio()
 		mu.Unlock()

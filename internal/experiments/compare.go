@@ -73,17 +73,27 @@ func PolicyShootout(k, B int, seed int64) *Report {
 		r.Failf("workloads: %v", err)
 		return r
 	}
+	// One item-ID bound covering every workload lets each pooled cache be
+	// built once per worker on the dense (allocation-free) path and reused
+	// across all of its grid cells.
+	universe := 0
+	for _, wl := range wls {
+		if u := wl.tr.Universe(); u > universe {
+			universe = u
+		}
+	}
+	universe = model.ItemUniverse(geo, universe)
 	builders := []func() cachesim.Cache{
-		func() cachesim.Cache { return policy.NewItemLRU(k) },
+		func() cachesim.Cache { return policy.NewItemLRUBounded(k, universe) },
 		func() cachesim.Cache { return policy.NewClock(k) },
 		func() cachesim.Cache { return policy.NewFIFO(k) },
-		func() cachesim.Cache { return policy.NewBlockLRU(k, geo) },
+		func() cachesim.Cache { return policy.NewBlockLRUBounded(k, geo, universe) },
 		func() cachesim.Cache { return policy.NewBlockLoadItemEvict(k, geo) },
 		func() cachesim.Cache { return policy.NewAThreshold(k, 2, geo) },
 		func() cachesim.Cache { return policy.NewFootprint(k, geo) },
 		func() cachesim.Cache { return policy.NewMarking(k, seed) },
-		func() cachesim.Cache { return core.NewGCM(k, geo, seed) },
-		func() cachesim.Cache { return core.NewIBLPEvenSplit(k, geo) },
+		func() cachesim.Cache { return core.NewGCMBounded(k, geo, seed, universe) },
+		func() cachesim.Cache { return core.NewIBLPEvenSplitBounded(k, geo, universe) },
 		func() cachesim.Cache { return core.NewAdaptiveIBLP(k, geo) },
 	}
 	names := make([]string, len(builders))
@@ -105,13 +115,23 @@ func PolicyShootout(k, B int, seed int64) *Report {
 			cells = append(cells, cell{wi: wi, pi: pi})
 		}
 	}
+	// Per-worker pooled caches, lazily built per policy and reset (and
+	// reseeded, for randomized policies) before each reuse, so a worker
+	// replays all its cells without reconstructing a single policy.
 	var mu sync.Mutex
-	cachesim.ParallelFor(len(cells), 0, func(ci int) {
+	cachesim.Sweep(len(cells), 0, func() []cachesim.Cache {
+		return make([]cachesim.Cache, len(builders))
+	}, func(ci int, pool []cachesim.Cache) {
 		c := cells[ci]
-		st := cachesim.RunCold(builders[c.pi](), wls[c.wi].tr)
-		mu.Lock()
-		cells[ci].stats = st
-		mu.Unlock()
+		cache := pool[c.pi]
+		if cache == nil {
+			cache = builders[c.pi]()
+			pool[c.pi] = cache
+		} else if rs, ok := cache.(cachesim.Reseeder); ok {
+			rs.Reseed(seed)
+		}
+		st := cachesim.RunColdBounded(cache, wls[c.wi].tr, universe)
+		cells[ci].stats = st // distinct slot per cell: no lock needed
 	})
 	missRatio := make([][]float64, len(wls))
 	for i := range missRatio {
@@ -228,7 +248,8 @@ func Ablations(k, B int, seed int64) *Report {
 		Title:   "Ablation 1 — §5.1 layer ordering (hot items + cyclic cold blocks)",
 		Headers: []string{"variant", "miss-ratio", "spatial-hits", "temporal-hits"},
 	}
-	real := cachesim.RunCold(core.NewIBLP(i, b, geo), orderingTr)
+	orderingU := model.ItemUniverse(geo, orderingTr.Universe())
+	real := cachesim.RunColdBounded(core.NewIBLPBounded(i, b, geo, orderingU), orderingTr, orderingU)
 	abl := cachesim.RunCold(core.NewIBLPPromoteAll(i, b, geo), orderingTr)
 	ordering.AddRow("iblp (item hits do not touch block layer)", real.MissRatio(),
 		real.SpatialHits, real.TemporalHits)
@@ -278,10 +299,11 @@ func Ablations(k, B int, seed int64) *Report {
 	}
 	var results []splitRes
 	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
+	mixU := model.ItemUniverse(geo, mixTr.Universe())
 	resCh := make([]splitRes, len(fracs))
 	cachesim.ParallelFor(len(fracs), 0, func(fi int) {
 		ii := int(float64(k) * fracs[fi])
-		st := cachesim.RunCold(core.NewIBLP(ii, k-ii, geo), mixTr)
+		st := cachesim.RunColdBounded(core.NewIBLPBounded(ii, k-ii, geo, mixU), mixTr, mixU)
 		resCh[fi] = splitRes{i: ii, b: k - ii, mr: st.MissRatio()}
 	})
 	results = resCh
@@ -306,7 +328,8 @@ func Ablations(k, B int, seed int64) *Report {
 	// plus the mark-everything ablation on a no-spatial-locality stride
 	// (its marked dead siblings shrink the effective cache).
 	scan := workload.Sequential(0, 100000)
-	gcm := cachesim.RunCold(core.NewGCM(k, geo, seed), scan)
+	scanU := model.ItemUniverse(geo, scan.Universe())
+	gcm := cachesim.RunColdBounded(core.NewGCMBounded(k, geo, seed, scanU), scan, scanU)
 	mark := cachesim.RunCold(policy.NewMarking(k, seed), scan)
 	marking := &render.Table{
 		Title:   "Ablation 3 — GCM's unmarked sibling loads vs classic marking (fresh-block scan)",
@@ -322,7 +345,8 @@ func Ablations(k, B int, seed int64) *Report {
 	}
 
 	stride := workload.Stride(k*3/4, B, 100000)
-	gcmStride := cachesim.RunCold(core.NewGCM(k, geo, seed), stride)
+	strideU := model.ItemUniverse(geo, stride.Universe())
+	gcmStride := cachesim.RunColdBounded(core.NewGCMBounded(k, geo, seed, strideU), stride, strideU)
 	markAllStride := cachesim.RunCold(core.NewGCMMarkAll(k, geo, seed), stride)
 	markAll := &render.Table{
 		Title:   "Ablation 3b — marking loaded siblings (§6.1) on a stride with no spatial locality",

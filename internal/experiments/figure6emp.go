@@ -51,7 +51,8 @@ func Figure6Empirical(k, B, h, length int) *Report {
 				mu.Unlock()
 				return
 			}
-			st := cachesim.RunCold(core.NewIBLP(i, b, geo), tr)
+			u := model.ItemUniverse(geo, tr.Universe())
+			st := cachesim.RunColdBounded(core.NewIBLPBounded(i, b, geo, u), tr, u)
 			est := opt.EstimateOPT(tr, geo, h)
 			if est.Upper == 0 {
 				continue

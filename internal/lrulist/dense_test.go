@@ -1,0 +1,317 @@
+package lrulist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDenseEmpty(t *testing.T) {
+	d := NewDense[uint64](16)
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if _, ok := d.Back(); ok {
+		t.Error("Back on empty returned ok")
+	}
+	if _, ok := d.Front(); ok {
+		t.Error("Front on empty returned ok")
+	}
+	if _, ok := d.PopBack(); ok {
+		t.Error("PopBack on empty returned ok")
+	}
+	if d.Remove(3) {
+		t.Error("Remove on empty returned true")
+	}
+	if d.MoveToFront(3) {
+		t.Error("MoveToFront on empty returned true")
+	}
+	if d.Universe() != 16 {
+		t.Errorf("Universe = %d, want 16", d.Universe())
+	}
+}
+
+func TestDenseOrdering(t *testing.T) {
+	d := NewDense[uint64](8)
+	for _, k := range []uint64{1, 2, 3} {
+		if !d.PushFront(k) {
+			t.Fatalf("PushFront(%d) reported duplicate", k)
+		}
+	}
+	// Order: 3 2 1 (MRU..LRU)
+	if got := d.Keys(); len(got) != 3 || got[0] != 3 || got[1] != 2 || got[2] != 1 {
+		t.Fatalf("Keys = %v", got)
+	}
+	d.MoveToFront(1) // 1 3 2
+	if back, _ := d.Back(); back != 2 {
+		t.Errorf("Back = %d, want 2", back)
+	}
+	if front, _ := d.Front(); front != 1 {
+		t.Errorf("Front = %d, want 1", front)
+	}
+	if k, ok := d.PopBack(); !ok || k != 2 {
+		t.Errorf("PopBack = %d,%v", k, ok)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDensePushFrontDuplicatePromotes(t *testing.T) {
+	d := NewDense[uint64](4)
+	d.PushFront(0)
+	d.PushFront(1)
+	if d.PushFront(0) {
+		t.Error("duplicate PushFront reported new")
+	}
+	if front, _ := d.Front(); front != 0 {
+		t.Errorf("Front = %d, want 0", front)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDensePushBack(t *testing.T) {
+	d := NewDense[uint64](4)
+	d.PushFront(1)
+	d.PushBack(2) // 1 2
+	if back, _ := d.Back(); back != 2 {
+		t.Errorf("Back = %d, want 2", back)
+	}
+	d.PushBack(1) // 2 1: existing key demoted
+	if back, _ := d.Back(); back != 1 {
+		t.Errorf("Back after demote = %d, want 1", back)
+	}
+}
+
+func TestDenseClearAndReuse(t *testing.T) {
+	d := NewDense[uint64](16)
+	for i := uint64(0); i < 10; i++ {
+		d.PushFront(i)
+	}
+	d.Clear()
+	if d.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", d.Len())
+	}
+	if d.Contains(5) {
+		t.Error("Contains(5) after Clear")
+	}
+	d.PushFront(14)
+	if front, _ := d.Front(); front != 14 {
+		t.Errorf("Front = %d", front)
+	}
+	if got := d.Keys(); len(got) != 1 || got[0] != 14 {
+		t.Errorf("Keys after reuse = %v", got)
+	}
+}
+
+func TestDenseEachEarlyStop(t *testing.T) {
+	d := NewDense[uint64](8)
+	for i := uint64(0); i < 5; i++ {
+		d.PushFront(i)
+	}
+	n := 0
+	d.Each(func(uint64) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("visited %d, want 2", n)
+	}
+}
+
+func TestDenseOutOfUniversePanics(t *testing.T) {
+	d := NewDense[uint64](4)
+	defer func() {
+		if recover() == nil {
+			t.Error("PushFront(4) on universe 4 did not panic")
+		}
+	}()
+	d.PushFront(4)
+}
+
+func TestDenseBadUniversePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDense(-1) did not panic")
+		}
+	}()
+	NewDense[uint64](-1)
+}
+
+// TestDenseDifferential drives Dense and the naive model with the same
+// random operation stream and checks full-order agreement (the mirror of
+// TestDifferential for List).
+func TestDenseDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense[uint64](30)
+	ref := &referenceLRU{}
+	for step := 0; step < 20000; step++ {
+		k := rng.Intn(30)
+		switch rng.Intn(4) {
+		case 0:
+			d.PushFront(uint64(k))
+			ref.pushFront(k)
+		case 1:
+			d.Remove(uint64(k))
+			ref.remove(k)
+		case 2:
+			d.MoveToFront(uint64(k))
+			ref.moveToFront(k)
+		case 3:
+			a, aok := d.PopBack()
+			b, bok := ref.popBack()
+			if aok != bok || (aok && a != uint64(b)) {
+				t.Fatalf("step %d: PopBack %d,%v vs ref %d,%v", step, a, aok, b, bok)
+			}
+		}
+		if d.Len() != len(ref.keys) {
+			t.Fatalf("step %d: Len %d vs ref %d", step, d.Len(), len(ref.keys))
+		}
+	}
+	got := d.Keys()
+	if len(got) != len(ref.keys) {
+		t.Fatalf("final len %d vs %d", len(got), len(ref.keys))
+	}
+	for i := range got {
+		if got[i] != uint64(ref.keys[i]) {
+			t.Fatalf("final order differs at %d: %v vs %v", i, got, ref.keys)
+		}
+	}
+}
+
+// TestDenseVsListCrossCheck drives Dense and the generic List with an
+// identical stream of well over 10^5 random operations and asserts they
+// stay in lockstep: every PopBack evicts the same key, every probe
+// answers identically, and the full MRU→LRU order matches at checkpoints
+// and at the end. This is the proof that bounded-universe policies may
+// swap one for the other without changing any eviction decision.
+func TestDenseVsListCrossCheck(t *testing.T) {
+	const (
+		universe = 512
+		steps    = 200000
+	)
+	rng := rand.New(rand.NewSource(42))
+	d := NewDense[uint64](universe)
+	l := New[uint64](universe)
+	sameOrder := func(step int) {
+		dk, lk := d.Keys(), l.Keys()
+		if len(dk) != len(lk) {
+			t.Fatalf("step %d: Keys len %d vs %d", step, len(dk), len(lk))
+		}
+		for i := range dk {
+			if dk[i] != lk[i] {
+				t.Fatalf("step %d: order differs at %d: dense %v vs list %v", step, i, dk, lk)
+			}
+		}
+	}
+	for step := 0; step < steps; step++ {
+		k := uint64(rng.Intn(universe))
+		switch rng.Intn(8) {
+		case 0, 1:
+			if dn, ln := d.PushFront(k), l.PushFront(k); dn != ln {
+				t.Fatalf("step %d: PushFront(%d) new %v vs %v", step, k, dn, ln)
+			}
+		case 2:
+			if dn, ln := d.PushBack(k), l.PushBack(k); dn != ln {
+				t.Fatalf("step %d: PushBack(%d) new %v vs %v", step, k, dn, ln)
+			}
+		case 3:
+			if dok, lok := d.MoveToFront(k), l.MoveToFront(k); dok != lok {
+				t.Fatalf("step %d: MoveToFront(%d) %v vs %v", step, k, dok, lok)
+			}
+		case 4:
+			if dok, lok := d.Remove(k), l.Remove(k); dok != lok {
+				t.Fatalf("step %d: Remove(%d) %v vs %v", step, k, dok, lok)
+			}
+		case 5:
+			dv, dok := d.PopBack()
+			lv, lok := l.PopBack()
+			if dok != lok || dv != lv {
+				t.Fatalf("step %d: PopBack %d,%v vs %d,%v — eviction order diverged", step, dv, dok, lv, lok)
+			}
+		case 6:
+			if dc, lc := d.Contains(k), l.Contains(k); dc != lc {
+				t.Fatalf("step %d: Contains(%d) %v vs %v", step, k, dc, lc)
+			}
+			db, dok := d.Back()
+			lb, lok := l.Back()
+			if dok != lok || db != lb {
+				t.Fatalf("step %d: Back %d,%v vs %d,%v", step, db, dok, lb, lok)
+			}
+		case 7:
+			if rng.Intn(1000) == 0 {
+				d.Clear()
+				l.Clear()
+			} else {
+				df, dok := d.Front()
+				lf, lok := l.Front()
+				if dok != lok || df != lf {
+					t.Fatalf("step %d: Front %d,%v vs %d,%v", step, df, dok, lf, lok)
+				}
+			}
+		}
+		if d.Len() != l.Len() {
+			t.Fatalf("step %d: Len %d vs %d", step, d.Len(), l.Len())
+		}
+		if step%5000 == 0 {
+			sameOrder(step)
+		}
+	}
+	sameOrder(steps)
+}
+
+// Property: after pushing a sequence of distinct keys, Keys() is the
+// reverse of the push order (the Dense mirror of TestPushOrderProperty).
+func TestDensePushOrderProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		d := NewDense[uint64](256)
+		seen := make(map[uint8]bool)
+		var distinct []uint8
+		for _, k := range raw {
+			if !seen[k] {
+				seen[k] = true
+				distinct = append(distinct, k)
+				d.PushFront(uint64(k))
+			}
+		}
+		got := d.Keys()
+		if len(got) != len(distinct) {
+			return false
+		}
+		for i := range got {
+			if got[i] != uint64(distinct[len(distinct)-1-i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDensePushFrontHit(b *testing.B) {
+	d := NewDense[uint64](1024)
+	for i := uint64(0); i < 1024; i++ {
+		d.PushFront(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushFront(uint64(i) % 1024)
+	}
+}
+
+func BenchmarkDensePushPopSteadyState(b *testing.B) {
+	d := NewDense[uint64](1 << 20)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PushFront(uint64(i) % (1 << 20))
+		if d.Len() > 1024 {
+			d.PopBack()
+		}
+	}
+}

@@ -26,19 +26,44 @@ type Block uint64
 type Geometry interface {
 	// BlockOf returns the block containing it.
 	BlockOf(it Item) Block
-	// ItemsOf returns the items of block b in a stable order. Callers
-	// must not mutate the returned slice.
+	// ItemsOf returns the items of block b in a stable order. The
+	// returned slice is valid only until the next ItemsOf call on the
+	// same geometry and must not be mutated; implementations may reuse
+	// an internal scratch buffer, so ItemsOf is not safe for concurrent
+	// use. Callers that retain the items, nest ItemsOf calls, or share
+	// a geometry across goroutines must copy (see AppendItemsOf).
 	ItemsOf(b Block) []Item
 	// BlockSize returns B, the maximum number of items in any block.
 	BlockSize() int
+}
+
+// ItemsAppender is implemented by geometries that can write a block's
+// item set into a caller-owned buffer. Unlike ItemsOf, AppendItems
+// touches no shared scratch state, so it is safe for concurrent use and
+// for nested enumeration; it is the form every hot-path policy uses.
+type ItemsAppender interface {
+	// AppendItems appends the items of block b to dst and returns the
+	// extended slice, in the same stable order ItemsOf would produce.
+	AppendItems(dst []Item, b Block) []Item
+}
+
+// AppendItemsOf appends the items of block b under g to dst, using the
+// geometry's AppendItems fast path when available and falling back to
+// copying the ItemsOf result otherwise. The result aliases only dst, so
+// it is safe to retain.
+func AppendItemsOf(g Geometry, dst []Item, b Block) []Item {
+	if a, ok := g.(ItemsAppender); ok {
+		return a.AppendItems(dst, b)
+	}
+	return append(dst, g.ItemsOf(b)...)
 }
 
 // Fixed is the canonical geometry: item i belongs to block i/B, and block
 // b holds items [b*B, (b+1)*B). Every block is full. This is the geometry
 // of a memory address space split into aligned lines.
 type Fixed struct {
-	b     int
-	cache []Item // scratch reused by ItemsOf; one allocation per call avoided
+	b       int
+	scratch []Item // reused by ItemsOf; valid until its next call
 }
 
 // NewFixed returns the aligned geometry with block size b.
@@ -53,16 +78,23 @@ func NewFixed(b int) *Fixed {
 // BlockOf returns it / B.
 func (g *Fixed) BlockOf(it Item) Block { return Block(uint64(it) / uint64(g.b)) }
 
-// ItemsOf returns the B items [b*B, (b+1)*B). The returned slice is
-// freshly allocated on first use per call site pattern; it is safe to
-// retain but must not be mutated.
+// ItemsOf returns the B items [b*B, (b+1)*B) in an internal scratch
+// buffer that is overwritten by the next ItemsOf call on g. Callers must
+// not mutate or retain the slice (copy via AppendItems to retain), and
+// must not share g across goroutines that call ItemsOf concurrently.
 func (g *Fixed) ItemsOf(b Block) []Item {
-	items := make([]Item, g.b)
+	g.scratch = g.AppendItems(g.scratch[:0], b)
+	return g.scratch
+}
+
+// AppendItems appends the B items [b*B, (b+1)*B) to dst. It touches no
+// shared state and is safe for concurrent use.
+func (g *Fixed) AppendItems(dst []Item, b Block) []Item {
 	base := uint64(b) * uint64(g.b)
-	for i := range items {
-		items[i] = Item(base + uint64(i))
+	for i := 0; i < g.b; i++ {
+		dst = append(dst, Item(base+uint64(i)))
 	}
-	return items
+	return dst
 }
 
 // BlockSize returns B.
@@ -78,6 +110,7 @@ type Table struct {
 	blockOf map[Item]Block
 	itemsOf map[Block][]Item
 	maxSize int
+	pseudo  [1]Item // scratch for pseudo-block ItemsOf
 }
 
 // NewTable builds a geometry from explicit blocks. Block IDs are assigned
@@ -129,12 +162,25 @@ func (t *Table) BlockOf(it Item) Block {
 }
 
 // ItemsOf returns the items of b; for pseudo-blocks it returns the single
-// implied item.
+// implied item. Per the Geometry contract the slice is valid only until
+// the next ItemsOf call and must not be mutated. (Declared blocks are in
+// fact returned from stable storage, but callers should not rely on a
+// guarantee stronger than the interface's.)
 func (t *Table) ItemsOf(b Block) []Item {
 	if items, ok := t.itemsOf[b]; ok {
 		return items
 	}
-	return []Item{Item(uint64(b) - uint64(len(t.itemsOf)))}
+	t.pseudo[0] = Item(uint64(b) - uint64(len(t.itemsOf)))
+	return t.pseudo[:]
+}
+
+// AppendItems appends the items of b to dst. It touches no shared
+// mutable state and is safe for concurrent use.
+func (t *Table) AppendItems(dst []Item, b Block) []Item {
+	if items, ok := t.itemsOf[b]; ok {
+		return append(dst, items...)
+	}
+	return append(dst, Item(uint64(b)-uint64(len(t.itemsOf))))
 }
 
 // BlockSize returns the maximum declared block size (at least 1).
@@ -147,6 +193,61 @@ func (t *Table) BlockSize() int {
 
 // NumBlocks returns the number of declared blocks.
 func (t *Table) NumBlocks() int { return len(t.itemsOf) }
+
+var (
+	_ ItemsAppender = (*Fixed)(nil)
+	_ ItemsAppender = (*Table)(nil)
+)
+
+// BlockUniverse returns an exclusive upper bound on the block IDs that
+// BlockOf can produce for items in [0, universe), or 0 if no useful bound
+// is known for the geometry. It is how bounded (dense-path) policies size
+// their block-ID structures from an item-universe bound.
+func BlockUniverse(g Geometry, universe int) int {
+	if universe <= 0 {
+		return 0
+	}
+	switch t := g.(type) {
+	case *Fixed:
+		return (universe-1)/t.b + 1
+	case *Table:
+		// Pseudo-blocks are offset past the declared range by the item ID.
+		return t.NumBlocks() + universe
+	default:
+		return 0
+	}
+}
+
+// ItemUniverse expands an exclusive item-ID bound (e.g. Trace.Universe)
+// to one closed under block membership: every sibling of every item below
+// universe is also below the result. Block-loading policies and recorders
+// on the bounded path index arrays by *loaded* items, which include
+// siblings the trace itself never requests, so they must be sized with
+// this bound rather than the raw trace bound. Returns 0 (no bound — the
+// dense paths fall back to generic) for unknown geometries.
+func ItemUniverse(g Geometry, universe int) int {
+	if universe <= 0 {
+		return 0
+	}
+	switch t := g.(type) {
+	case *Fixed:
+		return (universe-1)/t.b*t.b + t.b // round up to a block boundary
+	case *Table:
+		// Declared blocks may contain items ≥ universe; items outside the
+		// table live in singleton pseudo-blocks and add nothing.
+		max := universe
+		for _, items := range t.itemsOf {
+			for _, it := range items {
+				if int(it) >= max {
+					max = int(it) + 1
+				}
+			}
+		}
+		return max
+	default:
+		return 0
+	}
+}
 
 // Config bundles the standing parameters of a GC caching instance.
 type Config struct {

@@ -45,9 +45,11 @@ func Exact(tr trace.Trace, geo model.Geometry, k int) (int64, error) {
 	}
 	// Per-item: bitmask of its block restricted to the universe.
 	blockMask := make([]uint32, n)
+	var sibBuf []model.Item // owned copy; solvers may share a geometry
 	for it, idx := range index {
 		var m uint32
-		for _, sib := range geo.ItemsOf(geo.BlockOf(it)) {
+		sibBuf = model.AppendItemsOf(geo, sibBuf[:0], geo.BlockOf(it))
+		for _, sib := range sibBuf {
 			if j, ok := index[sib]; ok {
 				m |= 1 << uint(j)
 			}

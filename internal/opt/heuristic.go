@@ -31,6 +31,10 @@ func BlockBelady(tr trace.Trace, geo model.Geometry, k int) int64 {
 	pq := &farthestHeap{}
 	size := 0
 	misses := int64(0)
+	// items and victimBuf are owned copies: the eviction loop enumerates
+	// victim blocks while the loaded block's item set is still needed, so
+	// neither may alias the geometry's ItemsOf scratch.
+	var items, victimBuf []model.Item
 	for i, it := range tr {
 		blk := geo.BlockOf(it)
 		if _, ok := held[it]; ok {
@@ -40,7 +44,7 @@ func BlockBelady(tr trace.Trace, geo model.Geometry, k int) int64 {
 		}
 		misses++
 		// Load the whole block (or as much as fits the budget k).
-		items := geo.ItemsOf(blk)
+		items = model.AppendItemsOf(geo, items[:0], blk)
 		want := len(items)
 		if want > k {
 			want = k
@@ -62,7 +66,8 @@ func BlockBelady(tr trace.Trace, geo model.Geometry, k int) int64 {
 			if top.next != latest[top.key] {
 				continue
 			}
-			for _, x := range geo.ItemsOf(vb) {
+			victimBuf = model.AppendItemsOf(geo, victimBuf[:0], vb)
+			for _, x := range victimBuf {
 				delete(held, x)
 			}
 			size -= resident[vb]
@@ -240,7 +245,8 @@ func (occ occurrenceIndex) nextAfter(it model.Item, pos int) (int, bool) {
 func (occ occurrenceIndex) siblingUses(geo model.Geometry, it model.Item, pos int) []siblingUse {
 	blk := geo.BlockOf(it)
 	var out []siblingUse
-	for _, sib := range geo.ItemsOf(blk) {
+	// Owned copy: heuristics may run concurrently over a shared geometry.
+	for _, sib := range model.AppendItemsOf(geo, nil, blk) {
 		if sib == it {
 			continue
 		}

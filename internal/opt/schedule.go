@@ -45,9 +45,11 @@ func ExactSchedule(tr trace.Trace, geo model.Geometry, k int) (int64, []Step, er
 		return 0, nil, fmt.Errorf("opt: %d distinct items exceeds exact-solver limit %d", n, MaxExactUniverse)
 	}
 	blockMask := make([]uint32, n)
+	var sibBuf []model.Item // owned copy; solvers may share a geometry
 	for it, idx := range index {
 		var m uint32
-		for _, sib := range geo.ItemsOf(geo.BlockOf(it)) {
+		sibBuf = model.AppendItemsOf(geo, sibBuf[:0], geo.BlockOf(it))
+		for _, sib := range sibBuf {
 			if j, ok := index[sib]; ok {
 				m |= 1 << uint(j)
 			}
@@ -65,8 +67,13 @@ func ExactSchedule(tr trace.Trace, geo model.Geometry, k int) (int64, []Step, er
 		x := index[it]
 		xbit := uint32(1) << uint(x)
 		next := make(map[uint32]entry)
+		// Ties (same mask, same cost, different parents) break toward the
+		// smallest parent mask so the reconstructed schedule does not
+		// depend on map iteration order: repro output must be stable
+		// across runs.
 		relax := func(mask uint32, cost int64, parent uint32) {
-			if old, ok := next[mask]; !ok || cost < old.cost {
+			if old, ok := next[mask]; !ok || cost < old.cost ||
+				(cost == old.cost && parent < old.parent) {
 				next[mask] = entry{cost: cost, parent: parent}
 			}
 		}
@@ -103,7 +110,7 @@ func ExactSchedule(tr trace.Trace, geo model.Geometry, k int) (int64, []Step, er
 	best := int64(math.MaxInt64)
 	var bestMask uint32
 	for m, e := range frontiers[len(tr)] {
-		if e.cost < best {
+		if e.cost < best || (e.cost == best && m < bestMask) {
 			best, bestMask = e.cost, m
 		}
 	}

@@ -29,8 +29,10 @@ type AThreshold struct {
 	// when a block's last resident item is evicted.
 	touched   map[model.Block]map[model.Item]struct{}
 	residents map[model.Block]int // resident item count per block
+	rec       cachesim.Reconciler
 	loaded    []model.Item
 	evicted   []model.Item
+	sibBuf    []model.Item // scratch: block enumeration
 }
 
 var _ cachesim.Cache = (*AThreshold)(nil)
@@ -98,7 +100,8 @@ func (c *AThreshold) Access(it model.Item) cachesim.Access {
 		// Full-block load: siblings enter at load recency (just below
 		// the requested item), displacing older items first.
 		delete(c.touched, blk)
-		for _, sib := range c.geo.ItemsOf(blk) {
+		c.sibBuf = model.AppendItemsOf(c.geo, c.sibBuf[:0], blk)
+		for _, sib := range c.sibBuf {
 			if sib != it {
 				c.insert(sib, blk)
 			}
@@ -108,7 +111,7 @@ func (c *AThreshold) Access(it model.Item) cachesim.Access {
 	c.evictOverflow(it)
 	// Under capacity pressure a full-block load can transiently insert
 	// siblings that are evicted in the same step; report net changes.
-	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
 

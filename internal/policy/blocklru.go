@@ -13,15 +13,34 @@ import (
 // block, and it evicts whole blocks in LRU order. It performs well on
 // spatial locality but suffers the pollution penalty of Theorem 3: when
 // only one item per block is live, the effective capacity shrinks by B×.
+//
+// Two interchangeable representations back the policy. The generic path
+// tracks per-block resident slices and an item-membership map and accepts
+// any item ID. The bounded (dense) path — NewBlockLRUBounded — replaces
+// both maps with flat bitsets over a declared item universe and keys the
+// LRU order with lrulist.Dense, so steady-state accesses neither hash nor
+// allocate. Eviction decisions are identical on both paths.
 type BlockLRU struct {
 	capacity int
 	geo      model.Geometry
-	order    *lrulist.List[model.Block]
+	order    lrulist.Order[model.Block]
+	size     int // total items held
+
+	// Generic path (nil on the dense path):
 	resident map[model.Block][]model.Item // items actually held per block
 	present  map[model.Item]struct{}
-	size     int // total items held
-	loaded   []model.Item
-	evicted  []model.Item
+
+	// Dense path (nil on the generic path): presentBits[it] is item
+	// membership; a block's resident set is re-derived from the geometry
+	// filtered by presentBits (blocks are disjoint, so the bits of a
+	// resident block belong to it alone).
+	presentBits []bool
+
+	rec     cachesim.Reconciler
+	loaded  []model.Item
+	evicted []model.Item
+	want    []model.Item // scratch: the item set being admitted
+	scratch []model.Item // scratch: victim-block enumeration
 }
 
 var _ cachesim.Cache = (*BlockLRU)(nil)
@@ -44,11 +63,37 @@ func NewBlockLRU(k int, g model.Geometry) *BlockLRU {
 	}
 }
 
+// NewBlockLRUBounded returns a Block Cache on the dense path for item IDs
+// [0, universe): flat bitset membership, a Dense block-LRU order, and an
+// array-backed net-change reconciler — no map operations and no steady-
+// state allocation. The bound is expanded to cover whole blocks (see
+// model.ItemUniverse); accessing an item beyond the expanded bound
+// panics. It falls back to the generic representation when universe is
+// out of the bounded range or no block-ID bound is derivable from g.
+func NewBlockLRUBounded(k int, g model.Geometry, universe int) *BlockLRU {
+	c := NewBlockLRU(k, g)
+	universe = model.ItemUniverse(g, universe)
+	blockUniverse := model.BlockUniverse(g, universe)
+	if universe <= 0 || universe > cachesim.MaxBoundedUniverse ||
+		blockUniverse <= 0 || blockUniverse > cachesim.MaxBoundedUniverse {
+		return c
+	}
+	c.resident = nil
+	c.present = nil
+	c.presentBits = make([]bool, universe)
+	c.order = lrulist.NewDense[model.Block](blockUniverse)
+	c.rec = *cachesim.NewReconciler(universe)
+	return c
+}
+
 // Name implements cachesim.Cache.
 func (c *BlockLRU) Name() string { return "block-lru" }
 
 // Access implements cachesim.Cache.
 func (c *BlockLRU) Access(it model.Item) cachesim.Access {
+	if c.presentBits != nil {
+		return c.accessDense(it)
+	}
 	if _, ok := c.present[it]; ok {
 		c.order.MoveToFront(c.geo.BlockOf(it))
 		return cachesim.Access{Hit: true}
@@ -63,12 +108,12 @@ func (c *BlockLRU) Access(it model.Item) cachesim.Access {
 		c.dropBlock(blk, old)
 	}
 
-	all := c.geo.ItemsOf(blk)
+	c.want = model.AppendItemsOf(c.geo, c.want[:0], blk)
 	// Degenerate case: a block larger than the whole cache. Load the
 	// requested item plus as many siblings as fit.
-	want := all
-	if len(all) > c.capacity {
-		want = truncateAround(all, it, c.capacity)
+	want := c.want
+	if len(want) > c.capacity {
+		want = truncateAround(want, it, c.capacity)
 	}
 
 	// Evict whole LRU blocks until the new block fits.
@@ -91,7 +136,46 @@ func (c *BlockLRU) Access(it model.Item) cachesim.Access {
 	}
 	// A truncated copy replaced in the same step would otherwise report
 	// its surviving items as both evicted and loaded.
-	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
+	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
+}
+
+// accessDense is Access on the bitset representation; decisions and
+// reported net changes are identical to the generic path.
+func (c *BlockLRU) accessDense(it model.Item) cachesim.Access {
+	if c.presentBits[it] {
+		c.order.MoveToFront(c.geo.BlockOf(it))
+		return cachesim.Access{Hit: true}
+	}
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
+	blk := c.geo.BlockOf(it)
+
+	if c.order.Contains(blk) {
+		c.dropBlockDense(blk)
+	}
+
+	c.want = model.AppendItemsOf(c.geo, c.want[:0], blk)
+	want := c.want
+	if len(want) > c.capacity {
+		want = truncateAround(want, it, c.capacity)
+	}
+
+	for c.size+len(want) > c.capacity {
+		victim, ok := c.order.Back()
+		if !ok {
+			break
+		}
+		c.dropBlockDense(victim)
+	}
+
+	c.order.PushFront(blk)
+	c.size += len(want)
+	for _, x := range want {
+		c.presentBits[x] = true
+		c.loaded = append(c.loaded, x)
+	}
+	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
 
@@ -102,6 +186,20 @@ func (c *BlockLRU) dropBlock(blk model.Block, items []model.Item) {
 	}
 	c.size -= len(items)
 	delete(c.resident, blk)
+	c.order.Remove(blk)
+}
+
+// dropBlockDense evicts blk, deriving its resident set from the bitset:
+// blocks are disjoint, so exactly the set items of blk belong to it.
+func (c *BlockLRU) dropBlockDense(blk model.Block) {
+	c.scratch = model.AppendItemsOf(c.geo, c.scratch[:0], blk)
+	for _, x := range c.scratch {
+		if c.presentBits[x] {
+			c.presentBits[x] = false
+			c.evicted = append(c.evicted, x)
+			c.size--
+		}
+	}
 	c.order.Remove(blk)
 }
 
@@ -122,6 +220,9 @@ func truncateAround(all []model.Item, must model.Item, n int) []model.Item {
 
 // Contains implements cachesim.Cache.
 func (c *BlockLRU) Contains(it model.Item) bool {
+	if c.presentBits != nil {
+		return c.presentBits[it]
+	}
 	_, ok := c.present[it]
 	return ok
 }
@@ -135,7 +236,11 @@ func (c *BlockLRU) Capacity() int { return c.capacity }
 // Reset implements cachesim.Cache.
 func (c *BlockLRU) Reset() {
 	c.order.Clear()
-	clear(c.resident)
-	clear(c.present)
+	if c.presentBits != nil {
+		clear(c.presentBits)
+	} else {
+		clear(c.resident)
+		clear(c.present)
+	}
 	c.size = 0
 }

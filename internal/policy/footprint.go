@@ -31,8 +31,10 @@ type Footprint struct {
 	// detectable.
 	residents map[model.Block]int
 
+	rec     cachesim.Reconciler
 	loaded  []model.Item
 	evicted []model.Item
+	items   []model.Item // scratch: block enumeration
 }
 
 var _ cachesim.Cache = (*Footprint)(nil)
@@ -63,9 +65,11 @@ func NewFootprint(k int, g model.Geometry) *Footprint {
 // Name implements cachesim.Cache.
 func (c *Footprint) Name() string { return "footprint" }
 
-// offsetOf returns it's offset bit within its block.
+// offsetOf returns it's offset bit within its block, refreshing the
+// block-enumeration scratch.
 func (c *Footprint) offsetOf(it model.Item, blk model.Block) uint64 {
-	for i, x := range c.geo.ItemsOf(blk) {
+	c.items = model.AppendItemsOf(c.geo, c.items[:0], blk)
+	for i, x := range c.items {
 		if x == it {
 			return 1 << uint(i)
 		}
@@ -87,7 +91,7 @@ func (c *Footprint) Access(it model.Item) cachesim.Access {
 	// requested item. Unknown blocks load conservatively: just the item
 	// (first-touch training, as the hardware designs do).
 	predicted := c.footprint[blk] | c.offsetOf(it, blk)
-	items := c.geo.ItemsOf(blk)
+	items := c.items // offsetOf just refreshed the scratch for blk
 	for i, x := range items {
 		if predicted&(1<<uint(i)) == 0 {
 			continue
@@ -106,7 +110,7 @@ func (c *Footprint) Access(it model.Item) cachesim.Access {
 	}
 	c.touched[blk] |= c.offsetOf(it, blk)
 	c.evictOverflow(it)
-	c.loaded, c.evicted = cachesim.NetChanges(c.loaded, c.evicted)
+	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
 

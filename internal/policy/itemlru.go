@@ -21,7 +21,7 @@ import (
 // poorly on spatial locality (Theorem 2).
 type ItemLRU struct {
 	capacity int
-	order    *lrulist.List[model.Item]
+	order    lrulist.Order[model.Item]
 	loaded   []model.Item
 	evicted  []model.Item
 }
@@ -37,13 +37,26 @@ func NewItemLRU(k int) *ItemLRU {
 	return &ItemLRU{capacity: k, order: lrulist.New[model.Item](k)}
 }
 
+// NewItemLRUBounded returns an Item Cache whose recency order is the
+// map-free lrulist.Dense over item IDs [0, universe) — the
+// allocation-free hot path. Accessing an item ≥ universe panics. It
+// falls back to the generic list when universe is out of the bounded
+// range (see cachesim.MaxBoundedUniverse); behaviour is identical
+// either way.
+func NewItemLRUBounded(k, universe int) *ItemLRU {
+	c := NewItemLRU(k)
+	if universe > 0 && universe <= cachesim.MaxBoundedUniverse {
+		c.order = lrulist.NewDense[model.Item](universe)
+	}
+	return c
+}
+
 // Name implements cachesim.Cache.
 func (c *ItemLRU) Name() string { return "item-lru" }
 
 // Access implements cachesim.Cache.
 func (c *ItemLRU) Access(it model.Item) cachesim.Access {
-	if c.order.Contains(it) {
-		c.order.MoveToFront(it)
+	if c.order.MoveToFront(it) {
 		return cachesim.Access{Hit: true}
 	}
 	c.loaded = c.loaded[:0]

@@ -120,3 +120,10 @@ func (c *Marking) Reset() {
 	clear(c.index)
 	clear(c.marked)
 }
+
+// Reseed implements cachesim.Reseeder: it restores the rng to the state
+// of a fresh NewMarking with the given seed, so Reseed+Reset on a pooled
+// instance reproduces a newly constructed cache exactly.
+func (c *Marking) Reseed(seed int64) { c.rng = rand.New(rand.NewSource(seed)) }
+
+var _ cachesim.Reseeder = (*Marking)(nil)

@@ -85,3 +85,10 @@ func (c *RandomEvict) Reset() {
 	c.items = c.items[:0]
 	clear(c.index)
 }
+
+// Reseed implements cachesim.Reseeder: it restores the rng to the state
+// of a fresh NewRandomEvict with the given seed, so Reseed+Reset on a
+// pooled instance reproduces a newly constructed cache exactly.
+func (c *RandomEvict) Reseed(seed int64) { c.rng = rand.New(rand.NewSource(seed)) }
+
+var _ cachesim.Reseeder = (*RandomEvict)(nil)

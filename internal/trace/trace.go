@@ -43,6 +43,25 @@ func (t Trace) DistinctBlocks(g model.Geometry) int {
 	return len(seen)
 }
 
+// Universe returns an exclusive upper bound on the item IDs referenced —
+// max(t)+1, or 0 for an empty trace. It is the natural universe argument
+// for the bounded (dense-path) constructors: every trace item is a valid
+// index in [0, Universe()).
+func (t Trace) Universe() int {
+	max := uint64(0)
+	seen := false
+	for _, it := range t {
+		if uint64(it) >= max {
+			max = uint64(it)
+			seen = true
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return int(max + 1)
+}
+
 // Clone returns a deep copy.
 func (t Trace) Clone() Trace {
 	out := make(Trace, len(t))
