@@ -2,16 +2,25 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json repro repro-quick fuzz clean
+.PHONY: all build vet lint test race cover bench bench-json repro repro-quick fuzz clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
-	@test -z "$$(gofmt -l .)" || (gofmt -l . && echo 'gofmt: files need formatting' && exit 1)
+	@test -z "$$(gofmt -s -l .)" || (gofmt -s -l . && echo 'gofmt: files need formatting (gofmt -s)' && exit 1)
+
+# Run the repo's custom analyzers (see internal/analysis/): determinism,
+# hotalloc, reseed, sweepsafe. Built fresh so lint always reflects the
+# working tree.
+GCLINT = bin/gclint
+lint:
+	@mkdir -p bin
+	$(GO) build -o $(GCLINT) ./cmd/gclint
+	$(GO) vet -vettool=$(GCLINT) ./...
 
 test:
 	$(GO) test ./...
@@ -49,5 +58,5 @@ fuzz:
 	$(GO) test ./internal/workload/ -fuzz FuzzFromSpec -fuzztime 30s
 
 clean:
-	rm -rf results
+	rm -rf results bin
 	$(GO) clean -testcache

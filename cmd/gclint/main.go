@@ -1,0 +1,32 @@
+// Command gclint is the repo's custom vet suite: four analyzers that
+// statically enforce the invariants the test suite otherwise only
+// checks at runtime — byte-identical repro output (determinism),
+// the zero-allocation dense replay path (hotalloc), pool-safe
+// randomized policies (reseed), and race-free sweep callbacks
+// (sweepsafe). See DESIGN.md, "Static invariants".
+//
+// Run it directly over package patterns:
+//
+//	go run ./cmd/gclint ./...
+//
+// or as a vet tool (what `make lint` does):
+//
+//	go vet -vettool=$(which gclint) ./...
+package main
+
+import (
+	"gccache/internal/analysis/determinism"
+	"gccache/internal/analysis/framework"
+	"gccache/internal/analysis/hotalloc"
+	"gccache/internal/analysis/reseed"
+	"gccache/internal/analysis/sweepsafe"
+)
+
+func main() {
+	framework.Main(
+		determinism.Analyzer,
+		hotalloc.Analyzer,
+		reseed.Analyzer,
+		sweepsafe.Analyzer,
+	)
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestGclintOverModule builds the gclint binary and runs it as a vet
+// tool over the entire module: the tree must lint clean (exit 0), and
+// the tool must not panic on any real package shape.
+func TestGclintOverModule(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping module-wide lint in -short mode")
+	}
+
+	moduleRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(moduleRoot, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", moduleRoot, err)
+	}
+
+	bin := filepath.Join(t.TempDir(), "gclint")
+	build := exec.Command("go", "build", "-o", bin, "gccache/cmd/gclint")
+	build.Dir = moduleRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building gclint: %v\n%s", err, out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = moduleRoot
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Fatalf("gclint found issues or crashed: %v\n%s", err, out)
+	}
+}

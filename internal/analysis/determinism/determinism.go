@@ -1,0 +1,294 @@
+// Package determinism implements the gclint analyzer that guards the
+// repo's byte-identical reproduction outputs against iteration-order and
+// ambient-state nondeterminism.
+//
+// In repro-bearing packages (internal/opt, internal/experiments,
+// internal/bounds, internal/render — or any package opting in with a
+// file-level //gclint:repro comment) it flags:
+//
+//   - `range` over a map whose body accumulates order-dependent state:
+//     appending to a slice declared outside the loop, writing output
+//     (fmt.Print*/Fprint* or Write* methods), or folding a float
+//     accumulator with an op-assign — the exact shape of the
+//     ExactSchedule map-iteration bug that once shipped;
+//   - calls to math/rand's global-source functions (rand.Intn etc.) —
+//     repro code must thread an explicitly seeded *rand.Rand;
+//   - time.Now — repro output must not embed wall-clock state;
+//   - maps.Keys / maps.Values escaping without an ordering wrapper
+//     (slices.Sorted / slices.SortedFunc / slices.SortedStableFunc).
+//
+// A `//gclint:orderok` comment on the offending line suppresses the
+// report for loops whose accumulation is genuinely order-independent.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gccache/internal/analysis/framework"
+	"gccache/internal/analysis/lintutil"
+)
+
+// Analyzer is the determinism analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "determinism",
+	Doc:  "flags map-iteration-order and ambient-state nondeterminism in repro-bearing packages",
+	Run:  run,
+}
+
+// reproPackages are the packages whose output feeds the byte-identical
+// reproduction artifacts (results/, figure and table files).
+var reproPackages = []string{
+	"gccache/internal/opt",
+	"gccache/internal/experiments",
+	"gccache/internal/bounds",
+	"gccache/internal/render",
+}
+
+func run(pass *framework.Pass) error {
+	if !lintutil.PkgInScope(pass, "repro", reproPackages...) {
+		return nil
+	}
+	dirs := lintutil.NewDirectives(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, dirs, n)
+			case *ast.CallExpr:
+				checkGlobalRand(pass, dirs, n)
+				checkTimeNow(pass, dirs, n)
+			}
+			return true
+		})
+		checkUnsortedMapsKeys(pass, dirs, file)
+	}
+	return nil
+}
+
+// checkMapRange flags `for k := range m` loops whose body folds state in
+// map iteration order.
+func checkMapRange(pass *framework.Pass, dirs *lintutil.Directives, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if dirs.At(rng.Pos(), "orderok") {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkOrderedAssign(pass, dirs, rng, n)
+		case *ast.CallExpr:
+			if dirs.At(n.Pos(), "orderok") {
+				return true
+			}
+			if why := writesOutput(pass.TypesInfo, n); why != "" {
+				pass.Reportf(n.Pos(), "%s inside range over map %s emits output in map iteration order; iterate sorted keys instead",
+					why, exprString(rng.X))
+			}
+		}
+		return true
+	})
+}
+
+// checkOrderedAssign flags the two order-dependent accumulation shapes
+// inside a map-range body: append into a slice that outlives the loop,
+// and float op-assign folds.
+func checkOrderedAssign(pass *framework.Pass, dirs *lintutil.Directives, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	if dirs.At(as.Pos(), "orderok") {
+		return
+	}
+	// x = append(x, ...) where x is declared outside the range statement.
+	if as.Tok == token.ASSIGN || as.Tok == token.DEFINE {
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !lintutil.IsBuiltin(pass.TypesInfo, call, "append") || i >= len(as.Lhs) {
+				continue
+			}
+			if obj := lhsRootObject(pass.TypesInfo, as.Lhs[i]); lintutil.DeclaredOutside(obj, rng.Pos(), rng.End()) {
+				pass.Reportf(as.Pos(), "append to %s inside range over map %s accumulates in map iteration order; iterate sorted keys (e.g. slices.Sorted(maps.Keys(...)))",
+					obj.Name(), exprString(rng.X))
+			}
+		}
+		return
+	}
+	// acc += v (or -=, *=, /=) where acc is a float declared outside the
+	// loop: float addition is not associative, so the fold depends on
+	// iteration order even though the set of terms is fixed.
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		if len(as.Lhs) != 1 {
+			return
+		}
+		lhs := as.Lhs[0]
+		t := pass.TypesInfo.TypeOf(lhs)
+		if t == nil {
+			return
+		}
+		if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsFloat == 0 {
+			return
+		}
+		if obj := lhsRootObject(pass.TypesInfo, lhs); lintutil.DeclaredOutside(obj, rng.Pos(), rng.End()) {
+			pass.Reportf(as.Pos(), "float accumulation into %s inside range over map %s depends on map iteration order; iterate sorted keys",
+				obj.Name(), exprString(rng.X))
+		}
+	}
+}
+
+// lhsRootObject resolves an assignment target to the variable object at
+// its root: the ident itself, or the receiver-most identifier of a
+// selector/index chain (c.field, out[i]).
+func lhsRootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// writesOutput reports (as a short description) whether call emits
+// output: fmt printing to a writer or stdout, or a Write*/print method
+// on any receiver (strings.Builder, io.Writer, bufio.Writer, ...).
+func writesOutput(info *types.Info, call *ast.CallExpr) string {
+	fn, ok := lintutil.Callee(info, call).(*types.Func)
+	if !ok {
+		return ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		if strings.HasPrefix(fn.Name(), "Fprint") || strings.HasPrefix(fn.Name(), "Print") ||
+			strings.HasPrefix(fn.Name(), "Append") {
+			return "fmt." + fn.Name()
+		}
+		return ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name := fn.Name(); {
+		case strings.HasPrefix(name, "Write"),
+			name == "Print", name == "Printf", name == "Println":
+			return "call to (" + types.TypeString(sig.Recv().Type(), nil) + ")." + name
+		}
+	}
+	return ""
+}
+
+// checkGlobalRand flags package-level math/rand functions that draw from
+// the shared global source. Constructors (New, NewSource, ...) are fine.
+func checkGlobalRand(pass *framework.Pass, dirs *lintutil.Directives, call *ast.CallExpr) {
+	fn, ok := lintutil.Callee(pass.TypesInfo, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods on *rand.Rand are explicitly seeded — fine
+	}
+	if strings.HasPrefix(fn.Name(), "New") {
+		return
+	}
+	if dirs.At(call.Pos(), "orderok") {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to global rand.%s is nondeterministic across runs; use an explicitly seeded *rand.Rand", fn.Name())
+}
+
+// checkTimeNow flags time.Now in repro code.
+func checkTimeNow(pass *framework.Pass, dirs *lintutil.Directives, call *ast.CallExpr) {
+	if !lintutil.IsPkgFunc(pass.TypesInfo, call, "time", "Now") {
+		return
+	}
+	if dirs.At(call.Pos(), "orderok") {
+		return
+	}
+	pass.Reportf(call.Pos(), "time.Now in repro-bearing code embeds wall-clock state in output; inject timestamps from the caller if needed")
+}
+
+// checkUnsortedMapsKeys flags maps.Keys / maps.Values calls whose result
+// is not immediately passed through a sorting collector, since the
+// iterator yields keys in map order.
+func checkUnsortedMapsKeys(pass *framework.Pass, dirs *lintutil.Directives, file *ast.File) {
+	// Walk with an explicit parent so the "directly wrapped by
+	// slices.Sorted*" exemption can look one call outward.
+	var walk func(parent, n ast.Node)
+	walk = func(parent, n ast.Node) {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lintutil.IsPkgFunc(pass.TypesInfo, call, "maps", "Keys", "Values") &&
+				!sortedWrapper(pass.TypesInfo, parent) &&
+				!dirs.At(call.Pos(), "orderok") {
+				fn, _ := lintutil.Callee(pass.TypesInfo, call).(*types.Func)
+				pass.Reportf(call.Pos(), "maps.%s yields map iteration order; wrap in slices.Sorted (or slices.SortedFunc) before use", fn.Name())
+			}
+		}
+		for _, child := range children(n) {
+			walk(n, child)
+		}
+	}
+	walk(nil, file)
+}
+
+// sortedWrapper reports whether parent is a call to one of the slices
+// sorting collectors.
+func sortedWrapper(info *types.Info, parent ast.Node) bool {
+	call, ok := parent.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	return lintutil.IsPkgFunc(info, call, "slices", "Sorted", "SortedFunc", "SortedStableFunc")
+}
+
+// children returns the direct AST children of n in source order.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false
+	})
+	return out
+}
+
+// exprString renders a short source-ish form of e for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"gccache/internal/analysis/determinism"
+	"gccache/internal/analysis/framework/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "reprofixture", "outofscope")
+}

@@ -1,0 +1,21 @@
+// Package outofscope contains the same shapes the determinism analyzer
+// flags in repro packages — but carries no //gclint:repro directive and
+// is not a repro package path, so nothing here is reported.
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func appendInMapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func globalRand(n int) int { return rand.Intn(n) }
+
+func wallClock() int64 { return time.Now().Unix() }

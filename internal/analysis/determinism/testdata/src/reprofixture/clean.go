@@ -1,0 +1,69 @@
+package reprofixture
+
+import (
+	"maps"
+	"math/rand"
+	"slices"
+)
+
+// intSumInMapOrder is order-independent: integer addition is
+// associative, so folding in map order is fine and not flagged.
+func intSumInMapOrder(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+// sortedIteration is the recommended fix: range over sorted keys.
+func sortedIteration(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		out = append(out, k)
+	}
+	return out
+}
+
+// seededRand threads an explicitly seeded generator — deterministic.
+func seededRand(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// perIterationAppend appends to a slice scoped inside the loop body; no
+// state escapes in map order.
+func perIterationAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// suppressed shows the escape hatch for a genuinely order-independent
+// accumulation the analyzer cannot prove (the slice is sorted after).
+func suppressed(m map[string]int) []string {
+	var keys []string
+	for k := range m { //gclint:orderok keys are sorted below
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// maxInMapOrder computes an order-independent max; assignments that are
+// not append or float op-assign are not flagged.
+func maxInMapOrder(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

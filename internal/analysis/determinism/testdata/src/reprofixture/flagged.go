@@ -1,0 +1,70 @@
+// Package reprofixture exercises the determinism analyzer's flagged
+// shapes. The file-level directive below opts the package into repro
+// scope, standing in for internal/opt, internal/experiments, etc.
+//
+//gclint:repro
+package reprofixture
+
+import (
+	"fmt"
+	"io"
+	"maps"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// appendInMapOrder is the exact ExactSchedule bug class: the slice ends
+// up in map iteration order.
+func appendInMapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map m accumulates in map iteration order`
+	}
+	return keys
+}
+
+// printInMapOrder writes output while ranging a map.
+func printInMapOrder(w io.Writer, m map[int]float64) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%d=%g\n", k, v) // want `fmt.Fprintf inside range over map m emits output in map iteration order`
+	}
+}
+
+// builderInMapOrder covers Write* methods on a captured builder.
+func builderInMapOrder(m map[int]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(fmt.Sprint(k)) // want `WriteString inside range over map m emits output`
+	}
+	return b.String()
+}
+
+// floatFoldInMapOrder folds a float accumulator in map order: float
+// addition is not associative, so the total depends on iteration order.
+func floatFoldInMapOrder(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside range over map m depends on map iteration order`
+	}
+	return sum
+}
+
+// globalRand draws from the process-global source.
+func globalRand(n int) int {
+	return rand.Intn(n) // want `call to global rand.Intn is nondeterministic across runs`
+}
+
+// wallClock embeds wall-clock state.
+func wallClock() int64 {
+	return time.Now().Unix() // want `time.Now in repro-bearing code embeds wall-clock state`
+}
+
+// unsortedKeys lets maps.Keys escape without an ordering wrapper.
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want `maps.Keys yields map iteration order`
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+// Package analysistest is a miniature of
+// golang.org/x/tools/go/analysis/analysistest for the in-repo framework
+// package: it runs one analyzer over GOPATH-style fixture packages under
+// testdata/src/<pkg> and checks the reported diagnostics against
+// `// want` comments in the fixture sources.
+//
+// Expectation syntax (a strict subset of x/tools'):
+//
+//	code() // want "regexp"
+//	code() // want "first" `second`
+//
+// Each string is an anchored-nowhere regular expression that must match
+// the message of a diagnostic reported on that line; every diagnostic
+// must be matched by exactly one expectation and vice versa. Lines
+// without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"gccache/internal/analysis/framework"
+)
+
+// Run loads each fixture package dir testdata/src/<pkg>, applies the
+// analyzer, and reports mismatches between actual diagnostics and the
+// fixtures' want comments as test errors.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runPackage(t, dir, pkg, a)
+		})
+	}
+}
+
+func runPackage(t *testing.T, dir, importPath string, a *framework.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no .go files under %s", dir)
+	}
+
+	// Fixtures import only the standard library, which the source
+	// importer type-checks straight from GOROOT — no export data or
+	// network needed.
+	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := framework.NewInfo()
+	pkg, err := tc.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	diags, err := framework.Run(
+		&framework.Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info},
+		[]*framework.Analyzer{a},
+	)
+	if err != nil {
+		t.Fatalf("running analyzer: %v", err)
+	}
+
+	wants := collectWants(t, fset, files)
+	checkDiagnostics(t, fset, diags, wants)
+}
+
+// want is one expectation: a diagnostic matching rx on (file, line).
+type want struct {
+	file    string
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\b(.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, pat := range splitWantPatterns(t, pos, m[1]) {
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitWantPatterns extracts the quoted or backquoted expectation
+// strings following a want marker.
+func splitWantPatterns(t *testing.T, pos token.Position, s string) []string {
+	t.Helper()
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		var quote byte = s[0]
+		if quote != '"' && quote != '`' {
+			t.Fatalf("%s: malformed want comment near %q (expect quoted regexps)", pos, s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			t.Fatalf("%s: unterminated want pattern %q", pos, s)
+		}
+		raw := s[:end+2]
+		if quote == '"' {
+			unq, err := strconv.Unquote(raw)
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, raw, err)
+			}
+			pats = append(pats, unq)
+		} else {
+			pats = append(pats, raw[1:len(raw)-1])
+		}
+		s = strings.TrimSpace(s[end+2:])
+	}
+	return pats
+}
+
+func checkDiagnostics(t *testing.T, fset *token.FileSet, diags []framework.Diagnostic, wants []*want) {
+	t.Helper()
+	var surplus []string
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if w := matchWant(wants, pos, d.Message); w == nil {
+			surplus = append(surplus, fmt.Sprintf("%s: unexpected diagnostic: %s", pos, d.Message))
+		}
+	}
+	sort.Strings(surplus)
+	for _, s := range surplus {
+		t.Error(s)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.rx)
+		}
+	}
+}
+
+func matchWant(wants []*want, pos token.Position, msg string) *want {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.rx.MatchString(msg) {
+			w.matched = true
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Package framework is a self-contained miniature of
+// golang.org/x/tools/go/analysis: just enough Analyzer/Pass machinery to
+// write the repo's custom vet checks (cmd/gclint) against the standard
+// library alone. The build environment vendors no third-party modules,
+// so instead of depending on x/tools this package re-implements the two
+// integration surfaces gclint needs:
+//
+//   - the `go vet -vettool` unit-checker protocol (unitchecker.go), so
+//     `make lint` gets package loading, export data, and caching from
+//     the go command for free; and
+//   - an analysistest-style fixture harness (sibling package
+//     analysistest), so each analyzer is tested against `// want`
+//     annotated sources under testdata/src.
+//
+// The API mirrors x/tools deliberately — if a vendored x/tools ever
+// becomes available, the analyzers port by changing imports only.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check. Unlike x/tools there are no
+// Requires/Facts: gclint's analyzers are all single-package syntactic +
+// type checks, which keeps the unit-checker protocol trivial (no fact
+// serialization between packages).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+	// Doc is the analyzer's documentation, shown by `gclint help`.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Diagnostic is a single report from an analyzer.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Package bundles a loaded, type-checked package ready for analysis.
+type Package struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// populated, for use by both the unit checker and the test harness.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run applies each analyzer to pkg and returns all diagnostics in
+// source-position order of emission.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Pkg,
+			TypesInfo: pkg.TypesInfo,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		all = append(all, pass.diagnostics...)
+	}
+	return all, nil
+}

@@ -1,0 +1,239 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// vetConfig is the JSON configuration the go command writes for each
+// package when driving a vet tool (see cmd/go/internal/work's
+// buildVetConfig and x/tools/go/analysis/unitchecker.Config). Only the
+// fields gclint consumes are declared; unknown fields are ignored by
+// encoding/json.
+type vetConfig struct {
+	ID           string
+	Compiler     string
+	Dir          string
+	ImportPath   string
+	GoVersion    string
+	GoFiles      []string
+	NonGoFiles   []string
+	IgnoredFiles []string
+	ImportMap    map[string]string
+	PackageFile  map[string]string
+	Standard     map[string]bool
+	PackageVetx  map[string]string
+	VetxOnly     bool
+	VetxOutput   string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a vet-tool binary built on this framework.
+// It speaks the protocol the go command expects of a -vettool:
+//
+//	tool -V=full            print a version fingerprint and exit
+//	tool -flags             print the supported flags as JSON and exit
+//	tool <file>.cfg         analyze one package described by the config
+//
+// As a convenience for humans, any other arguments are treated as
+// package patterns and re-executed through `go vet -vettool=<self>`, so
+// `gclint ./...` works directly.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	// `go vet` probes the tool before use: -V=full must print a
+	// reproducible version line, and -flags must dump the flag schema so
+	// the go command can route command-line flags. gclint defines no
+	// tool flags, so the schema is empty.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			fmt.Printf("%s version devel buildID=%s\n", progname, selfHash())
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			fmt.Println("[]")
+			return
+		case args[0] == "help" || args[0] == "-help" || args[0] == "--help":
+			printHelp(progname, analyzers)
+			return
+		}
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		diags, exit := runUnit(args[0], analyzers)
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(exit)
+	}
+
+	// Standalone mode: delegate package loading to the go command by
+	// re-invoking ourselves as its vettool.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cannot locate own binary: %v\n", progname, err)
+		os.Exit(2)
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(2)
+	}
+}
+
+func printHelp(progname string, analyzers []*Analyzer) {
+	fmt.Printf("%s is a vet tool; run it as `%s ./...` or `go vet -vettool=%s ./...`.\n\n",
+		progname, progname, progname)
+	fmt.Println("Registered analyzers:")
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("  %-12s %s\n", a.Name, doc)
+	}
+}
+
+// selfHash fingerprints the tool binary so the go command's build cache
+// invalidates vet results when the tool changes.
+func selfHash() string {
+	f, err := os.Open(os.Args[0])
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// runUnit analyzes the single package described by cfgPath and returns
+// the rendered diagnostics plus the process exit code (0 clean, 2 on
+// findings, matching cmd/vet's convention).
+func runUnit(cfgPath string, analyzers []*Analyzer) ([]string, int) {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		return []string{fmt.Sprintf("gclint: %v", err)}, 1
+	}
+
+	// The go command runs its vettool over every dependency of the
+	// requested packages to collect "vetx" facts, and expects the output
+	// file to exist afterward. gclint's analyzers are strictly
+	// package-local, so dependencies need no analysis at all — write the
+	// (empty) facts file and stop.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("gclint-facts-v1\n"), 0o666); err != nil {
+			return []string{fmt.Sprintf("gclint: writing vetx output: %v", err)}, 1
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, 0
+	}
+
+	pkg, err := typecheckUnit(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, 0
+		}
+		return []string{fmt.Sprintf("gclint: %v", err)}, 1
+	}
+
+	diags, err := Run(pkg, analyzers)
+	if err != nil {
+		return []string{fmt.Sprintf("gclint: %v", err)}, 1
+	}
+	if len(diags) == 0 {
+		return nil, 0
+	}
+	out := make([]string, len(diags))
+	for i, d := range diags {
+		out[i] = fmt.Sprintf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return out, 2
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	if len(cfg.GoFiles) == 0 && !cfg.VetxOnly {
+		return nil, fmt.Errorf("vet config %s lists no Go files", path)
+	}
+	return cfg, nil
+}
+
+// typecheckUnit parses and type-checks the package in cfg, resolving
+// imports through the compiler export data files the go command listed
+// in cfg.PackageFile.
+func typecheckUnit(cfg *vetConfig) (*Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		// Resolve a source-level import path to canonical form, then to
+		// the export data file the go command prepared for it.
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+
+	tc := &types.Config{
+		Importer:  imp,
+		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	info := NewInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

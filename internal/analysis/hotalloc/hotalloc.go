@@ -1,0 +1,333 @@
+// Package hotalloc implements the gclint analyzer that statically
+// enforces the zero-allocation contract on functions annotated with a
+// `//gclint:hotpath` doc comment — the static twin of the repo's
+// testing.AllocsPerRun checks on the dense replay path.
+//
+// Inside an annotated function it flags the constructs that allocate (or
+// defeat escape analysis) on every call:
+//
+//   - calls into package fmt (formatting always allocates);
+//   - map and slice composite literals, &struct{...} literals, and
+//     make/new calls;
+//   - append whose destination is a slice variable local to the
+//     function — growth allocates per call, unlike the caller-owned
+//     reused buffers held in struct fields or parameters;
+//   - closures that capture variables (the closure and its captures are
+//     heap-allocated);
+//   - interface boxing at call sites: a concrete-typed argument passed
+//     to an interface-typed parameter.
+//
+// Arguments of panic(...) are exempt — panic paths are cold by
+// construction, which is why hot-path bounds checks may format their
+// panic messages. A `//gclint:allowalloc` comment on the offending line
+// suppresses the report (use for provably cold branches).
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+
+	"gccache/internal/analysis/framework"
+	"gccache/internal/analysis/lintutil"
+)
+
+// Analyzer is the hotalloc analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "hotalloc",
+	Doc:  "forbids allocating constructs in functions annotated //gclint:hotpath",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	dirs := lintutil.NewDirectives(pass.Fset, pass.Files)
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !lintutil.HasFuncDirective(fd, "hotpath") {
+				continue
+			}
+			check(pass, dirs, fd)
+		}
+	}
+	return nil
+}
+
+// check walks one annotated function body.
+func check(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if lintutil.IsBuiltin(info, n, "panic") {
+					// Panic arguments are cold; don't descend.
+					return false
+				}
+				checkCall(pass, dirs, fd, n)
+			case *ast.CompositeLit:
+				checkCompositeLit(pass, dirs, n, false)
+				return true
+			case *ast.UnaryExpr:
+				if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
+					checkCompositeLit(pass, dirs, cl, true)
+					// The literal itself was handled; walk its elements.
+					for _, e := range cl.Elts {
+						walk(e)
+					}
+					return false
+				}
+			case *ast.FuncLit:
+				checkClosure(pass, dirs, fd, n)
+				return true
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+}
+
+func checkCall(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if dirs.At(call.Pos(), "allowalloc") {
+		return
+	}
+	info := pass.TypesInfo
+
+	if fn, ok := lintutil.Callee(info, call).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		pass.Reportf(call.Pos(), "hot path calls fmt.%s, which allocates on every call", fn.Name())
+		return
+	}
+	if lintutil.IsBuiltin(info, call, "make") || lintutil.IsBuiltin(info, call, "new") {
+		pass.Reportf(call.Pos(), "hot path allocates with %s; hoist the allocation into the constructor or a reused buffer",
+			ast.Unparen(call.Fun).(*ast.Ident).Name)
+		return
+	}
+	if lintutil.IsBuiltin(info, call, "append") {
+		checkAppend(pass, fd, call)
+		return
+	}
+	checkBoxing(pass, fd, call)
+}
+
+// checkAppend flags append whose destination slice is local to the hot
+// function: a fresh slice grows (allocates) on every call, whereas
+// fields and parameters are caller-owned buffers reused across calls.
+func checkAppend(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	dest, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return // selector (c.buf) or index destination: caller-owned reuse
+	}
+	obj := pass.TypesInfo.Uses[dest]
+	if obj == nil {
+		return
+	}
+	if isParam(fd, pass.TypesInfo, obj) {
+		return
+	}
+	if !lintutil.DeclaredOutside(obj, fd.Body.Pos(), fd.Body.End()) {
+		// Local variable — unless it aliases a reused buffer (e.g.
+		// `buf := c.scratch[:0]`), growth allocates per call.
+		if aliasesReusedBuffer(fd, obj) {
+			return
+		}
+		pass.Reportf(call.Pos(), "hot path appends to function-local slice %s, which allocates as it grows; use a struct-field scratch buffer", obj.Name())
+	}
+}
+
+// isParam reports whether obj is one of fd's parameters, results, or its
+// receiver.
+func isParam(fd *ast.FuncDecl, info *types.Info, obj types.Object) bool {
+	fields := []*ast.FieldList{fd.Type.Params, fd.Type.Results, fd.Recv}
+	for _, fl := range fields {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if info.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// aliasesReusedBuffer reports whether the local slice obj is initialized
+// from a slice expression over non-local storage (`buf := c.scratch[:0]`)
+// — the idiomatic reuse pattern, which does not allocate.
+func aliasesReusedBuffer(fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Pos() != obj.Pos() || i >= len(as.Rhs) {
+				continue
+			}
+			if sl, ok := ast.Unparen(as.Rhs[i]).(*ast.SliceExpr); ok {
+				if _, isLocal := ast.Unparen(sl.X).(*ast.Ident); !isLocal {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkBoxing flags concrete-typed arguments passed to interface-typed
+// parameters: the compiler boxes the value, allocating unless escape
+// analysis can prove otherwise.
+func checkBoxing(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Conversion: T(x). Flag interface conversions of concretes.
+		if len(call.Args) == 1 && isInterface(tv.Type) && !argIsInterfaceOrNil(info, call.Args[0]) {
+			pass.Reportf(call.Pos(), "hot path boxes a value into interface %s", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+		}
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing an existing slice: no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !isInterface(pt) || argIsInterfaceOrNil(info, arg) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hot path boxes argument into interface parameter %s of %s; use a concrete-typed callee",
+			types.TypeString(pt, types.RelativeTo(pass.Pkg)), exprName(call.Fun))
+	}
+}
+
+// isInterface reports whether t is a non-type-parameter interface type.
+func isInterface(t types.Type) bool {
+	if _, isTP := t.(*types.TypeParam); isTP {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func argIsInterfaceOrNil(info *types.Info, arg ast.Expr) bool {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return true
+	}
+	if b, ok := tv.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return true
+	}
+	if _, isTP := tv.Type.(*types.TypeParam); isTP {
+		return true // can't tell statically; instantiation decides
+	}
+	_, ok = tv.Type.Underlying().(*types.Interface)
+	return ok
+}
+
+// checkCompositeLit flags map/slice literals and &struct{...}.
+func checkCompositeLit(pass *framework.Pass, dirs *lintutil.Directives, cl *ast.CompositeLit, addressed bool) {
+	if dirs.At(cl.Pos(), "allowalloc") {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(cl)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		pass.Reportf(cl.Pos(), "hot path allocates a map literal")
+	case *types.Slice:
+		pass.Reportf(cl.Pos(), "hot path allocates a slice literal")
+	case *types.Struct:
+		if addressed {
+			pass.Reportf(cl.Pos(), "hot path allocates &%s{...}; reuse a preallocated value", exprName(cl.Type))
+		}
+	}
+}
+
+// checkClosure flags func literals that capture variables from the
+// enclosing hot function: both the closure object and its captured
+// variables are heap-allocated.
+func checkClosure(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl, fl *ast.FuncLit) {
+	if dirs.At(fl.Pos(), "allowalloc") {
+		return
+	}
+	var captured []string
+	seen := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		// Captured: declared inside the enclosing function (including
+		// receiver/params) but outside this literal.
+		inFunc := obj.Pos() >= fd.Pos() && obj.Pos() < fd.End()
+		inLit := obj.Pos() >= fl.Pos() && obj.Pos() < fl.End()
+		if _, isVar := obj.(*types.Var); isVar && inFunc && !inLit {
+			seen[obj] = true
+			captured = append(captured, obj.Name())
+		}
+		return true
+	})
+	if len(captured) > 0 {
+		pass.Reportf(fl.Pos(), "hot path closure captures %s, forcing heap allocation", joinNames(captured))
+	}
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}
+
+// exprName renders a compact name for a callee or type expression.
+func exprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprName(e.X)
+	case *ast.IndexListExpr:
+		return exprName(e.X)
+	default:
+		return "call"
+	}
+}

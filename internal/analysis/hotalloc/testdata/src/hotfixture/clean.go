@@ -1,0 +1,80 @@
+package hotfixture
+
+import "fmt"
+
+type access struct {
+	hit    bool
+	loaded []uint64
+}
+
+// unannotated contains every allocating construct but carries no
+// hotpath directive, so nothing is reported.
+func unannotated(it uint64) string {
+	_ = make([]uint64, 4)
+	_ = &cache{}
+	_ = []uint64{it}
+	return fmt.Sprintf("%d", it)
+}
+
+// fieldAppend reuses caller-owned buffers held in struct fields — the
+// repo's sanctioned hot-path shape (reset via [:0], amortized zero
+// allocation).
+//
+//gclint:hotpath
+func (c *cache) fieldAppend(it uint64) access {
+	c.loaded = c.loaded[:0]
+	c.loaded = append(c.loaded, it)
+	return access{loaded: c.loaded}
+}
+
+// valueLiteral returns a plain value struct literal: stack-allocated,
+// not flagged (only &T{...} and map/slice literals are).
+//
+//gclint:hotpath
+func valueLiteral(hit bool) access {
+	return access{hit: hit}
+}
+
+// panicPath may format its panic message: panic arguments are cold by
+// construction and exempt.
+//
+//gclint:hotpath
+func panicPath(it uint64, universe int) uint64 {
+	if it >= uint64(universe) {
+		panic(fmt.Sprintf("item %d outside universe %d", it, universe))
+	}
+	return it
+}
+
+// aliasedScratch appends through a local that aliases a reused field
+// buffer — no growth allocation in steady state.
+//
+//gclint:hotpath
+func (c *cache) aliasedScratch(items []uint64) int {
+	buf := c.scratch[:0]
+	for _, it := range items {
+		buf = append(buf, it)
+	}
+	c.scratch = buf
+	return len(buf)
+}
+
+// paramAppend appends to a caller-owned parameter slice, the
+// AppendItemsOf idiom.
+//
+//gclint:hotpath
+func paramAppend(dst []uint64, it uint64) []uint64 {
+	dst = append(dst, it)
+	return dst
+}
+
+// suppressed demonstrates //gclint:allowalloc for a provably cold
+// branch.
+//
+//gclint:hotpath
+func suppressed(n int) []uint64 {
+	if n > 1<<20 {
+		return make([]uint64, 0) //gclint:allowalloc cold fallback for oversized universes
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+// Package hotfixture exercises the hotalloc analyzer: allocating
+// constructs inside functions annotated //gclint:hotpath.
+package hotfixture
+
+import "fmt"
+
+type cache struct {
+	loaded  []uint64
+	scratch []uint64
+}
+
+// fmtInHotPath formats on every call.
+//
+//gclint:hotpath
+func fmtInHotPath(it uint64) string {
+	return fmt.Sprintf("item-%d", it) // want `hot path calls fmt.Sprintf`
+}
+
+// makeInHotPath allocates fresh scratch per call.
+//
+//gclint:hotpath
+func makeInHotPath(n int) int {
+	seen := make(map[uint64]bool, n) // want `hot path allocates with make`
+	return len(seen)
+}
+
+// localAppend grows a fresh slice on every call.
+//
+//gclint:hotpath
+func localAppend(items []uint64) int {
+	var evicted []uint64
+	for _, it := range items {
+		evicted = append(evicted, it) // want `hot path appends to function-local slice evicted`
+	}
+	return len(evicted)
+}
+
+// literals allocates map and slice literals and a pointer struct.
+//
+//gclint:hotpath
+func literals(it uint64) int {
+	weights := map[uint64]int{it: 1} // want `hot path allocates a map literal`
+	ids := []uint64{it}              // want `hot path allocates a slice literal`
+	c := &cache{}                    // want `hot path allocates &cache\{...\}`
+	return len(weights) + len(ids) + len(c.loaded)
+}
+
+// capturingClosure heap-allocates the closure and its captures.
+//
+//gclint:hotpath
+func capturingClosure(items []uint64) func() int {
+	total := 0
+	return func() int { // want `hot path closure captures total`
+		total += len(items)
+		return total
+	}
+}
+
+type observer interface{ observe(uint64) }
+
+func sink(o observer) { o.observe(0) }
+
+type concrete struct{ n uint64 }
+
+func (c concrete) observe(u uint64) { c.n = u }
+
+// boxing passes a concrete value to an interface parameter.
+//
+//gclint:hotpath
+func boxing(c concrete) {
+	sink(c) // want `hot path boxes argument into interface parameter observer`
+}

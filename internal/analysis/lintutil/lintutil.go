@@ -1,0 +1,184 @@
+// Package lintutil holds the small AST/type helpers shared by the
+// gclint analyzers: callee resolution, gclint directive-comment lookup,
+// and package-scope tests.
+package lintutil
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"gccache/internal/analysis/framework"
+)
+
+// Callee resolves the object a call expression invokes: a *types.Func
+// for functions and methods, a *types.Builtin for builtins, nil when the
+// callee is dynamic (a called function value) or a type conversion.
+func Callee(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			return sel.Obj()
+		}
+		// Qualified identifier (pkg.Func).
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call invokes a package-level function of the
+// package with the given import path, with one of the given names (any
+// name if none are listed).
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn, ok := Callee(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// IsBuiltin reports whether call invokes the named builtin.
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// Directives indexes `//gclint:name` comments by file and line so
+// analyzers can honor same-line suppressions like //gclint:orderok.
+type Directives struct {
+	fset   *token.FileSet
+	byLine map[string]map[int][]string
+}
+
+// NewDirectives scans all comments in files for gclint directives.
+func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, byLine: make(map[string]map[int][]string)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, ok := ParseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]string)
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], name)
+			}
+		}
+	}
+	return d
+}
+
+// ParseDirective extracts the directive name from a `//gclint:name ...`
+// comment (trailing explanation after whitespace is allowed).
+func ParseDirective(comment string) (string, bool) {
+	rest, ok := strings.CutPrefix(comment, "//gclint:")
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	if rest == "" {
+		return "", false
+	}
+	return rest, true
+}
+
+// At reports whether the named directive appears on the same line as pos.
+func (d *Directives) At(pos token.Pos, name string) bool {
+	p := d.fset.Position(pos)
+	for _, n := range d.byLine[p.Filename][p.Line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// HasFuncDirective reports whether the function's doc comment carries
+// the named gclint directive (e.g. //gclint:hotpath).
+func HasFuncDirective(decl *ast.FuncDecl, name string) bool {
+	if decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if n, ok := ParseDirective(c.Text); ok && n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// PkgInScope reports whether the pass's package is one of the given
+// import paths (or a subpackage of one), or opts in via a file-level
+// `//gclint:<directive>` comment — the mechanism analyzer fixtures and
+// future packages use to enter scope.
+func PkgInScope(pass *framework.Pass, directive string, paths ...string) bool {
+	// The go command's vet configs identify test variants with suffixes
+	// like "pkg [pkg.test]" or "pkg_test"; normalize those away so the
+	// in-package test build of a repro package stays in scope.
+	path := pass.Pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	path = strings.TrimSuffix(path, "_test")
+	path = strings.TrimSuffix(path, ".test")
+	for _, p := range paths {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if n, ok := ParseDirective(c.Text); ok && n == directive {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// gclint's invariants target shipped code; test files deliberately build
+// adversarial shapes and are skipped by every analyzer.
+func IsTestFile(fset *token.FileSet, file *ast.File) bool {
+	return strings.HasSuffix(fset.Position(file.Package).Filename, "_test.go")
+}
+
+// DeclaredOutside reports whether obj is a variable declared outside the
+// source range [from, to) — i.e. state that outlives or is shared across
+// the node spanning that range.
+func DeclaredOutside(obj types.Object, from, to token.Pos) bool {
+	if obj == nil {
+		return false
+	}
+	if _, ok := obj.(*types.Var); !ok {
+		return false
+	}
+	return obj.Pos() < from || obj.Pos() >= to
+}

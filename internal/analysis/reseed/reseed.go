@@ -1,0 +1,216 @@
+// Package reseed implements the gclint analyzer that keeps randomized
+// policies safe to pool. The Sweep engine reuses one cache instance per
+// worker across many grid points; a policy holding a *rand.Rand that
+// cannot be re-seeded silently makes results depend on which worker
+// served which point. The runtime half of this contract is the
+// conformance sweep (Reseed+Reset must equal fresh construction); this
+// analyzer enforces the static half:
+//
+//   - every cache-shaped struct (one with an Access method) holding a
+//     *math/rand.Rand field must declare a Reseed(int64) method, and
+//   - the Reseed body must actually reconstruct the generator: assign
+//     the rng field from rand.New(...)/rand.NewSource(...), or call its
+//     Seed method.
+package reseed
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gccache/internal/analysis/framework"
+	"gccache/internal/analysis/lintutil"
+)
+
+// Analyzer is the reseed analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "reseed",
+	Doc:  "requires Reseed(int64) reconstructing the rng on cache structs holding *rand.Rand",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		if strings.HasSuffix(pass.Fset.Position(tn.Pos()).Filename, "_test.go") {
+			continue // test helpers are not pooled by sweep engines
+		}
+		randFields := randRandFields(st)
+		if len(randFields) == 0 || !hasMethod(named, "Access") {
+			continue
+		}
+		checkType(pass, tn, named, randFields)
+	}
+	return nil
+}
+
+// randRandFields returns the names of direct struct fields typed
+// *math/rand.Rand or *math/rand/v2.Rand.
+func randRandFields(st *types.Struct) []string {
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		ptr, ok := f.Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Name() == "Rand" && obj.Pkg() != nil &&
+			(obj.Pkg().Path() == "math/rand" || obj.Pkg().Path() == "math/rand/v2") {
+			out = append(out, f.Name())
+		}
+	}
+	return out
+}
+
+// hasMethod reports whether *T (hence also T) has a method of that name,
+// including promoted methods.
+func hasMethod(named *types.Named, name string) bool {
+	ms := types.NewMethodSet(types.NewPointer(named))
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func checkType(pass *framework.Pass, tn *types.TypeName, named *types.Named, randFields []string) {
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, pass.Pkg, "Reseed")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		pass.Reportf(tn.Pos(), "%s holds *rand.Rand field %s but has no Reseed(int64) method; pooled sweep workers cannot restart its coin flips",
+			tn.Name(), strings.Join(randFields, ", "))
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 0 ||
+		!types.Identical(sig.Params().At(0).Type(), types.Typ[types.Int64]) {
+		pass.Reportf(fn.Pos(), "%s.Reseed has signature %s; the Reseeder contract requires Reseed(int64)",
+			tn.Name(), types.TypeString(sig, types.RelativeTo(pass.Pkg)))
+		return
+	}
+	if fn.Pkg() != pass.Pkg {
+		return // promoted from another package; its home package is checked there
+	}
+	decl := findMethodDecl(pass, named.Obj().Name(), "Reseed")
+	if decl == nil || decl.Body == nil {
+		return
+	}
+	if !reconstructsRNG(pass.TypesInfo, decl, randFields) {
+		pass.Reportf(decl.Pos(), "%s.Reseed does not reconstruct the rng: assign %s from rand.New(rand.NewSource(seed)) (or call its Seed method)",
+			tn.Name(), strings.Join(randFields, ", "))
+	}
+}
+
+// findMethodDecl locates the FuncDecl for typeName's method in the
+// pass's files.
+func findMethodDecl(pass *framework.Pass, typeName, method string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != method || len(fd.Recv.List) == 0 {
+				continue
+			}
+			if recvTypeName(fd.Recv.List[0].Type) == typeName {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// recvTypeName extracts the base type name from a receiver type
+// expression (T, *T, T[P], *T[P]).
+func recvTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexExpr:
+		return recvTypeName(e.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(e.X)
+	}
+	return ""
+}
+
+// reconstructsRNG reports whether the Reseed body either assigns one of
+// the rand fields from a math/rand constructor call, or calls Seed on
+// one of them.
+func reconstructsRNG(info *types.Info, decl *ast.FuncDecl, randFields []string) bool {
+	isRandField := func(e ast.Expr) bool {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		for _, f := range randFields {
+			if sel.Sel.Name == f {
+				return true
+			}
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if !isRandField(lhs) || i >= len(n.Rhs) {
+					continue
+				}
+				// RHS must involve a math/rand constructor somewhere
+				// (rand.New(rand.NewSource(seed)), rand.New(src), ...).
+				ast.Inspect(n.Rhs[i], func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if isRandConstructor(info, call) {
+							found = true
+						}
+					}
+					return !found
+				})
+			}
+		case *ast.CallExpr:
+			// c.rng.Seed(seed): method Seed on the rand field.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Seed" && isRandField(sel.X) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isRandConstructor reports whether call invokes a package-level
+// math/rand constructor (New, NewSource, NewPCG, NewChaCha8, ...).
+func isRandConstructor(info *types.Info, call *ast.CallExpr) bool {
+	fn, ok := lintutil.Callee(info, call).(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "New")
+}

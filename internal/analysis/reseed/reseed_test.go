@@ -1,0 +1,12 @@
+package reseed_test
+
+import (
+	"testing"
+
+	"gccache/internal/analysis/framework/analysistest"
+	"gccache/internal/analysis/reseed"
+)
+
+func TestReseed(t *testing.T) {
+	analysistest.Run(t, "testdata", reseed.Analyzer, "reseedfixture")
+}

@@ -1,0 +1,41 @@
+// Package reseedfixture exercises the reseed analyzer: cache-shaped
+// structs (ones with an Access method) holding a *rand.Rand must
+// implement Reseed(int64) that reconstructs the generator.
+package reseedfixture
+
+import "math/rand"
+
+// NoReseed is a randomized cache with no Reseed method at all: a pooled
+// sweep worker could never restart its coin flips.
+type NoReseed struct { // want `NoReseed holds \*rand.Rand field rng but has no Reseed\(int64\) method`
+	rng   *rand.Rand
+	items []uint64
+}
+
+func (c *NoReseed) Access(it uint64) bool { return c.rng.Intn(2) == 0 }
+
+// WrongSignature declares Reseed with the wrong parameter type.
+type WrongSignature struct {
+	rng *rand.Rand
+}
+
+func (c *WrongSignature) Access(it uint64) bool { return false }
+
+func (c *WrongSignature) Reseed(seed int) { // want `WrongSignature.Reseed has signature`
+	c.rng = rand.New(rand.NewSource(int64(seed)))
+}
+
+// StaleReseed has the right signature but never touches the rng, so
+// reuse after Reseed still continues the old random stream.
+type StaleReseed struct {
+	rng   *rand.Rand
+	seed  int64
+	items []uint64
+}
+
+func (c *StaleReseed) Access(it uint64) bool { return c.rng.Intn(2) == 0 }
+
+func (c *StaleReseed) Reseed(seed int64) { // want `StaleReseed.Reseed does not reconstruct the rng`
+	c.seed = seed
+	c.items = c.items[:0]
+}

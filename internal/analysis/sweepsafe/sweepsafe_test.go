@@ -1,0 +1,12 @@
+package sweepsafe_test
+
+import (
+	"testing"
+
+	"gccache/internal/analysis/framework/analysistest"
+	"gccache/internal/analysis/sweepsafe"
+)
+
+func TestSweepsafe(t *testing.T) {
+	analysistest.Run(t, "testdata", sweepsafe.Analyzer, "sweepfixture", "sweepoutofscope")
+}

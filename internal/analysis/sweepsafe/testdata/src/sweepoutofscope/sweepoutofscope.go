@@ -1,0 +1,34 @@
+// Package sweepoutofscope has no //gclint:sweep directive and is not a
+// cachesim/experiments package, so the analyzer must stay silent even
+// on shapes it would flag in scope.
+package sweepoutofscope
+
+import "sync"
+
+func goroutineLoopVar(jobs []int) {
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(i)
+		}()
+	}
+	wg.Wait()
+}
+
+func sharedScalar(n int) int {
+	total := 0
+	ParallelFor(n, 0, func(i int) {
+		total += i
+	})
+	return total
+}
+
+func ParallelFor(n, workers int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+func process(int) {}

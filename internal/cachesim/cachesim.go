@@ -182,6 +182,8 @@ func (r *Recorder) Observe(it model.Item, a Access) {
 }
 
 // observeBounded is Observe on the bitset path; identical classification.
+//
+//gclint:hotpath
 func (r *Recorder) observeBounded(it model.Item, a Access) {
 	r.stats.Accesses++
 	if a.Hit {
@@ -282,6 +284,8 @@ func NewReconciler(universe int) *Reconciler {
 
 // NetChanges nets the two lists in place and returns the trimmed slices.
 // Semantics are identical to the package-level NetChanges.
+//
+//gclint:hotpath
 func (r *Reconciler) NetChanges(loaded, evicted []model.Item) (netLoaded, netEvicted []model.Item) {
 	if len(loaded) == 0 || len(evicted) == 0 {
 		return loaded, evicted
@@ -290,7 +294,7 @@ func (r *Reconciler) NetChanges(loaded, evicted []model.Item) (netLoaded, netEvi
 		return r.netBounded(loaded, evicted)
 	}
 	if r.counts == nil {
-		r.counts = make(map[model.Item]int32, len(evicted))
+		r.counts = make(map[model.Item]int32, len(evicted)) //gclint:allowalloc first-use lazy init, amortized across calls
 	} else {
 		clear(r.counts)
 	}
@@ -318,6 +322,8 @@ func (r *Reconciler) NetChanges(loaded, evicted []model.Item) (netLoaded, netEvi
 }
 
 // netBounded is NetChanges on generation-stamped flat arrays.
+//
+//gclint:hotpath
 func (r *Reconciler) netBounded(loaded, evicted []model.Item) (netLoaded, netEvicted []model.Item) {
 	r.gen++
 	if r.gen == 0 {

@@ -145,6 +145,8 @@ func (c *IBLP) Name() string {
 }
 
 // Access implements cachesim.Cache.
+//
+//gclint:hotpath
 func (c *IBLP) Access(it model.Item) cachesim.Access {
 	if c.items.MoveToFront(it) {
 		if c.promoteOnItemHit {
@@ -181,6 +183,8 @@ func (c *IBLP) Access(it model.Item) cachesim.Access {
 
 // admitItemLayer inserts it at the item layer's MRU position, evicting
 // its LRU as needed, and maintains overall loaded/evicted accounting.
+//
+//gclint:hotpath
 func (c *IBLP) admitItemLayer(it model.Item) {
 	if c.itemSize == 0 {
 		return
@@ -201,6 +205,8 @@ func (c *IBLP) admitItemLayer(it model.Item) {
 // admitBlockLayer loads blk's full item set into the block layer,
 // evicting LRU blocks until it fits. Blocks larger than the layer are
 // truncated around the requested item.
+//
+//gclint:hotpath
 func (c *IBLP) admitBlockLayer(blk model.Block, requested model.Item) {
 	if c.blockSize == 0 {
 		return
@@ -236,7 +242,7 @@ func (c *IBLP) admitBlockLayer(blk model.Block, requested model.Item) {
 		}
 		return
 	}
-	hold := make([]model.Item, len(want))
+	hold := make([]model.Item, len(want)) //gclint:allowalloc generic (map) path only; dense path returned above
 	copy(hold, want)
 	c.resident[blk] = hold
 	c.blocks.PushFront(blk)
@@ -253,6 +259,8 @@ func (c *IBLP) admitBlockLayer(blk model.Block, requested model.Item) {
 // dropBlockLayer evicts blk from the block layer. On the dense path the
 // block's resident set is re-derived from the bitset: blocks are
 // disjoint, so exactly the set items of blk belong to it.
+//
+//gclint:hotpath
 func (c *IBLP) dropBlockLayer(blk model.Block) {
 	if c.inBlockBits != nil {
 		c.scratch = model.AppendItemsOf(c.geo, c.scratch[:0], blk)
@@ -281,6 +289,8 @@ func (c *IBLP) dropBlockLayer(blk model.Block) {
 }
 
 // inBlockLayer reports block-layer membership of it.
+//
+//gclint:hotpath
 func (c *IBLP) inBlockLayer(it model.Item) bool {
 	if c.inBlockBits != nil {
 		return c.inBlockBits[it]
@@ -290,6 +300,8 @@ func (c *IBLP) inBlockLayer(it model.Item) bool {
 }
 
 // present reports overall membership (either layer).
+//
+//gclint:hotpath
 func (c *IBLP) present(it model.Item) bool {
 	return c.items.Contains(it) || c.inBlockLayer(it)
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"gccache/internal/cachesim"
 	"gccache/internal/core"
@@ -63,14 +62,16 @@ func AdaptiveStudy(k, B int, seed int64) *Report {
 		Headers: []string{"workload", "item-only", "even", "block-heavy", "adaptive", "adaptive/best-fixed"},
 	}
 	type cellKey struct{ wi, si int }
-	results := make(map[cellKey]float64)
-	var mu sync.Mutex
 	jobs := make([]cellKey, 0, len(wls)*len(splits))
 	for wi := range wls {
 		for si := range splits {
 			jobs = append(jobs, cellKey{wi, si})
 		}
 	}
+	// Per-index result slots (no shared map, no lock): job j writes only
+	// results[j], which is the sweep engine's sanctioned sharing shape.
+	results := make([]float64, len(jobs))
+	cell := func(wi, si int) float64 { return results[wi*len(splits)+si] }
 	// Per-worker pooled caches, one per split, built lazily and reused
 	// (RunColdBounded resets before replay) across the worker's cells.
 	cachesim.Sweep(len(jobs), 0, func() []cachesim.Cache {
@@ -82,26 +83,22 @@ func AdaptiveStudy(k, B int, seed int64) *Report {
 			cache = splits[key.si].build()
 			pool[key.si] = cache
 		}
-		st := cachesim.RunColdBounded(cache, wls[key.wi].tr, universe)
-		mu.Lock()
-		results[key] = st.MissRatio()
-		mu.Unlock()
+		results[j] = cachesim.RunColdBounded(cache, wls[key.wi].tr, universe).MissRatio()
 	})
 	for wi, wl := range wls {
 		bestFixed := 1.0
 		for si := 0; si < 3; si++ {
-			if v := results[cellKey{wi, si}]; v < bestFixed {
+			if v := cell(wi, si); v < bestFixed {
 				bestFixed = v
 			}
 		}
-		adaptiveMR := results[cellKey{wi, 3}]
+		adaptiveMR := cell(wi, 3)
 		rel := 0.0
 		if bestFixed > 0 {
 			rel = adaptiveMR / bestFixed
 		}
 		t.AddRow(wl.name,
-			results[cellKey{wi, 0}], results[cellKey{wi, 1}],
-			results[cellKey{wi, 2}], adaptiveMR, rel)
+			cell(wi, 0), cell(wi, 1), cell(wi, 2), adaptiveMR, rel)
 		if adaptiveMR > 2.0*bestFixed+0.02 {
 			r.Failf("%s: adaptive %.4f vs best fixed %.4f", wl.name, adaptiveMR, bestFixed)
 		}
@@ -115,12 +112,12 @@ func AdaptiveStudy(k, B int, seed int64) *Report {
 		for wi := range wls {
 			bestFixed := 1.0
 			for sj := 0; sj < 3; sj++ {
-				if v := results[cellKey{wi, sj}]; v < bestFixed {
+				if v := cell(wi, sj); v < bestFixed {
 					bestFixed = v
 				}
 			}
 			if bestFixed > 0 {
-				if rel := results[cellKey{wi, si}] / bestFixed; rel > worstRel {
+				if rel := cell(wi, si) / bestFixed; rel > worstRel {
 					worstRel = rel
 				}
 			}

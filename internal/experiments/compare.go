@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"gccache/internal/cachesim"
 	"gccache/internal/core"
@@ -118,7 +117,6 @@ func PolicyShootout(k, B int, seed int64) *Report {
 	// Per-worker pooled caches, lazily built per policy and reset (and
 	// reseeded, for randomized policies) before each reuse, so a worker
 	// replays all its cells without reconstructing a single policy.
-	var mu sync.Mutex
 	cachesim.Sweep(len(cells), 0, func() []cachesim.Cache {
 		return make([]cachesim.Cache, len(builders))
 	}, func(ci int, pool []cachesim.Cache) {
@@ -143,9 +141,7 @@ func PolicyShootout(k, B int, seed int64) *Report {
 	lowerPerAccess := make([]float64, len(wls))
 	cachesim.ParallelFor(len(wls), 0, func(wi int) {
 		lb := opt.BlockLowerBound(wls[wi].tr, geo, k)
-		mu.Lock()
 		lowerPerAccess[wi] = float64(lb) / float64(len(wls[wi].tr))
-		mu.Unlock()
 	})
 	for wi, wl := range wls {
 		row := []any{wl.name}

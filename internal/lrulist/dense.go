@@ -81,6 +81,8 @@ func NewDense[K UintID](universe int) *Dense[K] {
 func (d *Dense[K]) Universe() int { return len(d.links) - denseSentinels }
 
 // slot maps a key to its link index, panicking on out-of-universe keys.
+//
+//gclint:hotpath
 func (d *Dense[K]) slot(k K) int32 {
 	s := uint64(k) + denseSentinels
 	if s >= uint64(len(d.links)) {
@@ -93,10 +95,14 @@ func (d *Dense[K]) slot(k K) int32 {
 func (d *Dense[K]) Len() int { return d.count }
 
 // Contains reports whether k is in the list.
+//
+//gclint:hotpath
 func (d *Dense[K]) Contains(k K) bool { return d.links[d.slot(k)].next != 0 }
 
 // PushFront inserts k at the MRU position. If k is already present it is
 // promoted instead. It returns true if k was newly inserted.
+//
+//gclint:hotpath
 func (d *Dense[K]) PushFront(k K) bool {
 	s := d.slot(k)
 	if d.links[s].next != 0 {
@@ -111,6 +117,8 @@ func (d *Dense[K]) PushFront(k K) bool {
 
 // PushBack inserts k at the LRU position. If k is already present it is
 // demoted to the LRU position. It returns true if k was newly inserted.
+//
+//gclint:hotpath
 func (d *Dense[K]) PushBack(k K) bool {
 	s := d.slot(k)
 	if d.links[s].next != 0 {
@@ -125,6 +133,8 @@ func (d *Dense[K]) PushBack(k K) bool {
 
 // MoveToFront promotes k to the MRU position. It reports whether k was
 // present.
+//
+//gclint:hotpath
 func (d *Dense[K]) MoveToFront(k K) bool {
 	s := d.slot(k)
 	if d.links[s].next == 0 {
@@ -136,6 +146,8 @@ func (d *Dense[K]) MoveToFront(k K) bool {
 }
 
 // Remove deletes k and reports whether it was present.
+//
+//gclint:hotpath
 func (d *Dense[K]) Remove(k K) bool {
 	s := d.slot(k)
 	if d.links[s].next == 0 {
@@ -148,6 +160,8 @@ func (d *Dense[K]) Remove(k K) bool {
 }
 
 // Back returns the LRU key. ok is false if the list is empty.
+//
+//gclint:hotpath
 func (d *Dense[K]) Back() (k K, ok bool) {
 	if d.count == 0 {
 		return k, false
@@ -156,6 +170,8 @@ func (d *Dense[K]) Back() (k K, ok bool) {
 }
 
 // Front returns the MRU key. ok is false if the list is empty.
+//
+//gclint:hotpath
 func (d *Dense[K]) Front() (k K, ok bool) {
 	if d.count == 0 {
 		return k, false
@@ -165,6 +181,8 @@ func (d *Dense[K]) Front() (k K, ok bool) {
 
 // PopBack removes and returns the LRU key. ok is false if the list is
 // empty.
+//
+//gclint:hotpath
 func (d *Dense[K]) PopBack() (k K, ok bool) {
 	if d.count == 0 {
 		return k, false
@@ -209,6 +227,7 @@ func (d *Dense[K]) Clear() {
 	d.count = 0
 }
 
+//gclint:hotpath
 func (d *Dense[K]) linkFront(s int32) {
 	first := d.links[denseHead].next
 	d.links[s] = denseLink{prev: denseHead, next: first}
@@ -216,6 +235,7 @@ func (d *Dense[K]) linkFront(s int32) {
 	d.links[denseHead].next = s
 }
 
+//gclint:hotpath
 func (d *Dense[K]) linkBack(s int32) {
 	last := d.links[denseTail].prev
 	d.links[s] = denseLink{prev: last, next: denseTail}
@@ -223,6 +243,7 @@ func (d *Dense[K]) linkBack(s int32) {
 	d.links[denseTail].prev = s
 }
 
+//gclint:hotpath
 func (d *Dense[K]) unlink(s int32) {
 	l := d.links[s]
 	d.links[l.prev].next = l.next

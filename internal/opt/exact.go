@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"slices"
 
 	"gccache/internal/model"
 	"gccache/internal/trace"
@@ -135,9 +136,17 @@ func pruneDominated(states map[uint32]int64) map[uint32]int64 {
 		mask uint32
 		cost int64
 	}
-	list := make([]st, 0, len(states))
-	for m, c := range states {
-		list = append(list, st{m, c})
+	// Materialize in sorted mask order: the equal-cost superset tie-break
+	// below compares list positions, so list order must not depend on map
+	// iteration order for the surviving set to be deterministic.
+	masks := make([]uint32, 0, len(states))
+	for m := range states {
+		masks = append(masks, m) //gclint:orderok collected set is sorted below before use
+	}
+	slices.Sort(masks)
+	list := make([]st, 0, len(masks))
+	for _, m := range masks {
+		list = append(list, st{m, states[m]})
 	}
 	out := make(map[uint32]int64, len(list))
 	for i, a := range list {

@@ -142,6 +142,8 @@ func (c *BlockLRU) Access(it model.Item) cachesim.Access {
 
 // accessDense is Access on the bitset representation; decisions and
 // reported net changes are identical to the generic path.
+//
+//gclint:hotpath
 func (c *BlockLRU) accessDense(it model.Item) cachesim.Access {
 	if c.presentBits[it] {
 		c.order.MoveToFront(c.geo.BlockOf(it))
@@ -191,6 +193,8 @@ func (c *BlockLRU) dropBlock(blk model.Block, items []model.Item) {
 
 // dropBlockDense evicts blk, deriving its resident set from the bitset:
 // blocks are disjoint, so exactly the set items of blk belong to it.
+//
+//gclint:hotpath
 func (c *BlockLRU) dropBlockDense(blk model.Block) {
 	c.scratch = model.AppendItemsOf(c.geo, c.scratch[:0], blk)
 	for _, x := range c.scratch {

@@ -55,6 +55,8 @@ func NewItemLRUBounded(k, universe int) *ItemLRU {
 func (c *ItemLRU) Name() string { return "item-lru" }
 
 // Access implements cachesim.Cache.
+//
+//gclint:hotpath
 func (c *ItemLRU) Access(it model.Item) cachesim.Access {
 	if c.order.MoveToFront(it) {
 		return cachesim.Access{Hit: true}
