@@ -11,10 +11,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 
 	"gccache"
 	"gccache/internal/adversary"
+	"gccache/internal/cli"
 	"gccache/internal/model"
 )
 
@@ -30,6 +30,7 @@ func main() {
 		p      = flag.Float64("p", 2, "locality exponent for -construction locality")
 		seed   = flag.Int64("seed", 1, "seed for randomized policies")
 	)
+	cli.SetUsage("gcadversary", "drive a lower-bound adversary construction against a live policy")
 	flag.Parse()
 
 	geo := model.NewFixed(*B)
@@ -92,7 +93,4 @@ func report(res adversary.Result, err error) {
 	fmt.Println(res)
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "gcadversary: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("gcadversary", err) }

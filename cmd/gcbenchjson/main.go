@@ -22,6 +22,8 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+
+	"gccache/internal/cli"
 )
 
 // Result holds one benchmark's figures. BytesPerOp/AllocsPerOp are -1
@@ -73,6 +75,7 @@ func parse(r *bufio.Scanner) (map[string]Result, error) {
 
 func main() {
 	outPath := flag.String("out", "BENCH_baseline.json", "snapshot file to write (pre_change preserved if present)")
+	cli.SetUsage("gcbenchjson", "convert go test -bench output on stdin into a stable JSON snapshot")
 	flag.Parse()
 
 	cur, err := parse(bufio.NewScanner(os.Stdin))

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"gccache/internal/bounds"
+	"gccache/internal/cli"
 	"gccache/internal/experiments"
 	"gccache/internal/render"
 )
@@ -28,6 +29,7 @@ func main() {
 		points   = flag.Int("points", 60, "sweep points (figures)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of text")
 	)
+	cli.SetUsage("gcbounds", "print the paper's analytic tables and bound curves as text or CSV")
 	flag.Parse()
 
 	if *artifact == "list" {
@@ -79,7 +81,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "gcbounds: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("gcbounds", err) }

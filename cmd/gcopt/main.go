@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"gccache/internal/cli"
 	"gccache/internal/model"
 	"gccache/internal/opt"
 	"gccache/internal/trace"
@@ -29,6 +30,7 @@ func main() {
 		exact     = flag.Bool("exact", false,
 			"force the exact exponential solver (requires a small distinct-item universe)")
 	)
+	cli.SetUsage("gcopt", "bracket the offline-optimal miss count for a trace")
 	flag.Parse()
 
 	var tr trace.Trace
@@ -77,7 +79,4 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "gcopt: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("gcopt", err) }

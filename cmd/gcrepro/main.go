@@ -15,6 +15,7 @@ import (
 	"os"
 	"time"
 
+	"gccache/internal/cli"
 	"gccache/internal/experiments"
 )
 
@@ -23,6 +24,7 @@ func main() {
 		out   = flag.String("out", "results", "output directory")
 		quick = flag.Bool("quick", false, "reduced scales (CI-friendly)")
 	)
+	cli.SetUsage("gcrepro", "regenerate every paper artifact and validation experiment into an output directory")
 	flag.Parse()
 
 	failures := 0

@@ -15,7 +15,9 @@ import (
 	"strings"
 
 	"gccache"
+	"gccache/internal/cli"
 	"gccache/internal/model"
+	"gccache/internal/obs"
 	"gccache/internal/opt"
 	"gccache/internal/render"
 	"gccache/internal/trace"
@@ -32,7 +34,9 @@ func main() {
 		traceFile = flag.String("trace", "", "read a gctrace binary file instead of generating a workload")
 		seed      = flag.Int64("seed", 1, "workload / policy seed")
 		optimal   = flag.Bool("opt", true, "also compute the offline-optimum bracket")
+		probeSpec = flag.String("probe", "", "attach probes and dump their view per policy; "+obs.SpecHelp)
 	)
+	cli.SetUsage("gcsim", "replay a workload through GC caching policies and report hit/miss statistics")
 	flag.Parse()
 
 	var tr trace.Trace
@@ -82,12 +86,29 @@ func main() {
 		Title:   fmt.Sprintf("k=%d, B=%d", *k, *B),
 		Headers: []string{"policy", "misses", "miss-ratio", "temporal-hits", "spatial-hits", "items-loaded"},
 	}
+	// With -probe, each policy runs instrumented and its suite's view is
+	// dumped after the summary table.
+	type probedRun struct {
+		policy string
+		suite  *gccache.ProbeSuite
+	}
+	var dumps []probedRun
 	for _, name := range names {
 		mk, ok := builders[strings.TrimSpace(name)]
 		if !ok {
 			fatal(fmt.Errorf("unknown policy %q", name))
 		}
-		st := gccache.RunCold(mk(), tr)
+		var st gccache.Stats
+		if *probeSpec != "" {
+			suite, serr := gccache.NewProbeSuite(*probeSpec, 0)
+			if serr != nil {
+				fatal(serr)
+			}
+			st = gccache.RunColdProbed(mk(), tr, suite)
+			dumps = append(dumps, probedRun{policy: st.Policy, suite: suite})
+		} else {
+			st = gccache.RunCold(mk(), tr)
+		}
 		t.AddRow(st.Policy, st.Misses, st.MissRatio(), st.TemporalHits, st.SpatialHits, st.ItemsLoaded)
 	}
 	if *optimal {
@@ -98,9 +119,12 @@ func main() {
 	if err := t.WriteText(os.Stdout); err != nil {
 		fatal(err)
 	}
+	for _, d := range dumps {
+		fmt.Printf("\n==== probes: %s ====\n", d.policy)
+		if _, err := d.suite.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "gcsim: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("gcsim", err) }

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"os"
 
+	"gccache/internal/cli"
 	"gccache/internal/locality"
 	"gccache/internal/model"
+	"gccache/internal/obs"
 	"gccache/internal/render"
 	"gccache/internal/trace"
 	"gccache/internal/workload"
@@ -29,7 +31,9 @@ func main() {
 		seed   = flag.Int64("seed", 1, "generator seed")
 		format = flag.String("format", "binary", "trace file format: binary or text (one item ID per line)")
 		mrc    = flag.Bool("mrc", false, "also print exact LRU miss-ratio curves (item and block granularity)")
+		reuse  = flag.Bool("reuse", false, "also print reuse-distance histograms of the raw trace (item and block granularity)")
 	)
+	cli.SetUsage("gctrace", "generate synthetic traces to binary files and inspect existing ones")
 	flag.Parse()
 
 	var tr trace.Trace
@@ -102,6 +106,27 @@ func main() {
 	fmt.Printf("aggregate spatial locality f/g: %.3f (1 = none, B = maximal)\n",
 		locality.SpatialLocalityRatio(f, g))
 
+	if *reuse {
+		// Profile the raw trace's reuse structure directly — no cache
+		// involved — at both granularities. Item-level distances explain
+		// temporal locality; block-level distances explain what a block
+		// cache can exploit.
+		items := obs.NewReuseDist(0)
+		blocks := obs.NewReuseDist(0)
+		for _, it := range tr {
+			items.Note(it)
+			blocks.Note(model.Item(geo.BlockOf(it)))
+		}
+		fmt.Println("\n== reuse distances, item granularity ==")
+		if _, err := items.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+		fmt.Println("\n== reuse distances, block granularity ==")
+		if _, err := blocks.WriteTo(os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+
 	if *mrc {
 		sizes := locality.GeometricLengths(1 << 20)
 		itemCurve := locality.MissRatioCurve(tr, sizes)
@@ -123,10 +148,7 @@ func main() {
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "gctrace: %v\n", err)
-	os.Exit(1)
-}
+func fatal(err error) { cli.Fatal("gctrace", err) }
 
 func min(a, b int) int {
 	if a < b {

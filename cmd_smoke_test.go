@@ -13,7 +13,7 @@ import (
 // (each invocation pays a `go run` compile).
 func TestCommandSmoke(t *testing.T) {
 	if testing.Short() {
-		t.Skip("smoke test compiles all six binaries")
+		t.Skip("smoke test compiles all eight binaries")
 	}
 	dir := t.TempDir()
 	traceFile := filepath.Join(dir, "t.gct")
@@ -30,6 +30,13 @@ func TestCommandSmoke(t *testing.T) {
 		{"gcopt", []string{"run", "./cmd/gcopt", "-workload", "blockruns:blocks=4,B=4,run=2,len=40", "-k", "8", "-B", "4"}, "exact GC optimum"},
 		{"gcadversary", []string{"run", "./cmd/gcadversary", "-construction", "thm2", "-policy", "item-lru", "-k", "128", "-h", "33", "-B", "8", "-phases", "5"}, "ratio"},
 		{"gcrepro-quick-table1-only", []string{"run", "./cmd/gcbounds", "-artifact", "table2"}, "Fault-rate"},
+		{"gcsim-probe", []string{"run", "./cmd/gcsim", "-k", "128", "-B", "8",
+			"-workload", "blockruns:blocks=32,B=8,run=4,len=4000", "-policy", "iblp",
+			"-opt=false", "-probe", "counters,reuse"}, "==== probes: iblp("},
+		{"gctrace-reuse", []string{"run", "./cmd/gctrace", "-workload", "cyclic:n=64,len=2000",
+			"-B", "8", "-reuse"}, "reuse distances, block granularity"},
+		{"gcserve-selfcheck", []string{"run", "./cmd/gcserve", "-selfcheck", "-k", "128", "-B", "8",
+			"-workload", "blockruns:blocks=32,B=8,run=4,len=4000", "-policy", "iblp"}, "selfcheck ok"},
 	}
 	for _, c := range cases {
 		c := c
@@ -43,6 +50,53 @@ func TestCommandSmoke(t *testing.T) {
 			}
 			if !strings.Contains(string(out), c.want) {
 				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+		})
+	}
+}
+
+// TestCommandUsage runs every CLI with -h and asserts the uniform
+// usage banner plus a mention of every registered flag. Catches both
+// drift in internal/cli.SetUsage wiring and flags added without help
+// text. Skipped under -short for the same compile-cost reason.
+func TestCommandUsage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("usage test compiles all eight binaries")
+	}
+	cmds := map[string][]string{
+		"gcadversary": {"construction", "policy", "k", "h", "B", "phases", "p", "seed"},
+		"gcbenchjson": {"out"},
+		"gcbounds":    {"artifact", "k", "h", "B", "size", "points", "csv"},
+		"gcopt":       {"workload", "trace", "k", "B", "seed", "exact"},
+		"gcrepro":     {"out", "quick"},
+		"gcserve": {"addr", "k", "B", "policy", "workload", "trace", "seed",
+			"shards", "streams", "probe", "loop", "rate", "duration", "selfcheck"},
+		"gcsim":   {"k", "B", "policy", "workload", "trace", "seed", "opt", "probe"},
+		"gctrace": {"workload", "out", "in", "B", "seed", "format", "mrc", "reuse"},
+	}
+	for name, flags := range cmds {
+		name, flags := name, flags
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./cmd/"+name, "-h")
+			cmd.Dir = "."
+			cmd.Env = os.Environ()
+			// flag's -h handling may exit 0 or nonzero depending on the
+			// command; only the printed usage text matters here.
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				if _, ok := err.(*exec.ExitError); !ok {
+					t.Fatalf("go run ./cmd/%s -h: %v\n%s", name, err, out)
+				}
+			}
+			text := string(out)
+			if !strings.Contains(text, "usage: "+name) {
+				t.Errorf("missing uniform usage banner %q:\n%s", "usage: "+name, text)
+			}
+			for _, f := range flags {
+				if !strings.Contains(text, "-"+f) {
+					t.Errorf("usage output does not mention flag -%s:\n%s", f, text)
+				}
 			}
 		})
 	}

@@ -30,6 +30,7 @@ import (
 	"gccache/internal/hierarchy"
 	"gccache/internal/locality"
 	"gccache/internal/model"
+	"gccache/internal/obs"
 	"gccache/internal/opt"
 	"gccache/internal/policy"
 	"gccache/internal/trace"
@@ -90,10 +91,50 @@ func RunColdBounded(c Cache, tr Trace, universe int) Stats {
 	return cachesim.RunColdBounded(c, tr, universe)
 }
 
+// Observability (internal/obs; see DESIGN.md, "Observability").
+type (
+	// Probe consumes per-access observability events. Attaching one costs
+	// a nil check per emission site; attaching none costs nothing.
+	Probe = obs.Probe
+	// ProbeEvent is one observability event (kind, item, block, magnitude).
+	ProbeEvent = obs.Event
+	// ProbeSuite bundles the ready-made probes — counters, histograms,
+	// event log, miss curve — behind one Probe with text/CSV export.
+	ProbeSuite = obs.Suite
+)
+
+// NewProbeSuite parses a probe spec (see obs.SpecHelp: "counters,
+// events=64, reuse, ...") into a bundled probe; universe > 0 puts the
+// per-item trackers on flat allocation-free tables.
+func NewProbeSuite(spec string, universe int) (*ProbeSuite, error) {
+	return obs.NewSuite(spec, universe)
+}
+
+// RunProbed and RunColdProbed are Run and RunCold with p attached to
+// both the policy (when it implements cachesim.Instrumented — all
+// paper policies do) and the recorder, yielding the complete two-view
+// event stream. The probe is detached from the cache afterwards.
+func RunProbed(c Cache, tr Trace, p Probe) Stats {
+	return cachesim.RunProbed(c, tr, p)
+}
+func RunColdProbed(c Cache, tr Trace, p Probe) Stats {
+	return cachesim.RunColdProbed(c, tr, p)
+}
+
+// SweepStats collects per-worker chunk/index/timing statistics from
+// SweepObserved.
+type SweepStats = cachesim.SweepStats
+
 // Sweep runs fn(i) for i in [0, n) on a pool of workers with per-worker
 // reusable state (chunked work-stealing; workers ≤ 0 means GOMAXPROCS).
 func Sweep[W any](n, workers int, newWorker func() W, fn func(i int, w W)) {
 	cachesim.Sweep(n, workers, newWorker, fn)
+}
+
+// SweepObserved is Sweep with per-worker engine statistics recorded
+// into st (pass nil to observe nothing — then it is exactly Sweep).
+func SweepObserved[W any](n, workers int, st *SweepStats, newWorker func() W, fn func(i int, w W)) {
+	cachesim.SweepObserved(n, workers, st, newWorker, fn)
 }
 
 // SweepCaches is Sweep with one pooled Cache per worker, Reset before

@@ -1,0 +1,71 @@
+package hotfixture
+
+import "fmt"
+
+// The probe-emission fixtures mirror internal/obs: event is a plain
+// value struct, probe's Observe takes the concrete event type (never
+// interface{}), and every emission site is nil-guarded. This is the
+// sanctioned zero-cost-when-nil observability shape.
+
+type event struct {
+	kind uint8
+	item uint64
+	n    int32
+}
+
+type probe interface{ observe(e event) }
+
+type probedCache struct {
+	cache
+	probe probe
+}
+
+// probeEmit is the sanctioned pattern: one nil check, a value-struct
+// event, a concrete-typed method parameter — no boxing, no allocation,
+// no diagnostics.
+//
+//gclint:hotpath
+func (c *probedCache) probeEmit(it uint64) bool {
+	if c.probe != nil {
+		c.probe.observe(event{kind: 1, item: it})
+	}
+	return true
+}
+
+// probeEmitLoop fans per-item events from a reused field buffer —
+// ranging over the field and emitting value structs stays clean.
+//
+//gclint:hotpath
+func (c *probedCache) probeEmitLoop(it uint64) {
+	if c.probe == nil {
+		return
+	}
+	c.probe.observe(event{kind: 2, item: it, n: int32(len(c.loaded))})
+	for _, x := range c.loaded {
+		c.probe.observe(event{kind: 3, item: x})
+	}
+}
+
+// probeFormats builds a human-readable message per event — rendering
+// belongs in the probe (the paid path), never at the emission site.
+//
+//gclint:hotpath
+func (c *probedCache) probeFormats(it uint64) {
+	if c.probe != nil {
+		_ = fmt.Sprintf("hit item %d", it) // want `hot path calls fmt.Sprintf`
+		c.probe.observe(event{kind: 1, item: it})
+	}
+}
+
+// probeDeferredEmit queues a capturing closure instead of emitting the
+// event inline — the closure and its captures are heap-allocated per
+// access.
+//
+//gclint:hotpath
+func (c *probedCache) probeDeferredEmit(it uint64, queue *[]func()) {
+	if c.probe != nil {
+		*queue = append(*queue, func() { // want `hot path closure captures c`
+			c.probe.observe(event{kind: 1, item: it})
+		})
+	}
+}

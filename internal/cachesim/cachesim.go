@@ -9,11 +9,13 @@ package cachesim
 
 import (
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"gccache/internal/model"
+	"gccache/internal/obs"
 	"gccache/internal/trace"
 )
 
@@ -49,6 +51,13 @@ type Cache interface {
 	Capacity() int
 	// Reset empties the cache and clears policy state.
 	Reset()
+}
+
+// Instrumented is implemented by caches that can attach an obs.Probe.
+// SetProbe(nil) detaches; implementations must keep the nil fast path
+// allocation-free (the zero-cost-when-nil rule, see internal/obs).
+type Instrumented interface {
+	SetProbe(p obs.Probe)
 }
 
 // Stats aggregates the outcome of running a trace through a cache.
@@ -123,6 +132,95 @@ type Recorder struct {
 	// pristineBits is the bounded-universe bitset replacement for
 	// pristine; nil on the generic path.
 	pristineBits []bool
+
+	// probe, when attached, receives the recorder-view event stream
+	// (EvHitTemporal / EvHitSpatial / EvMiss); nil costs one branch.
+	probe obs.Probe
+
+	// Streaming distribution state (fixed-size, updated O(1) per access,
+	// never allocating): gaps between misses and items per block load.
+	sinceMiss int64
+	gapHist   logHist
+	burstHist logHist
+}
+
+// SetProbe attaches p to receive the recorder-view event stream
+// (nil detaches). The probe does not affect the accumulated Stats.
+func (r *Recorder) SetProbe(p obs.Probe) { r.probe = p }
+
+// MissGapPercentile returns the streaming q-quantile (q in [0,1]) of
+// the number of accesses between successive misses — the fault rate of
+// §7 seen as a distribution rather than a mean. The estimate is the
+// lower bound of the log₂ bucket where the cumulative count crosses q
+// (off by at most 2×); it costs O(1) memory regardless of run length.
+func (r *Recorder) MissGapPercentile(q float64) int64 { return r.gapHist.percentile(q) }
+
+// MissGapMean returns the exact mean inter-miss gap (0 if no misses).
+func (r *Recorder) MissGapMean() float64 { return r.gapHist.mean() }
+
+// LoadBurstPercentile returns the streaming q-quantile of items brought
+// in per unit-cost block load (1 = no free siblings, up to B).
+func (r *Recorder) LoadBurstPercentile(q float64) int64 { return r.burstHist.percentile(q) }
+
+// LoadBurstMean returns the exact mean items per block load.
+func (r *Recorder) LoadBurstMean() float64 { return r.burstHist.mean() }
+
+// logHist is a fixed-size log₂-bucketed histogram: value v lands in
+// bucket bits.Len64(v). It is the allocation-free streaming-percentile
+// core shared by the recorder's always-on distribution stats (the
+// attachable, synchronized variant is obs.Histogram).
+type logHist struct {
+	buckets [65]int64
+	count   int64
+	sum     int64
+	max     int64
+}
+
+//gclint:hotpath
+func (h *logHist) record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+func (h *logHist) mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+func (h *logHist) percentile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(h.count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, n := range h.buckets {
+		cum += n
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return int64(1) << (i - 1)
+		}
+	}
+	return h.max
 }
 
 // NewRecorder returns a Recorder for the named policy.
@@ -155,19 +253,32 @@ func (r *Recorder) Observe(it model.Item, a Access) {
 		return
 	}
 	r.stats.Accesses++
+	r.sinceMiss++
 	if a.Hit {
 		r.stats.Hits++
 		if _, ok := r.pristine[it]; ok {
 			r.stats.SpatialHits++
 			delete(r.pristine, it)
+			if r.probe != nil {
+				r.probe.Observe(obs.Event{Kind: obs.EvHitSpatial, Item: it})
+			}
 		} else {
 			r.stats.TemporalHits++
+			if r.probe != nil {
+				r.probe.Observe(obs.Event{Kind: obs.EvHitTemporal, Item: it})
+			}
 		}
 		return
 	}
 	r.stats.Misses++
 	r.stats.ItemsLoaded += int64(len(a.Loaded))
 	r.stats.Evictions += int64(len(a.Evicted))
+	r.gapHist.record(r.sinceMiss)
+	r.sinceMiss = 0
+	r.burstHist.record(int64(len(a.Loaded)))
+	if r.probe != nil {
+		r.probe.Observe(obs.Event{Kind: obs.EvMiss, Item: it})
+	}
 	for _, v := range a.Evicted {
 		delete(r.pristine, v)
 	}
@@ -186,19 +297,32 @@ func (r *Recorder) Observe(it model.Item, a Access) {
 //gclint:hotpath
 func (r *Recorder) observeBounded(it model.Item, a Access) {
 	r.stats.Accesses++
+	r.sinceMiss++
 	if a.Hit {
 		r.stats.Hits++
 		if r.pristineBits[it] {
 			r.stats.SpatialHits++
 			r.pristineBits[it] = false
+			if r.probe != nil {
+				r.probe.Observe(obs.Event{Kind: obs.EvHitSpatial, Item: it})
+			}
 		} else {
 			r.stats.TemporalHits++
+			if r.probe != nil {
+				r.probe.Observe(obs.Event{Kind: obs.EvHitTemporal, Item: it})
+			}
 		}
 		return
 	}
 	r.stats.Misses++
 	r.stats.ItemsLoaded += int64(len(a.Loaded))
 	r.stats.Evictions += int64(len(a.Evicted))
+	r.gapHist.record(r.sinceMiss)
+	r.sinceMiss = 0
+	r.burstHist.record(int64(len(a.Loaded)))
+	if r.probe != nil {
+		r.probe.Observe(obs.Event{Kind: obs.EvMiss, Item: it})
+	}
 	for _, v := range a.Evicted {
 		r.pristineBits[v] = false
 	}
@@ -216,9 +340,12 @@ func (r *Recorder) observeBounded(it model.Item, a Access) {
 func (r *Recorder) Stats() Stats { return r.stats }
 
 // Reset clears the Recorder for reuse under a (possibly new) policy name,
-// retaining allocated tracking state.
+// retaining allocated tracking state and any attached probe.
 func (r *Recorder) Reset(policy string) {
 	r.stats = Stats{Policy: policy}
+	r.sinceMiss = 0
+	r.gapHist = logHist{}
+	r.burstHist = logHist{}
 	if r.pristineBits != nil {
 		clear(r.pristineBits)
 		return
@@ -391,6 +518,48 @@ func RunColdBounded(c Cache, tr trace.Trace, universe int) Stats {
 	return RunBounded(c, tr, universe)
 }
 
+// RunProbed replays tr through c with the probe p attached to both the
+// policy (when it implements Instrumented) and the Recorder, so p sees
+// the complete event stream: policy-view layer hits, block loads, item
+// loads/evictions, marks and rebalances, plus the recorder-view
+// temporal/spatial/miss classification. The probe is detached from the
+// cache before returning. Statistics are identical to Run's — probes
+// observe, they never steer (the differential tests assert this).
+func RunProbed(c Cache, tr trace.Trace, p obs.Probe) Stats {
+	return runProbed(c, tr, p, NewRecorder(c.Name()))
+}
+
+// RunColdProbed resets c and then replays tr with p attached.
+func RunColdProbed(c Cache, tr trace.Trace, p obs.Probe) Stats {
+	c.Reset()
+	return RunProbed(c, tr, p)
+}
+
+// RunProbedBounded is RunProbed with a bounded-universe Recorder (see
+// RunBounded for the universe contract).
+func RunProbedBounded(c Cache, tr trace.Trace, universe int, p obs.Probe) Stats {
+	return runProbed(c, tr, p, NewRecorderBounded(c.Name(), universe))
+}
+
+// RunColdProbedBounded resets c and then replays tr with p attached and
+// a bounded Recorder.
+func RunColdProbedBounded(c Cache, tr trace.Trace, universe int, p obs.Probe) Stats {
+	c.Reset()
+	return RunProbedBounded(c, tr, universe, p)
+}
+
+func runProbed(c Cache, tr trace.Trace, p obs.Probe, rec *Recorder) Stats {
+	if in, ok := c.(Instrumented); ok && p != nil {
+		in.SetProbe(p)
+		defer in.SetProbe(nil)
+	}
+	rec.SetProbe(p)
+	for _, it := range tr {
+		rec.Observe(it, c.Access(it))
+	}
+	return rec.Stats()
+}
+
 // ParallelFor runs fn(i) for i in [0, n) on up to workers goroutines
 // (GOMAXPROCS if workers <= 0). It is the sweep engine used by the
 // experiment harness; fn must be safe to call concurrently for distinct
@@ -416,7 +585,23 @@ func ParallelFor(n, workers int, fn func(i int)) {
 // are abandoned — and is re-raised on the caller's goroutine once every
 // worker has stopped.
 func Sweep[W any](n, workers int, newWorker func() W, fn func(i int, w W)) {
+	SweepObserved(n, workers, nil, newWorker, fn)
+}
+
+// SweepObserved is Sweep with engine observability: when st is non-nil
+// it is resized to one slot per launched worker and filled with that
+// worker's chunk ("steal") count, index count, and busy time, so grid
+// imbalance and stealing behaviour can be read off a run instead of
+// guessed. A nil st measures nothing and times nothing — Sweep calls
+// this with nil, so uninstrumented sweeps stay exactly as cheap as
+// before. The observed numbers are wall-clock measurements and vary run
+// to run; they must not feed any repro artifact (see the determinism
+// analyzer's rules).
+func SweepObserved[W any](n, workers int, st *SweepStats, newWorker func() W, fn func(i int, w W)) {
 	if n <= 0 {
+		if st != nil {
+			st.Workers = st.Workers[:0]
+		}
 		return
 	}
 	if workers <= 0 {
@@ -425,19 +610,42 @@ func Sweep[W any](n, workers int, newWorker func() W, fn func(i int, w W)) {
 	if workers > n {
 		workers = n
 	}
-	if workers <= 1 {
-		w := newWorker()
-		for i := 0; i < n; i++ {
-			fn(i, w)
-		}
-		return
-	}
 	// Chunks balance stealing granularity against counter contention:
 	// several chunks per worker so uneven grid points still spread, but
 	// far fewer atomic operations than one per index.
 	chunk := n / (workers * 4)
 	if chunk < 1 {
 		chunk = 1
+	}
+	if st != nil {
+		st.Workers = make([]SweepWorkerStats, workers)
+		st.Chunk = chunk
+	}
+	if workers <= 1 {
+		w := newWorker()
+		if st == nil {
+			for i := 0; i < n; i++ {
+				fn(i, w)
+			}
+			return
+		}
+		// Observed serial run: walk chunk by chunk so the recorded chunk
+		// count matches the engine's granularity.
+		slot := &st.Workers[0]
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			t0 := nowNano()
+			for i := start; i < end; i++ {
+				fn(i, w)
+			}
+			slot.Chunks++
+			slot.Indices += int64(end - start)
+			slot.BusyNanos += nowNano() - t0
+		}
+		return
 	}
 	var (
 		next      atomic.Int64
@@ -448,7 +656,7 @@ func Sweep[W any](n, workers int, newWorker func() W, fn func(i int, w W)) {
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
@@ -456,25 +664,42 @@ func Sweep[W any](n, workers int, newWorker func() W, fn func(i int, w W)) {
 					panicked.Store(true)
 				}
 			}()
-			st := newWorker()
-			for {
-				start := next.Add(int64(chunk)) - int64(chunk)
-				if start >= int64(n) || panicked.Load() {
-					return
-				}
-				end := start + int64(chunk)
-				if end > int64(n) {
-					end = int64(n)
-				}
-				for i := start; i < end; i++ {
-					fn(int(i), st)
-				}
-			}
-		}()
+			sweepWorker(n, chunk, &next, &panicked, st, worker, newWorker(), fn)
+		}(w)
 	}
 	wg.Wait()
 	if panicked.Load() {
 		panic(panicVal)
+	}
+}
+
+// sweepWorker drains chunks from the shared counter, recording
+// per-worker engine stats into its own st.Workers slot when observed.
+func sweepWorker[W any](n, chunk int, next *atomic.Int64, panicked *atomic.Bool,
+	st *SweepStats, worker int, w W, fn func(i int, w W)) {
+	for {
+		start := next.Add(int64(chunk)) - int64(chunk)
+		if start >= int64(n) || panicked.Load() {
+			return
+		}
+		end := start + int64(chunk)
+		if end > int64(n) {
+			end = int64(n)
+		}
+		if st == nil {
+			for i := start; i < end; i++ {
+				fn(int(i), w)
+			}
+			continue
+		}
+		t0 := nowNano()
+		for i := start; i < end; i++ {
+			fn(int(i), w)
+		}
+		slot := &st.Workers[worker]
+		slot.Chunks++
+		slot.Indices += end - start
+		slot.BusyNanos += nowNano() - t0
 	}
 }
 

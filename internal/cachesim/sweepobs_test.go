@@ -1,0 +1,63 @@
+package cachesim
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSweepObservedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		var st SweepStats
+		var hits atomic.Int64
+		seen := make([]atomic.Bool, 1000)
+		SweepObserved(len(seen), workers, &st, func() int { return 0 }, func(i int, _ int) {
+			if seen[i].Swap(true) {
+				t.Errorf("index %d visited twice", i)
+			}
+			hits.Add(1)
+		})
+		if hits.Load() != int64(len(seen)) {
+			t.Fatalf("workers=%d: %d calls, want %d", workers, hits.Load(), len(seen))
+		}
+		tot := st.Totals()
+		if tot.Indices != int64(len(seen)) {
+			t.Errorf("workers=%d: stats count %d indices, want %d", workers, tot.Indices, len(seen))
+		}
+		if tot.Chunks < int64(workers) {
+			t.Errorf("workers=%d: only %d chunks recorded", workers, tot.Chunks)
+		}
+		if len(st.Workers) != workers {
+			t.Errorf("workers=%d: %d worker slots", workers, len(st.Workers))
+		}
+		if st.Chunk < 1 {
+			t.Errorf("workers=%d: chunk %d", workers, st.Chunk)
+		}
+	}
+}
+
+func TestSweepObservedNilStatsAndEmpty(t *testing.T) {
+	n := 0
+	SweepObserved(100, 2, nil, func() *int { return &n }, func(i int, _ *int) {})
+	st := SweepStats{Workers: make([]SweepWorkerStats, 3)}
+	SweepObserved(0, 2, &st, func() int { return 0 }, func(i int, _ int) {
+		t.Error("fn called for empty range")
+	})
+	if len(st.Workers) != 0 {
+		t.Errorf("empty sweep left %d worker slots", len(st.Workers))
+	}
+}
+
+func TestSweepStatsString(t *testing.T) {
+	var st SweepStats
+	SweepObserved(256, 2, &st, func() int { return 0 }, func(i int, _ int) {})
+	s := st.String()
+	for _, want := range []string{"sweep: 2 workers", "worker 0:", "worker 1:", "total:", "imbalance="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	if im := st.Imbalance(); im != 0 && im < 1 {
+		t.Errorf("imbalance %v below 1 with nonzero busy time", im)
+	}
+}

@@ -1,0 +1,29 @@
+// Package cli holds the small conventions shared by every command in
+// cmd/: a uniform usage banner and a uniform fatal-error format
+// ("<name>: <error>" on stderr, exit 1), so the tools feel like one
+// suite. The cmd smoke test asserts both.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// SetUsage installs a uniform flag.Usage for the named command:
+//
+//	usage: <name> [flags]
+//	  <synopsis>
+//	<flag defaults>
+func SetUsage(name, synopsis string) {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags]\n  %s\n", name, synopsis)
+		flag.PrintDefaults()
+	}
+}
+
+// Fatal prints "<name>: <err>" to stderr and exits 1.
+func Fatal(name string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	os.Exit(1)
+}

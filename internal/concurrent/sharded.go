@@ -10,9 +10,11 @@ package concurrent
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"gccache/internal/cachesim"
 	"gccache/internal/model"
+	"gccache/internal/obs"
 	"gccache/internal/trace"
 )
 
@@ -23,12 +25,18 @@ type Sharded struct {
 	geo    model.Geometry
 	shards []shard
 	mask   uint64
+	probe  obs.Probe
 }
 
 type shard struct {
 	mu  sync.Mutex
 	c   cachesim.Cache
 	rec *cachesim.Recorder
+	// Lock-contention counters (atomics, not extra locks): acquired is
+	// every Access lock acquisition; contended counts the ones where the
+	// lock was already held and the caller had to wait.
+	acquired  atomic.Int64
+	contended atomic.Int64
 	// pad keeps shard headers off shared cache lines under contention.
 	_ [64]byte
 }
@@ -80,7 +88,11 @@ func (s *Sharded) Name() string {
 // Access implements cachesim.Cache; it is safe for concurrent use.
 func (s *Sharded) Access(it model.Item) cachesim.Access {
 	sh := s.shardOf(it)
-	sh.mu.Lock()
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.acquired.Add(1)
 	a := sh.c.Access(it)
 	sh.rec.Observe(it, a)
 	sh.mu.Unlock()
@@ -117,14 +129,57 @@ func (s *Sharded) Capacity() int {
 	return total
 }
 
-// Reset implements cachesim.Cache.
+// Reset implements cachesim.Cache. An attached probe survives the
+// reset; the contention counters restart at zero.
 func (s *Sharded) Reset() {
 	for i := range s.shards {
-		s.shards[i].mu.Lock()
-		s.shards[i].c.Reset()
-		s.shards[i].rec = cachesim.NewRecorder(s.shards[i].c.Name())
-		s.shards[i].mu.Unlock()
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.c.Reset()
+		sh.rec = cachesim.NewRecorder(sh.c.Name())
+		sh.rec.SetProbe(s.probe)
+		sh.acquired.Store(0)
+		sh.contended.Store(0)
+		sh.mu.Unlock()
 	}
+}
+
+// SetProbe implements cachesim.Instrumented, fanning the probe out to
+// every shard's policy (when instrumented) and recorder. The probe must
+// be safe for concurrent use — shards call it in parallel (every probe
+// in internal/obs is; a Suite can be shared across all shards).
+func (s *Sharded) SetProbe(p obs.Probe) {
+	s.probe = p
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		if in, ok := sh.c.(cachesim.Instrumented); ok {
+			in.SetProbe(p)
+		}
+		sh.rec.SetProbe(p)
+		sh.mu.Unlock()
+	}
+}
+
+// ShardLoad is one shard's lock-traffic snapshot.
+type ShardLoad struct {
+	Acquired  int64 // Access lock acquisitions
+	Contended int64 // acquisitions that found the lock held
+}
+
+// ShardLoads returns per-shard lock-contention counters (a snapshot;
+// exact only when quiescent). The contended/acquired ratio is the
+// direct measure of whether the shard count fits the offered
+// concurrency.
+func (s *Sharded) ShardLoads() []ShardLoad {
+	out := make([]ShardLoad, len(s.shards))
+	for i := range s.shards {
+		out[i] = ShardLoad{
+			Acquired:  s.shards[i].acquired.Load(),
+			Contended: s.shards[i].contended.Load(),
+		}
+	}
+	return out
 }
 
 // Stats merges the per-shard statistics (quiescent snapshot).

@@ -7,6 +7,7 @@ import (
 	"gccache/internal/cachesim"
 	"gccache/internal/core"
 	"gccache/internal/model"
+	"gccache/internal/obs"
 	"gccache/internal/policy"
 	"gccache/internal/trace"
 	"gccache/internal/workload"
@@ -218,4 +219,63 @@ func BenchmarkFlatMutexAccess(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// TestProbeShardedContention drives a probed Sharded with concurrent
+// streams and checks the lock-traffic counters and the fan-out probe
+// agree with the merged statistics.
+func TestProbeShardedContention(t *testing.T) {
+	geo := model.NewFixed(8)
+	s, err := NewSharded(4, 512, geo, func(per int) cachesim.Cache {
+		return core.NewIBLPEvenSplit(per, geo)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := obs.NewSuite("counters", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetProbe(suite)
+
+	tr, err := workload.FromSpec("blockruns:blocks=512,B=8,run=4,len=20000", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := Replay(s, SplitStreams(tr, 4))
+
+	loads := s.ShardLoads()
+	if len(loads) != 4 {
+		t.Fatalf("got %d shard loads, want 4", len(loads))
+	}
+	var acquired int64
+	for i, l := range loads {
+		acquired += l.Acquired
+		if l.Contended > l.Acquired {
+			t.Errorf("shard %d: contended %d > acquired %d", i, l.Contended, l.Acquired)
+		}
+	}
+	if acquired != stats.Accesses {
+		t.Errorf("lock acquisitions %d != accesses %d", acquired, stats.Accesses)
+	}
+	// Policy and recorder views each saw every access exactly once.
+	if got := suite.Counters.PolicyAccesses(); got != stats.Accesses {
+		t.Errorf("policy view counted %d, want %d", got, stats.Accesses)
+	}
+	if got := suite.Counters.RecorderAccesses(); got != stats.Accesses {
+		t.Errorf("recorder view counted %d, want %d", got, stats.Accesses)
+	}
+
+	// Reset keeps the probe attached and zeroes the counters.
+	s.Reset()
+	for _, l := range s.ShardLoads() {
+		if l.Acquired != 0 || l.Contended != 0 {
+			t.Error("Reset did not clear contention counters")
+		}
+	}
+	before := suite.Counters.PolicyAccesses()
+	s.Access(1)
+	if got := suite.Counters.PolicyAccesses(); got != before+1 {
+		t.Error("probe detached by Reset")
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"gccache/internal/cachesim"
 	"gccache/internal/lrulist"
 	"gccache/internal/model"
+	"gccache/internal/obs"
 )
 
 // AdaptiveIBLP extends IBLP with online partition adaptation — the
@@ -37,9 +38,13 @@ type AdaptiveIBLP struct {
 	loaded  []model.Item
 	evicted []model.Item
 	wantBuf []model.Item // scratch: block enumeration
+	probe   obs.Probe
 }
 
-var _ cachesim.Cache = (*AdaptiveIBLP)(nil)
+var (
+	_ cachesim.Cache        = (*AdaptiveIBLP)(nil)
+	_ cachesim.Instrumented = (*AdaptiveIBLP)(nil)
+)
 
 // NewAdaptiveIBLP returns an adaptive-partition IBLP of total capacity k
 // under g, starting from an even split. It panics if k < 2 or g is nil.
@@ -77,12 +82,21 @@ func (c *AdaptiveIBLP) Access(it model.Item) cachesim.Access {
 
 	if c.items.Contains(it) {
 		c.items.MoveToFront(it)
+		if c.probe != nil {
+			c.probe.Observe(obs.Event{Kind: obs.EvHitItemLayer, Item: it})
+		}
 		return cachesim.Access{Hit: true}
 	}
 	if _, ok := c.inBlock[it]; ok {
 		c.blocks.MoveToFront(blk)
 		c.admitItemLayer(it)
 		c.rebalance()
+		if c.probe != nil {
+			c.probe.Observe(obs.Event{Kind: obs.EvHitBlockLayer, Item: it, Block: blk})
+			for _, x := range c.evicted {
+				c.probe.Observe(obs.Event{Kind: obs.EvEvict, Item: x})
+			}
+		}
 		return cachesim.Access{Hit: true, Evicted: c.evicted}
 	}
 
@@ -100,18 +114,43 @@ func (c *AdaptiveIBLP) Access(it model.Item) cachesim.Access {
 	// just below a working-set cliff.
 	if c.ghostItems.Contains(it) {
 		c.ghostItems.Remove(it)
-		c.targetItem = minInt(maxItemTarget, c.targetItem+1)
+		c.setTargetItem(minInt(maxItemTarget, c.targetItem+1))
 	} else if c.ghostBlocks.Contains(blk) {
 		c.ghostBlocks.Remove(blk)
-		c.targetItem = maxInt(0, c.targetItem-1)
+		c.setTargetItem(maxInt(0, c.targetItem-1))
 	}
 
 	c.admitItemLayer(it)
 	c.admitBlockLayer(blk, it)
 	c.rebalance()
 	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
+	if c.probe != nil {
+		c.probe.Observe(obs.Event{Kind: obs.EvBlockLoad, Item: it, Block: blk, N: int32(len(c.loaded))})
+		for _, x := range c.loaded {
+			c.probe.Observe(obs.Event{Kind: obs.EvLoad, Item: x, Block: c.geo.BlockOf(x)})
+		}
+		for _, x := range c.evicted {
+			c.probe.Observe(obs.Event{Kind: obs.EvEvict, Item: x, Block: c.geo.BlockOf(x)})
+		}
+	}
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
+
+// setTargetItem moves the adaptive item-layer target, reporting the
+// vote to the probe as EvLayerResize with N = the new target.
+func (c *AdaptiveIBLP) setTargetItem(target int) {
+	if target == c.targetItem {
+		return
+	}
+	c.targetItem = target
+	if c.probe != nil {
+		c.probe.Observe(obs.Event{Kind: obs.EvLayerResize, N: int32(target)})
+	}
+}
+
+// SetProbe implements cachesim.Instrumented. A nil probe restores the
+// unobserved fast path.
+func (c *AdaptiveIBLP) SetProbe(p obs.Probe) { c.probe = p }
 
 func (c *AdaptiveIBLP) admitItemLayer(it model.Item) {
 	was := c.present(it)

@@ -6,6 +6,7 @@ import (
 
 	"gccache/internal/cachesim"
 	"gccache/internal/model"
+	"gccache/internal/obs"
 )
 
 // GCM is Granularity-Change Marking (§6.1), the paper's randomized
@@ -47,10 +48,12 @@ type GCM struct {
 	loaded  []model.Item
 	evicted []model.Item
 	sibs    []model.Item // scratch: shuffled sibling order
+	probe   obs.Probe
 }
 
 var _ cachesim.Cache = (*GCM)(nil)
 var _ cachesim.Reseeder = (*GCM)(nil)
+var _ cachesim.Instrumented = (*GCM)(nil)
 
 // NewGCM returns a GCM cache of capacity k under g with the given seed.
 // It panics if k < 1 or g is nil.
@@ -100,6 +103,9 @@ func (c *GCM) Name() string { return "gcm" }
 func (c *GCM) Access(it model.Item) cachesim.Access {
 	if c.contains(it) {
 		c.mark(it)
+		if c.probe != nil {
+			c.probe.Observe(obs.Event{Kind: obs.EvHit, Item: it})
+		}
 		return cachesim.Access{Hit: true}
 	}
 	c.loaded = c.loaded[:0]
@@ -133,8 +139,31 @@ func (c *GCM) Access(it model.Item) cachesim.Access {
 	// A random eviction may hit a sibling loaded earlier in this same
 	// access; report net changes only.
 	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
+	c.emitMiss(it)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
+
+// emitMiss reports a miss's net changes to the probe: the unit-cost
+// block load plus per-item load/evict events.
+//
+//gclint:hotpath
+func (c *GCM) emitMiss(it model.Item) {
+	if c.probe == nil {
+		return
+	}
+	blk := c.geo.BlockOf(it)
+	c.probe.Observe(obs.Event{Kind: obs.EvBlockLoad, Item: it, Block: blk, N: int32(len(c.loaded))})
+	for _, x := range c.loaded {
+		c.probe.Observe(obs.Event{Kind: obs.EvLoad, Item: x, Block: c.geo.BlockOf(x)})
+	}
+	for _, x := range c.evicted {
+		c.probe.Observe(obs.Event{Kind: obs.EvEvict, Item: x, Block: c.geo.BlockOf(x)})
+	}
+}
+
+// SetProbe implements cachesim.Instrumented. A nil probe restores the
+// unobserved fast path.
+func (c *GCM) SetProbe(p obs.Probe) { c.probe = p }
 
 // shuffledSiblings returns the non-requested items of it's block in a
 // random order, in a scratch slice valid until the next call.
@@ -213,7 +242,8 @@ func (c *GCM) contains(it model.Item) bool {
 	return ok
 }
 
-// mark marks a resident item (idempotent).
+// mark marks a resident item (idempotent); the probe sees EvMark only
+// when the mark state actually flips.
 //
 //gclint:hotpath
 func (c *GCM) mark(it model.Item) {
@@ -221,10 +251,19 @@ func (c *GCM) mark(it model.Item) {
 		if !c.markedBits[it] {
 			c.markedBits[it] = true
 			c.markedCount++
+			if c.probe != nil {
+				c.probe.Observe(obs.Event{Kind: obs.EvMark, Item: it})
+			}
 		}
 		return
 	}
+	if _, ok := c.marked[it]; ok {
+		return
+	}
 	c.marked[it] = struct{}{}
+	if c.probe != nil {
+		c.probe.Observe(obs.Event{Kind: obs.EvMark, Item: it})
+	}
 }
 
 //gclint:hotpath
@@ -245,7 +284,13 @@ func (c *GCM) markedLen() int {
 }
 
 // clearMarks unmarks every resident item (O(residents), not O(universe)).
+// The probe sees this as EvPhaseReset with N = marks dropped.
+//
+//gclint:hotpath
 func (c *GCM) clearMarks() {
+	if c.probe != nil {
+		c.probe.Observe(obs.Event{Kind: obs.EvPhaseReset, N: int32(c.markedLen())})
+	}
 	if c.markedBits != nil {
 		for _, x := range c.items {
 			c.markedBits[x] = false

@@ -11,6 +11,7 @@ import (
 	"gccache/internal/cachesim"
 	"gccache/internal/lrulist"
 	"gccache/internal/model"
+	"gccache/internal/obs"
 )
 
 // IBLP is Item-Block Layered Partitioning (§5.1): an Item Cache running
@@ -57,9 +58,13 @@ type IBLP struct {
 	evicted []model.Item
 	want    []model.Item // scratch: the item set being admitted
 	scratch []model.Item // scratch: victim-block enumeration (dense)
+	probe   obs.Probe
 }
 
-var _ cachesim.Cache = (*IBLP)(nil)
+var (
+	_ cachesim.Cache        = (*IBLP)(nil)
+	_ cachesim.Instrumented = (*IBLP)(nil)
+)
 
 // NewIBLP returns an IBLP cache with item layer i and block layer b under
 // geometry g. Either layer may be zero (i=0 degenerates to a Block Cache,
@@ -155,6 +160,9 @@ func (c *IBLP) Access(it model.Item) cachesim.Access {
 				c.blocks.MoveToFront(blk)
 			}
 		}
+		if c.probe != nil {
+			c.probe.Observe(obs.Event{Kind: obs.EvHitItemLayer, Item: it})
+		}
 		return cachesim.Access{Hit: true}
 	}
 
@@ -166,6 +174,12 @@ func (c *IBLP) Access(it model.Item) cachesim.Access {
 		// copy the item into the item layer (an internal move — free).
 		c.blocks.MoveToFront(blk)
 		c.admitItemLayer(it)
+		if c.probe != nil {
+			c.probe.Observe(obs.Event{Kind: obs.EvHitBlockLayer, Item: it, Block: blk})
+			for _, x := range c.evicted {
+				c.probe.Observe(obs.Event{Kind: obs.EvEvict, Item: x})
+			}
+		}
 		return cachesim.Access{Hit: true, Evicted: c.evicted}
 	}
 
@@ -178,8 +192,30 @@ func (c *IBLP) Access(it model.Item) cachesim.Access {
 	// Replacing a stale truncated block copy can evict and reload the
 	// same items within one step; report net changes only.
 	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
+	c.emitMiss(it, blk)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
+
+// emitMiss reports a full miss's net changes to the probe: the
+// unit-cost block load plus per-item load/evict events.
+//
+//gclint:hotpath
+func (c *IBLP) emitMiss(it model.Item, blk model.Block) {
+	if c.probe == nil {
+		return
+	}
+	c.probe.Observe(obs.Event{Kind: obs.EvBlockLoad, Item: it, Block: blk, N: int32(len(c.loaded))})
+	for _, x := range c.loaded {
+		c.probe.Observe(obs.Event{Kind: obs.EvLoad, Item: x, Block: c.geo.BlockOf(x)})
+	}
+	for _, x := range c.evicted {
+		c.probe.Observe(obs.Event{Kind: obs.EvEvict, Item: x, Block: c.geo.BlockOf(x)})
+	}
+}
+
+// SetProbe implements cachesim.Instrumented. A nil probe restores the
+// unobserved fast path.
+func (c *IBLP) SetProbe(p obs.Probe) { c.probe = p }
 
 // admitItemLayer inserts it at the item layer's MRU position, evicting
 // its LRU as needed, and maintains overall loaded/evicted accounting.

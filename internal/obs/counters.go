@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counters tallies events per kind with atomic counters — the cheapest
+// attachable probe (one atomic add per event, no locks, no allocation),
+// safe to share across shards and goroutines.
+type Counters struct {
+	n [numKinds]atomic.Int64
+	// itemsLoaded accumulates EvBlockLoad.N: total items brought in by
+	// unit-cost loads (≥ block loads; the surplus is free siblings).
+	itemsLoaded atomic.Int64
+}
+
+var _ Probe = (*Counters)(nil)
+
+// Observe implements Probe.
+func (c *Counters) Observe(e Event) {
+	c.n[e.Kind].Add(1)
+	if e.Kind == EvBlockLoad {
+		c.itemsLoaded.Add(int64(e.N))
+	}
+}
+
+// Get returns the count of events of kind k.
+func (c *Counters) Get(k Kind) int64 { return c.n[k].Load() }
+
+// ItemsLoaded returns the total items brought in by block loads.
+func (c *Counters) ItemsLoaded() int64 { return c.itemsLoaded.Load() }
+
+// PolicyHits returns hits in the policy view (all layers).
+func (c *Counters) PolicyHits() int64 {
+	return c.n[EvHit].Load() + c.n[EvHitItemLayer].Load() + c.n[EvHitBlockLayer].Load()
+}
+
+// PolicyMisses returns misses in the policy view: every miss costs
+// exactly one block load (Definition 1), so EvBlockLoad counts misses.
+func (c *Counters) PolicyMisses() int64 { return c.n[EvBlockLoad].Load() }
+
+// PolicyAccesses returns requests served in the policy view.
+func (c *Counters) PolicyAccesses() int64 { return c.PolicyHits() + c.PolicyMisses() }
+
+// RecorderAccesses returns requests served in the recorder view.
+func (c *Counters) RecorderAccesses() int64 {
+	return c.n[EvHitTemporal].Load() + c.n[EvHitSpatial].Load() + c.n[EvMiss].Load()
+}
+
+// Snapshot returns a consistent-enough copy of all per-kind counts
+// (each counter is read atomically; the vector is not a global
+// snapshot, which is fine for monitoring).
+func (c *Counters) Snapshot() [NumKinds]int64 {
+	var out [NumKinds]int64
+	for i := range out {
+		out[i] = c.n[i].Load()
+	}
+	return out
+}
+
+// Windowed tracks per-kind event counts per window of W policy-view (or
+// recorder-view, whichever arrives) request events, retaining the last R
+// completed windows in a ring — the "what happened recently" complement
+// to the monotone Counters. Memory is bounded by R windows.
+type Windowed struct {
+	mu      sync.Mutex
+	window  int64
+	current [NumKinds]int64
+	width   int64
+	ring    [][NumKinds]int64
+	next    int
+	filled  int
+	// seenRecorder: once any recorder-view event arrives, only the
+	// recorder clock advances windows, so a fully probed run (policy and
+	// recorder views both attached) counts each access once.
+	seenRecorder bool
+	total        int64
+}
+
+var _ Probe = (*Windowed)(nil)
+
+// NewWindowed returns a Windowed probe with the given window width (in
+// requests) retaining the last rings completed windows. Width and rings
+// are clamped to ≥ 1 and ≤ 1<<20.
+func NewWindowed(window, rings int) *Windowed {
+	window = clamp(window, 1, 1<<20)
+	rings = clamp(rings, 1, 1<<20)
+	return &Windowed{window: int64(window), ring: make([][NumKinds]int64, rings)}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Observe implements Probe.
+func (w *Windowed) Observe(e Event) {
+	w.mu.Lock()
+	w.current[e.Kind]++
+	advance := false
+	if e.Kind.IsRecorderRequest() {
+		w.seenRecorder = true
+		advance = true
+	} else if e.Kind.IsPolicyRequest() && !w.seenRecorder {
+		advance = true
+	}
+	if advance {
+		w.width++
+		w.total++
+		if w.width >= w.window {
+			w.ring[w.next] = w.current
+			w.next = (w.next + 1) % len(w.ring)
+			if w.filled < len(w.ring) {
+				w.filled++
+			}
+			w.current = [NumKinds]int64{}
+			w.width = 0
+		}
+	}
+	w.mu.Unlock()
+}
+
+// Window returns the window width in requests.
+func (w *Windowed) Window() int { return int(w.window) }
+
+// Last returns the per-kind counts of the most recently completed
+// window, and false if no window has completed yet.
+func (w *Windowed) Last() ([NumKinds]int64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.filled == 0 {
+		return [NumKinds]int64{}, false
+	}
+	idx := (w.next - 1 + len(w.ring)) % len(w.ring)
+	return w.ring[idx], true
+}
+
+// History returns the completed windows, oldest first.
+func (w *Windowed) History() [][NumKinds]int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([][NumKinds]int64, 0, w.filled)
+	start := (w.next - w.filled + len(w.ring)) % len(w.ring)
+	for i := 0; i < w.filled; i++ {
+		out = append(out, w.ring[(start+i)%len(w.ring)])
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// LoggedEvent is an Event stamped with its global sequence number.
+type LoggedEvent struct {
+	Seq int64
+	Event
+}
+
+// EventLog is a probe that retains the most recent events in a
+// fixed-size ring — bounded memory no matter how long the run, and no
+// allocation per event once constructed. Safe for concurrent use.
+type EventLog struct {
+	mu     sync.Mutex
+	ring   []LoggedEvent
+	next   int
+	filled int
+	seq    int64
+}
+
+var _ Probe = (*EventLog)(nil)
+
+// NewEventLog returns an event log retaining the last n events
+// (clamped to [1, 1<<20]).
+func NewEventLog(n int) *EventLog {
+	return &EventLog{ring: make([]LoggedEvent, clamp(n, 1, 1<<20))}
+}
+
+// Observe implements Probe.
+func (l *EventLog) Observe(e Event) {
+	l.mu.Lock()
+	l.seq++
+	l.ring[l.next] = LoggedEvent{Seq: l.seq, Event: e}
+	l.next = (l.next + 1) % len(l.ring)
+	if l.filled < len(l.ring) {
+		l.filled++
+	}
+	l.mu.Unlock()
+}
+
+// Seq returns the total number of events observed.
+func (l *EventLog) Seq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Snapshot returns the retained events, oldest first.
+func (l *EventLog) Snapshot() []LoggedEvent {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LoggedEvent, 0, l.filled)
+	start := (l.next - l.filled + len(l.ring)) % len(l.ring)
+	for i := 0; i < l.filled; i++ {
+		out = append(out, l.ring[(start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// WriteTo dumps the retained events as one line each:
+//
+//	seq=1042 kind=block-load item=513 block=64 n=8
+//
+// Fields that are zero for the kind are still printed; the format is
+// stable for tooling (EXPERIMENTS.md's event-log appendix parses it).
+func (l *EventLog) WriteTo(w io.Writer) (int64, error) {
+	var written int64
+	for _, e := range l.Snapshot() {
+		n, err := fmt.Fprintf(w, "seq=%d kind=%s item=%d block=%d n=%d\n",
+			e.Seq, e.Kind, e.Item, e.Block, e.N)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

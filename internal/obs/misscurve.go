@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"io"
+	"sync"
+
+	"gccache/internal/render"
+)
+
+// MissCurvePoint is one sample of the running miss curve: the miss
+// ratio over one window of requests ending at request Seq.
+type MissCurvePoint struct {
+	Seq    int64
+	Misses int64
+	Ratio  float64
+}
+
+// MissCurve is a probe that samples the miss ratio per window of W
+// requests into a bounded ring — the time-resolved miss curve that
+// makes phase changes (e.g. a working set outgrowing the item layer)
+// visible while a replay is still running. Recorder view. Memory is
+// bounded by the ring size; steady-state observation does not allocate.
+type MissCurve struct {
+	mu     sync.Mutex
+	window int64
+	width  int64
+	misses int64
+	ring   []MissCurvePoint
+	next   int
+	filled int
+	seq    int64
+}
+
+var _ Probe = (*MissCurve)(nil)
+
+// NewMissCurve returns a miss-curve sampler with the given window width
+// in requests, retaining the last points samples (both clamped to
+// [1, 1<<20]).
+func NewMissCurve(window, points int) *MissCurve {
+	return &MissCurve{
+		window: int64(clamp(window, 1, 1<<20)),
+		ring:   make([]MissCurvePoint, clamp(points, 1, 1<<20)),
+	}
+}
+
+// Observe implements Probe.
+func (m *MissCurve) Observe(e Event) {
+	if !e.Kind.IsRecorderRequest() {
+		return
+	}
+	m.mu.Lock()
+	m.seq++
+	m.width++
+	if e.Kind == EvMiss {
+		m.misses++
+	}
+	if m.width >= m.window {
+		m.ring[m.next] = MissCurvePoint{
+			Seq:    m.seq,
+			Misses: m.misses,
+			Ratio:  float64(m.misses) / float64(m.width),
+		}
+		m.next = (m.next + 1) % len(m.ring)
+		if m.filled < len(m.ring) {
+			m.filled++
+		}
+		m.width, m.misses = 0, 0
+	}
+	m.mu.Unlock()
+}
+
+// Window returns the window width in requests.
+func (m *MissCurve) Window() int { return int(m.window) }
+
+// Points returns the sampled points, oldest first.
+func (m *MissCurve) Points() []MissCurvePoint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MissCurvePoint, 0, m.filled)
+	start := (m.next - m.filled + len(m.ring)) % len(m.ring)
+	for i := 0; i < m.filled; i++ {
+		out = append(out, m.ring[(start+i)%len(m.ring)])
+	}
+	return out
+}
+
+// Table renders the sampled points.
+func (m *MissCurve) Table() *render.Table {
+	t := &render.Table{
+		Title:   "miss curve (per-window miss ratio)",
+		Headers: []string{"request", "window misses", "miss ratio"},
+	}
+	for _, p := range m.Points() {
+		t.AddRow(p.Seq, p.Misses, p.Ratio)
+	}
+	return t
+}
+
+// WriteTo renders the sampled points as aligned text.
+func (m *MissCurve) WriteTo(w io.Writer) (int64, error) { return 0, m.Table().WriteText(w) }
+
+// WriteCSV renders the sampled points as CSV.
+func (m *MissCurve) WriteCSV(w io.Writer) error { return m.Table().WriteCSV(w) }

@@ -1,0 +1,403 @@
+// Package serve is the live-observation harness behind cmd/gcserve: it
+// replays a workload (optionally forever, optionally sharded across
+// concurrent streams) with the full probe suite attached, and exposes
+// what the probes see over HTTP — a plain-text dashboard, expvar-style
+// JSON metrics, the raw event log, a sweep-engine demo, and the
+// standard pprof profiles.
+//
+// The package sits at the top of the observability import DAG (it may
+// import policies, the simulator, and probes; nothing imports it), so
+// the hot paths it observes never know it exists.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/concurrent"
+	"gccache/internal/core"
+	"gccache/internal/model"
+	"gccache/internal/obs"
+	"gccache/internal/policy"
+	"gccache/internal/trace"
+	"gccache/internal/workload"
+)
+
+// Config describes one gcserve replay.
+type Config struct {
+	Addr      string // listen address, e.g. ":8080" or "127.0.0.1:0"
+	K         int    // cache size in items
+	B         int    // block size
+	Policy    string // item-lru, block-lru, iblp, gcm, adaptive
+	Workload  string // workload spec (ignored when TraceFile is set)
+	TraceFile string // gctrace binary file to replay instead
+	Seed      int64
+	Shards    int    // >1 replays through a lock-striped concurrent.Sharded
+	Streams   int    // concurrent client streams (sharded mode); default 4
+	Probe     string // probe suite spec (obs.NewSuite); default "all"
+	Loop      bool   // replay the trace forever instead of once
+	Rate      int    // accesses/second per stream; 0 = unthrottled
+}
+
+// Server replays the configured workload and serves the probe suite's
+// view of it.
+type Server struct {
+	cfg   Config
+	geo   model.Geometry
+	tr    trace.Trace
+	suite *obs.Suite
+	start time.Time
+
+	sharded *concurrent.Sharded // nil in flat mode
+
+	mu    sync.Mutex // flat mode: guards cache+rec
+	cache cachesim.Cache
+	rec   *cachesim.Recorder
+
+	httpSrv  *http.Server
+	listener net.Listener
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+}
+
+// buildPolicy constructs one policy instance of capacity k.
+func buildPolicy(name string, k int, geo model.Geometry, seed int64) (cachesim.Cache, error) {
+	switch name {
+	case "item-lru":
+		return policy.NewItemLRU(k), nil
+	case "block-lru":
+		return policy.NewBlockLRU(k, geo), nil
+	case "iblp", "iblp-even":
+		return core.NewIBLPEvenSplit(k, geo), nil
+	case "gcm":
+		return core.NewGCM(k, geo, seed), nil
+	case "adaptive":
+		return core.NewAdaptiveIBLP(k, geo), nil
+	}
+	return nil, fmt.Errorf("serve: unknown policy %q (want item-lru, block-lru, iblp, gcm, or adaptive)", name)
+}
+
+// New builds a Server from cfg: loads or generates the trace, builds
+// the (possibly sharded) cache, and attaches the probe suite. Nothing
+// runs until Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("serve: cache size %d < 1", cfg.K)
+	}
+	if cfg.B < 1 {
+		return nil, fmt.Errorf("serve: block size %d < 1", cfg.B)
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "iblp"
+	}
+	if cfg.Probe == "" {
+		cfg.Probe = "all"
+	}
+	if cfg.Streams < 1 {
+		cfg.Streams = 4
+	}
+	s := &Server{cfg: cfg, geo: model.NewFixed(cfg.B)}
+
+	var err error
+	if cfg.TraceFile != "" {
+		f, ferr := os.Open(cfg.TraceFile)
+		if ferr != nil {
+			return nil, ferr
+		}
+		s.tr, err = trace.Read(f)
+		f.Close()
+	} else {
+		s.tr, err = workload.FromSpec(cfg.Workload, cfg.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(s.tr) == 0 {
+		return nil, fmt.Errorf("serve: empty trace")
+	}
+
+	if s.suite, err = obs.NewSuite(cfg.Probe, 0); err != nil {
+		return nil, err
+	}
+
+	if cfg.Shards > 1 {
+		s.sharded, err = concurrent.NewSharded(cfg.Shards, cfg.K, s.geo,
+			func(per int) cachesim.Cache {
+				c, cerr := buildPolicy(cfg.Policy, per, s.geo, cfg.Seed)
+				if cerr != nil {
+					return nil // NewSharded reports nil builds
+				}
+				return c
+			})
+		if err != nil {
+			return nil, err
+		}
+		s.sharded.SetProbe(s.suite)
+		return s, nil
+	}
+
+	if s.cache, err = buildPolicy(cfg.Policy, cfg.K, s.geo, cfg.Seed); err != nil {
+		return nil, err
+	}
+	if in, ok := s.cache.(cachesim.Instrumented); ok {
+		in.SetProbe(s.suite)
+	}
+	s.rec = cachesim.NewRecorder(s.cache.Name())
+	s.rec.SetProbe(s.suite)
+	return s, nil
+}
+
+// Start begins listening on cfg.Addr and launches the replay
+// goroutines. It returns the bound address (useful with port 0).
+func (s *Server) Start() (string, error) {
+	l, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return "", err
+	}
+	s.listener = l
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	go s.httpSrv.Serve(l) //nolint:errcheck // Serve always returns on Close
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	s.startReplay(ctx)
+	s.start = time.Now()
+	return l.Addr().String(), nil
+}
+
+// Stop halts the replay and the HTTP server.
+func (s *Server) Stop() {
+	if s.cancel != nil {
+		s.cancel()
+	}
+	s.wg.Wait()
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+}
+
+// Wait blocks until the replay goroutines finish (immediately useful
+// only for non-looping replays).
+func (s *Server) Wait() { s.wg.Wait() }
+
+// startReplay launches the replay goroutines: one per stream in
+// sharded mode, a single batched one in flat mode.
+func (s *Server) startReplay(ctx context.Context) {
+	if s.sharded != nil {
+		streams := concurrent.SplitStreams(s.tr, s.cfg.Streams)
+		for _, st := range streams {
+			s.wg.Add(1)
+			go func(tr trace.Trace) {
+				defer s.wg.Done()
+				s.replayStream(ctx, tr, func(it model.Item) { s.sharded.Access(it) })
+			}(st)
+		}
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.replayStream(ctx, s.tr, func(it model.Item) {
+			s.mu.Lock()
+			s.rec.Observe(it, s.cache.Access(it))
+			s.mu.Unlock()
+		})
+	}()
+}
+
+// replayStream drives access over tr, looping when configured,
+// checking ctx and throttling once per batch.
+func (s *Server) replayStream(ctx context.Context, tr trace.Trace, access func(model.Item)) {
+	const batch = 256
+	var pause time.Duration
+	if s.cfg.Rate > 0 {
+		pause = time.Duration(batch) * time.Second / time.Duration(s.cfg.Rate)
+	}
+	for {
+		for i, it := range tr {
+			access(it)
+			if i%batch != batch-1 {
+				continue
+			}
+			if ctx.Err() != nil {
+				return
+			}
+			if pause > 0 {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(pause):
+				}
+			}
+		}
+		if !s.cfg.Loop || ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// Stats returns the merged recorder statistics so far.
+func (s *Server) Stats() cachesim.Stats {
+	if s.sharded != nil {
+		return s.sharded.Stats()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec.Stats()
+}
+
+// Suite exposes the attached probe suite.
+func (s *Server) Suite() *obs.Suite { return s.suite }
+
+// Handler returns the HTTP surface: the dashboard at /, JSON metrics
+// at /metrics, the event log at /events, a live sweep-engine demo at
+// /sweep, a health check at /healthz, and pprof under /debug/pprof/.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleDashboard)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/sweep", s.handleSweep)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	st := s.Stats()
+	fmt.Fprintf(w, "gcserve — %s  k=%d B=%d shards=%d\n", st.Policy, s.cfg.K, s.cfg.B, maxInt(1, s.cfg.Shards))
+	if s.cfg.TraceFile != "" {
+		fmt.Fprintf(w, "trace: %s (%d requests%s)\n", s.cfg.TraceFile, len(s.tr), loopSuffix(s.cfg.Loop))
+	} else {
+		fmt.Fprintf(w, "workload: %s (%d requests%s, seed %d)\n", s.cfg.Workload, len(s.tr), loopSuffix(s.cfg.Loop), s.cfg.Seed)
+	}
+	fmt.Fprintf(w, "uptime: %v\n\n", time.Since(s.start).Round(time.Millisecond))
+	fmt.Fprintf(w, "accesses=%d hits=%d misses=%d miss-ratio=%.4f temporal=%d spatial=%d\n\n",
+		st.Accesses, st.Hits, st.Misses, st.MissRatio(), st.TemporalHits, st.SpatialHits)
+	if _, err := s.suite.WriteTo(w); err != nil {
+		return
+	}
+	if s.sharded != nil {
+		fmt.Fprintf(w, "\n== shard lock traffic ==\n")
+		for i, l := range s.sharded.ShardLoads() {
+			ratio := 0.0
+			if l.Acquired > 0 {
+				ratio = float64(l.Contended) / float64(l.Acquired)
+			}
+			fmt.Fprintf(w, "shard %d: acquired=%d contended=%d (%.2f%%)\n", i, l.Acquired, l.Contended, 100*ratio)
+		}
+	}
+	fmt.Fprintf(w, "\nendpoints: /metrics /events /sweep /healthz /debug/pprof/\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	m := map[string]any{
+		"policy":         st.Policy,
+		"accesses":       st.Accesses,
+		"hits":           st.Hits,
+		"misses":         st.Misses,
+		"miss_ratio":     st.MissRatio(),
+		"temporal_hits":  st.TemporalHits,
+		"spatial_hits":   st.SpatialHits,
+		"items_loaded":   st.ItemsLoaded,
+		"evictions":      st.Evictions,
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	}
+	snap := s.suite.Counters.Snapshot()
+	for k := 0; k < obs.NumKinds; k++ {
+		m["events."+obs.Kind(k).String()] = snap[k]
+	}
+	if s.sharded != nil {
+		for i, l := range s.sharded.ShardLoads() {
+			m[fmt.Sprintf("shard.%d.acquired", i)] = l.Acquired
+			m[fmt.Sprintf("shard.%d.contended", i)] = l.Contended
+		}
+	} else {
+		s.mu.Lock()
+		m["miss_gap_p50"] = s.rec.MissGapPercentile(0.50)
+		m["miss_gap_p99"] = s.rec.MissGapPercentile(0.99)
+		m["miss_gap_mean"] = s.rec.MissGapMean()
+		m["load_burst_mean"] = s.rec.LoadBurstMean()
+		s.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m) //nolint:errcheck // client gone
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.suite.Events == nil {
+		fmt.Fprintln(w, "event log disabled (enable with -probe events=N or all)")
+		return
+	}
+	s.suite.Events.WriteTo(w) //nolint:errcheck // client gone
+}
+
+// handleSweep runs a small observed parameter sweep on demand — a live
+// demonstration of the chunked sweep engine's per-worker steal counts
+// and timing, on real per-policy miss-ratio work.
+func (s *Server) handleSweep(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	tr := s.tr
+	if len(tr) > 1<<14 {
+		tr = tr[:1<<14]
+	}
+	sizes := make([]int, 24)
+	for i := range sizes {
+		sizes[i] = (i + 1) * maxInt(1, s.cfg.K/len(sizes))
+	}
+	results := make([]float64, len(sizes))
+	var st cachesim.SweepStats
+	cachesim.SweepObserved(len(sizes), runtime.GOMAXPROCS(0), &st,
+		func() struct{} { return struct{}{} },
+		func(i int, _ struct{}) {
+			c, err := buildPolicy(s.cfg.Policy, sizes[i], s.geo, s.cfg.Seed)
+			if err != nil {
+				return
+			}
+			results[i] = cachesim.RunCold(c, tr).MissRatio()
+		})
+	fmt.Fprintf(w, "on-demand sweep: %s miss ratio over %d cache sizes, %d requests each\n\n",
+		s.cfg.Policy, len(sizes), len(tr))
+	for i, k := range sizes {
+		fmt.Fprintf(w, "k=%-8d miss-ratio=%.4f\n", k, results[i])
+	}
+	fmt.Fprintf(w, "\n%s", st.String())
+}
+
+func loopSuffix(loop bool) string {
+	if loop {
+		return ", looping"
+	}
+	return ""
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

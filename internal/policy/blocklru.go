@@ -6,6 +6,7 @@ import (
 	"gccache/internal/cachesim"
 	"gccache/internal/lrulist"
 	"gccache/internal/model"
+	"gccache/internal/obs"
 )
 
 // BlockLRU is the paper's Block Cache baseline: it raises the cache's own
@@ -41,9 +42,13 @@ type BlockLRU struct {
 	evicted []model.Item
 	want    []model.Item // scratch: the item set being admitted
 	scratch []model.Item // scratch: victim-block enumeration
+	probe   obs.Probe
 }
 
-var _ cachesim.Cache = (*BlockLRU)(nil)
+var (
+	_ cachesim.Cache        = (*BlockLRU)(nil)
+	_ cachesim.Instrumented = (*BlockLRU)(nil)
+)
 
 // NewBlockLRU returns a Block Cache holding at most k items under g.
 // It panics if k < 1 or g is nil.
@@ -96,6 +101,9 @@ func (c *BlockLRU) Access(it model.Item) cachesim.Access {
 	}
 	if _, ok := c.present[it]; ok {
 		c.order.MoveToFront(c.geo.BlockOf(it))
+		if c.probe != nil {
+			c.probe.Observe(obs.Event{Kind: obs.EvHit, Item: it, Block: c.geo.BlockOf(it)})
+		}
 		return cachesim.Access{Hit: true}
 	}
 	c.loaded = c.loaded[:0]
@@ -137,8 +145,30 @@ func (c *BlockLRU) Access(it model.Item) cachesim.Access {
 	// A truncated copy replaced in the same step would otherwise report
 	// its surviving items as both evicted and loaded.
 	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
+	c.emitMiss(it, blk)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
+
+// emitMiss reports one miss's net changes to the probe: the unit-cost
+// block load plus per-item load/evict events.
+//
+//gclint:hotpath
+func (c *BlockLRU) emitMiss(it model.Item, blk model.Block) {
+	if c.probe == nil {
+		return
+	}
+	c.probe.Observe(obs.Event{Kind: obs.EvBlockLoad, Item: it, Block: blk, N: int32(len(c.loaded))})
+	for _, x := range c.loaded {
+		c.probe.Observe(obs.Event{Kind: obs.EvLoad, Item: x, Block: blk})
+	}
+	for _, x := range c.evicted {
+		c.probe.Observe(obs.Event{Kind: obs.EvEvict, Item: x, Block: c.geo.BlockOf(x)})
+	}
+}
+
+// SetProbe implements cachesim.Instrumented. A nil probe restores the
+// unobserved fast path.
+func (c *BlockLRU) SetProbe(p obs.Probe) { c.probe = p }
 
 // accessDense is Access on the bitset representation; decisions and
 // reported net changes are identical to the generic path.
@@ -147,6 +177,9 @@ func (c *BlockLRU) Access(it model.Item) cachesim.Access {
 func (c *BlockLRU) accessDense(it model.Item) cachesim.Access {
 	if c.presentBits[it] {
 		c.order.MoveToFront(c.geo.BlockOf(it))
+		if c.probe != nil {
+			c.probe.Observe(obs.Event{Kind: obs.EvHit, Item: it, Block: c.geo.BlockOf(it)})
+		}
 		return cachesim.Access{Hit: true}
 	}
 	c.loaded = c.loaded[:0]
@@ -178,6 +211,7 @@ func (c *BlockLRU) accessDense(it model.Item) cachesim.Access {
 		c.loaded = append(c.loaded, x)
 	}
 	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
+	c.emitMiss(it, blk)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
 

@@ -13,6 +13,7 @@ import (
 	"gccache/internal/cachesim"
 	"gccache/internal/lrulist"
 	"gccache/internal/model"
+	"gccache/internal/obs"
 )
 
 // ItemLRU is the paper's Item Cache baseline: a traditional LRU cache
@@ -24,9 +25,13 @@ type ItemLRU struct {
 	order    lrulist.Order[model.Item]
 	loaded   []model.Item
 	evicted  []model.Item
+	probe    obs.Probe
 }
 
-var _ cachesim.Cache = (*ItemLRU)(nil)
+var (
+	_ cachesim.Cache        = (*ItemLRU)(nil)
+	_ cachesim.Instrumented = (*ItemLRU)(nil)
+)
 
 // NewItemLRU returns an Item Cache of capacity k items. It panics if
 // k < 1.
@@ -59,6 +64,9 @@ func (c *ItemLRU) Name() string { return "item-lru" }
 //gclint:hotpath
 func (c *ItemLRU) Access(it model.Item) cachesim.Access {
 	if c.order.MoveToFront(it) {
+		if c.probe != nil {
+			c.probe.Observe(obs.Event{Kind: obs.EvHit, Item: it})
+		}
 		return cachesim.Access{Hit: true}
 	}
 	c.loaded = c.loaded[:0]
@@ -69,8 +77,21 @@ func (c *ItemLRU) Access(it model.Item) cachesim.Access {
 		victim, _ := c.order.PopBack()
 		c.evicted = append(c.evicted, victim)
 	}
+	if c.probe != nil {
+		c.probe.Observe(obs.Event{Kind: obs.EvBlockLoad, Item: it, N: int32(len(c.loaded))})
+		for _, x := range c.loaded {
+			c.probe.Observe(obs.Event{Kind: obs.EvLoad, Item: x})
+		}
+		for _, x := range c.evicted {
+			c.probe.Observe(obs.Event{Kind: obs.EvEvict, Item: x})
+		}
+	}
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
 }
+
+// SetProbe implements cachesim.Instrumented. A nil probe restores the
+// unobserved fast path.
+func (c *ItemLRU) SetProbe(p obs.Probe) { c.probe = p }
 
 // Contains implements cachesim.Cache.
 func (c *ItemLRU) Contains(it model.Item) bool { return c.order.Contains(it) }
