@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json repro repro-quick fuzz clean
+.PHONY: all build vet lint test race cover bench bench-json repro repro-quick fuzz stress clean
 
 all: build vet lint test
 
@@ -50,11 +50,24 @@ repro:
 repro-quick:
 	$(GO) run ./cmd/gcrepro -out results -quick
 
+# Fault-tolerance stress gate: the fault-injection and cancellation
+# sweep tests under the race detector (injected panics + retries on
+# pooled workers are exactly where poisoned-state races would hide),
+# plus a short fuzz smoke over every binary decoder a resumed run
+# trusts (trace files, checkpoint snapshots, workload specs).
+stress:
+	$(GO) test -race -run 'Sweep|Ctx|Fault|Quarantine|InjectedPanic|Checkpoint' \
+		./internal/cachesim/ ./internal/faults/ ./internal/checkpoint/ ./internal/conformance/ ./internal/opt/
+	$(GO) test ./internal/trace/ -run FuzzReadArbitraryBytes -fuzz FuzzReadArbitraryBytes -fuzztime 2s
+	$(GO) test ./internal/trace/ -run FuzzCheckpointDecode -fuzz FuzzCheckpointDecode -fuzztime 2s
+	$(GO) test ./internal/workload/ -run FuzzFromSpec -fuzz FuzzFromSpec -fuzztime 2s
+
 # Short fuzz passes over the parsing/serialization surfaces.
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzReadArbitraryBytes -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzBinaryRoundTrip -fuzztime 30s
 	$(GO) test ./internal/trace/ -fuzz FuzzReadText -fuzztime 30s
+	$(GO) test ./internal/trace/ -fuzz FuzzCheckpointDecode -fuzztime 30s
 	$(GO) test ./internal/workload/ -fuzz FuzzFromSpec -fuzztime 30s
 
 clean:

@@ -80,20 +80,17 @@ func main() {
 
 	cur, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gcbenchjson: %v\n", err)
-		os.Exit(1)
+		cli.Fatal("gcbenchjson", err)
 	}
 	if len(cur) == 0 {
-		fmt.Fprintln(os.Stderr, "gcbenchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		cli.Fatalf("gcbenchjson", "no benchmark lines on stdin")
 	}
 
 	snap := Snapshot{Current: cur}
 	if raw, err := os.ReadFile(*outPath); err == nil {
 		var old Snapshot
 		if err := json.Unmarshal(raw, &old); err != nil {
-			fmt.Fprintf(os.Stderr, "gcbenchjson: existing %s is not a snapshot: %v\n", *outPath, err)
-			os.Exit(1)
+			cli.Fatalf("gcbenchjson", "existing %s is not a snapshot: %w", *outPath, err)
 		}
 		snap.PreChange = old.PreChange
 	}
@@ -103,20 +100,19 @@ func main() {
 
 	buf, err := json.MarshalIndent(&snap, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gcbenchjson: %v\n", err)
-		os.Exit(1)
+		cli.Fatal("gcbenchjson", err)
 	}
 	buf = append(buf, '\n')
-	if err := os.WriteFile(*outPath, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "gcbenchjson: %v\n", err)
-		os.Exit(1)
-	}
+	cli.CheckWrite("gcbenchjson", *outPath, os.WriteFile(*outPath, buf, 0o644))
 
 	names := make([]string, 0, len(cur))
 	for n := range cur {
 		names = append(names, n)
 	}
 	sort.Strings(names)
+	// The summary goes through one buffered writer so a broken pipe or
+	// full disk surfaces as an error instead of a silently short report.
+	w := bufio.NewWriter(os.Stdout)
 	for _, n := range names {
 		r := cur[n]
 		line := fmt.Sprintf("%-28s %14.0f ns/op", n, r.NsPerOp)
@@ -126,6 +122,8 @@ func main() {
 		if pre, ok := snap.PreChange[n]; ok && pre.NsPerOp > 0 {
 			line += fmt.Sprintf("   (%.2fx vs pre_change)", pre.NsPerOp/r.NsPerOp)
 		}
-		fmt.Println(line)
+		_, err := fmt.Fprintln(w, line)
+		cli.CheckWrite("gcbenchjson", "stdout", err)
 	}
+	cli.CheckWrite("gcbenchjson", "stdout", w.Flush())
 }

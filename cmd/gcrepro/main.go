@@ -12,7 +12,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"gccache/internal/cli"
@@ -32,20 +31,20 @@ func main() {
 		start := time.Now()
 		rep := spec.Run(*quick)
 		if err := rep.WriteFiles(*out); err != nil {
-			fmt.Fprintf(os.Stderr, "gcrepro: writing %s: %v\n", rep.Name, err)
-			os.Exit(1)
+			cli.Fatalf("gcrepro", "writing %s: %w", rep.Name, err)
 		}
 		status := "ok"
 		if err := rep.Err(); err != nil {
 			status = err.Error()
 			failures++
 		}
-		fmt.Printf("%-22s -> %s/%s.txt (%.1fs) %s\n",
+		_, err := fmt.Printf("%-22s -> %s/%s.txt (%.1fs) %s\n",
 			spec.Label, *out, rep.Name, time.Since(start).Seconds(), status)
+		cli.CheckWrite("gcrepro", "stdout", err)
 	}
 	if failures > 0 {
-		fmt.Fprintf(os.Stderr, "gcrepro: %d experiment(s) failed to reproduce\n", failures)
-		os.Exit(1)
+		cli.Fatalf("gcrepro", "%d experiment(s) failed to reproduce", failures)
 	}
-	fmt.Printf("all artifacts reproduced into %s/\n", *out)
+	_, err := fmt.Printf("all artifacts reproduced into %s/\n", *out)
+	cli.CheckWrite("gcrepro", "stdout", err)
 }

@@ -13,12 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"gccache/internal/cli"
@@ -42,6 +44,7 @@ func main() {
 		loop      = flag.Bool("loop", false, "replay the trace forever instead of once")
 		rate      = flag.Int("rate", 0, "accesses/second per stream (0 = unthrottled)")
 		duration  = flag.Duration("duration", 0, "stop after this long (0 = run until interrupted)")
+		drain     = flag.Duration("drain", 5*time.Second, "grace period for in-flight responses on shutdown")
 		selfcheck = flag.Bool("selfcheck", false, "start on an ephemeral port, probe own endpoints, and exit")
 	)
 	cli.SetUsage("gcserve", "serve live cache-replay metrics, event logs, and pprof over HTTP")
@@ -84,8 +87,11 @@ func main() {
 		return
 	}
 
-	interrupt := make(chan os.Signal, 1)
-	signal.Notify(interrupt, os.Interrupt)
+	// First SIGINT/SIGTERM: graceful shutdown — stop the replay, keep
+	// serving in-flight responses until -drain expires. A second signal
+	// during the drain forces an immediate stop.
+	interrupt := make(chan os.Signal, 2)
+	signal.Notify(interrupt, os.Interrupt, syscall.SIGTERM)
 	if *duration > 0 {
 		select {
 		case <-interrupt:
@@ -94,7 +100,19 @@ func main() {
 	} else {
 		<-interrupt
 	}
-	srv.Stop()
+	fmt.Printf("gcserve: shutting down (draining up to %v; interrupt again to force)\n", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			cli.Fatal("gcserve", fmt.Errorf("shutdown: %w", err))
+		}
+	case <-interrupt:
+		srv.Stop()
+	}
 }
 
 func sourceDesc(cfg serve.Config) string {

@@ -9,12 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"gccache"
+	"gccache/internal/cachesim"
+	"gccache/internal/checkpoint"
 	"gccache/internal/cli"
 	"gccache/internal/model"
 	"gccache/internal/obs"
@@ -23,6 +26,10 @@ import (
 	"gccache/internal/trace"
 	"gccache/internal/workload"
 )
+
+// simSnapshotKind tags gcsim checkpoint files: one Stats record per
+// completed policy, so a resumed run replays only the remainder.
+const simSnapshotKind = "gcsim.policies"
 
 func main() {
 	var (
@@ -35,9 +42,20 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload / policy seed")
 		optimal   = flag.Bool("opt", true, "also compute the offline-optimum bracket")
 		probeSpec = flag.String("probe", "", "attach probes and dump their view per policy; "+obs.SpecHelp)
+		deadline  = flag.Duration("deadline", 0,
+			"time budget for the policy replays; on expiry save -checkpoint (if set) and exit 1 (0 = none)")
+		ckptPath = flag.String("checkpoint", "",
+			"persist per-policy results to this file after each policy completes")
+		resume = flag.Bool("resume", false, "skip policies already completed in -checkpoint")
 	)
 	cli.SetUsage("gcsim", "replay a workload through GC caching policies and report hit/miss statistics")
 	flag.Parse()
+	if *probeSpec != "" && (*deadline != 0 || *ckptPath != "" || *resume) {
+		fatal(fmt.Errorf("-probe cannot be combined with -deadline/-checkpoint/-resume"))
+	}
+	if *resume && *ckptPath == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
 
 	var tr trace.Trace
 	var err error
@@ -93,21 +111,93 @@ func main() {
 		suite  *gccache.ProbeSuite
 	}
 	var dumps []probedRun
+
+	// done maps policy name -> completed Stats, restored from -checkpoint
+	// on -resume and persisted after every policy so a killed run loses at
+	// most one policy's worth of work. The instance hash pins the snapshot
+	// to this exact (trace, k, geometry, seed) so stale files are rejected
+	// rather than silently mixed in.
+	hash := opt.InstanceHash(tr, geo, *k)
+	done := make(map[string]gccache.Stats)
+	if *resume {
+		if snap, err := checkpoint.Load(*ckptPath); err != nil {
+			if !os.IsNotExist(err) {
+				fatal(fmt.Errorf("loading checkpoint: %w", err))
+			}
+		} else {
+			if snap.Kind != simSnapshotKind {
+				fatal(fmt.Errorf("checkpoint %s has kind %q, not %q", *ckptPath, snap.Kind, simSnapshotKind))
+			}
+			if snap.MetaInt("hash", 0) != hash || snap.MetaInt("seed", 0) != *seed {
+				fatal(fmt.Errorf("checkpoint %s is for a different trace/k/B/seed", *ckptPath))
+			}
+			for name, body := range snap.Sections {
+				st, rest, derr := cachesim.DecodeStats(body)
+				if derr != nil || len(rest) != 0 {
+					fatal(fmt.Errorf("checkpoint %s: corrupt stats for %q: %v", *ckptPath, name, derr))
+				}
+				done[name] = st
+			}
+			fmt.Fprintf(os.Stderr, "gcsim: resumed %d completed policies from %s\n", len(done), *ckptPath)
+		}
+	}
+	saveCkpt := func() {
+		if *ckptPath == "" {
+			return
+		}
+		sections := make(map[string][]byte, len(done))
+		for name, st := range done { //gclint:orderok map->map copy; Snapshot.Encode sorts keys
+			sections[name] = cachesim.AppendStats(nil, st)
+		}
+		snap := &checkpoint.Snapshot{
+			Kind:     simSnapshotKind,
+			Meta:     map[string]int64{"hash": hash, "seed": *seed},
+			Sections: sections,
+		}
+		if err := checkpoint.Save(*ckptPath, snap); err != nil {
+			fatal(fmt.Errorf("saving checkpoint: %w", err))
+		}
+	}
+
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 	for _, name := range names {
-		mk, ok := builders[strings.TrimSpace(name)]
+		name = strings.TrimSpace(name)
+		mk, ok := builders[name]
 		if !ok {
 			fatal(fmt.Errorf("unknown policy %q", name))
 		}
 		var st gccache.Stats
-		if *probeSpec != "" {
+		switch {
+		case *probeSpec != "":
 			suite, serr := gccache.NewProbeSuite(*probeSpec, 0)
 			if serr != nil {
 				fatal(serr)
 			}
 			st = gccache.RunColdProbed(mk(), tr, suite)
 			dumps = append(dumps, probedRun{policy: st.Policy, suite: suite})
-		} else {
-			st = gccache.RunCold(mk(), tr)
+		default:
+			if prev, ok := done[name]; ok {
+				st = prev
+				break
+			}
+			var rerr error
+			st, rerr = cachesim.RunColdCtx(ctx, mk(), tr)
+			if rerr != nil {
+				saveCkpt()
+				hint := ""
+				if *ckptPath != "" {
+					hint = fmt.Sprintf("; rerun with -resume -checkpoint %s to continue", *ckptPath)
+				}
+				fatal(fmt.Errorf("deadline exceeded after %d/%d policies (%v)%s",
+					len(done), len(names), rerr, hint))
+			}
+			done[name] = st
+			saveCkpt()
 		}
 		t.AddRow(st.Policy, st.Misses, st.MissRatio(), st.TemporalHits, st.SpatialHits, st.ItemsLoaded)
 	}

@@ -37,6 +37,9 @@ func TestCommandSmoke(t *testing.T) {
 			"-B", "8", "-reuse"}, "reuse distances, block granularity"},
 		{"gcserve-selfcheck", []string{"run", "./cmd/gcserve", "-selfcheck", "-k", "128", "-B", "8",
 			"-workload", "blockruns:blocks=32,B=8,run=4,len=4000", "-policy", "iblp"}, "selfcheck ok"},
+		{"gcopt-deadline-anytime", []string{"run", "./cmd/gcopt", "-workload",
+			"blockruns:blocks=4,B=4,run=2,len=400", "-k", "8", "-B", "4", "-exact",
+			"-deadline", "1ns"}, "incumbent (feasible upper bound)"},
 	}
 	for _, c := range cases {
 		c := c
@@ -55,6 +58,52 @@ func TestCommandSmoke(t *testing.T) {
 	}
 }
 
+// TestGcsimKillResumeByteIdentical kills a gcsim run mid-way via
+// -deadline, resumes it from the checkpoint, and asserts the resumed
+// run's stdout is byte-identical to an uninterrupted run — the
+// checkpoint contract of the fault-tolerance layer, end to end at the
+// CLI level. Skipped under -short (three `go run` invocations).
+func TestGcsimKillResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kill/resume test pays three go run compiles")
+	}
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "sim.ckpt")
+	args := func(extra ...string) []string {
+		base := []string{"run", "./cmd/gcsim", "-k", "256", "-B", "8",
+			"-workload", "blockruns:blocks=64,B=8,run=8,len=60000", "-opt=false"}
+		return append(base, extra...)
+	}
+	run := func(args []string) (string, error) {
+		cmd := exec.Command("go", args...)
+		cmd.Dir = "."
+		cmd.Env = os.Environ()
+		var stdout strings.Builder
+		cmd.Stdout = &stdout
+		err := cmd.Run()
+		return stdout.String(), err
+	}
+	plain, err := run(args())
+	if err != nil {
+		t.Fatalf("uninterrupted run: %v", err)
+	}
+	// A 1ns budget guarantees the deadline fires before the first policy
+	// completes, exercising the save-and-exit path deterministically.
+	if _, err := run(args("-deadline", "1ns", "-checkpoint", ckpt)); err == nil {
+		t.Fatal("deadline run exited 0, want nonzero")
+	}
+	if _, err := os.Stat(ckpt); err != nil {
+		t.Fatalf("deadline run left no checkpoint: %v", err)
+	}
+	resumed, err := run(args("-resume", "-checkpoint", ckpt))
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if resumed != plain {
+		t.Errorf("resumed stdout differs from uninterrupted run:\n--- plain ---\n%s\n--- resumed ---\n%s", plain, resumed)
+	}
+}
+
 // TestCommandUsage runs every CLI with -h and asserts the uniform
 // usage banner plus a mention of every registered flag. Catches both
 // drift in internal/cli.SetUsage wiring and flags added without help
@@ -67,11 +116,12 @@ func TestCommandUsage(t *testing.T) {
 		"gcadversary": {"construction", "policy", "k", "h", "B", "phases", "p", "seed"},
 		"gcbenchjson": {"out"},
 		"gcbounds":    {"artifact", "k", "h", "B", "size", "points", "csv"},
-		"gcopt":       {"workload", "trace", "k", "B", "seed", "exact"},
+		"gcopt":       {"workload", "trace", "k", "B", "seed", "exact", "deadline", "checkpoint", "resume"},
 		"gcrepro":     {"out", "quick"},
 		"gcserve": {"addr", "k", "B", "policy", "workload", "trace", "seed",
-			"shards", "streams", "probe", "loop", "rate", "duration", "selfcheck"},
-		"gcsim":   {"k", "B", "policy", "workload", "trace", "seed", "opt", "probe"},
+			"shards", "streams", "probe", "loop", "rate", "duration", "selfcheck", "drain"},
+		"gcsim": {"k", "B", "policy", "workload", "trace", "seed", "opt", "probe",
+			"deadline", "checkpoint", "resume"},
 		"gctrace": {"workload", "out", "in", "B", "seed", "format", "mrc", "reuse"},
 	}
 	for name, flags := range cmds {

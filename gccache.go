@@ -22,6 +22,8 @@
 package gccache
 
 import (
+	"context"
+
 	"gccache/internal/adversary"
 	"gccache/internal/bounds"
 	"gccache/internal/cachesim"
@@ -148,6 +150,56 @@ func SweepCaches(n, workers int, build func() Cache, fn func(i int, c Cache)) {
 // pooled per worker instead of rebuilt per seed.
 func RunSeeds(build func(seed int64) Cache, tr Trace, seeds []int64) []float64 {
 	return cachesim.RunSeeds(build, tr, seeds)
+}
+
+// Fault-tolerant execution (see DESIGN.md, "Fault tolerance"). The
+// context-aware variants poll ctx on a stride that keeps the
+// per-access path allocation-free; sweeps check the context before
+// claiming a chunk, so a claimed index is always fully processed.
+type (
+	// Quarantine records one grid point abandoned after exhausting its
+	// retries, with the recovered panic value.
+	Quarantine = cachesim.Quarantine
+	// RetryPolicy bounds retries and backoff for SweepHardened.
+	RetryPolicy = cachesim.RetryPolicy
+	// SweepCheckpointConfig configures SweepCheckpointed's snapshot
+	// file, save cadence, and instance hash.
+	SweepCheckpointConfig = cachesim.SweepCheckpointConfig
+)
+
+// RunCtx and RunColdCtx are Run and RunCold with cooperative
+// cancellation: they return the partial statistics and ctx's error if
+// the context ends mid-replay.
+func RunCtx(ctx context.Context, c Cache, tr Trace) (Stats, error) {
+	return cachesim.RunCtx(ctx, c, tr)
+}
+func RunColdCtx(ctx context.Context, c Cache, tr Trace) (Stats, error) {
+	return cachesim.RunColdCtx(ctx, c, tr)
+}
+
+// SweepCtx is Sweep under a context: cancellation stops workers at the
+// next chunk boundary and returns ctx's error; a sweep whose every
+// chunk was already claimed completes and returns nil.
+func SweepCtx[W any](ctx context.Context, n, workers int, newWorker func() W, fn func(i int, w W)) error {
+	return cachesim.SweepCtx(ctx, n, workers, newWorker, fn)
+}
+
+// SweepHardened is SweepObserved with per-point panic recovery:
+// panicking points are retried under retry's backoff and, when retries
+// are exhausted, quarantined (recorded in st and returned, sorted by
+// index) while the rest of the grid completes.
+func SweepHardened[W any](ctx context.Context, n, workers int, retry RetryPolicy, st *SweepStats,
+	newWorker func() W, fn func(i int, w W)) ([]Quarantine, error) {
+	return cachesim.SweepHardened(ctx, n, workers, retry, st, newWorker, fn)
+}
+
+// SweepCheckpointed runs a sweep whose per-index results are
+// periodically persisted as atomic snapshots; an interrupted run
+// resumes from the file and returns bytes identical to an
+// uninterrupted run when fn is deterministic.
+func SweepCheckpointed[W any](ctx context.Context, n, workers int, cfg SweepCheckpointConfig,
+	newWorker func() W, fn func(i int, w W) []byte) ([][]byte, error) {
+	return cachesim.SweepCheckpointed(ctx, n, workers, cfg, newWorker, fn)
 }
 
 // The paper's policies (§5, §6).

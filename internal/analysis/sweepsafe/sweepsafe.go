@@ -42,10 +42,16 @@ var sweepPackages = []string{
 // sweepEntryPoints are the engine functions whose final func argument is
 // a worker callback with signature fn(i int, ...) — index first.
 var sweepEntryPoints = map[string]bool{
-	"Sweep":       true,
-	"SweepCaches": true,
-	"ParallelFor": true,
-	"RunSeeds":    true,
+	"Sweep":             true,
+	"SweepCaches":       true,
+	"ParallelFor":       true,
+	"RunSeeds":          true,
+	"SweepCtx":          true,
+	"SweepObservedCtx":  true,
+	"SweepCachesCtx":    true,
+	"RunSeedsCtx":       true,
+	"SweepHardened":     true,
+	"SweepCheckpointed": true,
 }
 
 func run(pass *framework.Pass) error {

@@ -20,3 +20,23 @@ func ParallelFor(n, workers int, fn func(i int)) {
 		fn(i)
 	}
 }
+
+// SweepHardened mimics the fault-tolerant engine variant: same worker
+// callback contract, so the same shared-state rules apply.
+func SweepHardened[W any](n, workers int, newWorker func() W, fn func(i int, w W)) []int {
+	w := newWorker()
+	for i := 0; i < n; i++ {
+		fn(i, w)
+	}
+	return nil
+}
+
+// SweepCheckpointed mimics the resumable engine variant.
+func SweepCheckpointed[W any](n, workers int, newWorker func() W, fn func(i int, w W) []byte) [][]byte {
+	out := make([][]byte, n)
+	w := newWorker()
+	for i := 0; i < n; i++ {
+		out[i] = fn(i, w)
+	}
+	return out
+}

@@ -8,6 +8,7 @@
 package cachesim
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -500,6 +501,55 @@ func RunCold(c Cache, tr trace.Trace) Stats {
 	return Run(c, tr)
 }
 
+// cancelStride is how many accesses the context-aware runners replay
+// between context polls. Polling ctx.Err() neither allocates nor locks,
+// but once per access would still put an interface call on the
+// replay hot path; once per stride keeps cancellation latency bounded
+// (a few microseconds of work) at zero per-access cost. The AllocsPerRun
+// regression tests pin the cancellable runners to the same allocation
+// budget as the plain ones.
+const cancelStride = 4096
+
+// RunCtx is Run with cooperative cancellation: the replay polls ctx
+// every cancelStride accesses and, when the context ends, returns the
+// statistics accumulated so far together with ctx's error. A completed
+// replay returns a nil error; err == nil is the "stats are for the full
+// trace" contract.
+func RunCtx(ctx context.Context, c Cache, tr trace.Trace) (Stats, error) {
+	return runCtx(ctx, c, tr, NewRecorder(c.Name()))
+}
+
+// RunColdCtx resets c and then replays tr under ctx.
+func RunColdCtx(ctx context.Context, c Cache, tr trace.Trace) (Stats, error) {
+	c.Reset()
+	return RunCtx(ctx, c, tr)
+}
+
+// RunBoundedCtx is RunBounded with cooperative cancellation (see
+// RunBounded for the universe contract, RunCtx for the error contract).
+func RunBoundedCtx(ctx context.Context, c Cache, tr trace.Trace, universe int) (Stats, error) {
+	return runCtx(ctx, c, tr, NewRecorderBounded(c.Name(), universe))
+}
+
+// RunColdBoundedCtx resets c and then replays tr under ctx with a
+// bounded Recorder.
+func RunColdBoundedCtx(ctx context.Context, c Cache, tr trace.Trace, universe int) (Stats, error) {
+	c.Reset()
+	return RunBoundedCtx(ctx, c, tr, universe)
+}
+
+func runCtx(ctx context.Context, c Cache, tr trace.Trace, rec *Recorder) (Stats, error) {
+	for i, it := range tr {
+		if i&(cancelStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return rec.Stats(), err
+			}
+		}
+		rec.Observe(it, c.Access(it))
+	}
+	return rec.Stats(), nil
+}
+
 // RunBounded is Run with a bounded-universe Recorder: item IDs in tr —
 // and every item c may load, including block siblings of requested items
 // (expand with model.ItemUniverse) — must lie in [0, universe).
@@ -585,7 +635,18 @@ func ParallelFor(n, workers int, fn func(i int)) {
 // are abandoned — and is re-raised on the caller's goroutine once every
 // worker has stopped.
 func Sweep[W any](n, workers int, newWorker func() W, fn func(i int, w W)) {
-	SweepObserved(n, workers, nil, newWorker, fn)
+	// Background contexts never cancel, so the error is always nil.
+	_ = SweepObservedCtx(context.Background(), n, workers, nil, newWorker, fn)
+}
+
+// SweepCtx is Sweep with cooperative cancellation: workers poll ctx
+// between chunks and stop claiming new work once it ends, so a
+// cancelled sweep returns within one chunk's worth of grid points. It
+// returns ctx's error when the sweep was cut short and nil when every
+// index ran. Indices that did run always ran to completion — there are
+// no partially executed grid points to reason about.
+func SweepCtx[W any](ctx context.Context, n, workers int, newWorker func() W, fn func(i int, w W)) error {
+	return SweepObservedCtx(ctx, n, workers, nil, newWorker, fn)
 }
 
 // SweepObserved is Sweep with engine observability: when st is non-nil
@@ -598,11 +659,22 @@ func Sweep[W any](n, workers int, newWorker func() W, fn func(i int, w W)) {
 // to run; they must not feed any repro artifact (see the determinism
 // analyzer's rules).
 func SweepObserved[W any](n, workers int, st *SweepStats, newWorker func() W, fn func(i int, w W)) {
+	_ = SweepObservedCtx(context.Background(), n, workers, st, newWorker, fn)
+}
+
+// SweepObservedCtx is the engine core behind every sweep variant:
+// SweepObserved with cooperative cancellation. Workers poll ctx before
+// claiming each chunk — never mid-chunk, so a claimed grid point always
+// runs to completion and cancellation latency is bounded by one chunk.
+// The return is nil when every index ran and ctx's error when the sweep
+// stopped early; either way st (when non-nil) reflects the work that
+// actually happened.
+func SweepObservedCtx[W any](ctx context.Context, n, workers int, st *SweepStats, newWorker func() W, fn func(i int, w W)) error {
 	if n <= 0 {
 		if st != nil {
 			st.Workers = st.Workers[:0]
 		}
-		return
+		return nil
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -623,19 +695,26 @@ func SweepObserved[W any](n, workers int, st *SweepStats, newWorker func() W, fn
 	}
 	if workers <= 1 {
 		w := newWorker()
-		if st == nil {
-			for i := 0; i < n; i++ {
-				fn(i, w)
-			}
-			return
+		var slot *SweepWorkerStats
+		if st != nil {
+			slot = &st.Workers[0]
 		}
-		// Observed serial run: walk chunk by chunk so the recorded chunk
-		// count matches the engine's granularity.
-		slot := &st.Workers[0]
+		// Walk chunk by chunk (even unobserved) so cancellation is
+		// checked at the engine's chunk granularity, like the parallel
+		// path.
 		for start := 0; start < n; start += chunk {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			end := start + chunk
 			if end > n {
 				end = n
+			}
+			if slot == nil {
+				for i := start; i < end; i++ {
+					fn(i, w)
+				}
+				continue
 			}
 			t0 := nowNano()
 			for i := start; i < end; i++ {
@@ -645,7 +724,7 @@ func SweepObserved[W any](n, workers int, st *SweepStats, newWorker func() W, fn
 			slot.Indices += int64(end - start)
 			slot.BusyNanos += nowNano() - t0
 		}
-		return
+		return nil
 	}
 	var (
 		next      atomic.Int64
@@ -664,22 +743,32 @@ func SweepObserved[W any](n, workers int, st *SweepStats, newWorker func() W, fn
 					panicked.Store(true)
 				}
 			}()
-			sweepWorker(n, chunk, &next, &panicked, st, worker, newWorker(), fn)
+			sweepWorker(ctx, n, chunk, &next, &panicked, st, worker, newWorker(), fn)
 		}(w)
 	}
 	wg.Wait()
 	if panicked.Load() {
 		panic(panicVal)
 	}
+	// Claims happen only on the way into processing a chunk, so a fully
+	// claimed range means every index ran even if ctx has since ended.
+	if next.Load() < int64(n) {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // sweepWorker drains chunks from the shared counter, recording
 // per-worker engine stats into its own st.Workers slot when observed.
-func sweepWorker[W any](n, chunk int, next *atomic.Int64, panicked *atomic.Bool,
+// It stops claiming when the sweep panicked elsewhere or ctx ended.
+func sweepWorker[W any](ctx context.Context, n, chunk int, next *atomic.Int64, panicked *atomic.Bool,
 	st *SweepStats, worker int, w W, fn func(i int, w W)) {
 	for {
+		if panicked.Load() || ctx.Err() != nil {
+			return
+		}
 		start := next.Add(int64(chunk)) - int64(chunk)
-		if start >= int64(n) || panicked.Load() {
+		if start >= int64(n) {
 			return
 		}
 		end := start + int64(chunk)
@@ -716,6 +805,15 @@ func SweepCaches(n, workers int, build func() Cache, fn func(i int, c Cache)) {
 	})
 }
 
+// SweepCachesCtx is SweepCaches with cooperative cancellation; see
+// SweepObservedCtx for the cancellation contract.
+func SweepCachesCtx(ctx context.Context, n, workers int, build func() Cache, fn func(i int, c Cache)) error {
+	return SweepCtx(ctx, n, workers, build, func(i int, c Cache) {
+		c.Reset()
+		fn(i, c)
+	})
+}
+
 // Reseeder is implemented by randomized policies whose coin flips can be
 // restarted. Reseed(seed) followed by Reset must leave the policy
 // indistinguishable from a freshly constructed instance with that seed —
@@ -731,9 +829,17 @@ type Reseeder interface {
 // depends on coin flips. Policies implementing Reseeder are built once
 // per worker and re-seeded per point; others are rebuilt per point.
 func RunSeeds(build func(seed int64) Cache, tr trace.Trace, seeds []int64) []float64 {
+	out, _ := RunSeedsCtx(context.Background(), build, tr, seeds)
+	return out
+}
+
+// RunSeedsCtx is RunSeeds with cooperative cancellation. On early stop
+// it returns ctx's error alongside the partially filled slice; entries
+// for grid points that never ran are zero.
+func RunSeedsCtx(ctx context.Context, build func(seed int64) Cache, tr trace.Trace, seeds []int64) ([]float64, error) {
 	out := make([]float64, len(seeds))
 	type worker struct{ cache Cache }
-	Sweep(len(seeds), 0, func() *worker { return &worker{} }, func(i int, w *worker) {
+	err := SweepCtx(ctx, len(seeds), 0, func() *worker { return &worker{} }, func(i int, w *worker) {
 		c := w.cache
 		if c == nil {
 			c = build(seeds[i])
@@ -745,5 +851,5 @@ func RunSeeds(build func(seed int64) Cache, tr trace.Trace, seeds []int64) []flo
 		}
 		out[i] = RunCold(c, tr).MissRatio()
 	})
-	return out
+	return out, err
 }

@@ -1,0 +1,47 @@
+package cachesim
+
+import (
+	"context"
+	"testing"
+
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// hitCache hits every access without touching any slices — the
+// minimal zero-allocation Cache for isolating runner overhead.
+type hitCache struct{}
+
+func (hitCache) Name() string             { return "hit" }
+func (hitCache) Access(model.Item) Access { return Access{Hit: true} }
+func (hitCache) Contains(model.Item) bool { return true }
+func (hitCache) Len() int                 { return 0 }
+func (hitCache) Capacity() int            { return 1 }
+func (hitCache) Reset()                   {}
+
+// TestRunCtxZeroAllocSteadyState pins the fault-tolerance contract that
+// cancellation support stays off the hot path: the per-access replay
+// loop of runCtx — context poll every cancelStride accesses included —
+// must not allocate. A regression here would show up as allocations
+// proportional to trace length.
+func TestRunCtxZeroAllocSteadyState(t *testing.T) {
+	const universe = 256
+	tr := make(trace.Trace, 4*cancelStride)
+	for i := range tr {
+		tr[i] = model.Item(i % universe)
+	}
+	rec := NewRecorderBounded("hit", universe)
+	ctx := context.Background()
+	var c hitCache
+	if _, err := runCtx(ctx, c, tr, rec); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		rec.Reset("hit")
+		if _, err := runCtx(ctx, c, tr, rec); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("runCtx allocates %.2f allocs per %d-access replay, want 0", avg, len(tr))
+	}
+}

@@ -1,0 +1,41 @@
+package cachesim
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendStats appends a compact binary encoding of s to dst: the policy
+// name (uvarint length + bytes) followed by the seven counters as
+// varints. The encoding is canonical — equal Stats encode identically —
+// so checkpointed runs can be compared byte-for-byte.
+func AppendStats(dst []byte, s Stats) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s.Policy)))
+	dst = append(dst, s.Policy...)
+	for _, v := range [...]int64{s.Accesses, s.Hits, s.Misses,
+		s.SpatialHits, s.TemporalHits, s.ItemsLoaded, s.Evictions} {
+		dst = binary.AppendVarint(dst, v)
+	}
+	return dst
+}
+
+// DecodeStats parses one AppendStats encoding and returns the Stats and
+// the remaining bytes. Truncated input yields an error, never a panic.
+func DecodeStats(b []byte) (Stats, []byte, error) {
+	var s Stats
+	n, k := binary.Uvarint(b)
+	if k <= 0 || n > uint64(len(b)-k) {
+		return s, nil, fmt.Errorf("cachesim: truncated stats policy name")
+	}
+	s.Policy = string(b[k : k+int(n)])
+	b = b[k+int(n):]
+	for _, dst := range [...]*int64{&s.Accesses, &s.Hits, &s.Misses,
+		&s.SpatialHits, &s.TemporalHits, &s.ItemsLoaded, &s.Evictions} {
+		v, k := binary.Varint(b)
+		if k <= 0 {
+			return Stats{}, nil, fmt.Errorf("cachesim: truncated stats counter")
+		}
+		*dst, b = v, b[k:]
+	}
+	return s, b, nil
+}

@@ -1,0 +1,272 @@
+// Package checkpoint provides the atomic snapshot files behind the
+// repository's checkpoint/resume machinery: long sweeps and solver runs
+// periodically persist their completed work so a cancelled, killed, or
+// over-deadline run can resume instead of starting over.
+//
+// A Snapshot is a small keyed container — a kind tag, integer metadata,
+// and named binary sections — with a canonical binary encoding (sorted
+// keys, varint lengths) and a CRC-32 footer. The decoder rejects
+// truncation, trailing garbage, bad checksums, and implausible lengths
+// with clean errors; it never panics and never allocates beyond the
+// input size (fuzzed in internal/trace/fuzz_test.go). Domain packages
+// define what goes in the sections (opt.Checkpoint for the exact
+// solver, cachesim for sweep results) — this package only guarantees
+// that what was saved is what is loaded, or an error.
+//
+// Save writes through a temp file in the target directory and renames
+// it into place, so a crash mid-write leaves either the old snapshot or
+// the new one, never a torn file.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// magic identifies the gccache checkpoint format, version 1.
+var magic = [8]byte{'g', 'c', 'c', 'k', 'p', 't', 0, 1}
+
+// Limits keep the decoder from over-allocating on adversarial input.
+// Real snapshots are far smaller; the sweep result cap (1<<20 entries)
+// matches the largest grids the experiment harness runs.
+const (
+	maxKeyLen   = 1 << 12
+	maxEntries  = 1 << 20
+	maxBodySize = 1 << 31
+)
+
+// Snapshot is one checkpoint: a kind tag naming the producer, integer
+// metadata (grid sizes, trace hashes, completed counts), and named
+// binary sections holding the partial results themselves.
+type Snapshot struct {
+	Kind     string
+	Meta     map[string]int64
+	Sections map[string][]byte
+}
+
+// Get returns the named section, or nil when absent.
+func (s *Snapshot) Get(name string) []byte {
+	if s.Sections == nil {
+		return nil
+	}
+	return s.Sections[name]
+}
+
+// MetaInt returns Meta[key], or def when absent.
+func (s *Snapshot) MetaInt(key string, def int64) int64 {
+	if v, ok := s.Meta[key]; ok {
+		return v
+	}
+	return def
+}
+
+// Encode renders the snapshot in the canonical binary form: magic, kind,
+// meta entries sorted by key, sections sorted by name, CRC-32 (IEEE) of
+// everything before the checksum. Encodings of equal snapshots are
+// byte-identical, which the resume-determinism tests rely on.
+func (s *Snapshot) Encode() []byte {
+	out := append([]byte(nil), magic[:]...)
+	out = appendString(out, s.Kind)
+
+	metaKeys := make([]string, 0, len(s.Meta))
+	for k := range s.Meta {
+		metaKeys = append(metaKeys, k) //gclint:orderok sorted below before use
+	}
+	sort.Strings(metaKeys)
+	out = binary.AppendUvarint(out, uint64(len(metaKeys)))
+	for _, k := range metaKeys {
+		out = appendString(out, k)
+		out = binary.AppendVarint(out, s.Meta[k])
+	}
+
+	secNames := make([]string, 0, len(s.Sections))
+	for n := range s.Sections {
+		secNames = append(secNames, n) //gclint:orderok sorted below before use
+	}
+	sort.Strings(secNames)
+	out = binary.AppendUvarint(out, uint64(len(secNames)))
+	for _, n := range secNames {
+		out = appendString(out, n)
+		out = binary.AppendUvarint(out, uint64(len(s.Sections[n])))
+		out = append(out, s.Sections[n]...)
+	}
+
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(out))
+	return append(out, crc[:]...)
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decoder walks an in-memory encoding with bounds checking.
+type decoder struct {
+	b   []byte
+	off int
+}
+
+func (d *decoder) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("checkpoint: truncated %s", what)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) varint(what string) (int64, error) {
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("checkpoint: truncated %s", what)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) bytes(n uint64, what string) ([]byte, error) {
+	if n > uint64(len(d.b)-d.off) {
+		return nil, fmt.Errorf("checkpoint: %s length %d exceeds remaining input", what, n)
+	}
+	out := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	return out, nil
+}
+
+func (d *decoder) str(maxLen uint64, what string) (string, error) {
+	n, err := d.uvarint(what + " length")
+	if err != nil {
+		return "", err
+	}
+	if n > maxLen {
+		return "", fmt.Errorf("checkpoint: implausible %s length %d", what, n)
+	}
+	b, err := d.bytes(n, what)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// Decode parses an Encode output. Corrupted, truncated, or trailing
+// input yields an error, never a panic and never a silently partial
+// snapshot.
+func Decode(raw []byte) (*Snapshot, error) {
+	if len(raw) < len(magic)+4 {
+		return nil, fmt.Errorf("checkpoint: %d bytes is shorter than header+checksum", len(raw))
+	}
+	body, crc := raw[:len(raw)-4], binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	if got := crc32.ChecksumIEEE(body); got != crc {
+		return nil, fmt.Errorf("checkpoint: checksum mismatch (file %08x, computed %08x)", crc, got)
+	}
+	if [8]byte(body[:8]) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %q", body[:8])
+	}
+	d := &decoder{b: body, off: len(magic)}
+	s := &Snapshot{}
+	var err error
+	if s.Kind, err = d.str(maxKeyLen, "kind"); err != nil {
+		return nil, err
+	}
+
+	nMeta, err := d.uvarint("meta count")
+	if err != nil {
+		return nil, err
+	}
+	if nMeta > maxEntries {
+		return nil, fmt.Errorf("checkpoint: implausible meta count %d", nMeta)
+	}
+	s.Meta = make(map[string]int64, nMeta)
+	for i := uint64(0); i < nMeta; i++ {
+		k, err := d.str(maxKeyLen, "meta key")
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := s.Meta[k]; dup {
+			return nil, fmt.Errorf("checkpoint: duplicate meta key %q", k)
+		}
+		if s.Meta[k], err = d.varint("meta value"); err != nil {
+			return nil, err
+		}
+	}
+
+	nSec, err := d.uvarint("section count")
+	if err != nil {
+		return nil, err
+	}
+	if nSec > maxEntries {
+		return nil, fmt.Errorf("checkpoint: implausible section count %d", nSec)
+	}
+	s.Sections = make(map[string][]byte, nSec)
+	for i := uint64(0); i < nSec; i++ {
+		name, err := d.str(maxKeyLen, "section name")
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := s.Sections[name]; dup {
+			return nil, fmt.Errorf("checkpoint: duplicate section %q", name)
+		}
+		n, err := d.uvarint("section length")
+		if err != nil {
+			return nil, err
+		}
+		if n > maxBodySize {
+			return nil, fmt.Errorf("checkpoint: implausible section length %d", n)
+		}
+		b, err := d.bytes(n, "section "+name)
+		if err != nil {
+			return nil, err
+		}
+		s.Sections[name] = append([]byte(nil), b...)
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes", len(body)-d.off)
+	}
+	return s, nil
+}
+
+// Save atomically writes the snapshot to path: the encoding goes to a
+// temp file in the same directory, is synced, and is renamed into
+// place. A crash at any point leaves either the previous file or the
+// complete new one.
+func Save(path string, s *Snapshot) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(s.Encode()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads and decodes the snapshot at path.
+func Load(path string) (*Snapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	s, err := Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return s, nil
+}

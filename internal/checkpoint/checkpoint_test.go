@@ -1,0 +1,159 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *Snapshot {
+	return &Snapshot{
+		Kind: "sweep",
+		Meta: map[string]int64{"n": 128, "k": 32, "hash": -7},
+		Sections: map[string][]byte{
+			"results": {1, 2, 3, 0, 255},
+			"empty":   {},
+		},
+	}
+}
+
+func equal(a, b *Snapshot) bool {
+	if a.Kind != b.Kind || len(a.Meta) != len(b.Meta) || len(a.Sections) != len(b.Sections) {
+		return false
+	}
+	for k, v := range a.Meta {
+		if b.Meta[k] != v {
+			return false
+		}
+	}
+	for n, s := range a.Sections {
+		bs, ok := b.Sections[n]
+		if !ok || !bytes.Equal(s, bs) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := sample()
+	got, err := Decode(s.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(s, got) {
+		t.Fatalf("round trip changed snapshot:\n in %+v\nout %+v", s, got)
+	}
+}
+
+func TestEncodingIsCanonical(t *testing.T) {
+	// Two snapshots with the same content but different construction
+	// order must encode identically — resume determinism depends on it.
+	a := sample()
+	b := &Snapshot{Kind: "sweep", Meta: map[string]int64{}, Sections: map[string][]byte{}}
+	b.Sections["empty"] = []byte{}
+	b.Sections["results"] = []byte{1, 2, 3, 0, 255}
+	b.Meta["hash"] = -7
+	b.Meta["k"] = 32
+	b.Meta["n"] = 128
+	if !bytes.Equal(a.Encode(), b.Encode()) {
+		t.Fatal("encodings of equal snapshots differ")
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	enc := sample().Encode()
+	// Flip every single byte in turn: each corruption must produce an
+	// error (the CRC catches it), never a panic or a silent success.
+	for i := range enc {
+		bad := append([]byte(nil), enc...)
+		bad[i] ^= 0x40
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("byte %d flipped: decode succeeded", i)
+		}
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	enc := sample().Encode()
+	for n := 0; n < len(enc); n++ {
+		if _, err := Decode(enc[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes: decode succeeded", n)
+		}
+	}
+	if _, err := Decode(append(append([]byte(nil), enc...), 0)); err == nil {
+		t.Fatal("trailing byte: decode succeeded")
+	}
+}
+
+func TestDecodeRejectsWrongMagic(t *testing.T) {
+	if _, err := Decode([]byte("gctrace\x01 not a checkpoint....")); err == nil {
+		t.Fatal("foreign magic accepted")
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckpt")
+	s := sample()
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(s, got) {
+		t.Fatal("loaded snapshot differs from saved")
+	}
+	// Overwrite with new content: rename must replace, and no temp files
+	// may be left behind.
+	s.Meta["n"] = 999
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MetaInt("n", 0) != 999 {
+		t.Fatalf("overwrite not visible: n = %d", got.MetaInt("n", 0))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestSaveFailsLoudlyOnBadDir(t *testing.T) {
+	if err := Save(filepath.Join(t.TempDir(), "no", "such", "dir", "x.ckpt"), sample()); err == nil {
+		t.Fatal("Save into a missing directory succeeded")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.ckpt")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := sample()
+	if s.MetaInt("n", 0) != 128 || s.MetaInt("absent", -3) != -3 {
+		t.Error("MetaInt wrong")
+	}
+	if s.Get("results") == nil || s.Get("absent") != nil {
+		t.Error("Get wrong")
+	}
+	var empty Snapshot
+	if empty.Get("x") != nil || empty.MetaInt("x", 5) != 5 {
+		t.Error("zero-value accessors wrong")
+	}
+}

@@ -27,3 +27,18 @@ func Fatal(name string, err error) {
 	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 	os.Exit(1)
 }
+
+// Fatalf is Fatal with a formatted message.
+func Fatalf(name, format string, args ...any) {
+	Fatal(name, fmt.Errorf(format, args...))
+}
+
+// CheckWrite exits through Fatal when a final output write failed —
+// the uniform way commands surface a full disk or closed pipe instead
+// of silently truncating their report. what names the output (e.g.
+// "stdout", a file path).
+func CheckWrite(name, what string, err error) {
+	if err != nil {
+		Fatalf(name, "writing %s: %w", what, err)
+	}
+}

@@ -92,8 +92,13 @@ func (r *Report) WriteFiles(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer txt.Close()
+	// Close errors matter here: a full disk can surface only at Close,
+	// and a silently truncated report would read as a reproduction pass.
 	if err := r.WriteText(txt); err != nil {
+		txt.Close()
+		return err
+	}
+	if err := txt.Close(); err != nil {
 		return err
 	}
 	for i, t := range r.Tables {

@@ -1,0 +1,192 @@
+// Package faults is a deterministic, seeded fault-injection framework
+// for hardening the repository's long-running execution paths: parallel
+// sweeps, solver runs, and replay servers.
+//
+// An Injector is built from a Plan — a seed plus per-fault-kind
+// fractions — and decides purely from (seed, index, attempt) which grid
+// indices panic, stall, or corrupt their result. The decisions are
+// stable hash functions, not draws from a shared rng, so an injected
+// failure reproduces exactly regardless of how many workers run the
+// sweep, which worker claims the index, or how many indices run in
+// between. Tests assert against the Injector's own schedule
+// (PanicIndices, CorruptIndices) instead of hard-coding index lists.
+//
+// The intended wiring is one Injector per sweep, with Step(i) called
+// inside the worker callback at the point the fault should strike
+// (typically mid-trace, so a panic leaves genuinely poisoned policy
+// state behind for the retry machinery to deal with).
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Forever marks a fault as permanent: every attempt at the index fails.
+const Forever = -1
+
+// Plan configures an Injector. The zero value injects nothing.
+type Plan struct {
+	// Seed selects the fault schedule; two Injectors with equal Plans
+	// fail at exactly the same indices.
+	Seed int64
+	// PanicFrac is the fraction of indices (hash-selected) whose
+	// executions panic with an Injected value.
+	PanicFrac float64
+	// PanicAttempts is how many consecutive attempts at a selected
+	// index panic before it succeeds: 1 means the first attempt fails
+	// and the first retry succeeds; Forever (-1) means every attempt
+	// fails. 0 defaults to 1.
+	PanicAttempts int
+	// DelayFrac is the fraction of indices that sleep for Delay before
+	// doing their work — a widener for race windows in -race runs.
+	DelayFrac float64
+	// Delay is the injected sleep duration.
+	Delay time.Duration
+	// CorruptFrac is the fraction of indices whose results Corrupt
+	// perturbs — for testing that downstream verification catches
+	// silently wrong per-index results.
+	CorruptFrac float64
+}
+
+// Injected is the panic value of an injected worker panic. It carries
+// the index and attempt so quarantine reports can be asserted exactly.
+type Injected struct {
+	Index   int
+	Attempt int
+}
+
+// Error implements error so recovered values print cleanly.
+func (p Injected) Error() string {
+	return fmt.Sprintf("faults: injected panic at index %d (attempt %d)", p.Index, p.Attempt)
+}
+
+// Injector injects the faults scheduled by a Plan. Safe for concurrent
+// use by sweep workers; attempt counts are tracked per index.
+type Injector struct {
+	plan Plan
+
+	mu       sync.Mutex
+	attempts map[int]int
+}
+
+// New returns an Injector for the plan.
+func New(plan Plan) *Injector {
+	if plan.PanicAttempts == 0 {
+		plan.PanicAttempts = 1
+	}
+	return &Injector{plan: plan, attempts: make(map[int]int)}
+}
+
+// splitmix64 is the avalanche mix of the SplitMix64 generator — a
+// stateless, high-quality 64-bit hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chosen reports whether index i falls in the selected fraction for the
+// fault kind tagged by salt.
+func (in *Injector) chosen(i int, salt uint64, frac float64) bool {
+	if frac <= 0 {
+		return false
+	}
+	if frac >= 1 {
+		return true
+	}
+	h := splitmix64(uint64(in.plan.Seed) ^ salt ^ uint64(i)*0x9e3779b97f4a7c15)
+	// Top 53 bits as a uniform float in [0, 1).
+	return float64(h>>11)/float64(1<<53) < frac
+}
+
+const (
+	saltPanic   = 0xfa017c_0001
+	saltDelay   = 0xfa017c_0002
+	saltCorrupt = 0xfa017c_0003
+)
+
+// ShouldPanic reports whether the given attempt (0-based) at index i is
+// scheduled to panic.
+func (in *Injector) ShouldPanic(i, attempt int) bool {
+	if !in.chosen(i, saltPanic, in.plan.PanicFrac) {
+		return false
+	}
+	return in.plan.PanicAttempts == Forever || attempt < in.plan.PanicAttempts
+}
+
+// ShouldDelay reports whether index i is scheduled to stall.
+func (in *Injector) ShouldDelay(i int) bool {
+	return in.chosen(i, saltDelay, in.plan.DelayFrac)
+}
+
+// ShouldCorrupt reports whether index i's result is scheduled to be
+// perturbed.
+func (in *Injector) ShouldCorrupt(i int) bool {
+	return in.chosen(i, saltCorrupt, in.plan.CorruptFrac)
+}
+
+// Step records one execution attempt at index i and injects that
+// attempt's scheduled faults: it sleeps when the index is
+// delay-scheduled, then panics with an Injected value when the attempt
+// is panic-scheduled. Call it from the sweep worker callback at the
+// point the fault should strike.
+func (in *Injector) Step(i int) {
+	in.mu.Lock()
+	attempt := in.attempts[i]
+	in.attempts[i] = attempt + 1
+	in.mu.Unlock()
+	if in.ShouldDelay(i) {
+		time.Sleep(in.plan.Delay)
+	}
+	if in.ShouldPanic(i, attempt) {
+		panic(Injected{Index: i, Attempt: attempt})
+	}
+}
+
+// Attempts returns how many times Step has been called for index i.
+func (in *Injector) Attempts(i int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.attempts[i]
+}
+
+// Corrupt deterministically perturbs a result byte slice for a
+// corrupt-scheduled index (flipping one hash-selected bit) and returns
+// it unchanged otherwise. The input is modified in place when owned by
+// the caller; zero-length slices pass through.
+func (in *Injector) Corrupt(i int, b []byte) []byte {
+	if len(b) == 0 || !in.ShouldCorrupt(i) {
+		return b
+	}
+	h := splitmix64(uint64(in.plan.Seed) ^ saltCorrupt ^ uint64(i))
+	b[h%uint64(len(b))] ^= 1 << (h >> 32 % 8)
+	return b
+}
+
+// PanicIndices returns the sorted indices in [0, n) scheduled to panic
+// on their first attempt — the oracle tests compare quarantine reports
+// against.
+func (in *Injector) PanicIndices(n int) []int {
+	return in.schedule(n, func(i int) bool { return in.ShouldPanic(i, 0) })
+}
+
+// CorruptIndices returns the sorted indices in [0, n) scheduled for
+// result corruption.
+func (in *Injector) CorruptIndices(n int) []int {
+	return in.schedule(n, in.ShouldCorrupt)
+}
+
+func (in *Injector) schedule(n int, pred func(int) bool) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		if pred(i) {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleIsDeterministic(t *testing.T) {
+	a := New(Plan{Seed: 42, PanicFrac: 0.05, CorruptFrac: 0.1})
+	b := New(Plan{Seed: 42, PanicFrac: 0.05, CorruptFrac: 0.1})
+	const n = 2000
+	pa, pb := a.PanicIndices(n), b.PanicIndices(n)
+	if len(pa) == 0 {
+		t.Fatal("5% panic fraction selected no indices out of 2000")
+	}
+	if len(pa) != len(pb) {
+		t.Fatalf("schedules diverged: %d vs %d panic indices", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("schedules diverged at %d: %d vs %d", i, pa[i], pb[i])
+		}
+	}
+	ca, cb := a.CorruptIndices(n), b.CorruptIndices(n)
+	if len(ca) == 0 || len(ca) != len(cb) {
+		t.Fatalf("corrupt schedules diverged: %d vs %d", len(ca), len(cb))
+	}
+}
+
+func TestSeedChangesSchedule(t *testing.T) {
+	a := New(Plan{Seed: 1, PanicFrac: 0.1})
+	b := New(Plan{Seed: 2, PanicFrac: 0.1})
+	const n = 4000
+	pa, pb := a.PanicIndices(n), b.PanicIndices(n)
+	same := len(pa) == len(pb)
+	if same {
+		for i := range pa {
+			if pa[i] != pb[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical panic schedules")
+	}
+}
+
+func TestFractionRoughlyHolds(t *testing.T) {
+	in := New(Plan{Seed: 7, PanicFrac: 0.05})
+	const n = 20000
+	got := len(in.PanicIndices(n))
+	want := int(0.05 * n)
+	if got < want/2 || got > want*2 {
+		t.Errorf("PanicFrac 0.05 over %d indices selected %d, want ≈%d", n, got, want)
+	}
+}
+
+func TestStepPanicsThenSucceeds(t *testing.T) {
+	in := New(Plan{Seed: 3, PanicFrac: 1, PanicAttempts: 2})
+	for attempt := 0; attempt < 2; attempt++ {
+		func() {
+			defer func() {
+				p := recover()
+				inj, ok := p.(Injected)
+				if !ok {
+					t.Fatalf("attempt %d: recovered %v, want Injected", attempt, p)
+				}
+				if inj.Index != 9 || inj.Attempt != attempt {
+					t.Errorf("attempt %d: got %+v", attempt, inj)
+				}
+			}()
+			in.Step(9)
+			t.Fatalf("attempt %d: Step returned instead of panicking", attempt)
+		}()
+	}
+	in.Step(9) // third attempt must succeed
+	if got := in.Attempts(9); got != 3 {
+		t.Errorf("Attempts(9) = %d, want 3", got)
+	}
+}
+
+func TestForeverNeverSucceeds(t *testing.T) {
+	in := New(Plan{Seed: 3, PanicFrac: 1, PanicAttempts: Forever})
+	for attempt := 0; attempt < 5; attempt++ {
+		if !in.ShouldPanic(0, attempt) {
+			t.Fatalf("Forever plan stopped panicking at attempt %d", attempt)
+		}
+	}
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := New(Plan{})
+	for i := 0; i < 100; i++ {
+		in.Step(i) // must not panic
+	}
+	if got := in.PanicIndices(100); len(got) != 0 {
+		t.Errorf("zero plan scheduled panics at %v", got)
+	}
+	b := []byte{1, 2, 3}
+	if got := in.Corrupt(0, b); &got[0] != &b[0] || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Error("zero plan corrupted a result")
+	}
+}
+
+func TestCorruptFlipsExactlyOneBit(t *testing.T) {
+	in := New(Plan{Seed: 5, CorruptFrac: 1})
+	orig := []byte{0xAA, 0x55, 0x00, 0xFF}
+	got := in.Corrupt(3, append([]byte(nil), orig...))
+	diffBits := 0
+	for i := range orig {
+		d := orig[i] ^ got[i]
+		for ; d != 0; d &= d - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Errorf("Corrupt flipped %d bits, want exactly 1", diffBits)
+	}
+	// Deterministic: same index, same flip.
+	again := in.Corrupt(3, append([]byte(nil), orig...))
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatal("Corrupt is not deterministic per index")
+		}
+	}
+}
+
+func TestDelayActuallySleeps(t *testing.T) {
+	in := New(Plan{Seed: 1, DelayFrac: 1, Delay: 10 * time.Millisecond})
+	start := time.Now()
+	in.Step(0)
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Errorf("Step with DelayFrac=1 returned after %v, want ≥ 10ms", d)
+	}
+}

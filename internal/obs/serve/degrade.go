@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"gccache/internal/obs"
+)
+
+// fanEvent is one event as delivered to a stream subscriber, stamped
+// with the fan's global sequence number so consumers can detect gaps
+// left by shedding.
+type fanEvent struct {
+	Seq int64
+	obs.Event
+}
+
+// subscriber is one /events/stream consumer: a bounded channel plus its
+// personal shed count.
+type subscriber struct {
+	ch      chan fanEvent
+	dropped atomic.Int64
+}
+
+// eventFan fans live probe events to HTTP stream subscribers over
+// bounded channels. Delivery never blocks: when a subscriber's buffer
+// is full the event is shed for that subscriber and counted, so a slow
+// or stalled consumer degrades its own stream instead of stalling the
+// replay. With no subscribers Observe is a single atomic load.
+type eventFan struct {
+	nsubs   atomic.Int64
+	seq     atomic.Int64
+	dropped atomic.Int64 // total shed events across all subscribers
+
+	mu   sync.Mutex
+	subs map[int]*subscriber
+	next int
+}
+
+var _ obs.Probe = (*eventFan)(nil)
+
+func newEventFan() *eventFan {
+	return &eventFan{subs: make(map[int]*subscriber)}
+}
+
+// Observe implements obs.Probe: non-blocking best-effort delivery.
+func (f *eventFan) Observe(e obs.Event) {
+	if f.nsubs.Load() == 0 {
+		return
+	}
+	fe := fanEvent{Seq: f.seq.Add(1), Event: e}
+	f.mu.Lock()
+	for _, s := range f.subs {
+		select {
+		case s.ch <- fe:
+		default:
+			s.dropped.Add(1)
+			f.dropped.Add(1)
+		}
+	}
+	f.mu.Unlock()
+}
+
+// Subscribe registers a consumer with the given buffer size and returns
+// it with a cancel function. After cancel the channel is closed and no
+// further events arrive.
+func (f *eventFan) Subscribe(buf int) (*subscriber, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &subscriber{ch: make(chan fanEvent, buf)}
+	f.mu.Lock()
+	id := f.next
+	f.next++
+	f.subs[id] = s
+	f.mu.Unlock()
+	f.nsubs.Add(1)
+	var once sync.Once
+	return s, func() {
+		once.Do(func() {
+			f.mu.Lock()
+			delete(f.subs, id)
+			f.mu.Unlock()
+			f.nsubs.Add(-1)
+			close(s.ch)
+		})
+	}
+}
+
+// CloseAll disconnects every subscriber — used at shutdown so stream
+// handlers drain and return instead of holding connections open.
+func (f *eventFan) CloseAll() {
+	f.mu.Lock()
+	subs := make([]*subscriber, 0, len(f.subs))
+	for _, s := range f.subs {
+		subs = append(subs, s) //gclint:orderok close order is irrelevant
+	}
+	f.subs = make(map[int]*subscriber)
+	f.nsubs.Store(0)
+	f.mu.Unlock()
+	for _, s := range subs {
+		close(s.ch)
+	}
+}
+
+// Dropped returns the total events shed across all subscribers.
+func (f *eventFan) Dropped() int64 { return f.dropped.Load() }
+
+// Subscribers returns the current consumer count.
+func (f *eventFan) Subscribers() int64 { return f.nsubs.Load() }

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gccache/internal/obs"
+)
+
+func TestEventFanDeliversInOrder(t *testing.T) {
+	f := newEventFan()
+	sub, cancel := f.Subscribe(16)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		f.Observe(obs.Event{Kind: obs.EvHit, Item: 1})
+	}
+	for i := 0; i < 10; i++ {
+		e := <-sub.ch
+		if e.Seq != int64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	if f.Dropped() != 0 {
+		t.Errorf("fast consumer shed %d events", f.Dropped())
+	}
+}
+
+func TestEventFanShedsSlowConsumerWithoutBlocking(t *testing.T) {
+	f := newEventFan()
+	sub, cancel := f.Subscribe(4)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ { // never read: must not block
+			f.Observe(obs.Event{Kind: obs.EvHit})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Observe blocked on a slow consumer")
+	}
+	if got := f.Dropped(); got != 96 {
+		t.Errorf("dropped %d events, want 96 (100 sent, buffer 4)", got)
+	}
+	if got := sub.dropped.Load(); got != 96 {
+		t.Errorf("per-subscriber drop count %d, want 96", got)
+	}
+	// The buffered prefix is still delivered, with the original seqs.
+	if e := <-sub.ch; e.Seq != 1 {
+		t.Errorf("first delivered seq %d, want 1", e.Seq)
+	}
+}
+
+func TestEventFanUnsubscribeAndCloseAll(t *testing.T) {
+	f := newEventFan()
+	_, cancel1 := f.Subscribe(1)
+	sub2, _ := f.Subscribe(1)
+	if f.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d", f.Subscribers())
+	}
+	cancel1()
+	cancel1() // idempotent
+	if f.Subscribers() != 1 {
+		t.Fatalf("after cancel: subscribers = %d", f.Subscribers())
+	}
+	f.CloseAll()
+	if _, open := <-sub2.ch; open {
+		t.Error("CloseAll left a subscriber channel open")
+	}
+	f.Observe(obs.Event{}) // no subscribers: must be a no-op
+}
+
+func TestHealthzDegradesOnShedding(t *testing.T) {
+	s := newTestServer(t, Config{Policy: "iblp"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("fresh server /healthz: %d %q", code, body)
+	}
+
+	// Saturate a tiny subscriber to force shedding.
+	_, cancel := s.fan.Subscribe(1)
+	defer cancel()
+	for i := 0; i < 10; i++ {
+		s.fan.Observe(obs.Event{Kind: obs.EvHit})
+	}
+	if s.fan.Dropped() == 0 {
+		t.Fatal("setup failed to shed events")
+	}
+	code, body = get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("degraded /healthz status %d", code)
+	}
+	if !strings.Contains(body, "degraded") || !strings.Contains(body, "shed") {
+		t.Errorf("degraded /healthz body %q, want shedding reason", body)
+	}
+
+	code, body = get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(body), &m); err != nil {
+		t.Fatal(err)
+	}
+	if dropped, ok := m["stream.dropped"].(float64); !ok || dropped <= 0 {
+		t.Errorf("metrics stream.dropped = %v, want > 0", m["stream.dropped"])
+	}
+	if healthy, ok := m["healthy"].(bool); !ok || healthy {
+		t.Errorf("metrics healthy = %v, want false", m["healthy"])
+	}
+}
+
+func TestEventStreamDeliversLiveEvents(t *testing.T) {
+	s := newTestServer(t, Config{Policy: "iblp", Loop: true, Rate: 200000})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/events/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	lines := 0
+	for sc.Scan() && lines < 5 {
+		if !strings.Contains(sc.Text(), "kind=") {
+			t.Fatalf("stream line %q", sc.Text())
+		}
+		lines++
+	}
+	if lines < 5 {
+		t.Fatalf("stream delivered only %d lines: %v", lines, sc.Err())
+	}
+}
+
+func TestShutdownDrainsAndReportsUnavailable(t *testing.T) {
+	s := newTestServer(t, Config{Policy: "iblp", Loop: true, Rate: 200000})
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + addr
+
+	// Open a stream (an in-flight response) before shutting down.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, "GET", base+"/events/stream", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The stream must have ended cleanly (fan closed), not been cut.
+	buf := make([]byte, 4096)
+	for {
+		if _, rerr := resp.Body.Read(buf); rerr != nil {
+			break
+		}
+	}
+	// After shutdown the listener is closed.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+}
+
+func TestHealthzDuringShutdownReturns503(t *testing.T) {
+	s := newTestServer(t, Config{Policy: "iblp"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.shuttingDown.Store(true)
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "shutting down") {
+		t.Errorf("/healthz during shutdown: %d %q", code, body)
+	}
+	code, _ = get(t, ts.URL+"/events/stream")
+	if code != http.StatusServiceUnavailable {
+		t.Errorf("/events/stream during shutdown: %d", code)
+	}
+}

@@ -19,7 +19,9 @@ import (
 	"net/http/pprof"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gccache/internal/cachesim"
@@ -55,6 +57,7 @@ type Server struct {
 	geo   model.Geometry
 	tr    trace.Trace
 	suite *obs.Suite
+	fan   *eventFan
 	start time.Time
 
 	sharded *concurrent.Sharded // nil in flat mode
@@ -63,10 +66,11 @@ type Server struct {
 	cache cachesim.Cache
 	rec   *cachesim.Recorder
 
-	httpSrv  *http.Server
-	listener net.Listener
-	cancel   context.CancelFunc
-	wg       sync.WaitGroup
+	httpSrv      *http.Server
+	listener     net.Listener
+	cancel       context.CancelFunc
+	wg           sync.WaitGroup
+	shuttingDown atomic.Bool
 }
 
 // buildPolicy constructs one policy instance of capacity k.
@@ -128,6 +132,8 @@ func New(cfg Config) (*Server, error) {
 	if s.suite, err = obs.NewSuite(cfg.Probe, 0); err != nil {
 		return nil, err
 	}
+	s.fan = newEventFan()
+	probe := obs.Multi{s.suite, s.fan}
 
 	if cfg.Shards > 1 {
 		s.sharded, err = concurrent.NewSharded(cfg.Shards, cfg.K, s.geo,
@@ -141,7 +147,7 @@ func New(cfg Config) (*Server, error) {
 		if err != nil {
 			return nil, err
 		}
-		s.sharded.SetProbe(s.suite)
+		s.sharded.SetProbe(probe)
 		return s, nil
 	}
 
@@ -149,10 +155,10 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	if in, ok := s.cache.(cachesim.Instrumented); ok {
-		in.SetProbe(s.suite)
+		in.SetProbe(probe)
 	}
 	s.rec = cachesim.NewRecorder(s.cache.Name())
-	s.rec.SetProbe(s.suite)
+	s.rec.SetProbe(probe)
 	return s, nil
 }
 
@@ -174,15 +180,54 @@ func (s *Server) Start() (string, error) {
 	return l.Addr().String(), nil
 }
 
-// Stop halts the replay and the HTTP server.
+// Stop halts the replay and the HTTP server immediately, abandoning
+// in-flight responses. Prefer Shutdown for interactive use.
 func (s *Server) Stop() {
+	s.shuttingDown.Store(true)
 	if s.cancel != nil {
 		s.cancel()
 	}
 	s.wg.Wait()
+	s.fan.CloseAll()
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
 	}
+}
+
+// Shutdown halts the replay, disconnects event-stream subscribers, and
+// drains in-flight HTTP responses until ctx ends, at which point the
+// remaining connections are forcibly closed. While draining, /healthz
+// reports the server as shutting down so probes stop routing to it.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.shuttingDown.Store(true)
+	if s.cancel != nil {
+		s.cancel()
+	}
+	s.wg.Wait()
+	s.fan.CloseAll()
+	if s.httpSrv == nil {
+		return nil
+	}
+	if err := s.httpSrv.Shutdown(ctx); err != nil {
+		s.httpSrv.Close()
+		return err
+	}
+	return nil
+}
+
+// Health reports whether the server is fully healthy, plus the reasons
+// it is degraded when not: shutting down, or shedding events to slow
+// stream consumers.
+func (s *Server) Health() (bool, []string) {
+	var reasons []string
+	if s.shuttingDown.Load() {
+		reasons = append(reasons, "shutting down")
+	}
+	if n := s.fan.Dropped(); n > 0 {
+		reasons = append(reasons, fmt.Sprintf("event stream shed %d events to slow consumers", n))
+	}
+	sort.Strings(reasons)
+	return len(reasons) == 0, reasons
 }
 
 // Wait blocks until the replay goroutines finish (immediately useful
@@ -266,10 +311,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/", s.handleDashboard)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/events/stream", s.handleEventStream)
 	mux.HandleFunc("/sweep", s.handleSweep)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -307,7 +351,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "shard %d: acquired=%d contended=%d (%.2f%%)\n", i, l.Acquired, l.Contended, 100*ratio)
 		}
 	}
-	fmt.Fprintf(w, "\nendpoints: /metrics /events /sweep /healthz /debug/pprof/\n")
+	fmt.Fprintf(w, "\nendpoints: /metrics /events /events/stream /sweep /healthz /debug/pprof/\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -328,6 +372,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for k := 0; k < obs.NumKinds; k++ {
 		m["events."+obs.Kind(k).String()] = snap[k]
 	}
+	m["stream.subscribers"] = s.fan.Subscribers()
+	m["stream.dropped"] = s.fan.Dropped()
+	healthy, reasons := s.Health()
+	m["healthy"] = healthy
+	if len(reasons) > 0 {
+		m["degraded_reasons"] = reasons
+	}
 	if s.sharded != nil {
 		for i, l := range s.sharded.ShardLoads() {
 			m[fmt.Sprintf("shard.%d.acquired", i)] = l.Acquired
@@ -345,6 +396,58 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(m) //nolint:errcheck // client gone
+}
+
+// handleHealthz reports ok, degraded (with one reason per line), or —
+// during shutdown — 503, so orchestration stops routing before the
+// drain deadline cuts connections.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	ok, reasons := s.Health()
+	if ok {
+		fmt.Fprintln(w, "ok")
+		return
+	}
+	if s.shuttingDown.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	fmt.Fprintln(w, "degraded")
+	for _, r := range reasons {
+		fmt.Fprintf(w, "- %s\n", r)
+	}
+}
+
+// handleEventStream streams live probe events, one line per event, in
+// the same format as /events. Each subscriber gets a bounded buffer;
+// when the client reads too slowly events are shed (never blocking the
+// replay) and the gap shows up as a jump in seq plus a drop count in
+// /metrics and /healthz.
+func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
+	if s.shuttingDown.Load() {
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	flusher, _ := w.(http.Flusher)
+	sub, cancel := s.fan.Subscribe(1024)
+	defer cancel()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case e, open := <-sub.ch:
+			if !open {
+				return // shutdown disconnected us
+			}
+			if _, err := fmt.Fprintf(w, "seq=%d kind=%s item=%d block=%d n=%d\n",
+				e.Seq, e.Kind, e.Item, e.Block, e.N); err != nil {
+				return
+			}
+			if flusher != nil && len(sub.ch) == 0 {
+				flusher.Flush()
+			}
+		}
+	}
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, _ *http.Request) {

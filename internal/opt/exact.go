@@ -1,8 +1,7 @@
 package opt
 
 import (
-	"fmt"
-	"math"
+	"context"
 	"math/bits"
 	"slices"
 
@@ -26,78 +25,12 @@ const MaxExactUniverse = 20
 // items never hurt (evictions are free and capacity binds only on load),
 // only maximal states matter; the frontier is additionally pruned by
 // dominance (drop S if a superset with no larger cost survives).
+//
+// Exact runs to completion; ExactCtx is the anytime variant that
+// respects a deadline and reports incumbent + lower bound instead.
 func Exact(tr trace.Trace, geo model.Geometry, k int) (int64, error) {
-	if k < 1 {
-		return 0, fmt.Errorf("opt: cache size %d < 1", k)
-	}
-	if len(tr) == 0 {
-		return 0, nil
-	}
-	// Index the universe.
-	index := make(map[model.Item]int)
-	for _, it := range tr {
-		if _, ok := index[it]; !ok {
-			index[it] = len(index)
-		}
-	}
-	n := len(index)
-	if n > MaxExactUniverse {
-		return 0, fmt.Errorf("opt: %d distinct items exceeds exact-solver limit %d", n, MaxExactUniverse)
-	}
-	// Per-item: bitmask of its block restricted to the universe.
-	blockMask := make([]uint32, n)
-	var sibBuf []model.Item // owned copy; solvers may share a geometry
-	for it, idx := range index {
-		var m uint32
-		sibBuf = model.AppendItemsOf(geo, sibBuf[:0], geo.BlockOf(it))
-		for _, sib := range sibBuf {
-			if j, ok := index[sib]; ok {
-				m |= 1 << uint(j)
-			}
-		}
-		blockMask[idx] = m
-	}
-
-	frontier := map[uint32]int64{0: 0}
-	for _, it := range tr {
-		x := index[it]
-		xbit := uint32(1) << uint(x)
-		next := make(map[uint32]int64, len(frontier))
-		relax := func(mask uint32, cost int64) {
-			if old, ok := next[mask]; !ok || cost < old {
-				next[mask] = cost
-			}
-		}
-		for mask, cost := range frontier {
-			if mask&xbit != 0 {
-				relax(mask, cost)
-				continue
-			}
-			avail := mask | blockMask[x]
-			// Enumerate maximal next states: keep x plus any
-			// min(k, |avail|) − 1 of the other available items.
-			others := avail &^ xbit
-			keep := k - 1
-			if cnt := bits.OnesCount32(others); cnt <= keep {
-				relax(avail, cost+1)
-				continue
-			}
-			forEachSubsetOfSize(others, keep, func(sub uint32) {
-				relax(sub|xbit, cost+1)
-			})
-		}
-		frontier = pruneDominated(next)
-		if len(frontier) == 0 {
-			return 0, fmt.Errorf("opt: state space exhausted (internal error)")
-		}
-	}
-	best := int64(math.MaxInt64)
-	for _, cost := range frontier {
-		if cost < best {
-			best = cost
-		}
-	}
-	return best, nil
+	res, err := ExactCtx(context.Background(), tr, geo, k)
+	return res.Incumbent, err
 }
 
 // forEachSubsetOfSize calls fn for every subset of set with exactly size

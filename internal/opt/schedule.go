@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -26,35 +27,27 @@ type Step struct {
 // reconstructs one optimal schedule: which items each miss loads and
 // evicts. Subject to the same MaxExactUniverse limit.
 func ExactSchedule(tr trace.Trace, geo model.Geometry, k int) (int64, []Step, error) {
+	res, steps, err := ExactScheduleCtx(context.Background(), tr, geo, k)
+	return res.Incumbent, steps, err
+}
+
+// ExactScheduleCtx is ExactSchedule as an anytime solver. With a live
+// context it returns the certified optimum and an optimal schedule.
+// When ctx ends mid-solve it still returns a complete feasible schedule
+// — the DP prefix reconstructed through parents, completed greedily
+// with furthest-next-use eviction — whose cost is the Anytime
+// incumbent, alongside the proven lower bound and a wrapped
+// ErrDeadline.
+func ExactScheduleCtx(ctx context.Context, tr trace.Trace, geo model.Geometry, k int) (Anytime, []Step, error) {
 	if k < 1 {
-		return 0, nil, fmt.Errorf("opt: cache size %d < 1", k)
+		return Anytime{}, nil, fmt.Errorf("opt: cache size %d < 1", k)
 	}
 	if len(tr) == 0 {
-		return 0, nil, nil
+		return Anytime{Exact: true}, nil, nil
 	}
-	index := make(map[model.Item]int)
-	var items []model.Item
-	for _, it := range tr {
-		if _, ok := index[it]; !ok {
-			index[it] = len(index)
-			items = append(items, it)
-		}
-	}
-	n := len(index)
-	if n > MaxExactUniverse {
-		return 0, nil, fmt.Errorf("opt: %d distinct items exceeds exact-solver limit %d", n, MaxExactUniverse)
-	}
-	blockMask := make([]uint32, n)
-	var sibBuf []model.Item // owned copy; solvers may share a geometry
-	for it, idx := range index {
-		var m uint32
-		sibBuf = model.AppendItemsOf(geo, sibBuf[:0], geo.BlockOf(it))
-		for _, sib := range sibBuf {
-			if j, ok := index[sib]; ok {
-				m |= 1 << uint(j)
-			}
-		}
-		blockMask[idx] = m
+	ins, err := newInstance(tr, geo)
+	if err != nil {
+		return Anytime{}, nil, err
 	}
 
 	type entry struct {
@@ -63,8 +56,13 @@ func ExactSchedule(tr trace.Trace, geo model.Geometry, k int) (int64, []Step, er
 	}
 	frontiers := make([]map[uint32]entry, len(tr)+1)
 	frontiers[0] = map[uint32]entry{0: {cost: 0}}
+	solved := len(tr)
 	for step, it := range tr {
-		x := index[it]
+		if ctx.Err() != nil {
+			solved = step
+			break
+		}
+		x := ins.index[it]
 		xbit := uint32(1) << uint(x)
 		next := make(map[uint32]entry)
 		// Ties (same mask, same cost, different parents) break toward the
@@ -82,7 +80,7 @@ func ExactSchedule(tr trace.Trace, geo model.Geometry, k int) (int64, []Step, er
 				relax(mask, e.cost, mask)
 				continue
 			}
-			avail := mask | blockMask[x]
+			avail := mask | ins.blockMask[x]
 			others := avail &^ xbit
 			keep := k - 1
 			if cnt := bits.OnesCount32(others); cnt <= keep {
@@ -109,44 +107,30 @@ func ExactSchedule(tr trace.Trace, geo model.Geometry, k int) (int64, []Step, er
 
 	best := int64(math.MaxInt64)
 	var bestMask uint32
-	for m, e := range frontiers[len(tr)] {
+	for m, e := range frontiers[solved] {
 		if e.cost < best || (e.cost == best && m < bestMask) {
 			best, bestMask = e.cost, m
 		}
 	}
-	// Walk parents backwards to recover the mask sequence.
-	masks := make([]uint32, len(tr)+1)
-	masks[len(tr)] = bestMask
-	for step := len(tr); step >= 1; step-- {
+	// Walk parents backwards to recover the mask sequence of the solved
+	// prefix.
+	masks := make([]uint32, solved+1)
+	masks[solved] = bestMask
+	for step := solved; step >= 1; step-- {
 		masks[step-1] = frontiers[step][masks[step]].parent
 	}
-	// Translate mask transitions into steps.
-	itemsOf := func(mask uint32) []model.Item {
-		var out []model.Item
-		for m := mask; m != 0; m &= m - 1 {
-			out = append(out, items[bits.TrailingZeros32(m)])
-		}
-		return out
+	steps := make([]Step, 0, len(tr))
+	for i := 0; i < solved; i++ {
+		steps = append(steps, ins.maskStep(tr[i], masks[i], masks[i+1]))
 	}
-	steps := make([]Step, len(tr))
-	for i, it := range tr {
-		prev, cur := masks[i], masks[i+1]
-		st := Step{
-			Hit:      prev&(1<<uint(index[it])) != 0,
-			Contents: itemsOf(cur),
-		}
-		if loadMask := cur &^ prev; loadMask != 0 {
-			// Requested item first.
-			if loadMask&(1<<uint(index[it])) != 0 {
-				st.Load = append(st.Load, it)
-				loadMask &^= 1 << uint(index[it])
-			}
-			st.Load = append(st.Load, itemsOf(loadMask)...)
-		}
-		st.Evict = itemsOf(prev &^ cur)
-		steps[i] = st
+	if solved == len(tr) {
+		return Anytime{Incumbent: best, Lower: best, Exact: true, Steps: solved}, steps, nil
 	}
-	return best, steps, nil
+	inc := best + ins.greedyComplete(tr, solved, bestMask, k, func(st Step) {
+		steps = append(steps, st)
+	})
+	return Anytime{Incumbent: inc, Lower: best, Steps: solved}, steps,
+		fmt.Errorf("%w after %d/%d accesses: %v", ErrDeadline, solved, len(tr), ctx.Err())
 }
 
 // VerifySchedule replays a schedule against the model and returns its

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"gccache/internal/checkpoint"
 	"gccache/internal/model"
 )
 
@@ -67,6 +68,49 @@ func FuzzBinaryRoundTrip(f *testing.F) {
 			if back[i] != tr[i] {
 				t.Fatal("content changed")
 			}
+		}
+	})
+}
+
+// FuzzCheckpointDecode asserts the checkpoint snapshot decoder — the
+// file format every resumable run trusts after a crash — never panics
+// on corrupted or truncated input, and never silently accepts a
+// mangled snapshot as something other than what was written: whatever
+// decodes must re-encode canonically to a fixed point. It lives in
+// this package's fuzz suite alongside the other binary decoders
+// (package checkpoint deliberately imports nothing from the repo, so
+// there is no cycle).
+func FuzzCheckpointDecode(f *testing.F) {
+	seed := &checkpoint.Snapshot{
+		Kind: "fuzz.kind",
+		Meta: map[string]int64{"step": 42, "hash": -7},
+		Sections: map[string][]byte{
+			"frontier": {1, 2, 3, 4},
+			"empty":    {},
+		},
+	}
+	raw := seed.Encode()
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	f.Add(raw[:8])
+	f.Add([]byte{})
+	f.Add([]byte("gcckpt\x00\x01garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := checkpoint.Decode(data)
+		if err != nil {
+			return // clean rejection is the expected outcome
+		}
+		enc1 := s.Encode()
+		s2, err := checkpoint.Decode(enc1)
+		if err != nil {
+			t.Fatalf("re-decode of accepted snapshot failed: %v", err)
+		}
+		enc2 := s2.Encode()
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\n%x\n%x", enc1, enc2)
+		}
+		if s2.Kind != s.Kind || len(s2.Meta) != len(s.Meta) || len(s2.Sections) != len(s.Sections) {
+			t.Fatal("round trip changed snapshot shape")
 		}
 	})
 }
