@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json repro repro-quick fuzz stress clean
+.PHONY: all build vet lint test race cover bench bench-json load-smoke repro repro-quick fuzz stress clean
 
 all: build vet lint test
 
@@ -28,6 +28,12 @@ test:
 race:
 	$(GO) test -race ./internal/concurrent/ ./internal/cachesim/ ./internal/experiments/
 
+# Load-generator smoke: gcload's selfcheck (open + batch modes, full
+# accounting verification) under the race detector — the fastest way to
+# catch a data race in the serving engine's producer/worker plumbing.
+load-smoke:
+	$(GO) run -race ./cmd/gcload -selfcheck
+
 cover:
 	$(GO) test -cover ./...
 
@@ -38,7 +44,7 @@ bench:
 # hot-path benchmarks and record them under "current", preserving the
 # committed "pre_change" section so the file tracks the performance
 # trajectory (see DESIGN.md, Performance notes).
-HOTPATH_BENCH = ^(BenchmarkRunTrace|BenchmarkRunTraceGeneric|BenchmarkSweep|BenchmarkAccess(ItemLRU|BlockLRU|IBLP|GCM|AThreshold))$$
+HOTPATH_BENCH = ^(BenchmarkRunTrace|BenchmarkRunTraceGeneric|BenchmarkRunStream|BenchmarkReplayThroughput|BenchmarkSweep|BenchmarkAccess(ItemLRU|BlockLRU|IBLP|GCM|AThreshold))$$
 bench-json:
 	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem . | $(GO) run ./cmd/gcbenchjson -out BENCH_baseline.json
 

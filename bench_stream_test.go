@@ -1,0 +1,67 @@
+package gccache_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"gccache"
+	"gccache/internal/model"
+)
+
+// BenchmarkRunStream measures the streaming replay path end to end —
+// binary varint decode, policy access, dense recorder — off an
+// in-memory encoding of the BlockRuns trace, so the number is the
+// decode+replay cost with no file-system noise. The slice-path
+// counterpart is BenchmarkRunTrace; the gap between them is the price
+// of O(1)-memory ingestion.
+func BenchmarkRunStream(b *testing.B) {
+	g, tr := runTraceWorkload(b)
+	u := model.ItemUniverse(g, tr.Universe())
+	c := gccache.NewIBLPEvenSplitBounded(4096, g, u)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, err := gccache.NewTraceScanner(bytes.NewReader(enc))
+		if err != nil {
+			b.Fatal(err)
+		}
+		st, err := gccache.RunColdStreamBounded(c, sc, u)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Misses == 0 {
+			b.Fatal("implausible: zero misses")
+		}
+	}
+}
+
+// BenchmarkReplayThroughput measures the batched sharded serving engine
+// (gcload's batch mode): the BlockRuns trace split into 8 streams,
+// routed into per-shard batch queues, one lock acquisition per batch.
+// The ops/sec metric is the throughput figure BENCH_baseline.json
+// tracks across PRs.
+func BenchmarkReplayThroughput(b *testing.B) {
+	g, tr := runTraceWorkload(b)
+	streams := gccache.SplitStreams(tr, 8)
+	s, err := gccache.NewShardedCache(8, 4096, g, func(k int) gccache.Cache {
+		return gccache.NewIBLPEvenSplit(k, g)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gccache.ReplayBatched(ctx, s, streams, gccache.BatchReplayConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(tr))*float64(b.N)/b.Elapsed().Seconds(), "ops/sec")
+}

@@ -22,16 +22,20 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 
 	"gccache/internal/cli"
 )
 
 // Result holds one benchmark's figures. BytesPerOp/AllocsPerOp are -1
-// when the run did not report memory statistics.
+// when the run did not report memory statistics; OpsPerSec is present
+// only for benchmarks that b.ReportMetric a throughput (the serving
+// engine benchmarks do).
 type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec,omitempty"`
 }
 
 // Snapshot is the committed file layout.
@@ -40,33 +44,40 @@ type Snapshot struct {
 	Current   map[string]Result `json:"current"`
 }
 
-// benchLine matches e.g.
+// benchHeader matches the name and iteration count of a result line,
+// e.g.
 //
 //	BenchmarkRunTrace-8  20  59616409 ns/op  9741033 B/op  17101 allocs/op
-var benchLine = regexp.MustCompile(
-	`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op)?(?:\s+([\d.]+) allocs/op)?`)
+//
+// The figures after the count are (value, unit) pairs parsed by unit,
+// because custom metrics (b.ReportMetric, e.g. "ops/sec") are printed
+// between ns/op and the -benchmem columns.
+var benchHeader = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s`)
 
 func parse(r *bufio.Scanner) (map[string]Result, error) {
 	out := make(map[string]Result)
 	for r.Scan() {
-		m := benchLine.FindStringSubmatch(r.Text())
+		m := benchHeader.FindStringSubmatch(r.Text())
 		if m == nil {
 			continue
 		}
 		res := Result{BytesPerOp: -1, AllocsPerOp: -1}
-		var err error
-		if res.NsPerOp, err = strconv.ParseFloat(m[2], 64); err != nil {
-			return nil, fmt.Errorf("bad ns/op in %q: %v", r.Text(), err)
-		}
-		if m[3] != "" {
-			if res.BytesPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
-				return nil, fmt.Errorf("bad B/op in %q: %v", r.Text(), err)
+		fields := strings.Fields(r.Text())
+		for i := 2; i+1 < len(fields); i += 2 {
+			dst, known := map[string]*float64{
+				"ns/op":     &res.NsPerOp,
+				"B/op":      &res.BytesPerOp,
+				"allocs/op": &res.AllocsPerOp,
+				"ops/sec":   &res.OpsPerSec,
+			}[fields[i+1]]
+			if !known {
+				continue // unrecognized metric; skip the pair
 			}
-		}
-		if m[4] != "" {
-			if res.AllocsPerOp, err = strconv.ParseFloat(m[4], 64); err != nil {
-				return nil, fmt.Errorf("bad allocs/op in %q: %v", r.Text(), err)
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s in %q: %v", fields[i+1], r.Text(), err)
 			}
+			*dst = v
 		}
 		out[m[1]] = res
 	}
@@ -118,6 +129,9 @@ func main() {
 		line := fmt.Sprintf("%-28s %14.0f ns/op", n, r.NsPerOp)
 		if r.AllocsPerOp >= 0 {
 			line += fmt.Sprintf(" %10.0f allocs/op", r.AllocsPerOp)
+		}
+		if r.OpsPerSec > 0 {
+			line += fmt.Sprintf(" %12.0f ops/sec", r.OpsPerSec)
 		}
 		if pre, ok := snap.PreChange[n]; ok && pre.NsPerOp > 0 {
 			line += fmt.Sprintf("   (%.2fx vs pre_change)", pre.NsPerOp/r.NsPerOp)

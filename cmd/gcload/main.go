@@ -1,0 +1,316 @@
+// Command gcload is an open-loop load generator for the concurrent
+// serving engine: it replays a workload through a sharded cache from
+// many client streams and reports throughput (ops/sec) plus
+// access-latency percentiles from the obs histogram.
+//
+// Two modes:
+//
+//   - open (default): each stream issues requests on its own schedule.
+//     With -rate set, arrivals are scheduled open-loop — latency is
+//     measured from the *scheduled* arrival, so queueing delay when the
+//     cache falls behind is charged to the cache, not silently absorbed
+//     (no coordinated omission). With -rate 0 the streams run closed-loop
+//     flat out and latency is pure service time.
+//   - batch: drives the batched engine (concurrent.ReplayCtx) for a
+//     max-throughput measurement with one lock acquisition per batch.
+//
+// Usage:
+//
+//	gcload -k 4096 -B 64 -policy iblp -shards 8 -streams 8 -ops 1000000
+//	gcload -mode batch -batch 256 -depth 4 -trace requests.gct
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/cli"
+	"gccache/internal/concurrent"
+	"gccache/internal/core"
+	"gccache/internal/model"
+	"gccache/internal/obs"
+	"gccache/internal/policy"
+	"gccache/internal/trace"
+	"gccache/internal/workload"
+)
+
+func main() {
+	var (
+		k         = flag.Int("k", 4096, "cache size in items (split across shards)")
+		B         = flag.Int("B", 64, "block size")
+		policyArg = flag.String("policy", "iblp", "policy: item-lru, block-lru, iblp, gcm, adaptive")
+		spec      = flag.String("workload", "blockruns:blocks=512,B=64,run=16,len=200000", workload.SpecHelp)
+		traceFile = flag.String("trace", "", "read a gctrace binary file instead of generating a workload")
+		seed      = flag.Int64("seed", 1, "workload / policy seed")
+		shards    = flag.Int("shards", 8, "lock-striped shard count (power of two)")
+		streams   = flag.Int("streams", 8, "concurrent client streams")
+		ops       = flag.Int64("ops", 1_000_000, "total accesses to issue (the trace repeats as needed)")
+		rate      = flag.Int("rate", 0, "target total accesses/second, scheduled open-loop (0 = closed-loop, flat out)")
+		mode      = flag.String("mode", "open", "load mode: open (per-access latency) or batch (batched engine throughput)")
+		batch     = flag.Int("batch", 0, "batch mode: requests per batch (0 = engine default)")
+		depth     = flag.Int("depth", 0, "batch mode: queue depth per shard (0 = engine default)")
+		duration  = flag.Duration("duration", 0, "stop after this long even if -ops remain (0 = run to completion)")
+		selfcheck = flag.Bool("selfcheck", false, "run a small fixed load in both modes, verify accounting, and exit")
+	)
+	cli.SetUsage("gcload", "generate open-loop or batched load against a sharded cache and report throughput + latency percentiles")
+	flag.Parse()
+
+	if *selfcheck {
+		if err := runSelfcheck(); err != nil {
+			cli.Fatal("gcload", err)
+		}
+		fmt.Println("gcload: selfcheck ok")
+		return
+	}
+
+	geo := model.NewFixed(*B)
+	var tr trace.Trace
+	var err error
+	if *traceFile != "" {
+		f, ferr := os.Open(*traceFile)
+		if ferr != nil {
+			cli.Fatal("gcload", ferr)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+	} else {
+		tr, err = workload.FromSpec(*spec, *seed)
+	}
+	if err != nil {
+		cli.Fatal("gcload", err)
+	}
+	if len(tr) == 0 {
+		cli.Fatalf("gcload", "empty trace")
+	}
+	if *ops < 1 {
+		cli.Fatalf("gcload", "-ops %d < 1", *ops)
+	}
+
+	build, err := buildPolicy(*policyArg, geo, *seed)
+	if err != nil {
+		cli.Fatal("gcload", err)
+	}
+	s, err := concurrent.NewSharded(*shards, *k, geo, build)
+	if err != nil {
+		cli.Fatal("gcload", err)
+	}
+
+	ctx := context.Background()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	fmt.Printf("gcload: policy %s, k %d, B %d, %d shards, %d streams, mode %s\n",
+		*policyArg, *k, *B, *shards, *streams, *mode)
+	var r report
+	switch *mode {
+	case "open":
+		r = runOpen(ctx, s, tr, *streams, *ops, *rate)
+	case "batch":
+		cfg := concurrent.BatchConfig{BatchSize: *batch, QueueDepth: *depth}
+		r, err = runBatch(ctx, s, tr, *streams, *ops, cfg)
+		if err != nil && ctx.Err() == nil {
+			cli.Fatal("gcload", err)
+		}
+	default:
+		cli.Fatalf("gcload", "unknown -mode %q (want open or batch)", *mode)
+	}
+	r.print(os.Stdout, s)
+}
+
+// buildPolicy returns a per-shard cache constructor — the same policy
+// names the serving layer accepts, parameterized on the shard's share
+// of the capacity.
+func buildPolicy(name string, geo model.Geometry, seed int64) (func(k int) cachesim.Cache, error) {
+	switch name {
+	case "item-lru":
+		return func(k int) cachesim.Cache { return policy.NewItemLRU(k) }, nil
+	case "block-lru":
+		return func(k int) cachesim.Cache { return policy.NewBlockLRU(k, geo) }, nil
+	case "iblp", "iblp-even":
+		return func(k int) cachesim.Cache { return core.NewIBLPEvenSplit(k, geo) }, nil
+	case "gcm":
+		return func(k int) cachesim.Cache { return core.NewGCM(k, geo, seed) }, nil
+	case "adaptive":
+		return func(k int) cachesim.Cache { return core.NewAdaptiveIBLP(k, geo) }, nil
+	}
+	return nil, fmt.Errorf("unknown policy %q (want item-lru, block-lru, iblp, gcm, or adaptive)", name)
+}
+
+// report is one load run's measurements.
+type report struct {
+	mode    string
+	issued  int64 // accesses actually completed (≤ requested under -duration)
+	elapsed time.Duration
+	hist    *obs.Histogram // per-access latency; nil in batch mode
+}
+
+func (r report) print(w *os.File, s *concurrent.Sharded) {
+	secs := r.elapsed.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	fmt.Fprintf(w, "gcload: %d ops in %v: %.0f ops/sec\n", r.issued, r.elapsed.Round(time.Millisecond), float64(r.issued)/secs)
+	if r.hist != nil {
+		fmt.Fprintf(w, "gcload: latency p50 %v  p95 %v  p99 %v  mean %v\n",
+			time.Duration(r.hist.Percentile(0.50)),
+			time.Duration(r.hist.Percentile(0.95)),
+			time.Duration(r.hist.Percentile(0.99)),
+			time.Duration(r.hist.Mean()))
+	}
+	st := s.Stats()
+	var acquired, contended int64
+	for _, l := range s.ShardLoads() {
+		acquired += l.Acquired
+		contended += l.Contended
+	}
+	fmt.Fprintf(w, "gcload: miss ratio %.4f (%d/%d), %d lock acquisitions (%.2f accesses/lock, %.1f%% contended)\n",
+		st.MissRatio(), st.Misses, st.Accesses,
+		acquired, float64(st.Accesses)/float64(max64(acquired, 1)),
+		100*float64(contended)/float64(max64(acquired, 1)))
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// runOpen drives s from n concurrent streams until ops accesses have
+// completed (or ctx expires), recording each access's latency.
+func runOpen(ctx context.Context, s *concurrent.Sharded, tr trace.Trace, n int, ops int64, rate int) report {
+	streams := concurrent.SplitStreams(tr, n)
+	hist := obs.NewHistogram("access latency", "ns")
+	// Open-loop schedule: the total arrival rate is divided evenly, so
+	// each stream's inter-arrival gap is streams/rate seconds.
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(len(streams)) / float64(rate) * float64(time.Second))
+	}
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w, st := range streams {
+		quota := ops / int64(len(streams))
+		if int64(w) < ops%int64(len(streams)) {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(st trace.Trace, quota int64) {
+			defer wg.Done()
+			base := time.Now()
+			for i := int64(0); i < quota; i++ {
+				if i&1023 == 0 && ctx.Err() != nil {
+					return
+				}
+				scheduled := time.Now()
+				if interval > 0 {
+					scheduled = base.Add(time.Duration(i) * interval)
+					if wait := time.Until(scheduled); wait > 0 {
+						time.Sleep(wait)
+					}
+				}
+				s.Access(st[int(i%int64(len(st)))])
+				hist.Record(int64(time.Since(scheduled)))
+				issued.Add(1)
+			}
+		}(st, quota)
+	}
+	wg.Wait()
+	return report{mode: "open", issued: issued.Load(), elapsed: time.Since(start), hist: hist}
+}
+
+// runBatch replays the split streams through the batched engine in
+// rounds until ops accesses have completed (or ctx expires).
+func runBatch(ctx context.Context, s *concurrent.Sharded, tr trace.Trace, n int, ops int64, cfg concurrent.BatchConfig) (report, error) {
+	streams := concurrent.SplitStreams(tr, n)
+	start := time.Now()
+	var st cachesim.Stats
+	for st.Accesses < ops {
+		var err error
+		st, err = concurrent.ReplayCtx(ctx, s, streams, cfg)
+		if err != nil {
+			return report{mode: "batch", issued: st.Accesses, elapsed: time.Since(start)}, err
+		}
+	}
+	return report{mode: "batch", issued: st.Accesses, elapsed: time.Since(start)}, nil
+}
+
+// runSelfcheck exercises both modes on a small fixed load and verifies
+// the accounting end to end: every issued access is counted by the
+// cache, every open-mode access produced a latency sample, and the
+// percentile summary is monotone. Run under -race by `make load-smoke`.
+func runSelfcheck() error {
+	const (
+		kk      = 256
+		bb      = 8
+		nShards = 4
+		nStream = 4
+		nOps    = 40_000
+	)
+	geo := model.NewFixed(bb)
+	tr, err := workload.FromSpec("blockruns:blocks=64,B=8,run=8,len=20000", 1)
+	if err != nil {
+		return err
+	}
+	build, err := buildPolicy("iblp", geo, 1)
+	if err != nil {
+		return err
+	}
+
+	// Open mode: exact accounting, one latency sample per access.
+	s, err := concurrent.NewSharded(nShards, kk, geo, build)
+	if err != nil {
+		return err
+	}
+	r := runOpen(context.Background(), s, tr, nStream, nOps, 0)
+	if r.issued != nOps {
+		return fmt.Errorf("selfcheck: open mode issued %d ops, want %d", r.issued, nOps)
+	}
+	if st := s.Stats(); st.Accesses != nOps {
+		return fmt.Errorf("selfcheck: cache counted %d accesses, want %d", st.Accesses, nOps)
+	}
+	if c := r.hist.Count(); c != nOps {
+		return fmt.Errorf("selfcheck: %d latency samples, want %d", c, nOps)
+	}
+	p50, p95, p99 := r.hist.Percentile(0.50), r.hist.Percentile(0.95), r.hist.Percentile(0.99)
+	if p50 > p95 || p95 > p99 {
+		return fmt.Errorf("selfcheck: non-monotone percentiles p50=%d p95=%d p99=%d", p50, p95, p99)
+	}
+	r.print(os.Stdout, s)
+
+	// Batch mode: one full replay round, lock traffic amortized below
+	// one acquisition per access.
+	s2, err := concurrent.NewSharded(nShards, kk, geo, build)
+	if err != nil {
+		return err
+	}
+	r2, err := runBatch(context.Background(), s2, tr, nStream, int64(len(tr)), concurrent.BatchConfig{})
+	if err != nil {
+		return err
+	}
+	if r2.issued != int64(len(tr)) {
+		return fmt.Errorf("selfcheck: batch mode issued %d ops, want %d", r2.issued, len(tr))
+	}
+	var acquired int64
+	for _, l := range s2.ShardLoads() {
+		acquired += l.Acquired
+	}
+	if acquired >= r2.issued {
+		return fmt.Errorf("selfcheck: batching did not amortize locking (%d acquisitions for %d accesses)", acquired, r2.issued)
+	}
+	r2.print(os.Stdout, s2)
+	return nil
+}

@@ -13,7 +13,7 @@ import (
 // (each invocation pays a `go run` compile).
 func TestCommandSmoke(t *testing.T) {
 	if testing.Short() {
-		t.Skip("smoke test compiles all eight binaries")
+		t.Skip("smoke test compiles all nine binaries")
 	}
 	dir := t.TempDir()
 	traceFile := filepath.Join(dir, "t.gct")
@@ -37,6 +37,13 @@ func TestCommandSmoke(t *testing.T) {
 			"-B", "8", "-reuse"}, "reuse distances, block granularity"},
 		{"gcserve-selfcheck", []string{"run", "./cmd/gcserve", "-selfcheck", "-k", "128", "-B", "8",
 			"-workload", "blockruns:blocks=32,B=8,run=4,len=4000", "-policy", "iblp"}, "selfcheck ok"},
+		{"gcload-selfcheck", []string{"run", "./cmd/gcload", "-selfcheck"}, "gcload: selfcheck ok"},
+		{"gcload-open", []string{"run", "./cmd/gcload", "-k", "128", "-B", "8", "-shards", "2",
+			"-streams", "2", "-ops", "20000",
+			"-workload", "blockruns:blocks=32,B=8,run=4,len=4000"}, "ops/sec"},
+		{"gcload-batch", []string{"run", "./cmd/gcload", "-mode", "batch", "-k", "128", "-B", "8",
+			"-shards", "2", "-streams", "2", "-ops", "20000",
+			"-workload", "blockruns:blocks=32,B=8,run=4,len=4000"}, "ops/sec"},
 		{"gcopt-deadline-anytime", []string{"run", "./cmd/gcopt", "-workload",
 			"blockruns:blocks=4,B=4,run=2,len=400", "-k", "8", "-B", "4", "-exact",
 			"-deadline", "1ns"}, "incumbent (feasible upper bound)"},
@@ -110,7 +117,7 @@ func TestGcsimKillResumeByteIdentical(t *testing.T) {
 // text. Skipped under -short for the same compile-cost reason.
 func TestCommandUsage(t *testing.T) {
 	if testing.Short() {
-		t.Skip("usage test compiles all eight binaries")
+		t.Skip("usage test compiles all nine binaries")
 	}
 	cmds := map[string][]string{
 		"gcadversary": {"construction", "policy", "k", "h", "B", "phases", "p", "seed"},
@@ -118,6 +125,8 @@ func TestCommandUsage(t *testing.T) {
 		"gcbounds":    {"artifact", "k", "h", "B", "size", "points", "csv"},
 		"gcopt":       {"workload", "trace", "k", "B", "seed", "exact", "deadline", "checkpoint", "resume"},
 		"gcrepro":     {"out", "quick"},
+		"gcload": {"k", "B", "policy", "workload", "trace", "seed", "shards", "streams",
+			"ops", "rate", "mode", "batch", "depth", "duration", "selfcheck"},
 		"gcserve": {"addr", "k", "B", "policy", "workload", "trace", "seed",
 			"shards", "streams", "probe", "loop", "rate", "duration", "selfcheck", "drain"},
 		"gcsim": {"k", "B", "policy", "workload", "trace", "seed", "opt", "probe",

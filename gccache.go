@@ -23,6 +23,7 @@ package gccache
 
 import (
 	"context"
+	"io"
 
 	"gccache/internal/adversary"
 	"gccache/internal/bounds"
@@ -91,6 +92,58 @@ func RunBounded(c Cache, tr Trace, universe int) Stats {
 }
 func RunColdBounded(c Cache, tr Trace, universe int) Stats {
 	return cachesim.RunColdBounded(c, tr, universe)
+}
+
+// Streaming replay (see DESIGN.md, "Serving & streaming"): replaying a
+// trace file through TraceScanner and RunStream needs O(1) memory
+// regardless of trace length, with statistics byte-identical to the
+// in-memory Run path.
+type (
+	// TraceSource is an incremental stream of item requests — the
+	// streaming counterpart of Trace. Next/Item/Err follow the
+	// bufio.Scanner iteration shape.
+	TraceSource = trace.Source
+	// TraceScanner incrementally decodes the gctrace binary format.
+	TraceScanner = trace.Scanner
+	// TraceTextScanner incrementally parses the one-ID-per-line text
+	// format.
+	TraceTextScanner = trace.TextScanner
+)
+
+// NewTraceScanner validates the gctrace binary header on r and returns
+// a scanner positioned at the first request.
+func NewTraceScanner(r io.Reader) (*TraceScanner, error) { return trace.NewScanner(r) }
+
+// NewTraceTextScanner returns a scanner over the plain-text format.
+func NewTraceTextScanner(r io.Reader) *TraceTextScanner { return trace.NewTextScanner(r) }
+
+// NewSliceSource adapts an in-memory Trace to the TraceSource shape.
+func NewSliceSource(tr Trace) TraceSource { return trace.NewSliceSource(tr) }
+
+// RunStream replays src through c and returns the statistics together
+// with the source's terminal error; RunColdStream resets c first. The
+// bounded variants put the recorder on its dense allocation-free path
+// (see RunBounded for the universe contract).
+func RunStream(c Cache, src TraceSource) (Stats, error)     { return cachesim.RunStream(c, src) }
+func RunColdStream(c Cache, src TraceSource) (Stats, error) { return cachesim.RunColdStream(c, src) }
+func RunStreamBounded(c Cache, src TraceSource, universe int) (Stats, error) {
+	return cachesim.RunStreamBounded(c, src, universe)
+}
+func RunColdStreamBounded(c Cache, src TraceSource, universe int) (Stats, error) {
+	return cachesim.RunColdStreamBounded(c, src, universe)
+}
+
+// RunStreamCtx is RunStream with cooperative cancellation (see RunCtx
+// for the err == nil contract).
+func RunStreamCtx(ctx context.Context, c Cache, src TraceSource) (Stats, error) {
+	return cachesim.RunStreamCtx(ctx, c, src)
+}
+
+// RunFile opens path, streams the gctrace binary format through c, and
+// closes the file — the one-call entry point for replaying traces
+// larger than memory. Universe > 0 selects the bounded recorder.
+func RunFile(ctx context.Context, c Cache, path string, universe int) (Stats, error) {
+	return cachesim.RunFile(ctx, c, path, universe)
 }
 
 // Observability (internal/obs; see DESIGN.md, "Observability").
@@ -429,6 +482,26 @@ func ReplayConcurrent(s *ShardedCache, streams []Trace) Stats {
 
 // SplitStreams deals a trace round-robin into n concurrent streams.
 func SplitStreams(tr Trace, n int) []Trace { return concurrent.SplitStreams(tr, n) }
+
+// BatchReplayConfig tunes the batched replay engine (batch size, queue
+// depth, deterministic merge mode); the zero value selects defaults.
+type BatchReplayConfig = concurrent.BatchConfig
+
+// ReplayBatched drives a sharded cache through the batched engine:
+// bounded per-shard queues give backpressure, each batch is served
+// under one lock acquisition, and cancellation follows the
+// claimed-chunk invariant (a claimed batch completes; queued work is
+// abandoned and ctx's error returned).
+func ReplayBatched(ctx context.Context, s *ShardedCache, streams []Trace, cfg BatchReplayConfig) (Stats, error) {
+	return concurrent.ReplayCtx(ctx, s, streams, cfg)
+}
+
+// ReplayStream drives a sharded cache from one incremental TraceSource
+// on the batched engine — the O(1)-memory serving path, and
+// deterministic for a fixed source (per-shard order is preserved).
+func ReplayStream(ctx context.Context, s *ShardedCache, src TraceSource, cfg BatchReplayConfig) (Stats, error) {
+	return concurrent.ReplayStreamCtx(ctx, s, src, cfg)
+}
 
 // Hierarchy simulation (Figure 1's multi-level setting).
 type (

@@ -10,6 +10,7 @@ package cachesim
 import (
 	"context"
 	"fmt"
+	"math"
 	"math/bits"
 	"runtime"
 	"sync"
@@ -197,6 +198,10 @@ func (h *logHist) mean() float64 {
 	return float64(h.sum) / float64(h.count)
 }
 
+// percentile follows the ceil-rank (nearest-rank) convention of
+// obs.Histogram.Percentile: the q-quantile is the bucket of the
+// ceil(q·count)-th smallest sample, so the two histograms agree on
+// identical data.
 func (h *logHist) percentile(q float64) int64 {
 	if h.count == 0 {
 		return 0
@@ -207,9 +212,12 @@ func (h *logHist) percentile(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	target := int64(q * float64(h.count))
+	target := int64(math.Ceil(q * float64(h.count)))
 	if target < 1 {
 		target = 1
+	}
+	if target > h.count {
+		target = h.count
 	}
 	var cum int64
 	for i, n := range h.buckets {

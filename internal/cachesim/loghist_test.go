@@ -1,0 +1,30 @@
+package cachesim
+
+import "testing"
+
+// TestLogHistCeilRank pins logHist to the same ceil-rank (nearest-rank)
+// percentile convention as obs.Histogram, so the recorder's streaming
+// MissGap/LoadBurst percentiles and an attached histogram probe agree
+// on identical data.
+func TestLogHistCeilRank(t *testing.T) {
+	var h logHist
+	h.record(1)
+	h.record(2)
+	h.record(4)
+	// p50 of 3 samples is the 2nd smallest (rank ceil(1.5) = 2): value 2,
+	// whose log₂ bucket reports its lower bound 2. The floor-rank bug
+	// returned 1.
+	if got := h.percentile(0.5); got != 2 {
+		t.Errorf("p50 of {1,2,4} = %d, want 2", got)
+	}
+	if got := h.percentile(1); got != 4 {
+		t.Errorf("p100 = %d, want 4", got)
+	}
+	if got := h.percentile(0); got != 1 {
+		t.Errorf("p0 = %d, want 1 (first sample)", got)
+	}
+	var empty logHist
+	if got := empty.percentile(0.5); got != 0 {
+		t.Errorf("empty p50 = %d, want 0", got)
+	}
+}

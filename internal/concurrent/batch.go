@@ -1,0 +1,328 @@
+package concurrent
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// This file is the batched serving engine: where Replay drives shards
+// with one unbounded goroutine per stream and one lock acquisition per
+// access, ReplayCtx routes requests into bounded per-shard batch queues
+// consumed by one worker goroutine per shard. Batching amortizes the
+// shard lock over BatchSize accesses, the bounded queues give
+// backpressure (producers block instead of buffering the whole trace),
+// and cancellation follows the sweep engine's claimed-chunk invariant:
+// a batch a worker has started is processed to completion, everything
+// still queued or unrouted is abandoned.
+
+// BatchConfig tunes the batched replay engine. The zero value selects
+// the defaults.
+type BatchConfig struct {
+	// BatchSize is the number of requests routed into one batch before
+	// it is enqueued to its shard (default 256). Larger batches amortize
+	// the shard lock further at the cost of coarser cancellation and
+	// more reordering between streams.
+	BatchSize int
+	// QueueDepth is the number of batches buffered per shard queue
+	// (default 4). Producers routing to a full queue block — the
+	// backpressure that bounds engine memory at
+	// O(shards · QueueDepth · BatchSize) regardless of trace length.
+	QueueDepth int
+	// Deterministic selects the differential-testing mode: one queue,
+	// one worker, streams merged round-robin one request at a time. The
+	// replay order — and therefore every statistic — is then a pure
+	// function of the input streams, byte-identical to driving
+	// Sharded.Access sequentially over the same interleaving.
+	// SplitStreams(tr, n) replayed deterministically reconstructs tr's
+	// original order exactly.
+	Deterministic bool
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.BatchSize < 1 {
+		c.BatchSize = 256
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 4
+	}
+	return c
+}
+
+// batchEngine carries one replay's queues and buffer recycling.
+type batchEngine struct {
+	s   *Sharded
+	cfg BatchConfig
+	// queues has one entry per shard, or exactly one in deterministic
+	// mode. Closed by the coordinator once every producer has flushed.
+	queues []chan []model.Item
+	// free recycles batch buffers between workers and producers;
+	// non-blocking on both sides (overflow is left to the GC), so the
+	// engine can never deadlock on its own recycling.
+	free chan []model.Item
+}
+
+func newBatchEngine(s *Sharded, cfg BatchConfig) *batchEngine {
+	nq := len(s.shards)
+	if cfg.Deterministic {
+		nq = 1
+	}
+	e := &batchEngine{
+		s:      s,
+		cfg:    cfg,
+		queues: make([]chan []model.Item, nq),
+		free:   make(chan []model.Item, nq*(cfg.QueueDepth+2)),
+	}
+	for i := range e.queues {
+		e.queues[i] = make(chan []model.Item, cfg.QueueDepth)
+	}
+	return e
+}
+
+func (e *batchEngine) getBatch() []model.Item {
+	select {
+	case b := <-e.free:
+		return b[:0]
+	default:
+		return make([]model.Item, 0, e.cfg.BatchSize)
+	}
+}
+
+func (e *batchEngine) putBatch(b []model.Item) {
+	select {
+	case e.free <- b:
+	default: // recycling is best-effort; the GC takes the overflow
+	}
+}
+
+// startWorkers launches the consumer side and returns a wait function.
+// In deterministic mode a single worker drains the single queue through
+// Sharded.Access, preserving submission order exactly; otherwise one
+// worker per shard drains that shard's queue a batch at a time under
+// one lock acquisition per batch. Workers drain their queue to the end
+// even after cancellation — recycling, not processing, the leftovers —
+// so producers are never wedged on a full queue.
+func (e *batchEngine) startWorkers(ctx context.Context) (wait func()) {
+	var wg sync.WaitGroup
+	for i := range e.queues {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			for b := range e.queues[idx] {
+				if ctx.Err() != nil {
+					e.putBatch(b)
+					continue
+				}
+				if e.cfg.Deterministic {
+					for _, it := range b {
+						e.s.Access(it)
+					}
+				} else {
+					e.s.accessBatch(idx, b)
+				}
+				e.putBatch(b)
+			}
+		}(i)
+	}
+	return wg.Wait
+}
+
+// accessBatch serves one routed batch entirely within shard idx under a
+// single lock acquisition — the batched counterpart of Access. Every
+// item in b must hash to shard idx.
+func (s *Sharded) accessBatch(idx int, b []model.Item) {
+	sh := &s.shards[idx]
+	if !sh.mu.TryLock() {
+		sh.contended.Add(1)
+		sh.mu.Lock()
+	}
+	sh.acquired.Add(1)
+	for _, it := range b {
+		a := sh.c.Access(it)
+		sh.rec.Observe(it, a)
+	}
+	sh.mu.Unlock()
+}
+
+// router accumulates one producer's pending batches, one per queue, and
+// enqueues them as they fill. Each producer owns a router — pending
+// buffers are not shared.
+type router struct {
+	e       *batchEngine
+	pending [][]model.Item
+}
+
+func (e *batchEngine) newRouter() *router {
+	return &router{e: e, pending: make([][]model.Item, len(e.queues))}
+}
+
+// route buffers one request toward its queue, enqueueing the batch when
+// full. It returns ctx's error when cancellation interrupted the
+// enqueue (the engine's backpressure point, hence the only place a
+// producer can block).
+func (r *router) route(ctx context.Context, it model.Item) error {
+	idx := 0
+	if !r.e.cfg.Deterministic {
+		idx = r.e.s.shardIndex(it)
+	}
+	b := r.pending[idx]
+	if b == nil {
+		b = r.e.getBatch()
+	}
+	b = append(b, it)
+	if len(b) < r.e.cfg.BatchSize {
+		r.pending[idx] = b
+		return nil
+	}
+	r.pending[idx] = nil
+	return r.send(ctx, idx, b)
+}
+
+// flush enqueues every non-empty pending batch.
+func (r *router) flush(ctx context.Context) error {
+	for idx, b := range r.pending {
+		if len(b) == 0 {
+			continue
+		}
+		r.pending[idx] = nil
+		if err := r.send(ctx, idx, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *router) send(ctx context.Context, idx int, b []model.Item) error {
+	// Poll before enqueueing, not only while blocked: after cancellation
+	// the workers drain queues without processing, so a send would often
+	// succeed and the producer would never notice the replay is dead.
+	if err := ctx.Err(); err != nil {
+		r.e.putBatch(b)
+		return err
+	}
+	select {
+	case r.e.queues[idx] <- b:
+		return nil
+	case <-ctx.Done():
+		r.e.putBatch(b)
+		return ctx.Err()
+	}
+}
+
+// closeQueues ends the stream side; workers drain and exit.
+func (e *batchEngine) closeQueues() {
+	for _, q := range e.queues {
+		close(q)
+	}
+}
+
+// ReplayCtx replays streams through s on the batched engine and returns
+// the merged statistics (cumulative for s, like Replay). One producer
+// goroutine per non-empty stream routes requests into the per-shard
+// queues; in deterministic mode a single producer merges the streams
+// round-robin instead. The error is nil when every request was
+// replayed and ctx's error when cancellation cut the replay short; the
+// statistics then cover exactly the batches workers had claimed.
+func ReplayCtx(ctx context.Context, s *Sharded, streams []trace.Trace, cfg BatchConfig) (cachesim.Stats, error) {
+	cfg = cfg.withDefaults()
+	e := newBatchEngine(s, cfg)
+	wait := e.startWorkers(ctx)
+
+	var firstErr error
+	if cfg.Deterministic {
+		firstErr = e.produceMerged(ctx, streams)
+	} else {
+		var (
+			wg   sync.WaitGroup
+			mu   sync.Mutex
+			fail = func(err error) {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		)
+		for _, st := range streams {
+			if len(st) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(tr trace.Trace) {
+				defer wg.Done()
+				r := e.newRouter()
+				for _, it := range tr {
+					if err := r.route(ctx, it); err != nil {
+						fail(err)
+						return
+					}
+				}
+				if err := r.flush(ctx); err != nil {
+					fail(err)
+				}
+			}(st)
+		}
+		wg.Wait()
+	}
+	e.closeQueues()
+	wait()
+	return s.Stats(), firstErr
+}
+
+// produceMerged is the deterministic producer: one goroutine-free pass
+// merging streams round-robin, one request at a time, into the single
+// queue.
+func (e *batchEngine) produceMerged(ctx context.Context, streams []trace.Trace) error {
+	r := e.newRouter()
+	remaining := len(streams)
+	for pos := 0; remaining > 0; pos++ {
+		remaining = 0
+		for _, st := range streams {
+			if pos < len(st) {
+				remaining++
+				if err := r.route(ctx, st[pos]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return r.flush(ctx)
+}
+
+// ReplayStreamCtx replays a single incremental trace.Source through s
+// on the batched engine — the O(1)-memory serving path: requests go
+// straight from the decoder into bounded shard queues, so a trace
+// larger than memory streams through without ever materializing.
+// Cancellation semantics match ReplayCtx; a source decode error is
+// returned after the requests before it have been replayed.
+func ReplayStreamCtx(ctx context.Context, s *Sharded, src trace.Source, cfg BatchConfig) (cachesim.Stats, error) {
+	cfg = cfg.withDefaults()
+	e := newBatchEngine(s, cfg)
+	wait := e.startWorkers(ctx)
+
+	var firstErr error
+	r := e.newRouter()
+	for src.Next() {
+		if err := r.route(ctx, src.Item()); err != nil {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr == nil {
+		if err := r.flush(ctx); err != nil {
+			firstErr = err
+		}
+	}
+	if firstErr == nil {
+		if err := src.Err(); err != nil {
+			firstErr = fmt.Errorf("concurrent: replay source: %w", err)
+		}
+	}
+	e.closeQueues()
+	wait()
+	return s.Stats(), firstErr
+}

@@ -68,8 +68,10 @@ func NewSharded(nShards, totalCapacity int, geo model.Geometry,
 	return s, nil
 }
 
-// shardOf hashes the item's *block* so all siblings share a shard.
-func (s *Sharded) shardOf(it model.Item) *shard {
+// shardIndex hashes the item's *block* so all siblings share a shard.
+//
+//gclint:hotpath
+func (s *Sharded) shardIndex(it model.Item) int {
 	b := uint64(s.geo.BlockOf(it))
 	// splitmix64-style finalizer for uniform shard selection.
 	b ^= b >> 30
@@ -77,7 +79,11 @@ func (s *Sharded) shardOf(it model.Item) *shard {
 	b ^= b >> 27
 	b *= 0x94d049bb133111eb
 	b ^= b >> 31
-	return &s.shards[b&s.mask]
+	return int(b & s.mask)
+}
+
+func (s *Sharded) shardOf(it model.Item) *shard {
+	return &s.shards[s.shardIndex(it)]
 }
 
 // Name implements cachesim.Cache.
@@ -196,12 +202,16 @@ func (s *Sharded) Stats() cachesim.Stats {
 // NumShards returns the shard count.
 func (s *Sharded) NumShards() int { return len(s.shards) }
 
-// Replay drives the sharded cache with one goroutine per stream and
-// returns the merged statistics. Streams interleave nondeterministically,
-// as real concurrent clients would.
+// Replay drives the sharded cache with one goroutine per non-empty
+// stream and returns the merged statistics. Streams interleave
+// nondeterministically, as real concurrent clients would. For batched
+// queues, backpressure, and cancellation, see ReplayCtx.
 func Replay(s *Sharded, streams []trace.Trace) cachesim.Stats {
 	var wg sync.WaitGroup
 	for _, st := range streams {
+		if len(st) == 0 {
+			continue
+		}
 		wg.Add(1)
 		go func(tr trace.Trace) {
 			defer wg.Done()
@@ -216,8 +226,13 @@ func Replay(s *Sharded, streams []trace.Trace) cachesim.Stats {
 
 // SplitStreams deals a trace round-robin into n request streams —
 // a simple way to turn a single-client trace into a concurrent workload
-// while preserving each item's overall frequency.
+// while preserving each item's overall frequency. n is clamped to the
+// trace length (and to at least 1), so no returned stream is ever empty
+// and replay engines never spawn goroutines with nothing to do.
 func SplitStreams(tr trace.Trace, n int) []trace.Trace {
+	if n > len(tr) {
+		n = len(tr)
+	}
 	if n < 1 {
 		n = 1
 	}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"io"
+	"math"
 	"math/bits"
 	"sync"
 
@@ -68,8 +69,11 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Percentile returns the q-quantile (q in [0,1]) as the lower bound of
-// the bucket where the cumulative count crosses q — an under-estimate by
-// at most a factor of two. Returns 0 with no samples.
+// the bucket holding the ceil(q·count)-th smallest sample (1-based) —
+// an under-estimate by at most a factor of two. The ceil-rank
+// convention is the standard nearest-rank definition: p50 of three
+// samples inspects the 2nd smallest, p99 of 100 samples the 99th.
+// Returns 0 with no samples.
 func (h *Histogram) Percentile(q float64) int64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -86,9 +90,15 @@ func (h *Histogram) percentileLocked(q float64) int64 {
 	if q > 1 {
 		q = 1
 	}
-	target := int64(q * float64(h.count))
+	// Ceil rank, not floor: int64(q*count) under-reported the quantile
+	// by one rank whenever q·count was fractional (p50 of 3 samples
+	// inspected rank 1 instead of rank 2).
+	target := int64(math.Ceil(q * float64(h.count)))
 	if target < 1 {
 		target = 1
+	}
+	if target > h.count {
+		target = h.count
 	}
 	var cum int64
 	for i, n := range h.buckets {

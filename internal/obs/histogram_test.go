@@ -1,0 +1,68 @@
+package obs
+
+import "testing"
+
+// TestPercentileCeilRankRegression pins the fix for the floor-rank bug:
+// Percentile used to compute the rank as int64(q·count), under-reporting
+// the quantile by one rank whenever q·count was fractional — p50 of 3
+// samples inspected rank 1 instead of the nearest-rank ceil(1.5) = 2.
+// Samples are powers of two, so every sample owns its own bucket and the
+// bucket lower bound IS the sample: any off-by-one rank is visible
+// exactly.
+func TestPercentileCeilRankRegression(t *testing.T) {
+	// pow2 returns the n distinct samples 1, 2, 4, ..., 2^(n-1).
+	fill := func(n int) *Histogram {
+		h := NewHistogram("t", "u")
+		for i := 0; i < n; i++ {
+			h.Record(int64(1) << i)
+		}
+		return h
+	}
+	rank := func(n int, r int) int64 { _ = n; return int64(1) << (r - 1) } // value of the r-th smallest
+
+	cases := []struct {
+		count int
+		q     float64
+		rank  int // expected 1-based ceil rank: ceil(q·count), min 1
+	}{
+		{1, 0, 1}, {1, 0.5, 1}, {1, 1, 1},
+		{2, 0.5, 1}, {2, 0.51, 2}, {2, 0.75, 2}, {2, 1, 2},
+		// The foregrounded bug: p50 of 3 samples is rank ceil(1.5) = 2.
+		{3, 0.5, 2},
+		{3, 0.34, 2}, {3, 0.33, 1}, {3, 0.99, 3}, {3, 1, 3},
+		// q outside [0,1] clamps.
+		{3, -1, 1}, {3, 2, 3},
+	}
+	for _, c := range cases {
+		h := fill(c.count)
+		want := rank(c.count, c.rank)
+		if got := h.Percentile(c.q); got != want {
+			t.Errorf("count=%d q=%v: got %d, want rank %d (value %d)", c.count, c.q, got, c.rank, want)
+		}
+	}
+
+	// count = 100: fifty samples of 2 and fifty of 8, so ranks 1–50 sit
+	// in bucket [2,4) and ranks 51–100 in [8,16). The q=0.501 row is the
+	// discriminator: ceil(50.1) = rank 51 → 8, where the floor bug read
+	// rank 50 → 2.
+	h := NewHistogram("t", "u")
+	for i := 0; i < 50; i++ {
+		h.Record(2)
+		h.Record(8)
+	}
+	for _, c := range []struct {
+		q    float64
+		want int64
+	}{{0.25, 2}, {0.499, 2}, {0.5, 2}, {0.501, 8}, {0.95, 8}, {0.99, 8}, {1, 8}} {
+		if got := h.Percentile(c.q); got != c.want {
+			t.Errorf("count=100 q=%v: got %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmptyHistogram(t *testing.T) {
+	h := NewHistogram("t", "u")
+	if got := h.Percentile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %d, want 0", got)
+	}
+}

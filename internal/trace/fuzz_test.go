@@ -19,6 +19,10 @@ func FuzzReadArbitraryBytes(f *testing.F) {
 	f.Add(seed.Bytes())
 	f.Add([]byte("gctrace\x01garbage"))
 	f.Add([]byte{})
+	// Valid magic + huge declared length + no payload: the header that
+	// used to demand a 32 GiB preallocation (see the regression test).
+	f.Add(hugeLengthHeader(1 << 31))
+	f.Add(hugeLengthHeader(1 << 33))
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		tr, err := Read(bytes.NewReader(raw))
 		if err != nil {

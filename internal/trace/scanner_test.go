@@ -1,0 +1,279 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"gccache/internal/model"
+)
+
+func randomTrace(n int, seed int64) Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := make(Trace, n)
+	for i := range tr {
+		// Mix small and huge IDs to stress the zig-zag delta encoding.
+		tr[i] = model.Item(rng.Uint64() >> uint(rng.Intn(64)))
+	}
+	return tr
+}
+
+func TestScannerMatchesRead(t *testing.T) {
+	tr := randomTrace(5000, 1)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	sc, err := NewScanner(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Declared() != uint64(len(tr)) {
+		t.Fatalf("Declared = %d, want %d", sc.Declared(), len(tr))
+	}
+	var got Trace
+	for sc.Next() {
+		got = append(got, sc.Item())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Scanned() != uint64(len(tr)) {
+		t.Fatalf("Scanned = %d, want %d", sc.Scanned(), len(tr))
+	}
+	want, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scanner decoded %d items, Read decoded %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: scanner %d != Read %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScannerTruncatedStream(t *testing.T) {
+	tr := randomTrace(1000, 2)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-3]
+	sc, err := NewScanner(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for sc.Next() {
+		n++
+	}
+	if sc.Err() == nil {
+		t.Fatal("truncated stream scanned cleanly")
+	}
+	if !strings.Contains(sc.Err().Error(), "read request") {
+		t.Errorf("error %q does not locate the failing request", sc.Err())
+	}
+	if n >= len(tr) {
+		t.Errorf("decoded %d items from a truncated stream of %d", n, len(tr))
+	}
+	// Next stays false and the error stays put after the failure.
+	if sc.Next() {
+		t.Error("Next returned true after a decode error")
+	}
+}
+
+func TestScannerBadHeader(t *testing.T) {
+	if _, err := NewScanner(bytes.NewReader([]byte("notatrace..."))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewScanner(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+// hugeLengthHeader builds a syntactically valid gctrace header declaring
+// `declared` requests with no payload behind it.
+func hugeLengthHeader(declared uint64) []byte {
+	raw := append([]byte{}, magic[:]...)
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], declared)
+	return append(raw, buf[:n]...)
+}
+
+// TestReadHugeLengthHeaderRegression pins the fix for the preallocation
+// bug: Read used to `make(Trace, 0, length)` with the header's length
+// trusted up to 1<<32, so a corrupt or adversarial 9-byte file could
+// demand a 32 GiB allocation before reading a single request. The
+// decoder must now reject such a file quickly and cheaply.
+func TestReadHugeLengthHeaderRegression(t *testing.T) {
+	raw := hugeLengthHeader(1 << 31)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	tr, err := Read(bytes.NewReader(raw))
+	runtime.ReadMemStats(&after)
+	if err == nil {
+		t.Fatalf("9-byte file with declared length 2^31 decoded to %d items", len(tr))
+	}
+	if alloc := after.TotalAlloc - before.TotalAlloc; alloc > 64<<20 {
+		t.Errorf("decoding a corrupt header allocated %d bytes, want well under 64 MiB", alloc)
+	}
+	// Past the 1<<32 plausibility cap the header is rejected outright.
+	if _, err := Read(bytes.NewReader(hugeLengthHeader(1 << 33))); err == nil {
+		t.Error("implausible length accepted")
+	}
+	// A genuine trace longer than the prealloc cap still round-trips:
+	// append growth takes over where the capped preallocation ends.
+	long := make(Trace, maxPrealloc+100)
+	for i := range long {
+		long[i] = model.Item(i & 1023)
+	}
+	var buf bytes.Buffer
+	if err := long.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(long) {
+		t.Fatalf("round trip of %d-item trace returned %d items", len(long), len(back))
+	}
+}
+
+func TestTextScannerMatchesReadText(t *testing.T) {
+	const text = "# header comment\n1\n2\n\n  3  \n# mid comment\n4\n18446744073709551615\n"
+	want, err := ReadText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewTextScanner(strings.NewReader(text))
+	var got Trace
+	for sc.Next() {
+		got = append(got, sc.Item())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || len(want) != 5 {
+		t.Fatalf("got %v, want %v (5 items)", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("item %d: %d != %d", i, got[i], want[i])
+		}
+	}
+	if got[4] != model.Item(^uint64(0)) {
+		t.Errorf("max uint64 mangled: %d", got[4])
+	}
+}
+
+func TestTextScannerParseErrors(t *testing.T) {
+	for _, bad := range []string{"12x\n", "-1\n", "18446744073709551616\n", "99999999999999999999999\n"} {
+		sc := NewTextScanner(strings.NewReader("1\n" + bad))
+		for sc.Next() {
+		}
+		if sc.Err() == nil {
+			t.Errorf("input %q scanned cleanly", bad)
+			continue
+		}
+		if !strings.Contains(sc.Err().Error(), "line 2") {
+			t.Errorf("error %q does not name line 2", sc.Err())
+		}
+	}
+}
+
+// TestReadTextLongLineRegression pins the fix for the scanner-token bug:
+// ReadText used to cap lines at 64 KiB, so a long comment (or junk) line
+// failed with a bare bufio.ErrTooLong carrying no position. Long-but-sane
+// lines must now parse, and over-long ones must fail with a line number.
+func TestReadTextLongLineRegression(t *testing.T) {
+	// A 256 KiB comment — over the old 64 KiB cap — is fine now.
+	longComment := "# " + strings.Repeat("x", 256<<10)
+	tr, err := ReadText(strings.NewReader(longComment + "\n7\n8\n"))
+	if err != nil {
+		t.Fatalf("256 KiB comment rejected: %v", err)
+	}
+	if len(tr) != 2 || tr[0] != 7 || tr[1] != 8 {
+		t.Fatalf("parsed %v, want [7 8]", tr)
+	}
+
+	// A line beyond maxTextLine still fails — but with a position.
+	monster := "5\n6\n# " + strings.Repeat("y", maxTextLine+10) + "\n"
+	_, err = ReadText(strings.NewReader(monster))
+	if err == nil {
+		t.Fatal("monster line accepted")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("error %q does not wrap bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %q does not name line 3", err)
+	}
+}
+
+// TestScannerZeroAllocPerAccess pins the streaming hot path's memory
+// behaviour: decoding a 100k-request trace must cost a small constant
+// number of allocations (scanner + buffered reader), not O(requests).
+func TestScannerZeroAllocPerAccess(t *testing.T) {
+	tr := randomTrace(100_000, 3)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	rd := bytes.NewReader(raw)
+	avg := testing.AllocsPerRun(5, func() {
+		rd.Reset(raw)
+		sc, err := NewScanner(rd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for sc.Next() {
+			n++
+		}
+		if sc.Err() != nil || n != len(tr) {
+			t.Fatalf("n=%d err=%v", n, sc.Err())
+		}
+	})
+	if avg > 8 {
+		t.Errorf("full streaming decode costs %.1f allocs, want a small constant (≤8)", avg)
+	}
+}
+
+// TestTextScannerZeroAllocSteadyState pins the text hot path: after the
+// scanner's buffer is warm, parsing well-formed lines must not allocate
+// per line.
+func TestTextScannerZeroAllocSteadyState(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 50_000; i++ {
+		sb.Write([]byte{'0' + byte(i%10), '\n'})
+	}
+	text := sb.String()
+	rd := strings.NewReader(text)
+	avg := testing.AllocsPerRun(5, func() {
+		rd.Reset(text)
+		sc := NewTextScanner(rd)
+		n := 0
+		for sc.Next() {
+			n++
+		}
+		if sc.Err() != nil || n != 50_000 {
+			t.Fatalf("n=%d err=%v", n, sc.Err())
+		}
+	})
+	if avg > 8 {
+		t.Errorf("50k-line text decode costs %.1f allocs, want a small constant (≤8)", avg)
+	}
+}

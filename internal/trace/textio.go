@@ -4,10 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"strconv"
-	"strings"
-
-	"gccache/internal/model"
 )
 
 // WriteText serializes the trace as plain text, one decimal item ID per
@@ -24,26 +20,17 @@ func (t Trace) WriteText(w io.Writer) error {
 }
 
 // ReadText parses the plain-text trace format: one decimal item ID per
-// line, blank lines and '#' comments ignored.
+// line, blank lines and '#' comments ignored. Lines up to maxTextLine
+// bytes are accepted; errors (including over-long lines) carry the
+// 1-based line number.
 func ReadText(r io.Reader) (Trace, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	sc := NewTextScanner(r)
 	var out Trace
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		v, err := strconv.ParseUint(line, 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: line %d: %q is not an item ID", lineNo, line)
-		}
-		out = append(out, model.Item(v))
+	for sc.Next() {
+		out = append(out, sc.Item())
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("trace: read text: %w", err)
+		return nil, err
 	}
 	return out, nil
 }

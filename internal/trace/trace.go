@@ -120,34 +120,25 @@ func (t Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Read deserializes a trace written by Write.
+// Read deserializes a trace written by Write. The declared length is
+// trusted only up to maxPrealloc items of preallocation: a corrupt or
+// adversarial header cannot reserve gigabytes before the first request
+// byte is decoded (the slice simply grows by append past the cap).
 func Read(r io.Reader) (Trace, error) {
-	br := bufio.NewReader(r)
-	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: read header: %w", err)
-	}
-	if hdr != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
-	}
-	length, err := binary.ReadUvarint(br)
+	sc, err := NewScanner(r)
 	if err != nil {
-		return nil, fmt.Errorf("trace: read length: %w", err)
+		return nil, err
 	}
-	const maxLen = 1 << 32
-	if length > maxLen {
-		return nil, fmt.Errorf("trace: implausible length %d", length)
+	pre := sc.Declared()
+	if pre > maxPrealloc {
+		pre = maxPrealloc
 	}
-	out := make(Trace, 0, length)
-	prev := uint64(0)
-	for i := uint64(0); i < length; i++ {
-		delta, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("trace: read request %d: %w", i, err)
-		}
-		cur := uint64(int64(prev) + delta)
-		out = append(out, model.Item(cur))
-		prev = cur
+	out := make(Trace, 0, pre)
+	for sc.Next() {
+		out = append(out, sc.Item())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
