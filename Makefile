@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json load-smoke repro repro-quick fuzz stress clean
+.PHONY: all build vet lint test race cover bench bench-json bench-floor load-smoke repro repro-quick fuzz stress clean
 
 all: build vet lint test
 
@@ -44,9 +44,16 @@ bench:
 # hot-path benchmarks and record them under "current", preserving the
 # committed "pre_change" section so the file tracks the performance
 # trajectory (see DESIGN.md, Performance notes).
-HOTPATH_BENCH = ^(BenchmarkRunTrace|BenchmarkRunTraceGeneric|BenchmarkRunStream|BenchmarkReplayThroughput|BenchmarkSweep|BenchmarkAccess(ItemLRU|BlockLRU|IBLP|GCM|AThreshold))$$
+HOTPATH_BENCH = ^(BenchmarkRunTrace|BenchmarkRunTraceGeneric|BenchmarkRunStream|BenchmarkReplayThroughput(Parallel)?|BenchmarkSweep|BenchmarkAccess(ItemLRU|BlockLRU|IBLP|GCM|AThreshold))$$
 bench-json:
 	$(GO) test -run '^$$' -bench '$(HOTPATH_BENCH)' -benchmem . | $(GO) run ./cmd/gcbenchjson -out BENCH_baseline.json
+
+# Ops/sec floor gate: re-measure the end-to-end replay benchmark and
+# fail if it regressed more than 20% against the ops/sec recorded in
+# the committed BENCH_baseline.json. Does not rewrite the baseline.
+bench-floor:
+	$(GO) test -run '^$$' -bench '^BenchmarkReplayThroughput$$' -benchmem . \
+		| $(GO) run ./cmd/gcbenchjson -out BENCH_baseline.json -write=false -floor 'BenchmarkReplayThroughput:0.8'
 
 # Regenerate every table/figure of the paper plus the validation
 # experiments into results/ (exits non-zero if any claim fails).

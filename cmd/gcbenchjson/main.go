@@ -11,6 +11,13 @@
 // Usage:
 //
 //	go test -run '^$' -bench <pattern> -benchmem . | gcbenchjson -out BENCH_baseline.json
+//
+// With -floor name:ratio the run also acts as a regression guard: the
+// named benchmark's current ops_per_sec must be at least ratio times
+// the committed baseline's (the "current" section of the existing -out
+// file), or the command exits nonzero. Combine with -write=false to
+// check without touching the committed snapshot (the CI bench-guard
+// mode).
 package main
 
 import (
@@ -84,8 +91,42 @@ func parse(r *bufio.Scanner) (map[string]Result, error) {
 	return out, r.Err()
 }
 
+// checkFloor enforces one "name:ratio" throughput floor: cur[name]'s
+// ops_per_sec must be >= ratio × the committed snapshot's figure. A
+// missing committed figure is not an error (first run seeds it); a
+// missing current figure is (the guarded benchmark did not run).
+func checkFloor(spec string, cur, committed map[string]Result) error {
+	name, ratioStr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return fmt.Errorf("bad -floor %q, want name:ratio", spec)
+	}
+	ratio, err := strconv.ParseFloat(ratioStr, 64)
+	if err != nil || ratio <= 0 {
+		return fmt.Errorf("bad -floor ratio %q", ratioStr)
+	}
+	got, ok := cur[name]
+	if !ok || got.OpsPerSec <= 0 {
+		return fmt.Errorf("-floor %s: benchmark missing from input (or no ops/sec metric)", name)
+	}
+	base, ok := committed[name]
+	if !ok || base.OpsPerSec <= 0 {
+		fmt.Fprintf(os.Stderr, "gcbenchjson: -floor %s: no committed ops/sec baseline, skipping check\n", name)
+		return nil
+	}
+	floor := ratio * base.OpsPerSec
+	if got.OpsPerSec < floor {
+		return fmt.Errorf("-floor %s: %.0f ops/sec below floor %.0f (%.2f x committed %.0f)",
+			name, got.OpsPerSec, floor, ratio, base.OpsPerSec)
+	}
+	fmt.Fprintf(os.Stderr, "gcbenchjson: -floor %s ok: %.0f ops/sec >= %.0f (%.2f x committed %.0f)\n",
+		name, got.OpsPerSec, floor, ratio, base.OpsPerSec)
+	return nil
+}
+
 func main() {
 	outPath := flag.String("out", "BENCH_baseline.json", "snapshot file to write (pre_change preserved if present)")
+	write := flag.Bool("write", true, "write the snapshot file (false: check-only, for CI floor guards)")
+	floor := flag.String("floor", "", "throughput floor 'name:ratio': fail unless name's ops/sec >= ratio x the committed snapshot's")
 	cli.SetUsage("gcbenchjson", "convert go test -bench output on stdin into a stable JSON snapshot")
 	flag.Parse()
 
@@ -98,23 +139,31 @@ func main() {
 	}
 
 	snap := Snapshot{Current: cur}
+	var committed Snapshot
 	if raw, err := os.ReadFile(*outPath); err == nil {
-		var old Snapshot
-		if err := json.Unmarshal(raw, &old); err != nil {
+		if err := json.Unmarshal(raw, &committed); err != nil {
 			cli.Fatalf("gcbenchjson", "existing %s is not a snapshot: %w", *outPath, err)
 		}
-		snap.PreChange = old.PreChange
+		snap.PreChange = committed.PreChange
 	}
 	if snap.PreChange == nil {
 		snap.PreChange = cur
 	}
 
-	buf, err := json.MarshalIndent(&snap, "", "  ")
-	if err != nil {
-		cli.Fatal("gcbenchjson", err)
+	if *floor != "" {
+		if err := checkFloor(*floor, cur, committed.Current); err != nil {
+			cli.Fatal("gcbenchjson", err)
+		}
 	}
-	buf = append(buf, '\n')
-	cli.CheckWrite("gcbenchjson", *outPath, os.WriteFile(*outPath, buf, 0o644))
+
+	if *write {
+		buf, err := json.MarshalIndent(&snap, "", "  ")
+		if err != nil {
+			cli.Fatal("gcbenchjson", err)
+		}
+		buf = append(buf, '\n')
+		cli.CheckWrite("gcbenchjson", *outPath, os.WriteFile(*outPath, buf, 0o644))
+	}
 
 	names := make([]string, 0, len(cur))
 	for n := range cur {

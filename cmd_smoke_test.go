@@ -121,12 +121,12 @@ func TestCommandUsage(t *testing.T) {
 	}
 	cmds := map[string][]string{
 		"gcadversary": {"construction", "policy", "k", "h", "B", "phases", "p", "seed"},
-		"gcbenchjson": {"out"},
+		"gcbenchjson": {"out", "write", "floor"},
 		"gcbounds":    {"artifact", "k", "h", "B", "size", "points", "csv"},
 		"gcopt":       {"workload", "trace", "k", "B", "seed", "exact", "deadline", "checkpoint", "resume"},
 		"gcrepro":     {"out", "quick"},
 		"gcload": {"k", "B", "policy", "workload", "trace", "seed", "shards", "streams",
-			"ops", "rate", "mode", "batch", "depth", "duration", "selfcheck"},
+			"ops", "rate", "mode", "batch", "depth", "pin", "duration", "selfcheck"},
 		"gcserve": {"addr", "k", "B", "policy", "workload", "trace", "seed",
 			"shards", "streams", "probe", "loop", "rate", "duration", "selfcheck", "drain"},
 		"gcsim": {"k", "B", "policy", "workload", "trace", "seed", "opt", "probe",

@@ -503,6 +503,31 @@ func ReplayStream(ctx context.Context, s *ShardedCache, src TraceSource, cfg Bat
 	return concurrent.ReplayStreamCtx(ctx, s, src, cfg)
 }
 
+// NewShardedCacheBounded is NewShardedCache with every shard's recorder
+// on the flat-bitset allocation-free path for item IDs in [0, universe)
+// — pair it with the *Bounded policy constructors (and the ItemUniverse
+// expansion) for a serving stack with no steady-state allocations.
+func NewShardedCacheBounded(nShards, totalCapacity int, g Geometry, universe int,
+	build func(shardCapacity int) Cache) (*ShardedCache, error) {
+	return concurrent.NewShardedBounded(nShards, totalCapacity, g, universe, build)
+}
+
+// ReplayEngine is the persistent batched serving engine: SPSC rings,
+// producer and worker goroutines, and batch buffers are built once and
+// reused across replays, so a warm engine serves every subsequent
+// Replay without touching the allocator. ReplayBatched/ReplayStream
+// remain the one-shot conveniences (they build and tear down a
+// throwaway engine per call).
+type ReplayEngine = concurrent.Engine
+
+// NewReplayEngine builds a persistent engine over s with the given
+// producer-slot count (Replay accepts at most that many streams; a
+// ReplayStream source always feeds slot 0). Close releases the
+// goroutines when the engine is done serving.
+func NewReplayEngine(s *ShardedCache, producers int, cfg BatchReplayConfig) (*ReplayEngine, error) {
+	return concurrent.NewEngine(s, producers, cfg)
+}
+
 // Hierarchy simulation (Figure 1's multi-level setting).
 type (
 	// HierarchyLevel is one level of a multi-level cache stack.

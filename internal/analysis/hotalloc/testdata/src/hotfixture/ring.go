@@ -1,0 +1,75 @@
+package hotfixture
+
+import "sync/atomic"
+
+// ring mirrors the serving engine's SPSC batch ring: fixed slot array,
+// monotonic atomic head/tail, mask indexing. Its push/pop only store
+// and load through pre-sized arrays, so the analyzer must accept them
+// clean — this fixture pins that the real ring's //gclint:hotpath
+// annotations stay warning-free.
+type ring struct {
+	slots [][]uint64
+	mask  uint64
+	head  atomic.Uint64
+	tail  atomic.Uint64
+}
+
+// ringPush is the sanctioned shape: slot store + atomic index bump,
+// zero allocation.
+//
+//gclint:hotpath
+func (r *ring) ringPush(b []uint64) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() > r.mask {
+		return false
+	}
+	r.slots[t&r.mask] = b
+	r.tail.Store(t + 1)
+	return true
+}
+
+// ringPop is the consumer side of the same hand-off.
+//
+//gclint:hotpath
+func (r *ring) ringPop() ([]uint64, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil, false
+	}
+	b := r.slots[h&r.mask]
+	r.head.Store(h + 1)
+	return b, true
+}
+
+// ringPushCopy is the anti-pattern: cloning the batch into a fresh
+// slice on every push defeats the engine's buffer recycling.
+//
+//gclint:hotpath
+func (r *ring) ringPushCopy(b []uint64) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() > r.mask {
+		return false
+	}
+	c := make([]uint64, len(b)) // want `hot path allocates with make`
+	copy(c, b)
+	r.slots[t&r.mask] = c
+	r.tail.Store(t + 1)
+	return true
+}
+
+// ringDrain accumulates popped batches into a function-local slice —
+// the per-pop growth allocation the free-ring recycling exists to
+// avoid.
+//
+//gclint:hotpath
+func (r *ring) ringDrain() int {
+	var drained [][]uint64
+	for {
+		b, ok := r.ringPop()
+		if !ok {
+			break
+		}
+		drained = append(drained, b) // want `hot path appends to function-local slice drained`
+	}
+	return len(drained)
+}

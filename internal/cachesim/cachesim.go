@@ -397,12 +397,20 @@ func NetChanges(loaded, evicted []model.Item) (netLoaded, netEvicted []model.Ite
 type Reconciler struct {
 	// Generic path: reusable multiset scratch, cleared per call.
 	counts map[model.Item]int32
-	// Bounded path: count[it] is valid iff stamp[it] == gen. Bumping gen
-	// invalidates every entry in O(1), so per-call scratch reset costs
-	// nothing regardless of universe size.
-	count []int32
-	stamp []uint32
-	gen   uint32
+	// Bounded path: net[it].count is valid iff net[it].stamp == gen.
+	// Bumping gen invalidates every entry in O(1), so per-call scratch
+	// reset costs nothing regardless of universe size. Stamp and count
+	// share an 8-byte slot so netting one item touches one cache line,
+	// not two — the lists are scattered across the universe, so every
+	// touch is a likely miss and halving them is measurable.
+	net []netSlot
+	gen uint32
+}
+
+// netSlot is one item's generation-stamped multiset entry.
+type netSlot struct {
+	stamp uint32
+	count int32
 }
 
 // NewReconciler returns a Reconciler for item IDs in [0, universe).
@@ -412,10 +420,7 @@ func NewReconciler(universe int) *Reconciler {
 	if universe <= 0 || universe > MaxBoundedUniverse {
 		return &Reconciler{}
 	}
-	return &Reconciler{
-		count: make([]int32, universe),
-		stamp: make([]uint32, universe),
-	}
+	return &Reconciler{net: make([]netSlot, universe)}
 }
 
 // NetChanges nets the two lists in place and returns the trimmed slices.
@@ -426,7 +431,7 @@ func (r *Reconciler) NetChanges(loaded, evicted []model.Item) (netLoaded, netEvi
 	if len(loaded) == 0 || len(evicted) == 0 {
 		return loaded, evicted
 	}
-	if r.count != nil {
+	if r.net != nil {
 		return r.netBounded(loaded, evicted)
 	}
 	if r.counts == nil {
@@ -464,29 +469,30 @@ func (r *Reconciler) netBounded(loaded, evicted []model.Item) (netLoaded, netEvi
 	r.gen++
 	if r.gen == 0 {
 		// uint32 wraparound: old stamps could alias the new generation.
-		clear(r.stamp)
+		clear(r.net)
 		r.gen = 1
 	}
 	gen := r.gen
 	for _, e := range evicted {
-		if r.stamp[e] != gen {
-			r.stamp[e] = gen
-			r.count[e] = 0
+		if r.net[e].stamp != gen {
+			r.net[e] = netSlot{stamp: gen}
 		}
-		r.count[e]++
+		r.net[e].count++
 	}
 	netLoaded = loaded[:0]
 	for _, l := range loaded {
-		if r.stamp[l] == gen && r.count[l] > 0 {
-			r.count[l]--
+		if r.net[l].stamp == gen && r.net[l].count > 0 {
+			r.net[l].count--
 			continue
 		}
 		netLoaded = append(netLoaded, l)
 	}
 	netEvicted = evicted[:0]
 	for _, e := range evicted {
-		if r.count[e] > 0 {
-			r.count[e]--
+		// Every evicted item was stamped in the first pass, so the bare
+		// count test is safe; counts now hold the unmatched evictions.
+		if r.net[e].count > 0 {
+			r.net[e].count--
 			netEvicted = append(netEvicted, e)
 		}
 	}

@@ -1,0 +1,136 @@
+package concurrent
+
+// This file holds the lock-free building blocks of the batched serving
+// engine: a fixed-capacity single-producer/single-consumer ring of
+// request batches, and the hybrid spin/park strategy its goroutines use
+// when idle.
+//
+// Why SPSC is safe here: the engine gives every (producer, shard) pair
+// its own private ring pair (see lane in batch.go), so each ring has
+// exactly one goroutine that ever pushes and exactly one that ever
+// pops. Under that ownership discipline a ring needs no lock and no
+// compare-and-swap: the producer owns tail (it is the only writer), the
+// consumer owns head, and each side reads the other's index with a
+// plain atomic load. The slot write happens before the tail store and
+// the tail load happens before the slot read (Go atomics are
+// sequentially consistent), so a consumer that observes tail > head
+// also observes the slot contents — the textbook release/acquire
+// hand-off. Ownership hand-off between successive replays (e.g. a
+// producer goroutine in one Replay, the caller in the next ReplayStream)
+// is sequenced through the engine's done/popped counters, which are
+// themselves atomics, so the chain of happens-before edges never
+// breaks.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"gccache/internal/model"
+)
+
+// batchRing is a fixed-capacity SPSC ring of request batches. The
+// capacity is rounded up to a power of two so positions wrap with a
+// mask instead of a division; head and tail are monotonically
+// increasing uint64s (never reduced modulo the capacity), which makes
+// full (tail-head == cap) and empty (tail == head) tests trivial and
+// immune to the classic one-slot-wasted ambiguity.
+//
+// head and tail live on their own cache lines: the producer writes tail
+// on every push and the consumer writes head on every pop, so sharing a
+// line would bounce it between the two cores on every operation — the
+// false sharing this engine exists to kill.
+type batchRing struct {
+	slots [][]model.Item // len(slots) is a power of two
+	mask  uint64
+	_     [64 - 32]byte // keep the read-only header off head's line
+	head  atomic.Uint64 // next slot to pop; written only by the consumer
+	_     [64 - 8]byte  // head and tail on separate lines
+	tail  atomic.Uint64 // next slot to push; written only by the producer
+	_     [64 - 8]byte  // keep tail off the next ring's line
+}
+
+// init sizes the ring for at least capacity batches.
+func (r *batchRing) init(capacity int) {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	r.slots = make([][]model.Item, n)
+	r.mask = uint64(n - 1)
+}
+
+// push enqueues one batch. It returns false when the ring is full; the
+// producer decides how to wait. Must only be called by the ring's
+// single producer.
+//
+//gclint:hotpath
+func (r *batchRing) push(b []model.Item) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() > r.mask {
+		return false
+	}
+	r.slots[t&r.mask] = b
+	r.tail.Store(t + 1)
+	return true
+}
+
+// pop dequeues one batch, or returns false when the ring is empty. Must
+// only be called by the ring's single consumer.
+//
+//gclint:hotpath
+func (r *batchRing) pop() ([]model.Item, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil, false
+	}
+	b := r.slots[h&r.mask]
+	r.head.Store(h + 1)
+	return b, true
+}
+
+// empty reports whether the ring currently holds no batches. Like every
+// concurrent snapshot it is exact only when the producer is quiescent.
+//
+//gclint:hotpath
+func (r *batchRing) empty() bool {
+	return r.head.Load() == r.tail.Load()
+}
+
+// Idle strategy: spin (yielding to the scheduler) for a while, then
+// park in escalating sleeps. The spin phase keeps wake-up latency at
+// scheduler-quantum scale while a replay is flowing — crucial on
+// GOMAXPROCS=1, where a non-yielding spin would starve the very
+// goroutine being waited for — and the park phase keeps long-idle
+// persistent workers from burning a core between replays.
+const (
+	idleSpins = 128
+	minPark   = 20 * time.Microsecond
+	maxPark   = 500 * time.Microsecond
+)
+
+type spinWait struct {
+	spins int
+}
+
+func (w *spinWait) reset() { w.spins = 0 }
+
+// wait blocks the caller briefly; callers re-check their condition
+// after every return. Escalation doubles the park from minPark to
+// maxPark so a freshly idle goroutine stays responsive.
+func (w *spinWait) wait() {
+	w.spins++
+	if w.spins <= idleSpins {
+		runtime.Gosched()
+		return
+	}
+	e := w.spins - idleSpins
+	if e > 5 {
+		e = 5
+	}
+	d := minPark << uint(e-1)
+	if d > maxPark {
+		d = maxPark
+	}
+	time.Sleep(d)
+}

@@ -26,6 +26,10 @@ type Sharded struct {
 	shards []shard
 	mask   uint64
 	probe  obs.Probe
+	name   string
+	// universe selects bounded (flat-bitset, zero-allocation) recorders
+	// when positive; see NewShardedBounded.
+	universe int
 }
 
 type shard struct {
@@ -46,6 +50,16 @@ type shard struct {
 // capacity. The geometry must match the one the shard policies use.
 func NewSharded(nShards, totalCapacity int, geo model.Geometry,
 	build func(shardCapacity int) cachesim.Cache) (*Sharded, error) {
+	return NewShardedBounded(nShards, totalCapacity, geo, 0, build)
+}
+
+// NewShardedBounded is NewSharded for a bounded item universe: every
+// shard's recorder uses the flat-bitset (zero-allocation) pristineness
+// tracker over item IDs [0, universe), the dense counterpart the
+// *Bounded policy constructors pair with. A non-positive universe falls
+// back to the generic map recorders.
+func NewShardedBounded(nShards, totalCapacity int, geo model.Geometry, universe int,
+	build func(shardCapacity int) cachesim.Cache) (*Sharded, error) {
 	if nShards < 1 || nShards&(nShards-1) != 0 {
 		return nil, fmt.Errorf("concurrent: shard count %d is not a positive power of two", nShards)
 	}
@@ -55,7 +69,7 @@ func NewSharded(nShards, totalCapacity int, geo model.Geometry,
 	if geo == nil {
 		return nil, fmt.Errorf("concurrent: nil geometry")
 	}
-	s := &Sharded{geo: geo, shards: make([]shard, nShards), mask: uint64(nShards - 1)}
+	s := &Sharded{geo: geo, shards: make([]shard, nShards), mask: uint64(nShards - 1), universe: universe}
 	per := totalCapacity / nShards
 	for i := range s.shards {
 		c := build(per)
@@ -63,9 +77,18 @@ func NewSharded(nShards, totalCapacity int, geo model.Geometry,
 			return nil, fmt.Errorf("concurrent: builder returned nil for shard %d", i)
 		}
 		s.shards[i].c = c
-		s.shards[i].rec = cachesim.NewRecorder(c.Name())
+		s.shards[i].rec = s.newRecorder(c.Name())
 	}
+	s.name = fmt.Sprintf("sharded(%d×%s)", len(s.shards), s.shards[0].c.Name())
 	return s, nil
+}
+
+// newRecorder builds one shard's recorder, bounded when the universe is.
+func (s *Sharded) newRecorder(policy string) *cachesim.Recorder {
+	if s.universe > 0 {
+		return cachesim.NewRecorderBounded(policy, s.universe)
+	}
+	return cachesim.NewRecorder(policy)
 }
 
 // shardIndex hashes the item's *block* so all siblings share a shard.
@@ -86,10 +109,10 @@ func (s *Sharded) shardOf(it model.Item) *shard {
 	return &s.shards[s.shardIndex(it)]
 }
 
-// Name implements cachesim.Cache.
-func (s *Sharded) Name() string {
-	return fmt.Sprintf("sharded(%d×%s)", len(s.shards), s.shards[0].c.Name())
-}
+// Name implements cachesim.Cache. The name is computed once at
+// construction so Stats (which stamps it on every merge) stays off the
+// allocator.
+func (s *Sharded) Name() string { return s.name }
 
 // Access implements cachesim.Cache; it is safe for concurrent use.
 func (s *Sharded) Access(it model.Item) cachesim.Access {
@@ -142,8 +165,7 @@ func (s *Sharded) Reset() {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		sh.c.Reset()
-		sh.rec = cachesim.NewRecorder(sh.c.Name())
-		sh.rec.SetProbe(s.probe)
+		sh.rec.Reset(sh.c.Name())
 		sh.acquired.Store(0)
 		sh.contended.Store(0)
 		sh.mu.Unlock()

@@ -1,0 +1,29 @@
+package core
+
+// bitset is a packed membership set over a bounded ID universe — the
+// cache-friendly replacement for a []bool on the dense hot path. At one
+// bit per ID, a 256Ki-item universe costs 32KB, so the per-sibling
+// membership probes in admit/drop loops stay in L1/L2 where a byte- or
+// word-per-item table would stride through megabytes.
+type bitset []uint64
+
+// newBitset returns an empty bitset covering IDs [0, n).
+func newBitset(n int) bitset { return make(bitset, (n+63)>>6) }
+
+// test reports whether id is in the set.
+//
+//gclint:hotpath
+func (b bitset) test(id uint64) bool { return b[id>>6]>>(id&63)&1 != 0 }
+
+// set inserts id.
+//
+//gclint:hotpath
+func (b bitset) set(id uint64) { b[id>>6] |= 1 << (id & 63) }
+
+// unset removes id.
+//
+//gclint:hotpath
+func (b bitset) unset(id uint64) { b[id>>6] &^= 1 << (id & 63) }
+
+// reset empties the set.
+func (b bitset) reset() { clear(b) }

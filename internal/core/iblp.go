@@ -42,11 +42,21 @@ type IBLP struct {
 	resident map[model.Block][]model.Item // items held per block-layer block
 	inBlock  map[model.Item]struct{}      // membership in block layer
 
-	// Dense path (nil on the generic path): inBlockBits[it] is block-layer
+	// Dense path (nil on the generic path): inBlockBits holds block-layer
 	// membership; a block's resident set is re-derived from the geometry
 	// filtered by inBlockBits (blocks are disjoint, so the set bits of a
-	// resident block belong to it alone).
-	inBlockBits []bool
+	// resident block belong to it alone). inItemBits mirrors the item
+	// layer's membership so presentDense is two packed-bitset probes
+	// instead of a random load into the recency list's link array.
+	inBlockBits bitset
+	inItemBits  bitset
+	// itemsDense/blocksDense are the concrete types behind items/blocks
+	// on the dense path. The hot path calls them directly so the
+	// flat-array Contains/MoveToFront/PopBack bodies inline into the
+	// access loop instead of dispatching through the Order interface —
+	// devirtualization is worth ~20% of batched serving throughput.
+	itemsDense  *lrulist.Dense[model.Item]
+	blocksDense *lrulist.Dense[model.Block]
 
 	// promoteOnItemHit is an ablation switch (see NewIBLPPromoteAll): when
 	// set, item-layer hits also refresh the block layer's LRU order,
@@ -106,9 +116,12 @@ func NewIBLPBounded(i, b int, g model.Geometry, universe int) *IBLP {
 	}
 	c.resident = nil
 	c.inBlock = nil
-	c.inBlockBits = make([]bool, universe)
-	c.items = lrulist.NewDense[model.Item](universe)
-	c.blocks = lrulist.NewDense[model.Block](blockUniverse)
+	c.inBlockBits = newBitset(universe)
+	c.inItemBits = newBitset(universe)
+	c.itemsDense = lrulist.NewDense[model.Item](universe)
+	c.blocksDense = lrulist.NewDense[model.Block](blockUniverse)
+	c.items = c.itemsDense
+	c.blocks = c.blocksDense
 	c.rec = *cachesim.NewReconciler(universe)
 	return c
 }
@@ -153,6 +166,9 @@ func (c *IBLP) Name() string {
 //
 //gclint:hotpath
 func (c *IBLP) Access(it model.Item) cachesim.Access {
+	if c.itemsDense != nil {
+		return c.accessDense(it)
+	}
 	if c.items.MoveToFront(it) {
 		if c.promoteOnItemHit {
 			blk := c.geo.BlockOf(it)
@@ -194,6 +210,133 @@ func (c *IBLP) Access(it model.Item) cachesim.Access {
 	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
 	c.emitMiss(it, blk)
 	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
+}
+
+// accessDense is Access on the bounded path, with every layer
+// operation on the concrete flat-array types so the whole request —
+// recency promotion, bitset membership, victim scans — compiles to
+// inlined array arithmetic. It mirrors the generic path below exactly;
+// TestIBLPDenseMatchesGeneric pins the equivalence.
+//
+//gclint:hotpath
+func (c *IBLP) accessDense(it model.Item) cachesim.Access {
+	if c.itemsDense.MoveToFront(it) {
+		if c.promoteOnItemHit {
+			// MoveToFront on an absent block is a no-op, matching the
+			// generic path's Contains-then-promote.
+			c.blocksDense.MoveToFront(c.geo.BlockOf(it))
+		}
+		if c.probe != nil {
+			c.probe.Observe(obs.Event{Kind: obs.EvHitItemLayer, Item: it})
+		}
+		return cachesim.Access{Hit: true}
+	}
+
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
+	blk := c.geo.BlockOf(it)
+	if c.inBlockBits.test(uint64(it)) {
+		c.blocksDense.MoveToFront(blk)
+		c.admitItemLayerDense(it)
+		if c.probe != nil {
+			c.probe.Observe(obs.Event{Kind: obs.EvHitBlockLayer, Item: it, Block: blk})
+			for _, x := range c.evicted {
+				c.probe.Observe(obs.Event{Kind: obs.EvEvict, Item: x})
+			}
+		}
+		return cachesim.Access{Hit: true, Evicted: c.evicted}
+	}
+
+	c.admitItemLayerDense(it)
+	c.admitBlockLayerDense(blk, it)
+	c.loaded, c.evicted = c.rec.NetChanges(c.loaded, c.evicted)
+	c.emitMiss(it, blk)
+	return cachesim.Access{Loaded: c.loaded, Evicted: c.evicted}
+}
+
+// presentDense is present with both membership tests inlined.
+//
+//gclint:hotpath
+func (c *IBLP) presentDense(it model.Item) bool {
+	return c.inItemBits.test(uint64(it)) || c.inBlockBits.test(uint64(it))
+}
+
+// admitItemLayerDense mirrors admitItemLayer on concrete types.
+//
+//gclint:hotpath
+func (c *IBLP) admitItemLayerDense(it model.Item) {
+	if c.itemSize == 0 {
+		return
+	}
+	was := c.presentDense(it)
+	c.itemsDense.PushFront(it)
+	c.inItemBits.set(uint64(it))
+	if !was {
+		c.loaded = append(c.loaded, it)
+	}
+	for c.itemsDense.Len() > c.itemSize {
+		victim, _ := c.itemsDense.PopBack()
+		c.inItemBits.unset(uint64(victim))
+		if !c.presentDense(victim) {
+			c.evicted = append(c.evicted, victim)
+		}
+	}
+}
+
+// admitBlockLayerDense mirrors admitBlockLayer on concrete types.
+//
+//gclint:hotpath
+func (c *IBLP) admitBlockLayerDense(blk model.Block, requested model.Item) {
+	if c.blockSize == 0 {
+		return
+	}
+	if c.blocksDense.Contains(blk) {
+		// Only possible for a previously truncated copy; replace it.
+		c.dropBlockLayerDense(blk)
+	}
+	c.want = model.AppendItemsOf(c.geo, c.want[:0], blk)
+	want := c.want
+	if len(want) > c.blockSize {
+		want = truncateAround(want, requested, c.blockSize)
+	}
+	for c.blockUsed+len(want) > c.blockSize {
+		victim, ok := c.blocksDense.Back()
+		if !ok {
+			break
+		}
+		c.dropBlockLayerDense(victim)
+	}
+	if c.blockUsed+len(want) > c.blockSize {
+		return // layer cannot hold this block at all
+	}
+	c.blocksDense.PushFront(blk)
+	c.blockUsed += len(want)
+	for _, x := range want {
+		was := c.presentDense(x)
+		c.inBlockBits.set(uint64(x))
+		if !was {
+			c.loaded = append(c.loaded, x)
+		}
+	}
+}
+
+// dropBlockLayerDense mirrors dropBlockLayer on concrete types.
+//
+//gclint:hotpath
+func (c *IBLP) dropBlockLayerDense(blk model.Block) {
+	c.scratch = model.AppendItemsOf(c.geo, c.scratch[:0], blk)
+	for _, x := range c.scratch {
+		if c.inBlockBits.test(uint64(x)) {
+			c.inBlockBits.unset(uint64(x))
+			c.blockUsed--
+			// The block-layer bit is clear now, so presence reduces to
+			// item-layer membership.
+			if !c.inItemBits.test(uint64(x)) {
+				c.evicted = append(c.evicted, x)
+			}
+		}
+	}
+	c.blocksDense.Remove(blk)
 }
 
 // emitMiss reports a full miss's net changes to the probe: the
@@ -240,7 +383,8 @@ func (c *IBLP) admitItemLayer(it model.Item) {
 
 // admitBlockLayer loads blk's full item set into the block layer,
 // evicting LRU blocks until it fits. Blocks larger than the layer are
-// truncated around the requested item.
+// truncated around the requested item. Generic (map) path only —
+// bounded caches route through admitBlockLayerDense.
 //
 //gclint:hotpath
 func (c *IBLP) admitBlockLayer(blk model.Block, requested model.Item) {
@@ -266,19 +410,7 @@ func (c *IBLP) admitBlockLayer(blk model.Block, requested model.Item) {
 	if c.blockUsed+len(want) > c.blockSize {
 		return // layer cannot hold this block at all
 	}
-	if c.inBlockBits != nil {
-		c.blocks.PushFront(blk)
-		c.blockUsed += len(want)
-		for _, x := range want {
-			was := c.present(x)
-			c.inBlockBits[x] = true
-			if !was {
-				c.loaded = append(c.loaded, x)
-			}
-		}
-		return
-	}
-	hold := make([]model.Item, len(want)) //gclint:allowalloc generic (map) path only; dense path returned above
+	hold := make([]model.Item, len(want)) //gclint:allowalloc generic (map) path only; dense path uses admitBlockLayerDense
 	copy(hold, want)
 	c.resident[blk] = hold
 	c.blocks.PushFront(blk)
@@ -292,26 +424,11 @@ func (c *IBLP) admitBlockLayer(blk model.Block, requested model.Item) {
 	}
 }
 
-// dropBlockLayer evicts blk from the block layer. On the dense path the
-// block's resident set is re-derived from the bitset: blocks are
-// disjoint, so exactly the set items of blk belong to it.
+// dropBlockLayer evicts blk from the block layer. Generic (map) path
+// only — bounded caches route through dropBlockLayerDense.
 //
 //gclint:hotpath
 func (c *IBLP) dropBlockLayer(blk model.Block) {
-	if c.inBlockBits != nil {
-		c.scratch = model.AppendItemsOf(c.geo, c.scratch[:0], blk)
-		for _, x := range c.scratch {
-			if c.inBlockBits[x] {
-				c.inBlockBits[x] = false
-				c.blockUsed--
-				if !c.present(x) {
-					c.evicted = append(c.evicted, x)
-				}
-			}
-		}
-		c.blocks.Remove(blk)
-		return
-	}
 	items := c.resident[blk]
 	for _, x := range items {
 		delete(c.inBlock, x)
@@ -329,7 +446,7 @@ func (c *IBLP) dropBlockLayer(blk model.Block) {
 //gclint:hotpath
 func (c *IBLP) inBlockLayer(it model.Item) bool {
 	if c.inBlockBits != nil {
-		return c.inBlockBits[it]
+		return c.inBlockBits.test(uint64(it))
 	}
 	_, ok := c.inBlock[it]
 	return ok
@@ -339,6 +456,9 @@ func (c *IBLP) inBlockLayer(it model.Item) bool {
 //
 //gclint:hotpath
 func (c *IBLP) present(it model.Item) bool {
+	if c.itemsDense != nil {
+		return c.presentDense(it)
+	}
 	return c.items.Contains(it) || c.inBlockLayer(it)
 }
 
@@ -382,7 +502,8 @@ func (c *IBLP) Reset() {
 	c.items.Clear()
 	c.blocks.Clear()
 	if c.inBlockBits != nil {
-		clear(c.inBlockBits)
+		c.inBlockBits.reset()
+		c.inItemBits.reset()
 	} else {
 		clear(c.resident)
 		clear(c.inBlock)
