@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-json bench-floor load-smoke repro repro-quick fuzz stress clean
+.PHONY: all build vet lint lint-one test race cover bench bench-json bench-floor load-smoke repro repro-quick fuzz stress clean
 
 all: build vet lint test
 
@@ -13,14 +13,26 @@ vet:
 	$(GO) vet ./...
 	@test -z "$$(gofmt -s -l .)" || (gofmt -s -l . && echo 'gofmt: files need formatting (gofmt -s)' && exit 1)
 
-# Run the repo's custom analyzers (see internal/analysis/): determinism,
-# hotalloc, reseed, sweepsafe. Built fresh so lint always reflects the
-# working tree.
+# Run the repo's custom analyzers (see internal/analysis/): atomicfield,
+# ctxflow, determinism, guardedby, hotalloc, hotalloctrans, reseed,
+# sweepsafe. Built fresh so lint always reflects the working tree.
 GCLINT = bin/gclint
 lint:
 	@mkdir -p bin
 	$(GO) build -o $(GCLINT) ./cmd/gclint
 	$(GO) vet -vettool=$(GCLINT) ./...
+
+# Run one analyzer over one package pattern while iterating on it:
+#   make lint-one A=atomicfield PKG=./internal/concurrent
+# PKG defaults to the whole module. Fact-producing analyzers still see
+# dependency facts — go vet analyzes the dependency units first.
+A ?=
+PKG ?= ./...
+lint-one:
+	@test -n "$(A)" || (echo 'usage: make lint-one A=<analyzer> [PKG=<pattern>]' && exit 1)
+	@mkdir -p bin
+	$(GO) build -o $(GCLINT) ./cmd/gclint
+	$(GO) vet -vettool=$(GCLINT) -$(A) $(PKG)
 
 test:
 	$(GO) test ./...

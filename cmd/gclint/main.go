@@ -1,9 +1,13 @@
-// Command gclint is the repo's custom vet suite: four analyzers that
+// Command gclint is the repo's custom vet suite: eight analyzers that
 // statically enforce the invariants the test suite otherwise only
-// checks at runtime — byte-identical repro output (determinism),
-// the zero-allocation dense replay path (hotalloc), pool-safe
-// randomized policies (reseed), and race-free sweep callbacks
-// (sweepsafe). See DESIGN.md, "Static invariants".
+// checks at runtime — byte-identical repro output (determinism), the
+// zero-allocation dense replay path (hotalloc, plus hotalloctrans
+// closing the helper-call hole with cross-package "allocates" facts),
+// pool-safe randomized policies (reseed), race-free sweep callbacks
+// (sweepsafe), atomic-field discipline and cache-line padding on the
+// lock-free ring (atomicfield), mutex annotations on shared state
+// (guardedby), and cancellable blocking entry points (ctxflow). See
+// DESIGN.md, "Static invariants".
 //
 // Run it directly over package patterns:
 //
@@ -12,20 +16,33 @@
 // or as a vet tool (what `make lint` does):
 //
 //	go vet -vettool=$(which gclint) ./...
+//
+// Each analyzer has a boolean flag; naming any subset runs only those
+// (what `make lint-one` does):
+//
+//	go vet -vettool=$(which gclint) -atomicfield ./internal/concurrent
 package main
 
 import (
+	"gccache/internal/analysis/atomicfield"
+	"gccache/internal/analysis/ctxflow"
 	"gccache/internal/analysis/determinism"
 	"gccache/internal/analysis/framework"
+	"gccache/internal/analysis/guardedby"
 	"gccache/internal/analysis/hotalloc"
+	"gccache/internal/analysis/hotalloctrans"
 	"gccache/internal/analysis/reseed"
 	"gccache/internal/analysis/sweepsafe"
 )
 
 func main() {
 	framework.Main(
+		atomicfield.Analyzer,
+		ctxflow.Analyzer,
 		determinism.Analyzer,
+		guardedby.Analyzer,
 		hotalloc.Analyzer,
+		hotalloctrans.Analyzer,
 		reseed.Analyzer,
 		sweepsafe.Analyzer,
 	)

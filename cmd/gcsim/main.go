@@ -146,7 +146,7 @@ func main() {
 			return
 		}
 		sections := make(map[string][]byte, len(done))
-		for name, st := range done { //gclint:orderok map->map copy; Snapshot.Encode sorts keys
+		for name, st := range done {
 			sections[name] = cachesim.AppendStats(nil, st)
 		}
 		snap := &checkpoint.Snapshot{

@@ -94,6 +94,15 @@ func RunColdBounded(c Cache, tr Trace, universe int) Stats {
 	return cachesim.RunColdBounded(c, tr, universe)
 }
 
+// RunBoundedCtx and RunColdBoundedCtx are the bounded replays with
+// cooperative cancellation (see RunCtx for the error contract).
+func RunBoundedCtx(ctx context.Context, c Cache, tr Trace, universe int) (Stats, error) {
+	return cachesim.RunBoundedCtx(ctx, c, tr, universe)
+}
+func RunColdBoundedCtx(ctx context.Context, c Cache, tr Trace, universe int) (Stats, error) {
+	return cachesim.RunColdBoundedCtx(ctx, c, tr, universe)
+}
+
 // Streaming replay (see DESIGN.md, "Serving & streaming"): replaying a
 // trace file through TraceScanner and RunStream needs O(1) memory
 // regardless of trace length, with statistics byte-identical to the
@@ -134,9 +143,19 @@ func RunColdStreamBounded(c Cache, src TraceSource, universe int) (Stats, error)
 }
 
 // RunStreamCtx is RunStream with cooperative cancellation (see RunCtx
-// for the err == nil contract).
+// for the err == nil contract); the Cold and Bounded variants follow
+// the same naming scheme as the in-memory family.
 func RunStreamCtx(ctx context.Context, c Cache, src TraceSource) (Stats, error) {
 	return cachesim.RunStreamCtx(ctx, c, src)
+}
+func RunColdStreamCtx(ctx context.Context, c Cache, src TraceSource) (Stats, error) {
+	return cachesim.RunColdStreamCtx(ctx, c, src)
+}
+func RunStreamBoundedCtx(ctx context.Context, c Cache, src TraceSource, universe int) (Stats, error) {
+	return cachesim.RunStreamBoundedCtx(ctx, c, src, universe)
+}
+func RunColdStreamBoundedCtx(ctx context.Context, c Cache, src TraceSource, universe int) (Stats, error) {
+	return cachesim.RunColdStreamBoundedCtx(ctx, c, src, universe)
 }
 
 // RunFile opens path, streams the gctrace binary format through c, and
@@ -176,6 +195,16 @@ func RunColdProbed(c Cache, tr Trace, p Probe) Stats {
 	return cachesim.RunColdProbed(c, tr, p)
 }
 
+// RunProbedCtx and RunColdProbedCtx are the probed replays with
+// cooperative cancellation; the probe is detached even when the replay
+// is cut short.
+func RunProbedCtx(ctx context.Context, c Cache, tr Trace, p Probe) (Stats, error) {
+	return cachesim.RunProbedCtx(ctx, c, tr, p)
+}
+func RunColdProbedCtx(ctx context.Context, c Cache, tr Trace, p Probe) (Stats, error) {
+	return cachesim.RunColdProbedCtx(ctx, c, tr, p)
+}
+
 // SweepStats collects per-worker chunk/index/timing statistics from
 // SweepObserved.
 type SweepStats = cachesim.SweepStats
@@ -192,10 +221,21 @@ func SweepObserved[W any](n, workers int, st *SweepStats, newWorker func() W, fn
 	cachesim.SweepObserved(n, workers, st, newWorker, fn)
 }
 
+// SweepObservedCtx is SweepObserved under a context (see SweepCtx for
+// the chunk-boundary cancellation contract).
+func SweepObservedCtx[W any](ctx context.Context, n, workers int, st *SweepStats, newWorker func() W, fn func(i int, w W)) error {
+	return cachesim.SweepObservedCtx(ctx, n, workers, st, newWorker, fn)
+}
+
 // SweepCaches is Sweep with one pooled Cache per worker, Reset before
 // every grid point.
 func SweepCaches(n, workers int, build func() Cache, fn func(i int, c Cache)) {
 	cachesim.SweepCaches(n, workers, build, fn)
+}
+
+// SweepCachesCtx is SweepCaches under a context.
+func SweepCachesCtx(ctx context.Context, n, workers int, build func() Cache, fn func(i int, c Cache)) error {
+	return cachesim.SweepCachesCtx(ctx, n, workers, build, fn)
 }
 
 // RunSeeds replays tr under one cache per seed in parallel and returns
@@ -203,6 +243,13 @@ func SweepCaches(n, workers int, build func() Cache, fn func(i int, c Cache)) {
 // pooled per worker instead of rebuilt per seed.
 func RunSeeds(build func(seed int64) Cache, tr Trace, seeds []int64) []float64 {
 	return cachesim.RunSeeds(build, tr, seeds)
+}
+
+// RunSeedsCtx is RunSeeds under a context: cancellation abandons the
+// remaining seeds and returns ctx's error with the ratios computed so
+// far (entries for seeds that never ran are zero).
+func RunSeedsCtx(ctx context.Context, build func(seed int64) Cache, tr Trace, seeds []int64) ([]float64, error) {
+	return cachesim.RunSeedsCtx(ctx, build, tr, seeds)
 }
 
 // Fault-tolerant execution (see DESIGN.md, "Fault tolerance"). The
@@ -454,6 +501,13 @@ func EstimateOptimal(tr Trace, g Geometry, k int) opt.Estimate {
 // (exponential; the problem is NP-complete per Theorem 1).
 func ExactOptimal(tr Trace, g Geometry, k int) (int64, error) { return opt.Exact(tr, g, k) }
 
+// ExactOptimalCtx is ExactOptimal as an anytime solver: when ctx ends
+// before the optimum is certified, it returns the best incumbent and
+// proven lower bound reached so far (see opt.Anytime).
+func ExactOptimalCtx(ctx context.Context, tr Trace, g Geometry, k int) (opt.Anytime, error) {
+	return opt.ExactCtx(ctx, tr, g, k)
+}
+
 // Workloads and adversaries.
 
 // GenerateWorkload builds a trace from a textual spec such as
@@ -476,6 +530,8 @@ func NewShardedCache(nShards, totalCapacity int, g Geometry,
 }
 
 // ReplayConcurrent drives a sharded cache with one goroutine per stream.
+//
+//gclint:ctxok unbatched differential baseline; ReplayBatched is the cancellable serving path
 func ReplayConcurrent(s *ShardedCache, streams []Trace) Stats {
 	return concurrent.Replay(s, streams)
 }
@@ -543,16 +599,22 @@ func NewHierarchy(levels ...HierarchyLevel) (*Hierarchy, error) { return hierarc
 type AdversaryResult = adversary.Result
 
 // RunItemCacheAdversary drives the Theorem 2 construction against c.
+//
+//gclint:ctxok adversary games are bounded by phases×OptSize accesses, not trace-length
 func RunItemCacheAdversary(c Cache, g Geometry, h, phases int) (AdversaryResult, error) {
 	return adversary.ItemCache(c, g, adversary.Config{OptSize: h, Phases: phases})
 }
 
 // RunBlockCacheAdversary drives the Theorem 3 construction against c.
+//
+//gclint:ctxok adversary games are bounded by phases×OptSize accesses, not trace-length
 func RunBlockCacheAdversary(c Cache, g Geometry, h, phases int) (AdversaryResult, error) {
 	return adversary.BlockCache(c, g, adversary.Config{OptSize: h, Phases: phases})
 }
 
 // RunGeneralAdversary drives the Theorem 4 construction against c.
+//
+//gclint:ctxok adversary games are bounded by phases×OptSize accesses, not trace-length
 func RunGeneralAdversary(c Cache, g Geometry, h, phases int) (AdversaryResult, error) {
 	return adversary.General(c, g, adversary.Config{OptSize: h, Phases: phases})
 }

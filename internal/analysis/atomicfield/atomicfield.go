@@ -1,0 +1,303 @@
+// Package atomicfield implements the gclint analyzer that keeps the
+// lock-free hot path honest about its atomics. It enforces two
+// invariants:
+//
+//  1. Mixed atomic/plain access. A struct field that is accessed through
+//     sync/atomic anywhere in the module (atomic.AddInt64(&s.n, 1), ...)
+//     must be accessed through sync/atomic everywhere: one plain read or
+//     write silently races with every atomic access and the race
+//     detector only catches it when both sides actually collide. The
+//     "this field is atomic" knowledge is exported as a modular fact, so
+//     a plain access in a downstream package is flagged even though the
+//     atomic access lives in a dependency.
+//
+//  2. `//gclint:padded` layout. A struct annotated //gclint:padded
+//     declares that its atomic hot indices (fields of sync/atomic types,
+//     or fields with atomic accesses) sit on cache lines of their own —
+//     the false-sharing contract of the SPSC batchRing. The analyzer
+//     recomputes field offsets with the type-checker's sizes and flags
+//     any atomic field sharing a 64-byte line with another non-padding
+//     field, so a teammate inserting "one harmless field" re-introduces
+//     false sharing at lint time, not at benchmark time.
+//
+// Constructor bodies are exempt from the mixed-access check: writes
+// through a function-local root (the value under construction, not yet
+// shared) cannot race. A `//gclint:atomicok` comment on the offending
+// line suppresses a report for accesses that are provably
+// single-goroutine (e.g. a sequential reset between runs).
+package atomicfield
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"gccache/internal/analysis/framework"
+	"gccache/internal/analysis/lintutil"
+)
+
+// AtomicFact marks a struct field as accessed via sync/atomic somewhere
+// in the package that exported the fact. At records one such site
+// (file:line) for diagnostics in downstream packages.
+type AtomicFact struct {
+	At string
+}
+
+// AFact marks AtomicFact as a framework fact type.
+func (*AtomicFact) AFact() {}
+
+// Analyzer is the atomicfield analyzer.
+var Analyzer = &framework.Analyzer{
+	Name:         "atomicfield",
+	Doc:          "flags plain accesses to struct fields that are accessed with sync/atomic elsewhere, and checks //gclint:padded cache-line layouts",
+	Run:          run,
+	FactTypes:    []framework.Fact{new(AtomicFact)},
+	Suppressions: []string{"atomicok"},
+}
+
+const cacheLine = 64
+
+func run(pass *framework.Pass) error {
+	dirs := pass.Directives()
+
+	// Pass 1: find sync/atomic calls whose address argument names a
+	// struct field. Those fields are "atomic"; the selector nodes inside
+	// the calls are sanctioned and skipped by pass 2.
+	atomicAt := make(map[*types.Var]string)
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := lintutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				// Methods on atomic.Int64 etc.: the type system already
+				// forces every access through them; nothing to track.
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(ue.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			f := lintutil.FieldObject(pass.TypesInfo, sel)
+			if f == nil {
+				return true
+			}
+			sanctioned[sel] = true
+			if _, seen := atomicAt[f]; !seen {
+				p := pass.Fset.Position(call.Pos())
+				atomicAt[f] = fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+			}
+			return true
+		})
+	}
+
+	// Export facts for fields this package declares, so downstream
+	// packages see the atomic discipline even when all atomic accesses
+	// live here.
+	for f, at := range atomicAt {
+		if f.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(f, &AtomicFact{At: at})
+		}
+	}
+
+	isAtomic := func(f *types.Var) (string, bool) {
+		if at, ok := atomicAt[f]; ok {
+			return at, true
+		}
+		var fact AtomicFact
+		if pass.ImportObjectFact(f, &fact) {
+			return fact.At, true
+		}
+		return "", false
+	}
+
+	// Pass 2: flag plain accesses to atomic fields, and check annotated
+	// layouts.
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch decl := decl.(type) {
+			case *ast.FuncDecl:
+				if decl.Body != nil {
+					checkBody(pass, dirs, decl, sanctioned, isAtomic)
+				}
+			case *ast.GenDecl:
+				if decl.Tok == token.TYPE {
+					checkPadded(pass, dirs, decl, atomicAt)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkBody flags selector accesses to atomic fields outside sanctioned
+// atomic call arguments.
+func checkBody(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl, sanctioned map[*ast.SelectorExpr]bool, isAtomic func(*types.Var) (string, bool)) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sanctioned[sel] {
+			return true
+		}
+		f := lintutil.FieldObject(pass.TypesInfo, sel)
+		if f == nil {
+			return true
+		}
+		at, ok := isAtomic(f)
+		if !ok {
+			return true
+		}
+		if root := lintutil.RootObject(pass.TypesInfo, sel); root != nil &&
+			lintutil.LocalTo(root, fd.Body.Pos(), fd.Body.End()) {
+			return true // value under construction; not shared yet
+		}
+		if dirs.At(sel.Pos(), "atomicok") {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "plain access to %s, which is accessed with sync/atomic (%s); use the atomic API everywhere or the accesses race",
+			exprName(sel), at)
+		return true
+	})
+}
+
+// checkPadded verifies //gclint:padded struct layouts: every atomic
+// field must own its cache line(s), not shared with any other non-blank
+// field.
+func checkPadded(pass *framework.Pass, dirs *lintutil.Directives, gd *ast.GenDecl, atomicAt map[*types.Var]string) {
+	for _, spec := range gd.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		if lintutil.GenDeclDirective(gd, "padded") == nil &&
+			lintutil.CommentDirective(ts.Doc, "padded") == nil {
+			continue
+		}
+		tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(ts.Pos(), "//gclint:padded applies to struct types; %s is not a struct", ts.Name.Name)
+			continue
+		}
+		fields := make([]*types.Var, st.NumFields())
+		for i := range fields {
+			fields[i] = st.Field(i)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		offsets := pass.Sizes.Offsetsof(fields)
+		// lines[i] is the half-open cache-line range [first, last] field i
+		// occupies.
+		type span struct{ first, last int64 }
+		lines := make([]span, len(fields))
+		for i, f := range fields {
+			size := pass.Sizes.Sizeof(f.Type())
+			end := offsets[i]
+			if size > 0 {
+				end = offsets[i] + size - 1
+			}
+			lines[i] = span{offsets[i] / cacheLine, end / cacheLine}
+		}
+		for i, f := range fields {
+			if f.Name() == "_" || !isAtomicField(f, atomicAt) {
+				continue
+			}
+			for j, g := range fields {
+				if j == i || g.Name() == "_" {
+					continue
+				}
+				// Atomic/atomic pairs report once, from the earlier field.
+				if isAtomicField(g, atomicAt) && j < i {
+					continue
+				}
+				if lines[i].first <= lines[j].last && lines[j].first <= lines[i].last {
+					pos := fieldPos(pass, ts, f)
+					if dirs.At(pos, "atomicok") {
+						break
+					}
+					pass.Reportf(pos, "//gclint:padded struct %s: atomic field %s (bytes %d-%d) shares a cache line with %s (bytes %d-%d); insert padding so hot indices stay on distinct %d-byte lines",
+						ts.Name.Name, f.Name(), offsets[i], offsets[i]+pass.Sizes.Sizeof(f.Type())-1,
+						g.Name(), offsets[j], offsets[j]+pass.Sizes.Sizeof(g.Type())-1, cacheLine)
+					break // one conflict per atomic field is enough signal
+				}
+			}
+		}
+	}
+}
+
+// isAtomicField reports whether f is a hot atomic index: declared with a
+// sync/atomic type, or known to be accessed atomically.
+func isAtomicField(f *types.Var, atomicAt map[*types.Var]string) bool {
+	if _, ok := atomicAt[f]; ok {
+		return true
+	}
+	t := f.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync/atomic" {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldPos locates the AST position of field f inside ts's struct type,
+// falling back to the type spec itself.
+func fieldPos(pass *framework.Pass, ts *ast.TypeSpec, f *types.Var) token.Pos {
+	stAst, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return ts.Pos()
+	}
+	for _, fld := range stAst.Fields.List {
+		for _, name := range fld.Names {
+			if pass.TypesInfo.Defs[name] == f {
+				return name.Pos()
+			}
+		}
+	}
+	return ts.Pos()
+}
+
+// exprName renders a compact source form of a selector chain.
+func exprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprName(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprName(e.X)
+	case *ast.CallExpr:
+		return exprName(e.Fun) + "(...)"
+	default:
+		return "field"
+	}
+}

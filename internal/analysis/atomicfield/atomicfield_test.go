@@ -1,0 +1,13 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"gccache/internal/analysis/atomicfield"
+	"gccache/internal/analysis/framework/analysistest"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, "testdata", atomicfield.Analyzer,
+		"atomicfixture", "atomicdep", "atomicuse")
+}

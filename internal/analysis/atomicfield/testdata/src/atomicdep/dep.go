@@ -1,0 +1,18 @@
+// Package atomicdep declares a gauge whose field is maintained with
+// sync/atomic; the atomicfield analyzer exports that as a fact for
+// dependent packages.
+package atomicdep
+
+import "sync/atomic"
+
+type Gauge struct {
+	Val int64
+}
+
+func (g *Gauge) Add(d int64) {
+	atomic.AddInt64(&g.Val, d)
+}
+
+func (g *Gauge) Load() int64 {
+	return atomic.LoadInt64(&g.Val)
+}

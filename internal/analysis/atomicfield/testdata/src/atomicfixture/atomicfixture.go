@@ -1,0 +1,71 @@
+// Package atomicfixture exercises the atomicfield analyzer: mixed
+// atomic/plain field access and //gclint:padded layout checks.
+package atomicfixture
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	other int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) bad() int64 {
+	return c.n // want `plain access to c\.n, which is accessed with sync/atomic`
+}
+
+func (c *counter) badWrite() {
+	c.n = 0 // want `plain access to c\.n`
+}
+
+func (c *counter) fine() int64 {
+	return c.other // never touched atomically; plain access is plain
+}
+
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 0 // under construction: not shared, no report
+	return c
+}
+
+func (c *counter) reset() {
+	c.n = 0 //gclint:atomicok quiescent point: all workers joined before reset
+}
+
+// badRing is the SPSC ring layout with its padding dropped: producer
+// and consumer indices land on shared cache lines and false-share.
+//
+//gclint:padded
+type badRing struct {
+	slots [][]byte
+	mask  uint64
+	head  atomic.Uint64 // want `atomic field head \(bytes 32-39\) shares a cache line with slots`
+	tail  atomic.Uint64 // want `atomic field tail \(bytes 40-47\) shares a cache line with slots`
+}
+
+// goodRing keeps each hot index on a 64-byte line of its own.
+//
+//gclint:padded
+type goodRing struct {
+	slots [][]byte
+	mask  uint64
+	_     [32]byte
+	head  atomic.Uint64
+	_     [56]byte
+	tail  atomic.Uint64
+	_     [56]byte
+}
+
+//gclint:padded
+type mixed struct {
+	stats uint64
+	seq   atomic.Uint64 // want `atomic field seq \(bytes 8-15\) shares a cache line with stats`
+	_     [48]byte
+}

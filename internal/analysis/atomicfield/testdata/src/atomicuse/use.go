@@ -1,0 +1,15 @@
+// Package atomicuse accesses atomicdep.Gauge's field plainly; the
+// atomic discipline arrives via an imported fact, not local evidence.
+package atomicuse
+
+import "atomicdep"
+
+func Peek(g *atomicdep.Gauge) int64 {
+	return g.Val // want `plain access to g\.Val, which is accessed with sync/atomic \(dep\.go:\d+\)`
+}
+
+func Fresh() *atomicdep.Gauge {
+	g := &atomicdep.Gauge{}
+	g.Val = 7 // under construction: exempt
+	return g
+}

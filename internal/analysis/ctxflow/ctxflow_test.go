@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"gccache/internal/analysis/ctxflow"
+	"gccache/internal/analysis/framework/analysistest"
+)
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "ctxfixture")
+}

@@ -33,9 +33,10 @@ import (
 
 // Analyzer is the determinism analyzer.
 var Analyzer = &framework.Analyzer{
-	Name: "determinism",
-	Doc:  "flags map-iteration-order and ambient-state nondeterminism in repro-bearing packages",
-	Run:  run,
+	Name:         "determinism",
+	Doc:          "flags map-iteration-order and ambient-state nondeterminism in repro-bearing packages",
+	Run:          run,
+	Suppressions: []string{"orderok"},
 }
 
 // reproPackages are the packages whose output feeds the byte-identical
@@ -51,7 +52,7 @@ func run(pass *framework.Pass) error {
 	if !lintutil.PkgInScope(pass, "repro", reproPackages...) {
 		return nil
 	}
-	dirs := lintutil.NewDirectives(pass.Fset, pass.Files)
+	dirs := pass.Directives()
 	for _, file := range pass.Files {
 		if lintutil.IsTestFile(pass.Fset, file) {
 			continue

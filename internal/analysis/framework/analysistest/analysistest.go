@@ -13,6 +13,15 @@
 // the message of a diagnostic reported on that line; every diagnostic
 // must be matched by exactly one expectation and vice versa. Lines
 // without a want comment must produce no diagnostics.
+//
+// Fixture packages may import sibling fixture packages (any import path
+// with a directory under the same testdata/src). Dependencies are
+// loaded, type-checked, and analyzed first, and the facts their
+// analysis exports flow into dependent packages — the in-process mirror
+// of the unitchecker's vetx fact propagation, used to test
+// cross-package analyzers. Diagnostics of a dependency are checked
+// against its own want comments when (and only when) it is named in the
+// Run call.
 package analysistest
 
 import (
@@ -35,60 +44,130 @@ import (
 
 // Run loads each fixture package dir testdata/src/<pkg>, applies the
 // analyzer, and reports mismatches between actual diagnostics and the
-// fixtures' want comments as test errors.
+// fixtures' want comments as test errors. All packages of one Run call
+// share a fact set, so facts exported while analyzing an earlier (or
+// imported) package are visible to later ones.
+//
+//gclint:ctxok test harness; go test's -timeout is the cancellation mechanism
 func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgs ...string) {
 	t.Helper()
+	framework.RegisterFactTypes(a)
+	l := &loader{
+		testdata: testdata,
+		fset:     token.NewFileSet(),
+		analyzer: a,
+		facts:    framework.NewFactSet(),
+		loaded:   make(map[string]*loadedPackage),
+	}
 	for _, pkg := range pkgs {
-		dir := filepath.Join(testdata, "src", pkg)
 		t.Run(pkg, func(t *testing.T) {
 			t.Helper()
-			runPackage(t, dir, pkg, a)
+			lp, err := l.load(pkg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wants := collectWants(t, l.fset, lp.files)
+			checkDiagnostics(t, l.fset, lp.diags, wants)
 		})
 	}
 }
 
-func runPackage(t *testing.T, dir, importPath string, a *framework.Analyzer) {
-	t.Helper()
+// loader loads fixture packages recursively, running the analyzer over
+// each exactly once and accumulating exported facts.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	analyzer *framework.Analyzer
+	facts    *framework.FactSet
+	loaded   map[string]*loadedPackage
+	std      types.Importer
+	loading  []string // active load chain, for import-cycle reporting
+}
+
+type loadedPackage struct {
+	pkg   *types.Package
+	files []*ast.File
+	diags []framework.Diagnostic
+}
+
+// Import implements types.Importer: sibling fixture dirs are loaded
+// (and analyzed) recursively; everything else resolves from GOROOT
+// source.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.testdata, "src", path); dirExists(dir) {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	if l.std == nil {
+		// Fixtures otherwise import only the standard library, which the
+		// source importer type-checks straight from GOROOT — no export
+		// data or network needed.
+		l.std = importer.ForCompiler(l.fset, "source", nil)
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(importPath string) (*loadedPackage, error) {
+	if lp, ok := l.loaded[importPath]; ok {
+		return lp, nil
+	}
+	for _, active := range l.loading {
+		if active == importPath {
+			return nil, fmt.Errorf("fixture import cycle: %s", strings.Join(append(l.loading, importPath), " -> "))
+		}
+	}
+	l.loading = append(l.loading, importPath)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	dir := filepath.Join(l.testdata, "src", importPath)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("reading fixture dir: %v", err)
+		return nil, fmt.Errorf("reading fixture dir: %w", err)
 	}
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			t.Fatalf("parsing fixture: %v", err)
+			return nil, fmt.Errorf("parsing fixture: %w", err)
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		t.Fatalf("no .go files under %s", dir)
+		return nil, fmt.Errorf("no .go files under %s", dir)
 	}
 
-	// Fixtures import only the standard library, which the source
-	// importer type-checks straight from GOROOT — no export data or
-	// network needed.
-	tc := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	// Fixed amd64 layouts keep fixtures with memory-layout expectations
+	// (cache-line placement) deterministic across host architectures.
+	sizes := types.SizesFor("gc", "amd64")
+	tc := &types.Config{Importer: l, Sizes: sizes}
 	info := framework.NewInfo()
-	pkg, err := tc.Check(importPath, fset, files, info)
+	pkg, err := tc.Check(importPath, l.fset, files, info)
 	if err != nil {
-		t.Fatalf("type-checking fixture: %v", err)
+		return nil, fmt.Errorf("type-checking fixture %s: %w", importPath, err)
 	}
 
 	diags, err := framework.Run(
-		&framework.Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info},
-		[]*framework.Analyzer{a},
+		&framework.Package{Fset: l.fset, Files: files, Pkg: pkg, TypesInfo: info, Sizes: sizes},
+		[]*framework.Analyzer{l.analyzer},
+		l.facts,
 	)
 	if err != nil {
-		t.Fatalf("running analyzer: %v", err)
+		return nil, fmt.Errorf("running analyzer on %s: %w", importPath, err)
 	}
+	lp := &loadedPackage{pkg: pkg, files: files, diags: diags}
+	l.loaded[importPath] = lp
+	return lp, nil
+}
 
-	wants := collectWants(t, fset, files)
-	checkDiagnostics(t, fset, diags, wants)
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
 }
 
 // want is one expectation: a diagnostic matching rx on (file, line).

@@ -1,0 +1,138 @@
+package framework
+
+// gclint directive comments (`//gclint:name arg...`) are the repo's
+// annotation and suppression language. The index lives in the framework
+// (rather than lintutil) so one instance is shared by every analyzer of
+// a run: that sharing is what lets the framework audit suppressions
+// afterwards — a suppression comment that no analyzer consulted-and-
+// matched during the run suppresses nothing and is reported as stale.
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directive is one //gclint:name comment occurrence.
+type directive struct {
+	name string
+	arg  string
+	pos  token.Pos
+	used bool
+}
+
+// Directives indexes `//gclint:name` comments by file and line so
+// analyzers can honor same-line suppressions like //gclint:orderok and
+// read annotation arguments like //gclint:guardedby mu.
+type Directives struct {
+	fset   *token.FileSet
+	byLine map[string]map[int][]*directive
+}
+
+// NewDirectives scans all comments in files for gclint directives.
+func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{fset: fset, byLine: make(map[string]map[int][]*directive)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				name, arg, ok := ParseDirectiveArg(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := d.byLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*directive)
+					d.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], &directive{name: name, arg: arg, pos: c.Pos()})
+			}
+		}
+	}
+	return d
+}
+
+// ParseDirective extracts the directive name from a `//gclint:name ...`
+// comment (trailing explanation after whitespace is allowed).
+func ParseDirective(comment string) (string, bool) {
+	name, _, ok := ParseDirectiveArg(comment)
+	return name, ok
+}
+
+// ParseDirectiveArg extracts the directive name and its first argument
+// (the word after the name, e.g. the mutex in `//gclint:guardedby mu —
+// reason`) from a `//gclint:name ...` comment.
+func ParseDirectiveArg(comment string) (name, arg string, ok bool) {
+	rest, ok := strings.CutPrefix(comment, "//gclint:")
+	if !ok {
+		return "", "", false
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		name, rest = rest[:i], strings.TrimSpace(rest[i:])
+	} else {
+		name, rest = rest, ""
+	}
+	if name == "" {
+		return "", "", false
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return name, rest, true
+}
+
+// At reports whether the named directive appears on the same line as
+// pos, and marks it used for the stale-suppression audit.
+func (d *Directives) At(pos token.Pos, name string) bool {
+	p := d.fset.Position(pos)
+	found := false
+	for _, dir := range d.byLine[p.Filename][p.Line] {
+		if dir.name == name {
+			dir.used = true
+			found = true
+		}
+	}
+	return found
+}
+
+// ArgAt returns the argument of the named directive on pos's line
+// (marking it used), or ok=false when the directive is absent.
+func (d *Directives) ArgAt(pos token.Pos, name string) (string, bool) {
+	p := d.fset.Position(pos)
+	for _, dir := range d.byLine[p.Filename][p.Line] {
+		if dir.name == name {
+			dir.used = true
+			return dir.arg, true
+		}
+	}
+	return "", false
+}
+
+// MarkUsed marks every occurrence of the named directive on pos's line
+// as consulted without querying it — for analyzers that discover an
+// annotation by other means (e.g. reading a field's doc comment) but
+// still want the audit to know it is alive.
+func (d *Directives) MarkUsed(pos token.Pos, name string) {
+	d.At(pos, name)
+}
+
+// stale returns the positions and names of directives with one of the
+// given names that were never matched by an At/ArgAt query, in file
+// order. Directives in _test.go files are skipped — analyzers skip test
+// files wholesale, so their suppressions are never queried.
+func (d *Directives) stale(names map[string]bool) []*directive {
+	var out []*directive
+	for file, lines := range d.byLine {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		for _, dirs := range lines {
+			for _, dir := range dirs {
+				if !dir.used && names[dir.name] {
+					out = append(out, dir)
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,323 @@
+package framework
+
+// Modular facts, mirroring golang.org/x/tools/go/analysis but stdlib
+// only. A fact is a typed datum an analyzer attaches to a types.Object
+// (a function, a struct field, ...) while analyzing the package that
+// declares it; when a downstream package is analyzed later, the fact is
+// imported back so the analyzer can reason across package boundaries
+// without whole-program analysis. Facts cross processes through the
+// go command's vetx files (see unitchecker.go) serialized with
+// encoding/gob, and cross fixture packages in-process through a shared
+// FactSet (see analysistest).
+//
+// Object naming: x/tools uses go/types/objectpath; this framework
+// implements the small subset gclint needs — package-level objects,
+// methods of named types, and fields of named struct types — in
+// objectPath/resolvePath below. Objects outside that subset simply
+// cannot carry facts, which is fine: they are not addressable from
+// other packages either.
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// Fact is the interface of all fact types. The AFact marker method
+// guards against accidentally passing arbitrary values where a fact is
+// expected. A fact type must be a pointer to a gob-encodable struct and
+// must be listed in its analyzer's FactTypes.
+type Fact interface {
+	AFact()
+}
+
+// factKey identifies one fact: which analyzer produced it, about which
+// object (nil object = a package-level fact).
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// FactSet holds the facts visible to one analysis run: facts imported
+// from dependency packages plus facts exported while analyzing the
+// current package. It is shared by all analyzers of a run (keys are
+// namespaced by analyzer name) and is not safe for concurrent use.
+type FactSet struct {
+	objects  map[factKey]Fact
+	packages map[string]map[string]Fact // analyzer -> package path -> fact
+}
+
+// NewFactSet returns an empty fact set.
+func NewFactSet() *FactSet {
+	return &FactSet{
+		objects:  make(map[factKey]Fact),
+		packages: make(map[string]map[string]Fact),
+	}
+}
+
+func (s *FactSet) putObject(analyzer string, obj types.Object, f Fact) {
+	s.objects[factKey{analyzer, obj}] = f
+}
+
+func (s *FactSet) getObject(analyzer string, obj types.Object, into Fact) bool {
+	f, ok := s.objects[factKey{analyzer, obj}]
+	if !ok {
+		return false
+	}
+	return copyFact(f, into)
+}
+
+func (s *FactSet) putPackage(analyzer, pkgPath string, f Fact) {
+	m := s.packages[analyzer]
+	if m == nil {
+		m = make(map[string]Fact)
+		s.packages[analyzer] = m
+	}
+	m[pkgPath] = f
+}
+
+func (s *FactSet) getPackage(analyzer, pkgPath string, into Fact) bool {
+	f, ok := s.packages[analyzer][pkgPath]
+	if !ok {
+		return false
+	}
+	return copyFact(f, into)
+}
+
+// copyFact copies the stored fact into the caller-supplied pointer when
+// the concrete types match (the x/tools ImportObjectFact contract).
+func copyFact(from, into Fact) bool {
+	fv, iv := reflect.ValueOf(from), reflect.ValueOf(into)
+	if fv.Type() != iv.Type() || iv.Kind() != reflect.Pointer || iv.IsNil() {
+		return false
+	}
+	iv.Elem().Set(fv.Elem())
+	return true
+}
+
+// RegisterFactTypes registers every fact type of the given analyzers
+// with encoding/gob, so fact values round-trip through vetx files. Safe
+// to call repeatedly with the same analyzers.
+func RegisterFactTypes(analyzers ...*Analyzer) {
+	for _, a := range analyzers {
+		for _, f := range a.FactTypes {
+			gob.Register(f)
+		}
+	}
+}
+
+// gobFact is the serialized form of one fact in a vetx payload.
+type gobFact struct {
+	Analyzer string
+	PkgPath  string // package declaring the object ("" defers to Path semantics)
+	Path     string // objectPath of the object; "" for a package fact
+	Fact     Fact
+}
+
+// Encode serializes the fact set (for embedding in a vetx file). Facts
+// about objects that cannot be named by objectPath are dropped — they
+// are unreachable from other packages. Output is deterministic.
+func (s *FactSet) Encode() ([]byte, error) {
+	var facts []gobFact
+	for k, f := range s.objects {
+		path, ok := objectPath(k.obj)
+		if !ok || k.obj.Pkg() == nil {
+			continue
+		}
+		facts = append(facts, gobFact{
+			Analyzer: k.analyzer,
+			PkgPath:  k.obj.Pkg().Path(),
+			Path:     path,
+			Fact:     f,
+		})
+	}
+	for analyzer, byPkg := range s.packages {
+		for pkgPath, f := range byPkg {
+			facts = append(facts, gobFact{Analyzer: analyzer, PkgPath: pkgPath, Fact: f})
+		}
+	}
+	sort.Slice(facts, func(i, j int) bool {
+		a, b := facts[i], facts[j]
+		if a.PkgPath != b.PkgPath {
+			return a.PkgPath < b.PkgPath
+		}
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(facts); err != nil {
+		return nil, fmt.Errorf("encoding facts: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode merges serialized facts into the set, resolving object paths
+// against the packages in lookup (import path -> package). Facts about
+// packages absent from lookup are skipped: their objects are not
+// reachable from the package under analysis, so no analyzer could ask
+// about them.
+func (s *FactSet) Decode(data []byte, lookup map[string]*types.Package) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var facts []gobFact
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&facts); err != nil {
+		return fmt.Errorf("decoding facts: %w", err)
+	}
+	for _, gf := range facts {
+		if gf.Path == "" {
+			s.putPackage(gf.Analyzer, gf.PkgPath, gf.Fact)
+			continue
+		}
+		pkg := lookup[gf.PkgPath]
+		if pkg == nil {
+			continue
+		}
+		obj, ok := resolvePath(pkg, gf.Path)
+		if !ok {
+			continue
+		}
+		s.putObject(gf.Analyzer, obj, gf.Fact)
+	}
+	return nil
+}
+
+// PackageClosure collects the transitive import closure of pkg keyed by
+// import path — the lookup table Decode resolves fact paths against.
+func PackageClosure(pkg *types.Package) map[string]*types.Package {
+	closure := make(map[string]*types.Package)
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if p == nil || closure[p.Path()] != nil {
+			return
+		}
+		closure[p.Path()] = p
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	for _, imp := range pkg.Imports() {
+		walk(imp)
+	}
+	return closure
+}
+
+// objectPath names obj relative to its package:
+//
+//	F:Name            package-level func, var, const, or type
+//	M:Type.Method     method of the named type
+//	D:Type.Field      field of the named struct type
+//
+// It returns ok=false for objects outside that subset (locals, fields
+// of anonymous structs, interface methods, ...).
+func objectPath(obj types.Object) (string, bool) {
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return "", false
+	}
+	if pkg.Scope().Lookup(obj.Name()) == obj {
+		return "F:" + obj.Name(), true
+	}
+	switch obj := obj.(type) {
+	case *types.Func:
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return "", false
+		}
+		named := namedOf(sig.Recv().Type())
+		if named == nil || named.Obj().Pkg() != pkg {
+			return "", false
+		}
+		return "M:" + named.Obj().Name() + "." + obj.Name(), true
+	case *types.Var:
+		if !obj.IsField() {
+			return "", false
+		}
+		// Find the named struct type in the package that declares this
+		// field object.
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == obj {
+					return "D:" + name + "." + obj.Name(), true
+				}
+			}
+		}
+	}
+	return "", false
+}
+
+// resolvePath is the inverse of objectPath within pkg.
+func resolvePath(pkg *types.Package, path string) (types.Object, bool) {
+	kind, rest, ok := strings.Cut(path, ":")
+	if !ok {
+		return nil, false
+	}
+	scope := pkg.Scope()
+	switch kind {
+	case "F":
+		if obj := scope.Lookup(rest); obj != nil {
+			return obj, true
+		}
+	case "M":
+		typeName, methodName, ok := strings.Cut(rest, ".")
+		if !ok {
+			return nil, false
+		}
+		tn, ok := scope.Lookup(typeName).(*types.TypeName)
+		if !ok {
+			return nil, false
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			return nil, false
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == methodName {
+				return m, true
+			}
+		}
+	case "D":
+		typeName, fieldName, ok := strings.Cut(rest, ".")
+		if !ok {
+			return nil, false
+		}
+		tn, ok := scope.Lookup(typeName).(*types.TypeName)
+		if !ok {
+			return nil, false
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			return nil, false
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Name() == fieldName {
+				return f, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// namedOf unwraps pointers to reach a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

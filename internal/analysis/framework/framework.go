@@ -2,15 +2,21 @@
 // golang.org/x/tools/go/analysis: just enough Analyzer/Pass machinery to
 // write the repo's custom vet checks (cmd/gclint) against the standard
 // library alone. The build environment vendors no third-party modules,
-// so instead of depending on x/tools this package re-implements the two
+// so instead of depending on x/tools this package re-implements the
 // integration surfaces gclint needs:
 //
 //   - the `go vet -vettool` unit-checker protocol (unitchecker.go), so
 //     `make lint` gets package loading, export data, and caching from
-//     the go command for free; and
+//     the go command for free;
+//   - modular facts (facts.go), so analyzers can attach typed data to
+//     functions and fields and read it back when analyzing downstream
+//     packages — serialized into the go command's vetx files, which is
+//     how "this function allocates" and "this field is accessed
+//     atomically" cross package boundaries; and
 //   - an analysistest-style fixture harness (sibling package
 //     analysistest), so each analyzer is tested against `// want`
-//     annotated sources under testdata/src.
+//     annotated sources under testdata/src, including multi-package
+//     fixtures that exercise fact propagation.
 //
 // The API mirrors x/tools deliberately — if a vendored x/tools ever
 // becomes available, the analyzers port by changing imports only.
@@ -21,12 +27,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
+	"sort"
 )
 
-// Analyzer describes one static check. Unlike x/tools there are no
-// Requires/Facts: gclint's analyzers are all single-package syntactic +
-// type checks, which keeps the unit-checker protocol trivial (no fact
-// serialization between packages).
+// Analyzer describes one static check.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and flags. It must be
 	// a valid Go identifier.
@@ -35,7 +40,20 @@ type Analyzer struct {
 	Doc string
 	// Run applies the analyzer to one package.
 	Run func(*Pass) error
+	// FactTypes lists the fact types the analyzer exports and imports
+	// (each a pointer to a gob-encodable struct). Analyzers with fact
+	// types also run on dependency packages (vetx-only units) so their
+	// facts exist before dependents are analyzed.
+	FactTypes []Fact
+	// Suppressions names the same-line `//gclint:<name>` directives this
+	// analyzer consults to silence a diagnostic. The framework audits
+	// them after a run: a suppression no analyzer matched suppresses
+	// nothing and is reported as stale (analyzer name "suppress").
+	Suppressions []string
 }
+
+// SuppressAnalyzerName attributes stale-suppression audit diagnostics.
+const SuppressAnalyzerName = "suppress"
 
 // Pass provides one analyzed package to an Analyzer's Run function.
 type Pass struct {
@@ -44,7 +62,12 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Sizes gives target-specific type layouts for analyzers that check
+	// memory layout (e.g. cache-line placement). Never nil.
+	Sizes types.Sizes
 
+	directives  *Directives
+	facts       *FactSet
 	diagnostics []Diagnostic
 }
 
@@ -64,12 +87,58 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// Directives returns the run-wide gclint directive index for the
+// package. All analyzers of a run share one instance, which is what
+// lets the framework audit unmatched suppressions afterwards.
+func (p *Pass) Directives() *Directives {
+	return p.directives
+}
+
+// ExportObjectFact attaches fact to obj for downstream packages (and
+// later analyzers of this run) to import. obj must belong to a package
+// (not be a local), and fact's type must appear in the analyzer's
+// FactTypes.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if obj == nil || p.facts == nil {
+		return
+	}
+	p.facts.putObject(p.Analyzer.Name, obj, fact)
+}
+
+// ImportObjectFact copies the fact of the analyzer's type attached to
+// obj into *fact and reports whether one was found.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if obj == nil || p.facts == nil {
+		return false
+	}
+	return p.facts.getObject(p.Analyzer.Name, obj, fact)
+}
+
+// ExportPackageFact attaches fact to the package being analyzed.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.putPackage(p.Analyzer.Name, p.Pkg.Path(), fact)
+}
+
+// ImportPackageFact copies the fact of the analyzer's type attached to
+// pkg into *fact and reports whether one was found.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if pkg == nil || p.facts == nil {
+		return false
+	}
+	return p.facts.getPackage(p.Analyzer.Name, pkg.Path(), fact)
+}
+
 // Package bundles a loaded, type-checked package ready for analysis.
 type Package struct {
 	Fset      *token.FileSet
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Sizes defaults to the host gc layout when nil.
+	Sizes types.Sizes
 }
 
 // NewInfo returns a types.Info with every map the analyzers consult
@@ -86,22 +155,74 @@ func NewInfo() *types.Info {
 	}
 }
 
-// Run applies each analyzer to pkg and returns all diagnostics in
-// source-position order of emission.
-func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// Run applies each analyzer to pkg, audits suppression directives, and
+// returns all diagnostics sorted by (file, line, column, analyzer,
+// message) — a total order independent of analyzer registration order
+// and map iteration, so lint output is byte-stable across runs.
+//
+// facts carries object/package facts imported from dependency packages
+// in, and accumulates the facts analyzers export while running; pass
+// NewFactSet() (or nil) when there are no upstream facts.
+//
+//gclint:ctxok per-package analysis driver; bounded by package size, callers cancel between units
+func Run(pkg *Package, analyzers []*Analyzer, facts *FactSet) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactSet()
+	}
+	sizes := pkg.Sizes
+	if sizes == nil {
+		sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	dirs := NewDirectives(pkg.Fset, pkg.Files)
 	var all []Diagnostic
+	suppressions := make(map[string]bool)
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Pkg,
-			TypesInfo: pkg.TypesInfo,
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			Pkg:        pkg.Pkg,
+			TypesInfo:  pkg.TypesInfo,
+			Sizes:      sizes,
+			directives: dirs,
+			facts:      facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 		all = append(all, pass.diagnostics...)
+		for _, s := range a.Suppressions {
+			suppressions[s] = true
+		}
 	}
+	for _, dir := range dirs.stale(suppressions) {
+		all = append(all, Diagnostic{
+			Pos:      dir.pos,
+			Message:  fmt.Sprintf("stale suppression //gclint:%s: no diagnostic here to suppress; remove it or fix the drifted code", dir.name),
+			Analyzer: SuppressAnalyzerName,
+		})
+	}
+	sortDiagnostics(pkg.Fset, all)
 	return all, nil
+}
+
+// sortDiagnostics orders diags by (file, line, column, analyzer,
+// message).
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		if diags[i].Analyzer != diags[j].Analyzer {
+			return diags[i].Analyzer < diags[j].Analyzer
+		}
+		return diags[i].Message < diags[j].Message
+	})
 }

@@ -1,0 +1,207 @@
+package framework_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"gccache/internal/analysis/framework"
+)
+
+// checkSrc parses and type-checks one source file as package path.
+func checkSrc(t *testing.T, path, src string) *framework.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []*ast.File{file}
+	info := framework.NewInfo()
+	conf := &types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &framework.Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+}
+
+// TestDiagnosticOrder locks in the framework's output contract: reports
+// are sorted by (file, line, column, analyzer, message) regardless of
+// analyzer registration order or emit order, so `make lint` output is
+// byte-stable across runs.
+func TestDiagnosticOrder(t *testing.T) {
+	pkg := checkSrc(t, "order", "package order\n\nfunc A() {}\n\nfunc B() {}\n")
+	early := pkg.Files[0].Decls[0].Pos()
+	late := pkg.Files[0].Decls[1].Pos()
+
+	zzz := &framework.Analyzer{
+		Name: "zzz",
+		Run: func(pass *framework.Pass) error {
+			pass.Reportf(late, "late-z")
+			pass.Reportf(early, "early-z")
+			return nil
+		},
+	}
+	aaa := &framework.Analyzer{
+		Name: "aaa",
+		Run: func(pass *framework.Pass) error {
+			pass.Reportf(early, "early-a")
+			return nil
+		},
+	}
+
+	diags, err := framework.Run(pkg, []*framework.Analyzer{zzz, aaa}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+"/"+d.Message)
+	}
+	want := []string{"aaa/early-a", "zzz/early-z", "zzz/late-z"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("diagnostic order = %v, want %v", got, want)
+	}
+}
+
+// factMsg is a test fact type.
+type factMsg struct{ Msg string }
+
+func (*factMsg) AFact() {}
+
+// TestFactsRoundTrip exports facts about a package-level function, a
+// method, a struct field, and the package itself, serializes the set to
+// the vetx payload format, decodes it into a fresh set, and verifies a
+// second analysis run can import every fact — the in-process version of
+// what happens across two `go vet` unit invocations.
+func TestFactsRoundTrip(t *testing.T) {
+	const src = `package dep
+
+func F() {}
+
+type T struct{ X int }
+
+func (T) M() {}
+`
+	pkg := checkSrc(t, "dep", src)
+
+	lookupObj := func(name string) types.Object {
+		scope := pkg.Pkg.Scope()
+		switch name {
+		case "F":
+			return scope.Lookup("F")
+		case "M":
+			named := scope.Lookup("T").Type().(*types.Named)
+			return named.Method(0)
+		case "X":
+			st := scope.Lookup("T").Type().Underlying().(*types.Struct)
+			return st.Field(0)
+		}
+		return nil
+	}
+
+	export := &framework.Analyzer{
+		Name:      "facttest",
+		FactTypes: []framework.Fact{new(factMsg)},
+		Run: func(pass *framework.Pass) error {
+			for _, name := range []string{"F", "M", "X"} {
+				pass.ExportObjectFact(lookupObj(name), &factMsg{Msg: "obj-" + name})
+			}
+			pass.ExportPackageFact(&factMsg{Msg: "pkg-dep"})
+			return nil
+		},
+	}
+	framework.RegisterFactTypes(export)
+
+	exported := framework.NewFactSet()
+	if _, err := framework.Run(pkg, []*framework.Analyzer{export}, exported); err != nil {
+		t.Fatal(err)
+	}
+	data, err := exported.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	decoded := framework.NewFactSet()
+	if err := decoded.Decode(data, map[string]*types.Package{"dep": pkg.Pkg}); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[string]string)
+	verify := &framework.Analyzer{
+		Name:      "facttest",
+		FactTypes: []framework.Fact{new(factMsg)},
+		Run: func(pass *framework.Pass) error {
+			for _, name := range []string{"F", "M", "X"} {
+				var f factMsg
+				if pass.ImportObjectFact(lookupObj(name), &f) {
+					got[name] = f.Msg
+				}
+			}
+			var f factMsg
+			if pass.ImportPackageFact(pass.Pkg, &f) {
+				got["pkg"] = f.Msg
+			}
+			return nil
+		},
+	}
+	if _, err := framework.Run(pkg, []*framework.Analyzer{verify}, decoded); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"F": "obj-F", "M": "obj-M", "X": "obj-X", "pkg": "pkg-dep"}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("fact %s = %q after round trip, want %q", k, got[k], w)
+		}
+	}
+}
+
+// TestStaleSuppressionAudit verifies the framework reports suppression
+// directives that no analyzer matched, and stays quiet about ones that
+// were consulted.
+func TestStaleSuppressionAudit(t *testing.T) {
+	const src = `package sup
+
+func f() int {
+	return 1 //gclint:orderok genuinely order-independent
+}
+`
+	match := &framework.Analyzer{
+		Name:         "matcher",
+		Suppressions: []string{"orderok"},
+		Run: func(pass *framework.Pass) error {
+			pos := pass.Files[0].Comments[0].Pos()
+			if !pass.Directives().At(pos, "orderok") {
+				t.Error("directive not found at its own position")
+			}
+			return nil
+		},
+	}
+	ignore := &framework.Analyzer{
+		Name:         "ignorer",
+		Suppressions: []string{"orderok"},
+		Run:          func(pass *framework.Pass) error { return nil },
+	}
+
+	diags, err := framework.Run(checkSrc(t, "sup", src), []*framework.Analyzer{match}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("matched suppression reported as stale: %v", diags)
+	}
+
+	diags, err = framework.Run(checkSrc(t, "sup", src), []*framework.Analyzer{ignore}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != framework.SuppressAnalyzerName ||
+		!strings.Contains(diags[0].Message, "stale suppression //gclint:orderok") {
+		t.Errorf("unmatched suppression: got %v, want one stale report", diags)
+	}
+}

@@ -3,6 +3,7 @@ package framework
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/build"
@@ -41,31 +42,42 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// vetxHeader begins every gclint vetx file; the serialized fact payload
+// (facts.go) follows. v1 files (empty facts) are still accepted.
+const vetxHeader = "gclint-facts-v2\n"
+
 // Main is the entry point for a vet-tool binary built on this framework.
 // It speaks the protocol the go command expects of a -vettool:
 //
 //	tool -V=full            print a version fingerprint and exit
 //	tool -flags             print the supported flags as JSON and exit
-//	tool <file>.cfg         analyze one package described by the config
+//	tool [-analyzer]... <file>.cfg
+//	                        analyze one package described by the config,
+//	                        restricted to the named analyzers when any
+//	                        analyzer flag is set
 //
-// As a convenience for humans, any other arguments are treated as
-// package patterns and re-executed through `go vet -vettool=<self>`, so
-// `gclint ./...` works directly.
+// Each analyzer is exposed as a boolean flag of its own name, so
+// `go vet -vettool=gclint -atomicfield ./pkg` runs one analyzer — the
+// fast iteration loop behind `make lint-one`.
+//
+// As a convenience for humans, any other arguments are forwarded
+// verbatim through `go vet -vettool=<self>`, so `gclint ./...` and
+// `gclint -ctxflow ./...` work directly.
 func Main(analyzers ...*Analyzer) {
+	RegisterFactTypes(analyzers...)
 	progname := filepath.Base(os.Args[0])
 	args := os.Args[1:]
 
 	// `go vet` probes the tool before use: -V=full must print a
 	// reproducible version line, and -flags must dump the flag schema so
-	// the go command can route command-line flags. gclint defines no
-	// tool flags, so the schema is empty.
+	// the go command can route command-line flags to the tool.
 	if len(args) == 1 {
 		switch {
 		case args[0] == "-V=full" || args[0] == "--V=full":
 			fmt.Printf("%s version devel buildID=%s\n", progname, selfHash())
 			return
 		case args[0] == "-flags" || args[0] == "--flags":
-			fmt.Println("[]")
+			printFlagSchema(analyzers)
 			return
 		case args[0] == "help" || args[0] == "-help" || args[0] == "--help":
 			printHelp(progname, analyzers)
@@ -73,8 +85,13 @@ func Main(analyzers ...*Analyzer) {
 		}
 	}
 
-	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		diags, exit := runUnit(args[0], analyzers)
+	if len(args) > 0 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		selected, cfgPath, err := parseUnitArgs(progname, args, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(2)
+		}
+		diags, exit := runUnit(cfgPath, selected)
 		for _, d := range diags {
 			fmt.Fprintln(os.Stderr, d)
 		}
@@ -82,7 +99,9 @@ func Main(analyzers ...*Analyzer) {
 	}
 
 	// Standalone mode: delegate package loading to the go command by
-	// re-invoking ourselves as its vettool.
+	// re-invoking ourselves as its vettool. Analyzer flags pass through
+	// unchanged — go vet validates them against our -flags schema and
+	// hands them back at each unit invocation.
 	self, err := os.Executable()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: cannot locate own binary: %v\n", progname, err)
@@ -100,17 +119,73 @@ func Main(analyzers ...*Analyzer) {
 	}
 }
 
+// parseUnitArgs parses a unit invocation (`tool [-analyzer]... x.cfg`)
+// and returns the analyzers to run: the flagged subset when any
+// analyzer flag is set, all of them otherwise.
+func parseUnitArgs(progname string, args []string, analyzers []*Analyzer) ([]*Analyzer, string, error) {
+	fs := flag.NewFlagSet(progname, flag.ContinueOnError)
+	enabled := make(map[string]*bool, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, false, firstLine(a.Doc))
+	}
+	if err := fs.Parse(args); err != nil {
+		return nil, "", err
+	}
+	if fs.NArg() != 1 {
+		return nil, "", fmt.Errorf("expected exactly one .cfg argument, got %d", fs.NArg())
+	}
+	any := false
+	for _, on := range enabled {
+		any = any || *on
+	}
+	if !any {
+		return analyzers, fs.Arg(0), nil
+	}
+	var selected []*Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			selected = append(selected, a)
+		}
+	}
+	return selected, fs.Arg(0), nil
+}
+
+// printFlagSchema emits the tool's flags as the JSON the go command
+// expects from `vettool -flags` (one boolean flag per analyzer).
+func printFlagSchema(analyzers []*Analyzer) {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := make([]jsonFlag, 0, len(analyzers))
+	for _, a := range analyzers {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gclint: marshalling flag schema: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(data))
+}
+
 func printHelp(progname string, analyzers []*Analyzer) {
-	fmt.Printf("%s is a vet tool; run it as `%s ./...` or `go vet -vettool=%s ./...`.\n\n",
+	fmt.Printf("%s is a vet tool; run it as `%s ./...` or `go vet -vettool=%s ./...`.\n",
 		progname, progname, progname)
+	fmt.Printf("Select single analyzers with their flags, e.g. `%s -%s ./...`.\n\n",
+		progname, analyzers[0].Name)
 	fmt.Println("Registered analyzers:")
 	for _, a := range analyzers {
-		doc := a.Doc
-		if i := strings.IndexByte(doc, '\n'); i >= 0 {
-			doc = doc[:i]
-		}
-		fmt.Printf("  %-12s %s\n", a.Name, doc)
+		fmt.Printf("  %-14s %s\n", a.Name, firstLine(a.Doc))
 	}
+}
+
+func firstLine(doc string) string {
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		doc = doc[:i]
+	}
+	return doc
 }
 
 // selfHash fingerprints the tool binary so the go command's build cache
@@ -138,20 +213,29 @@ func runUnit(cfgPath string, analyzers []*Analyzer) ([]string, int) {
 	}
 
 	// The go command runs its vettool over every dependency of the
-	// requested packages to collect "vetx" facts, and expects the output
-	// file to exist afterward. gclint's analyzers are strictly
-	// package-local, so dependencies need no analysis at all — write the
-	// (empty) facts file and stop.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("gclint-facts-v1\n"), 0o666); err != nil {
-			return []string{fmt.Sprintf("gclint: writing vetx output: %v", err)}, 1
+	// requested packages before the packages themselves, and expects each
+	// unit to leave a vetx (facts) file behind. Dependency units are
+	// VetxOnly: they exist purely to produce facts, so only the analyzers
+	// that export facts need to run — and only over packages of this
+	// module, since gclint's facts describe gccache code alone.
+	factProducers := make([]*Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		if len(a.FactTypes) > 0 {
+			factProducers = append(factProducers, a)
 		}
 	}
+	toRun := analyzers
 	if cfg.VetxOnly {
-		return nil, 0
+		toRun = factProducers
+		if len(toRun) == 0 || cfg.Standard[cfg.ImportPath] || !inModule(cfg.ImportPath) {
+			if err := writeVetx(cfg.VetxOutput, nil); err != nil {
+				return []string{fmt.Sprintf("gclint: %v", err)}, 1
+			}
+			return nil, 0
+		}
 	}
 
-	pkg, err := typecheckUnit(cfg)
+	pkg, imported, err := typecheckUnit(cfg)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
 			return nil, 0
@@ -159,11 +243,19 @@ func runUnit(cfgPath string, analyzers []*Analyzer) ([]string, int) {
 		return []string{fmt.Sprintf("gclint: %v", err)}, 1
 	}
 
-	diags, err := Run(pkg, analyzers)
+	facts := NewFactSet()
+	if err := importFacts(cfg, pkg, imported, facts); err != nil {
+		return []string{fmt.Sprintf("gclint: %v", err)}, 1
+	}
+
+	diags, err := Run(pkg, toRun, facts)
 	if err != nil {
 		return []string{fmt.Sprintf("gclint: %v", err)}, 1
 	}
-	if len(diags) == 0 {
+	if err := exportFacts(cfg, facts); err != nil {
+		return []string{fmt.Sprintf("gclint: %v", err)}, 1
+	}
+	if cfg.VetxOnly || len(diags) == 0 {
 		return nil, 0
 	}
 	out := make([]string, len(diags))
@@ -171,6 +263,75 @@ func runUnit(cfgPath string, analyzers []*Analyzer) ([]string, int) {
 		out[i] = fmt.Sprintf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
 	}
 	return out, 2
+}
+
+// inModule reports whether path is a package of this module (test
+// variants like "pkg [pkg.test]" normalize to their base path).
+func inModule(path string) bool {
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path == "gccache" || strings.HasPrefix(path, "gccache/")
+}
+
+// importFacts loads the fact payloads of every dependency vetx file the
+// go command listed and resolves them against the imported packages.
+func importFacts(cfg *vetConfig, pkg *Package, imported map[string]*types.Package, facts *FactSet) error {
+	if len(cfg.PackageVetx) == 0 {
+		return nil
+	}
+	// Facts name objects in any package of the import closure, not just
+	// direct imports (re-exported facts keep attribution).
+	lookup := PackageClosure(pkg.Pkg)
+	for path, p := range imported {
+		if lookup[path] == nil {
+			lookup[path] = p
+		}
+	}
+	for path, file := range cfg.PackageVetx {
+		if !inModule(path) {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			// A missing dependency facts file is not fatal: the dep may
+			// have been analyzed by an older tool build.
+			continue
+		}
+		payload, ok := strings.CutPrefix(string(data), vetxHeader)
+		if !ok {
+			continue // v1 or foreign file: no facts
+		}
+		if err := facts.Decode([]byte(payload), lookup); err != nil {
+			return fmt.Errorf("reading facts of %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// exportFacts writes the unit's vetx output: the header plus every fact
+// now in the set (own and re-exported imported ones, so downstream
+// units see facts from transitive dependencies).
+func exportFacts(cfg *vetConfig, facts *FactSet) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	payload, err := facts.Encode()
+	if err != nil {
+		return err
+	}
+	return writeVetx(cfg.VetxOutput, payload)
+}
+
+func writeVetx(path string, payload []byte) error {
+	if path == "" {
+		return nil
+	}
+	data := append([]byte(vetxHeader), payload...)
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		return fmt.Errorf("writing vetx output: %w", err)
+	}
+	return nil
 }
 
 func readVetConfig(path string) (*vetConfig, error) {
@@ -190,14 +351,15 @@ func readVetConfig(path string) (*vetConfig, error) {
 
 // typecheckUnit parses and type-checks the package in cfg, resolving
 // imports through the compiler export data files the go command listed
-// in cfg.PackageFile.
-func typecheckUnit(cfg *vetConfig) (*Package, error) {
+// in cfg.PackageFile. It also returns every package the importer
+// loaded, keyed by import path, for fact-path resolution.
+func typecheckUnit(cfg *vetConfig) (*Package, map[string]*types.Package, error) {
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(cfg.GoFiles))
 	for _, name := range cfg.GoFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		files = append(files, f)
 	}
@@ -214,24 +376,30 @@ func typecheckUnit(cfg *vetConfig) (*Package, error) {
 		}
 		return os.Open(file)
 	})
+	imported := make(map[string]*types.Package)
 	imp := importerFunc(func(path string) (*types.Package, error) {
 		if path == "unsafe" {
 			return types.Unsafe, nil
 		}
-		return compilerImporter.Import(path)
+		p, err := compilerImporter.Import(path)
+		if err == nil && p != nil {
+			imported[p.Path()] = p
+		}
+		return p, err
 	})
 
+	sizes := types.SizesFor(cfg.Compiler, build.Default.GOARCH)
 	tc := &types.Config{
 		Importer:  imp,
-		Sizes:     types.SizesFor(cfg.Compiler, build.Default.GOARCH),
+		Sizes:     sizes,
 		GoVersion: cfg.GoVersion,
 	}
 	info := NewInfo()
 	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return &Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+	return &Package{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, Sizes: sizes}, imported, nil
 }
 
 type importerFunc func(path string) (*types.Package, error)

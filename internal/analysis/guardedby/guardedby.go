@@ -1,0 +1,315 @@
+// Package guardedby implements the gclint analyzer for mutex-guarded
+// struct fields. A field annotated with a `//gclint:guardedby mu`
+// comment (in its doc comment or on its line) declares that every
+// access must happen while the sibling mutex field mu is held. The
+// analyzer checks each access lexically: within the enclosing function
+// it counts Lock/RLock and Unlock/RUnlock calls on the same container's
+// mutex that precede the access (deferred unlocks are ignored — they
+// run at function exit, so the lock lexically covers the rest of the
+// body), and flags accesses at lock depth zero.
+//
+// The annotation is exported as a modular fact, so a package accessing
+// a guarded field of a dependency's struct is held to the same
+// discipline.
+//
+// Exemptions and limits:
+//
+//   - Constructor bodies: accesses through a function-local root (the
+//     value under construction) are skipped — no other goroutine can
+//     hold a reference yet.
+//   - The analysis is lexical, not path-sensitive: locking in one branch
+//     and accessing in another fools it in both directions. It is a
+//     tripwire for the common shapes (forgot to lock, added a field to
+//     a locked struct, early return before Lock), not a race prover.
+//   - Aliasing hides accesses: `sh := &s.shards[i]; sh.c.Len()` roots at
+//     the local sh and is exempted. Keep guarded accesses spelled
+//     through the shared value.
+//
+// A `//gclint:guardok` comment on the access line vouches for accesses
+// synchronized by other means (e.g. a helper documented as
+// "caller holds mu", or a quiescent point where no readers exist).
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"gccache/internal/analysis/framework"
+	"gccache/internal/analysis/lintutil"
+)
+
+// GuardedFact records that a struct field is guarded by the sibling
+// mutex field named Mutex.
+type GuardedFact struct {
+	Mutex string
+}
+
+// AFact marks GuardedFact as a framework fact type.
+func (*GuardedFact) AFact() {}
+
+// Analyzer is the guardedby analyzer.
+var Analyzer = &framework.Analyzer{
+	Name:         "guardedby",
+	Doc:          "checks that fields annotated //gclint:guardedby mu are accessed only while mu is held",
+	Run:          run,
+	FactTypes:    []framework.Fact{new(GuardedFact)},
+	Suppressions: []string{"guardok"},
+}
+
+func run(pass *framework.Pass) error {
+	dirs := pass.Directives()
+
+	// Collect annotations and export them as facts.
+	guarded := make(map[*types.Var]string)
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				stAst, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				collectAnnotations(pass, stAst, guarded)
+			}
+		}
+	}
+	for f, mu := range guarded {
+		if f.Pkg() == pass.Pkg {
+			pass.ExportObjectFact(f, &GuardedFact{Mutex: mu})
+		}
+	}
+
+	guardOf := func(f *types.Var) (string, bool) {
+		if mu, ok := guarded[f]; ok {
+			return mu, true
+		}
+		var fact GuardedFact
+		if pass.ImportObjectFact(f, &fact) {
+			return fact.Mutex, true
+		}
+		return "", false
+	}
+
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, dirs, fd, guardOf)
+			}
+		}
+	}
+	return nil
+}
+
+// collectAnnotations records //gclint:guardedby fields of one struct,
+// validating that the named mutex is a sibling sync.Mutex/RWMutex.
+func collectAnnotations(pass *framework.Pass, stAst *ast.StructType, guarded map[*types.Var]string) {
+	for _, fld := range stAst.Fields.List {
+		mu, ok := lintutil.FieldDirectiveArg(fld, "guardedby")
+		if !ok {
+			continue
+		}
+		if mu == "" {
+			pass.Reportf(fld.Pos(), "//gclint:guardedby needs the sibling mutex field name as argument")
+			continue
+		}
+		if !hasMutexSibling(pass, stAst, mu) {
+			pass.Reportf(fld.Pos(), "//gclint:guardedby %s: no sibling sync.Mutex or sync.RWMutex field named %s in this struct", mu, mu)
+			continue
+		}
+		for _, name := range fld.Names {
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				guarded[v] = mu
+			}
+		}
+	}
+}
+
+// hasMutexSibling reports whether the struct literally declares a field
+// named mu whose type is sync.Mutex or sync.RWMutex (possibly a
+// pointer).
+func hasMutexSibling(pass *framework.Pass, stAst *ast.StructType, mu string) bool {
+	for _, fld := range stAst.Fields.List {
+		for _, name := range fld.Names {
+			if name.Name != mu {
+				continue
+			}
+			t := pass.TypesInfo.TypeOf(fld.Type)
+			return isMutexType(t)
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockKey identifies one mutex instance lexically: the root object of
+// the container expression plus the mutex field name. s.mu.Lock() and an
+// access to s.c (guarded by mu) share the key {s, "mu"}; so do
+// s.shards[i].mu and s.shards[i].c — index expressions collapse onto the
+// root, trading per-element precision for zero false positives on the
+// shard pattern.
+type lockKey struct {
+	root  types.Object
+	mutex string
+}
+
+type lockEvent struct {
+	pos   token.Pos
+	key   lockKey
+	delta int
+}
+
+// checkFunc performs the lexical lock-region analysis for one function.
+func checkFunc(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl, guardOf func(*types.Var) (string, bool)) {
+	info := pass.TypesInfo
+
+	// Deferred calls release at function exit; their unlocks must not
+	// close the lexical region.
+	deferred := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+		}
+		return true
+	})
+
+	var events []lockEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || deferred[call] {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		var delta int
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			delta = +1
+		case "Unlock", "RUnlock":
+			delta = -1
+		default:
+			return true
+		}
+		fn, ok := lintutil.Callee(info, call).(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		key, ok := mutexKey(info, sel.X)
+		if !ok {
+			return true
+		}
+		events = append(events, lockEvent{pos: call.Pos(), key: key, delta: delta})
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := func(key lockKey, pos token.Pos) bool {
+		depth := 0
+		for _, e := range events {
+			if e.pos < pos && e.key == key {
+				depth += e.delta
+			}
+		}
+		return depth > 0
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f := lintutil.FieldObject(info, sel)
+		if f == nil {
+			return true
+		}
+		mu, ok := guardOf(f)
+		if !ok {
+			return true
+		}
+		root := lintutil.RootObject(info, sel.X)
+		if root == nil {
+			return true // cannot name the container; stay quiet
+		}
+		if lintutil.LocalTo(root, fd.Body.Pos(), fd.Body.End()) {
+			return true // under construction or locally aliased
+		}
+		if held(lockKey{root: root, mutex: mu}, sel.Pos()) {
+			return true
+		}
+		if dirs.At(sel.Pos(), "guardok") {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "access to %s outside %s.%s.Lock(); the field is annotated //gclint:guardedby %s",
+			exprName(sel), root.Name(), mu, mu)
+		return true
+	})
+}
+
+// mutexKey derives the lock key from the receiver expression of a
+// Lock/Unlock call: `s.mu` -> {root(s), "mu"}, bare `mu` -> {mu, "mu"}.
+func mutexKey(info *types.Info, recv ast.Expr) (lockKey, bool) {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.SelectorExpr:
+		root := lintutil.RootObject(info, e.X)
+		if root == nil {
+			return lockKey{}, false
+		}
+		return lockKey{root: root, mutex: e.Sel.Name}, true
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return lockKey{}, false
+		}
+		return lockKey{root: obj, mutex: e.Name}, true
+	}
+	return lockKey{}, false
+}
+
+// exprName renders a compact source form of a selector chain.
+func exprName(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprName(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprName(e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprName(e.X)
+	case *ast.CallExpr:
+		return exprName(e.Fun) + "(...)"
+	default:
+		return "field"
+	}
+}

@@ -1,0 +1,13 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"gccache/internal/analysis/framework/analysistest"
+	"gccache/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer,
+		"guardfixture", "guarddep", "guarduse")
+}

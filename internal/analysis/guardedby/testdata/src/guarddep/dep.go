@@ -1,0 +1,16 @@
+// Package guarddep declares a mutex-guarded box; the annotation crosses
+// to dependents as a fact.
+package guarddep
+
+import "sync"
+
+type Box struct {
+	Mu  sync.Mutex
+	Val int //gclint:guardedby Mu
+}
+
+func (b *Box) Get() int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.Val
+}

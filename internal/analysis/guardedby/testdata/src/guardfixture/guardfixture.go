@@ -1,0 +1,59 @@
+// Package guardfixture exercises the guardedby analyzer.
+package guardfixture
+
+import "sync"
+
+type store struct {
+	mu    sync.Mutex
+	items map[string]int //gclint:guardedby mu
+	hits  int            //gclint:guardedby mu
+}
+
+func (s *store) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hits++
+	return s.items[k]
+}
+
+func (s *store) bad(k string) int {
+	return s.items[k] // want `access to s\.items outside s\.mu\.Lock\(\)`
+}
+
+func (s *store) badAfterUnlock(k string) int {
+	s.mu.Lock()
+	v := s.items[k]
+	s.mu.Unlock()
+	s.hits++ // want `access to s\.hits outside s\.mu\.Lock\(\)`
+	return v
+}
+
+func newStore() *store {
+	s := &store{}
+	s.items = make(map[string]int) // under construction: exempt
+	return s
+}
+
+func (s *store) drainLocked() int {
+	return s.hits //gclint:guardok callers hold mu; documented on the method
+}
+
+type table struct {
+	rw   sync.RWMutex
+	data []int //gclint:guardedby rw
+}
+
+func (t *table) read(i int) int {
+	t.rw.RLock()
+	defer t.rw.RUnlock()
+	return t.data[i]
+}
+
+func (t *table) badLen() int {
+	return len(t.data) // want `access to t\.data outside t\.rw\.Lock\(\)`
+}
+
+type badAnn struct {
+	mu sync.Mutex
+	x  int //gclint:guardedby lock // want `no sibling sync\.Mutex or sync\.RWMutex field named lock`
+}

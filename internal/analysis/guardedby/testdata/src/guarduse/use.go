@@ -1,0 +1,15 @@
+// Package guarduse accesses guarddep.Box's guarded field; the guard
+// obligation arrives via an imported fact.
+package guarduse
+
+import "guarddep"
+
+func Steal(b *guarddep.Box) int {
+	return b.Val // want `access to b\.Val outside b\.Mu\.Lock\(\)`
+}
+
+func Polite(b *guarddep.Box) int {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	return b.Val
+}

@@ -21,10 +21,16 @@
 // construction, which is why hot-path bounds checks may format their
 // panic messages. A `//gclint:allowalloc` comment on the offending line
 // suppresses the report (use for provably cold branches).
+//
+// This analyzer checks only the annotated function's own body; its
+// sibling hotalloctrans closes the one-call-deep hole with "allocates"
+// facts over the call graph, reusing ForEachAlloc below.
 package hotalloc
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"gccache/internal/analysis/framework"
@@ -33,13 +39,24 @@ import (
 
 // Analyzer is the hotalloc analyzer.
 var Analyzer = &framework.Analyzer{
-	Name: "hotalloc",
-	Doc:  "forbids allocating constructs in functions annotated //gclint:hotpath",
-	Run:  run,
+	Name:         "hotalloc",
+	Doc:          "forbids allocating constructs in functions annotated //gclint:hotpath",
+	Run:          run,
+	Suppressions: []string{"allowalloc"},
+}
+
+// Alloc describes one allocating construct found in a function body.
+type Alloc struct {
+	Pos token.Pos
+	// Message is the full hot-path diagnostic.
+	Message string
+	// Short is a compact reason ("make", "map literal", "fmt.Sprintf
+	// call") used in transitive fact chains.
+	Short string
 }
 
 func run(pass *framework.Pass) error {
-	dirs := lintutil.NewDirectives(pass.Fset, pass.Files)
+	dirs := pass.Directives()
 	for _, file := range pass.Files {
 		if lintutil.IsTestFile(pass.Fset, file) {
 			continue
@@ -49,14 +66,27 @@ func run(pass *framework.Pass) error {
 			if !ok || fd.Body == nil || !lintutil.HasFuncDirective(fd, "hotpath") {
 				continue
 			}
-			check(pass, dirs, fd)
+			ForEachAlloc(pass, dirs, fd, true, func(a Alloc) {
+				pass.Reportf(a.Pos, "%s", a.Message)
+			})
 		}
 	}
 	return nil
 }
 
-// check walks one annotated function body.
-func check(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl) {
+// ForEachAlloc walks fd's body and calls emit for every allocating
+// construct that is not suppressed by a same-line //gclint:allowalloc
+// directive. Interface-boxing call sites — the most escape-analysis-
+// dependent construct — are included only when boxing is true: the
+// direct hotpath check wants them, while the transitive "allocates"
+// facts exclude them to keep module-wide facts low-noise.
+func ForEachAlloc(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl, boxing bool, emit func(Alloc)) {
+	report := func(pos token.Pos, short, format string, args ...any) {
+		if dirs.At(pos, "allowalloc") {
+			return
+		}
+		emit(Alloc{Pos: pos, Short: short, Message: fmt.Sprintf(format, args...)})
+	}
 	info := pass.TypesInfo
 	var walk func(n ast.Node)
 	walk = func(n ast.Node) {
@@ -67,13 +97,13 @@ func check(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl) {
 					// Panic arguments are cold; don't descend.
 					return false
 				}
-				checkCall(pass, dirs, fd, n)
+				checkCall(pass, fd, n, boxing, report)
 			case *ast.CompositeLit:
-				checkCompositeLit(pass, dirs, n, false)
+				checkCompositeLit(pass, n, false, report)
 				return true
 			case *ast.UnaryExpr:
-				if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op.String() == "&" {
-					checkCompositeLit(pass, dirs, cl, true)
+				if cl, ok := n.X.(*ast.CompositeLit); ok && n.Op == token.AND {
+					checkCompositeLit(pass, cl, true, report)
 					// The literal itself was handled; walk its elements.
 					for _, e := range cl.Elts {
 						walk(e)
@@ -81,7 +111,7 @@ func check(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl) {
 					return false
 				}
 			case *ast.FuncLit:
-				checkClosure(pass, dirs, fd, n)
+				checkClosure(pass, fd, n, report)
 				return true
 			}
 			return true
@@ -90,32 +120,35 @@ func check(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl) {
 	walk(fd.Body)
 }
 
-func checkCall(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl, call *ast.CallExpr) {
-	if dirs.At(call.Pos(), "allowalloc") {
-		return
-	}
+// reportFunc receives candidate diagnostics; suppression is applied
+// before it is called.
+type reportFunc func(pos token.Pos, short, format string, args ...any)
+
+func checkCall(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr, boxing bool, report reportFunc) {
 	info := pass.TypesInfo
 
 	if fn, ok := lintutil.Callee(info, call).(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-		pass.Reportf(call.Pos(), "hot path calls fmt.%s, which allocates on every call", fn.Name())
+		report(call.Pos(), "fmt."+fn.Name()+" call", "hot path calls fmt.%s, which allocates on every call", fn.Name())
 		return
 	}
 	if lintutil.IsBuiltin(info, call, "make") || lintutil.IsBuiltin(info, call, "new") {
-		pass.Reportf(call.Pos(), "hot path allocates with %s; hoist the allocation into the constructor or a reused buffer",
-			ast.Unparen(call.Fun).(*ast.Ident).Name)
+		name := ast.Unparen(call.Fun).(*ast.Ident).Name
+		report(call.Pos(), name, "hot path allocates with %s; hoist the allocation into the constructor or a reused buffer", name)
 		return
 	}
 	if lintutil.IsBuiltin(info, call, "append") {
-		checkAppend(pass, fd, call)
+		checkAppend(pass, fd, call, report)
 		return
 	}
-	checkBoxing(pass, fd, call)
+	if boxing {
+		checkBoxing(pass, call, report)
+	}
 }
 
 // checkAppend flags append whose destination slice is local to the hot
 // function: a fresh slice grows (allocates) on every call, whereas
 // fields and parameters are caller-owned buffers reused across calls.
-func checkAppend(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+func checkAppend(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr, report reportFunc) {
 	if len(call.Args) == 0 {
 		return
 	}
@@ -136,7 +169,8 @@ func checkAppend(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 		if aliasesReusedBuffer(fd, obj) {
 			return
 		}
-		pass.Reportf(call.Pos(), "hot path appends to function-local slice %s, which allocates as it grows; use a struct-field scratch buffer", obj.Name())
+		report(call.Pos(), "append to local "+obj.Name(),
+			"hot path appends to function-local slice %s, which allocates as it grows; use a struct-field scratch buffer", obj.Name())
 	}
 }
 
@@ -188,7 +222,7 @@ func aliasesReusedBuffer(fd *ast.FuncDecl, obj types.Object) bool {
 // checkBoxing flags concrete-typed arguments passed to interface-typed
 // parameters: the compiler boxes the value, allocating unless escape
 // analysis can prove otherwise.
-func checkBoxing(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+func checkBoxing(pass *framework.Pass, call *ast.CallExpr, report reportFunc) {
 	info := pass.TypesInfo
 	tv, ok := info.Types[call.Fun]
 	if !ok {
@@ -197,7 +231,8 @@ func checkBoxing(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 	if tv.IsType() {
 		// Conversion: T(x). Flag interface conversions of concretes.
 		if len(call.Args) == 1 && isInterface(tv.Type) && !argIsInterfaceOrNil(info, call.Args[0]) {
-			pass.Reportf(call.Pos(), "hot path boxes a value into interface %s", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
+			report(call.Pos(), "interface conversion", "hot path boxes a value into interface %s",
+				types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)))
 		}
 		return
 	}
@@ -222,7 +257,7 @@ func checkBoxing(pass *framework.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 		if !isInterface(pt) || argIsInterfaceOrNil(info, arg) {
 			continue
 		}
-		pass.Reportf(arg.Pos(), "hot path boxes argument into interface parameter %s of %s; use a concrete-typed callee",
+		report(arg.Pos(), "interface boxing", "hot path boxes argument into interface parameter %s of %s; use a concrete-typed callee",
 			types.TypeString(pt, types.RelativeTo(pass.Pkg)), exprName(call.Fun))
 	}
 }
@@ -252,22 +287,19 @@ func argIsInterfaceOrNil(info *types.Info, arg ast.Expr) bool {
 }
 
 // checkCompositeLit flags map/slice literals and &struct{...}.
-func checkCompositeLit(pass *framework.Pass, dirs *lintutil.Directives, cl *ast.CompositeLit, addressed bool) {
-	if dirs.At(cl.Pos(), "allowalloc") {
-		return
-	}
+func checkCompositeLit(pass *framework.Pass, cl *ast.CompositeLit, addressed bool, report reportFunc) {
 	t := pass.TypesInfo.TypeOf(cl)
 	if t == nil {
 		return
 	}
 	switch t.Underlying().(type) {
 	case *types.Map:
-		pass.Reportf(cl.Pos(), "hot path allocates a map literal")
+		report(cl.Pos(), "map literal", "hot path allocates a map literal")
 	case *types.Slice:
-		pass.Reportf(cl.Pos(), "hot path allocates a slice literal")
+		report(cl.Pos(), "slice literal", "hot path allocates a slice literal")
 	case *types.Struct:
 		if addressed {
-			pass.Reportf(cl.Pos(), "hot path allocates &%s{...}; reuse a preallocated value", exprName(cl.Type))
+			report(cl.Pos(), "&"+exprName(cl.Type)+"{...}", "hot path allocates &%s{...}; reuse a preallocated value", exprName(cl.Type))
 		}
 	}
 }
@@ -275,10 +307,7 @@ func checkCompositeLit(pass *framework.Pass, dirs *lintutil.Directives, cl *ast.
 // checkClosure flags func literals that capture variables from the
 // enclosing hot function: both the closure object and its captured
 // variables are heap-allocated.
-func checkClosure(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncDecl, fl *ast.FuncLit) {
-	if dirs.At(fl.Pos(), "allowalloc") {
-		return
-	}
+func checkClosure(pass *framework.Pass, fd *ast.FuncDecl, fl *ast.FuncLit, report reportFunc) {
 	var captured []string
 	seen := map[types.Object]bool{}
 	ast.Inspect(fl.Body, func(n ast.Node) bool {
@@ -301,7 +330,7 @@ func checkClosure(pass *framework.Pass, dirs *lintutil.Directives, fd *ast.FuncD
 		return true
 	})
 	if len(captured) > 0 {
-		pass.Reportf(fl.Pos(), "hot path closure captures %s, forcing heap allocation", joinNames(captured))
+		report(fl.Pos(), "capturing closure", "hot path closure captures %s, forcing heap allocation", joinNames(captured))
 	}
 }
 

@@ -1,0 +1,210 @@
+// Package hotalloctrans implements the interprocedural companion to the
+// hotalloc analyzer. hotalloc inspects only the body of a
+// `//gclint:hotpath` function, so wrapping an allocation in a helper
+// one call away used to defeat it. This analyzer closes that hole with
+// modular "allocates" facts over the call graph:
+//
+//   - Every function of the analyzed package is scanned with
+//     hotalloc.ForEachAlloc. Functions that allocate directly, or that
+//     call (transitively, across package boundaries via imported facts)
+//     a function that allocates, carry an AllocFact whose Reason spells
+//     the call chain down to the allocating construct.
+//   - A //gclint:hotpath function is then flagged at each call site
+//     whose callee carries an AllocFact — including callees in
+//     dependency packages analyzed in an earlier unit.
+//
+// Interface and function-value calls cannot carry facts (the concrete
+// callee is unknown statically) and are skipped; the hot path avoids
+// dynamic dispatch anyway. The standard library is not analyzed, so
+// calls into it are not flagged here — hotalloc's direct checks cover
+// the known allocating std entry points (fmt) inside hot bodies, and a
+// module helper wrapping fmt gets its fact from the fmt call being a
+// direct allocation in that helper.
+//
+// Suppression shares hotalloc's `//gclint:allowalloc`: on an allocation
+// line inside a helper it both silences hotalloc (if the helper is hot)
+// and keeps the helper from carrying a fact; on a hot call site it
+// vouches for that specific call (e.g. a provably cold error branch).
+package hotalloctrans
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"gccache/internal/analysis/framework"
+	"gccache/internal/analysis/hotalloc"
+	"gccache/internal/analysis/lintutil"
+)
+
+// AllocFact marks a function as allocating, directly or transitively.
+// Reason is a human-readable chain, e.g. "make" for a direct allocation
+// or "grow: make" for a call to an allocating helper named grow.
+type AllocFact struct {
+	Reason string
+}
+
+// AFact marks AllocFact as a framework fact type.
+func (*AllocFact) AFact() {}
+
+// Analyzer is the hotalloctrans analyzer.
+var Analyzer = &framework.Analyzer{
+	Name:         "hotalloctrans",
+	Doc:          "flags //gclint:hotpath functions that call (transitively) allocating functions, via exported \"allocates\" facts",
+	Run:          run,
+	FactTypes:    []framework.Fact{new(AllocFact)},
+	Suppressions: []string{"allowalloc"},
+}
+
+// callSite is one statically-resolved call edge out of a function.
+type callSite struct {
+	pos    token.Pos
+	callee *types.Func
+	name   string
+}
+
+type fnInfo struct {
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	callees []callSite
+	reason  string // "" while not known to allocate
+}
+
+func run(pass *framework.Pass) error {
+	dirs := pass.Directives()
+
+	// Index every declared function of the package, in source order (the
+	// fixpoint below picks the first-discovered reason, so iteration
+	// order must be deterministic).
+	var fns []*fnInfo
+	index := make(map[*types.Func]*fnInfo)
+	for _, file := range pass.Files {
+		if lintutil.IsTestFile(pass.Fset, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &fnInfo{decl: fd, obj: obj}
+			fns = append(fns, fi)
+			index[obj] = fi
+		}
+	}
+
+	// Direct allocations, honoring //gclint:allowalloc lines. Boxing is
+	// excluded: whether an interface argument escapes depends on the
+	// callee, so propagating it transitively would drown the module in
+	// maybes; hotalloc still flags boxing inside hot bodies directly.
+	for _, fi := range fns {
+		hotalloc.ForEachAlloc(pass, dirs, fi.decl, false, func(a hotalloc.Alloc) {
+			if fi.reason == "" {
+				fi.reason = a.Short
+			}
+		})
+	}
+
+	// Call edges, in source order.
+	for _, fi := range fns {
+		ast.Inspect(fi.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := lintutil.Callee(pass.TypesInfo, call).(*types.Func)
+			if !ok {
+				return true
+			}
+			fi.callees = append(fi.callees, callSite{pos: call.Pos(), callee: fn, name: calleeName(pass.Pkg, fn)})
+			return true
+		})
+		sort.SliceStable(fi.callees, func(i, j int) bool { return fi.callees[i].pos < fi.callees[j].pos })
+	}
+
+	importedReason := func(fn *types.Func) (string, bool) {
+		var fact AllocFact
+		if pass.ImportObjectFact(fn, &fact) {
+			return fact.Reason, true
+		}
+		return "", false
+	}
+	reasonFor := func(fn *types.Func) (string, bool) {
+		if fi := index[fn]; fi != nil {
+			return fi.reason, fi.reason != ""
+		}
+		return importedReason(fn)
+	}
+
+	// Fixpoint over the package-local call graph. Cycles settle to
+	// "unknown" unless some member allocates directly, which then
+	// propagates around the cycle.
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			if fi.reason != "" {
+				continue
+			}
+			for _, cs := range fi.callees {
+				if r, ok := reasonFor(cs.callee); ok {
+					fi.reason = cs.name + ": " + r
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	for _, fi := range fns {
+		if fi.reason != "" {
+			pass.ExportObjectFact(fi.obj, &AllocFact{Reason: fi.reason})
+		}
+	}
+
+	// Report allocating call sites inside hot functions.
+	for _, fi := range fns {
+		if !lintutil.HasFuncDirective(fi.decl, "hotpath") {
+			continue
+		}
+		for _, cs := range fi.callees {
+			r, ok := reasonFor(cs.callee)
+			if !ok {
+				continue
+			}
+			if dirs.At(cs.pos, "allowalloc") {
+				continue
+			}
+			pass.Reportf(cs.pos, "hot path calls %s, which allocates (%s); hoist the allocation out of the hot loop or restructure the helper", cs.name, r)
+		}
+	}
+	return nil
+}
+
+// calleeName renders fn for diagnostics: Method on its type, qualified
+// with the package name when imported.
+func calleeName(from *types.Package, fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != from {
+		name = fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// namedOf unwraps pointers to reach a named type, or nil.
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,13 @@
+package hotalloctrans_test
+
+import (
+	"testing"
+
+	"gccache/internal/analysis/framework/analysistest"
+	"gccache/internal/analysis/hotalloctrans"
+)
+
+func TestHotAllocTrans(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloctrans.Analyzer,
+		"transfixture", "transdep", "transuse")
+}

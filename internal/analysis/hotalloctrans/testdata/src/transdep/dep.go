@@ -1,0 +1,18 @@
+// Package transdep provides helpers that allocate; hotalloctrans
+// exports that as "allocates" facts for dependent packages.
+package transdep
+
+// Scratch returns a fresh buffer.
+func Scratch(n int) []int {
+	return make([]int, n)
+}
+
+// Chain allocates transitively through Scratch.
+func Chain(n int) []int {
+	return Scratch(n)
+}
+
+// Clean does not allocate.
+func Clean(x int) int {
+	return x * 2
+}

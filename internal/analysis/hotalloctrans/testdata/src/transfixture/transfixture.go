@@ -1,0 +1,36 @@
+// Package transfixture exercises the hotalloctrans analyzer's
+// package-local call-graph propagation.
+package transfixture
+
+type ring struct {
+	buf []int
+}
+
+// grow allocates directly.
+func (r *ring) grow() {
+	r.buf = make([]int, 2*len(r.buf)+1)
+}
+
+// wraps allocates transitively through grow.
+func (r *ring) wraps() {
+	r.grow()
+}
+
+// step is clean.
+func step(x int) int { return x + 1 }
+
+//gclint:hotpath
+func (r *ring) push(v int) {
+	_ = step(v)
+	r.wraps() // want `hot path calls ring\.wraps, which allocates \(ring\.grow: make\)`
+}
+
+//gclint:hotpath
+func (r *ring) pop() int {
+	return step(0)
+}
+
+//gclint:hotpath
+func (r *ring) lazyInit() {
+	r.grow() //gclint:allowalloc one-time lazy init; guarded by sync.Once in the caller
+}

@@ -1,0 +1,20 @@
+// Package transuse calls transdep helpers from a hot path; the
+// "allocates" verdicts arrive as imported facts.
+package transuse
+
+import "transdep"
+
+//gclint:hotpath
+func Fill(out []int) int {
+	buf := transdep.Chain(len(out)) // want `hot path calls transdep\.Chain, which allocates \(Scratch: make\)`
+	return copy(out, buf)
+}
+
+//gclint:hotpath
+func Sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += transdep.Clean(x)
+	}
+	return s
+}

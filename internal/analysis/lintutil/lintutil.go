@@ -1,6 +1,6 @@
 // Package lintutil holds the small AST/type helpers shared by the
 // gclint analyzers: callee resolution, gclint directive-comment lookup,
-// and package-scope tests.
+// selector-chain root resolution, and package-scope tests.
 package lintutil
 
 import (
@@ -11,6 +11,22 @@ import (
 
 	"gccache/internal/analysis/framework"
 )
+
+// ModulePath is the module all gclint invariants describe. Analyzers
+// that export facts restrict themselves to packages under it.
+const ModulePath = "gccache"
+
+// InModule reports whether pkg belongs to this module.
+func InModule(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	if i := strings.Index(path, " ["); i >= 0 {
+		path = path[:i]
+	}
+	return path == ModulePath || strings.HasPrefix(path, ModulePath+"/")
+}
 
 // Callee resolves the object a call expression invokes: a *types.Func
 // for functions and methods, a *types.Builtin for builtins, nil when the
@@ -61,75 +77,61 @@ func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
 	return ok
 }
 
-// Directives indexes `//gclint:name` comments by file and line so
-// analyzers can honor same-line suppressions like //gclint:orderok.
-type Directives struct {
-	fset   *token.FileSet
-	byLine map[string]map[int][]string
-}
-
-// NewDirectives scans all comments in files for gclint directives.
-func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
-	d := &Directives{fset: fset, byLine: make(map[string]map[int][]string)}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				name, ok := ParseDirective(c.Text)
-				if !ok {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				lines := d.byLine[pos.Filename]
-				if lines == nil {
-					lines = make(map[int][]string)
-					d.byLine[pos.Filename] = lines
-				}
-				lines[pos.Line] = append(lines[pos.Line], name)
-			}
-		}
-	}
-	return d
-}
+// Directives indexes `//gclint:name` comments by file and line. It now
+// lives in the framework (one instance is shared per run so stale
+// suppressions can be audited); use Pass.Directives() inside analyzers.
+type Directives = framework.Directives
 
 // ParseDirective extracts the directive name from a `//gclint:name ...`
 // comment (trailing explanation after whitespace is allowed).
 func ParseDirective(comment string) (string, bool) {
-	rest, ok := strings.CutPrefix(comment, "//gclint:")
-	if !ok {
-		return "", false
-	}
-	if i := strings.IndexAny(rest, " \t"); i >= 0 {
-		rest = rest[:i]
-	}
-	if rest == "" {
-		return "", false
-	}
-	return rest, true
+	return framework.ParseDirective(comment)
 }
 
-// At reports whether the named directive appears on the same line as pos.
-func (d *Directives) At(pos token.Pos, name string) bool {
-	p := d.fset.Position(pos)
-	for _, n := range d.byLine[p.Filename][p.Line] {
-		if n == name {
-			return true
-		}
-	}
-	return false
+// ParseDirectiveArg extracts the directive name and first argument from
+// a `//gclint:name arg ...` comment.
+func ParseDirectiveArg(comment string) (name, arg string, ok bool) {
+	return framework.ParseDirectiveArg(comment)
 }
 
 // HasFuncDirective reports whether the function's doc comment carries
 // the named gclint directive (e.g. //gclint:hotpath).
 func HasFuncDirective(decl *ast.FuncDecl, name string) bool {
-	if decl.Doc == nil {
-		return false
-	}
-	for _, c := range decl.Doc.List {
-		if n, ok := ParseDirective(c.Text); ok && n == name {
-			return true
+	return CommentDirective(decl.Doc, name) != nil
+}
+
+// GenDeclDirective returns the comment carrying the named directive in
+// decl's doc comment, or nil (e.g. //gclint:padded on a type decl).
+func GenDeclDirective(decl *ast.GenDecl, name string) *ast.Comment {
+	return CommentDirective(decl.Doc, name)
+}
+
+// FieldDirectiveArg looks for the named directive attached to a struct
+// field — in its doc comment or its same-line trailing comment — and
+// returns the directive's argument (e.g. the mutex name of
+// `//gclint:guardedby mu`).
+func FieldDirectiveArg(field *ast.Field, name string) (arg string, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if c := CommentDirective(cg, name); c != nil {
+			_, arg, _ := framework.ParseDirectiveArg(c.Text)
+			return arg, true
 		}
 	}
-	return false
+	return "", false
+}
+
+// CommentDirective returns the comment in cg carrying the named gclint
+// directive, or nil. cg may be nil.
+func CommentDirective(cg *ast.CommentGroup, name string) *ast.Comment {
+	if cg == nil {
+		return nil
+	}
+	for _, c := range cg.List {
+		if n, ok := framework.ParseDirective(c.Text); ok && n == name {
+			return c
+		}
+	}
+	return nil
 }
 
 // PkgInScope reports whether the pass's package is one of the given
@@ -154,7 +156,7 @@ func PkgInScope(pass *framework.Pass, directive string, paths ...string) bool {
 	for _, f := range pass.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if n, ok := ParseDirective(c.Text); ok && n == directive {
+				if n, ok := framework.ParseDirective(c.Text); ok && n == directive {
 					return true
 				}
 			}
@@ -181,4 +183,60 @@ func DeclaredOutside(obj types.Object, from, to token.Pos) bool {
 		return false
 	}
 	return obj.Pos() < from || obj.Pos() >= to
+}
+
+// RootObject resolves the outermost identifier of an expression chain
+// (x, x.f, x[i], *x, (&x).f) to its object, or nil for chains that do
+// not start at an identifier (calls, literals) or start at a blank one.
+func RootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			if x.Op != token.AND {
+				return nil
+			}
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// FieldObject resolves a selector expression to the struct field it
+// selects, or nil when sel selects a method, a package member, or an
+// unresolvable name.
+func FieldObject(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	return nil
+}
+
+// LocalTo reports whether obj is a variable declared inside the source
+// range [from, to) and is not a parameter-like object — the "still
+// under construction, not yet shared" test used to exempt constructor
+// bodies from concurrency-annotation checks.
+func LocalTo(obj types.Object, from, to token.Pos) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	return obj.Pos() >= from && obj.Pos() < to
 }

@@ -1,0 +1,253 @@
+package lintutil_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"gccache/internal/analysis/framework"
+	"gccache/internal/analysis/lintutil"
+)
+
+func TestParseDirectiveArg(t *testing.T) {
+	tests := []struct {
+		comment   string
+		name, arg string
+		ok        bool
+	}{
+		{"//gclint:hotpath", "hotpath", "", true},
+		{"//gclint:guardedby mu", "guardedby", "mu", true},
+		{"//gclint:guardedby mu — shard mutex", "guardedby", "mu", true},
+		{"//gclint:orderok map copy; encoder sorts keys", "orderok", "map", true},
+		{"//gclint:sharedok\tunder mu", "sharedok", "under", true},
+		{"// gclint:hotpath", "", "", false}, // space defeats the directive, like //go: pragmas
+		{"//gclint:", "", "", false},
+		{"//lint:ignore", "", "", false},
+		{"//gclint:a b c", "a", "b", true},
+	}
+	for _, tt := range tests {
+		name, arg, ok := lintutil.ParseDirectiveArg(tt.comment)
+		if name != tt.name || arg != tt.arg || ok != tt.ok {
+			t.Errorf("ParseDirectiveArg(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				tt.comment, name, arg, ok, tt.name, tt.arg, tt.ok)
+		}
+	}
+}
+
+func TestInModule(t *testing.T) {
+	tests := []struct {
+		path string
+		want bool
+	}{
+		{"gccache", true},
+		{"gccache/internal/concurrent", true},
+		{"gccache/internal/cachesim [gccache/internal/cachesim.test]", true},
+		{"gccachex", false},
+		{"fmt", false},
+		{"example.com/gccache", false},
+		{"", false},
+	}
+	for _, tt := range tests {
+		var pkg *types.Package
+		if tt.path != "" {
+			pkg = types.NewPackage(tt.path, "p")
+		}
+		if got := lintutil.InModule(pkg); got != tt.want {
+			t.Errorf("InModule(%q) = %v, want %v", tt.path, got, tt.want)
+		}
+	}
+}
+
+// checkSrc type-checks one dependency-free source file.
+func checkSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := framework.NewInfo()
+	if _, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info); err != nil {
+		t.Fatal(err)
+	}
+	return fset, file, info
+}
+
+func TestRootObject(t *testing.T) {
+	const src = `package p
+
+type inner struct{ n int }
+type outer struct {
+	rows []inner
+	ptr  *inner
+}
+
+func f(o *outer, idx int) int {
+	sum := 0
+	sum += o.rows[idx].n
+	sum += (*o.ptr).n
+	sum += (&o.rows[0]).n
+	return sum
+}
+`
+	_, file, info := checkSrc(t, src)
+	fd := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+
+	var roots []string
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "n" {
+			return true
+		}
+		if obj := lintutil.RootObject(info, sel); obj != nil {
+			roots = append(roots, obj.Name())
+		} else {
+			roots = append(roots, "<nil>")
+		}
+		return true
+	})
+	want := []string{"o", "o", "o"}
+	if len(roots) != len(want) {
+		t.Fatalf("found %d .n selections, want %d (%v)", len(roots), len(want), roots)
+	}
+	for i, w := range want {
+		if roots[i] != w {
+			t.Errorf("root of selection %d = %q, want %q", i, roots[i], w)
+		}
+	}
+}
+
+func TestFieldObject(t *testing.T) {
+	const src = `package p
+
+type s struct{ count int }
+
+func (v *s) bump() int {
+	v.count++
+	return v.helper()
+}
+
+func (v *s) helper() int { return v.count }
+`
+	_, file, info := checkSrc(t, src)
+	var fields, methods int
+	ast.Inspect(file, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if f := lintutil.FieldObject(info, sel); f != nil {
+			if f.Name() != "count" {
+				t.Errorf("FieldObject resolved %q, want count", f.Name())
+			}
+			fields++
+		} else {
+			methods++
+		}
+		return true
+	})
+	if fields != 2 || methods != 1 {
+		t.Errorf("fields=%d methods=%d, want 2 field selections and 1 method selection", fields, methods)
+	}
+}
+
+func TestLocalToAndDeclaredOutside(t *testing.T) {
+	const src = `package p
+
+var global int
+
+func f(param int) int {
+	local := param + global
+	return local
+}
+`
+	_, file, info := checkSrc(t, src)
+	fd := file.Decls[len(file.Decls)-1].(*ast.FuncDecl)
+	from, to := fd.Body.Pos(), fd.Body.End()
+
+	objs := make(map[string]types.Object)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				objs[id.Name] = obj
+			} else if obj := info.Uses[id]; obj != nil && objs[id.Name] == nil {
+				objs[id.Name] = obj
+			}
+		}
+		return true
+	})
+
+	tests := []struct {
+		name                   string
+		local, declaredOutside bool
+	}{
+		{"local", true, false},
+		// Params precede the body, so they are "outside" positionally;
+		// callers that care (hotalloc's append check) filter params first.
+		{"param", false, true},
+		{"global", false, true},
+	}
+	for _, tt := range tests {
+		obj := objs[tt.name]
+		if obj == nil {
+			t.Fatalf("object %s not found", tt.name)
+		}
+		if got := lintutil.LocalTo(obj, from, to); got != tt.local {
+			t.Errorf("LocalTo(%s) = %v, want %v", tt.name, got, tt.local)
+		}
+		if got := lintutil.DeclaredOutside(obj, from, to); got != tt.declaredOutside {
+			t.Errorf("DeclaredOutside(%s) = %v, want %v", tt.name, got, tt.declaredOutside)
+		}
+	}
+}
+
+func TestFieldDirectiveArg(t *testing.T) {
+	const src = `package p
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+	// cache of recent results
+	//gclint:guardedby mu
+	docAnnotated int
+	trailing     int //gclint:guardedby mu
+	plain        int
+}
+
+var _ sync.Mutex
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := file.Decls[1].(*ast.GenDecl).Specs[0].(*ast.TypeSpec).Type.(*ast.StructType)
+	tests := []struct {
+		field string
+		arg   string
+		ok    bool
+	}{
+		{"mu", "", false},
+		{"docAnnotated", "mu", true},
+		{"trailing", "mu", true},
+		{"plain", "", false},
+	}
+	for _, tt := range tests {
+		var fld *ast.Field
+		for _, f := range st.Fields.List {
+			if len(f.Names) > 0 && f.Names[0].Name == tt.field {
+				fld = f
+			}
+		}
+		if fld == nil {
+			t.Fatalf("field %s not found", tt.field)
+		}
+		arg, ok := lintutil.FieldDirectiveArg(fld, "guardedby")
+		if arg != tt.arg || ok != tt.ok {
+			t.Errorf("FieldDirectiveArg(%s) = (%q, %v), want (%q, %v)", tt.field, arg, ok, tt.arg, tt.ok)
+		}
+	}
+}

@@ -29,9 +29,10 @@ import (
 
 // Analyzer is the sweepsafe analyzer.
 var Analyzer = &framework.Analyzer{
-	Name: "sweepsafe",
-	Doc:  "flags loop-variable capture in goroutines and shared-state writes in sweep worker callbacks",
-	Run:  run,
+	Name:         "sweepsafe",
+	Doc:          "flags loop-variable capture in goroutines and shared-state writes in sweep worker callbacks",
+	Run:          run,
+	Suppressions: []string{"sharedok"},
 }
 
 var sweepPackages = []string{
@@ -58,7 +59,7 @@ func run(pass *framework.Pass) error {
 	if !lintutil.PkgInScope(pass, "sweep", sweepPackages...) {
 		return nil
 	}
-	dirs := lintutil.NewDirectives(pass.Fset, pass.Files)
+	dirs := pass.Directives()
 	for _, file := range pass.Files {
 		if lintutil.IsTestFile(pass.Fset, file) {
 			continue

@@ -612,6 +612,31 @@ func RunColdProbedBounded(c Cache, tr trace.Trace, universe int, p obs.Probe) St
 	return RunProbedBounded(c, tr, universe, p)
 }
 
+// RunProbedCtx is RunProbed with cooperative cancellation (see RunCtx
+// for the error contract). The probe is detached before returning even
+// when the replay is cut short.
+func RunProbedCtx(ctx context.Context, c Cache, tr trace.Trace, p obs.Probe) (Stats, error) {
+	return runProbedCtx(ctx, c, tr, p, NewRecorder(c.Name()))
+}
+
+// RunColdProbedCtx resets c and then replays tr with p attached under ctx.
+func RunColdProbedCtx(ctx context.Context, c Cache, tr trace.Trace, p obs.Probe) (Stats, error) {
+	c.Reset()
+	return RunProbedCtx(ctx, c, tr, p)
+}
+
+// RunProbedBoundedCtx is RunProbedBounded with cooperative cancellation.
+func RunProbedBoundedCtx(ctx context.Context, c Cache, tr trace.Trace, universe int, p obs.Probe) (Stats, error) {
+	return runProbedCtx(ctx, c, tr, p, NewRecorderBounded(c.Name(), universe))
+}
+
+// RunColdProbedBoundedCtx resets c and then replays tr with p attached
+// and a bounded Recorder under ctx.
+func RunColdProbedBoundedCtx(ctx context.Context, c Cache, tr trace.Trace, universe int, p obs.Probe) (Stats, error) {
+	c.Reset()
+	return RunProbedBoundedCtx(ctx, c, tr, universe, p)
+}
+
 func runProbed(c Cache, tr trace.Trace, p obs.Probe, rec *Recorder) Stats {
 	if in, ok := c.(Instrumented); ok && p != nil {
 		in.SetProbe(p)
@@ -622,6 +647,23 @@ func runProbed(c Cache, tr trace.Trace, p obs.Probe, rec *Recorder) Stats {
 		rec.Observe(it, c.Access(it))
 	}
 	return rec.Stats()
+}
+
+func runProbedCtx(ctx context.Context, c Cache, tr trace.Trace, p obs.Probe, rec *Recorder) (Stats, error) {
+	if in, ok := c.(Instrumented); ok && p != nil {
+		in.SetProbe(p)
+		defer in.SetProbe(nil)
+	}
+	rec.SetProbe(p)
+	for i, it := range tr {
+		if i&(cancelStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return rec.Stats(), err
+			}
+		}
+		rec.Observe(it, c.Access(it))
+	}
+	return rec.Stats(), nil
 }
 
 // ParallelFor runs fn(i) for i in [0, n) on up to workers goroutines

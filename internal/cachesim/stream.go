@@ -37,6 +37,12 @@ func RunStreamCtx(ctx context.Context, c Cache, src trace.Source) (Stats, error)
 	return runStream(ctx, c, src, NewRecorder(c.Name()))
 }
 
+// RunColdStreamCtx resets c and then replays src under ctx.
+func RunColdStreamCtx(ctx context.Context, c Cache, src trace.Source) (Stats, error) {
+	c.Reset()
+	return RunStreamCtx(ctx, c, src)
+}
+
 // RunStreamBounded is RunStream with a bounded-universe Recorder (see
 // RunBounded for the universe contract).
 func RunStreamBounded(c Cache, src trace.Source, universe int) (Stats, error) {
@@ -53,6 +59,13 @@ func RunColdStreamBounded(c Cache, src trace.Source, universe int) (Stats, error
 // RunStreamBoundedCtx is RunStreamBounded with cooperative cancellation.
 func RunStreamBoundedCtx(ctx context.Context, c Cache, src trace.Source, universe int) (Stats, error) {
 	return runStream(ctx, c, src, NewRecorderBounded(c.Name(), universe))
+}
+
+// RunColdStreamBoundedCtx resets c and then replays src with a bounded
+// Recorder under ctx.
+func RunColdStreamBoundedCtx(ctx context.Context, c Cache, src trace.Source, universe int) (Stats, error) {
+	c.Reset()
+	return RunStreamBoundedCtx(ctx, c, src, universe)
 }
 
 // runStream is the streaming replay core. Context polling piggybacks on

@@ -54,11 +54,7 @@ func SweepCheckpointed[W any](ctx context.Context, n, workers int, cfg SweepChec
 		}
 	}
 
-	var (
-		mu        sync.Mutex
-		sinceSave int
-		saveErr   error
-	)
+	var prog ckptProgress
 	save := func() error {
 		if cfg.Path == "" {
 			return nil
@@ -73,17 +69,10 @@ func SweepCheckpointed[W any](ctx context.Context, n, workers int, cfg SweepChec
 		if out == nil {
 			out = []byte{} // distinguish "ran, empty" from "not run"
 		}
-		mu.Lock()
-		results[i] = out
-		sinceSave++ //gclint:sharedok save bookkeeping under mu
-		if sinceSave >= cfg.Every && saveErr == nil {
-			sinceSave = 0    //gclint:sharedok under mu
-			saveErr = save() //gclint:sharedok under mu
-		}
-		mu.Unlock()
+		prog.noteDone(results, i, out, cfg.Every, save)
 	})
-	if saveErr != nil {
-		return nil, saveErr
+	if serr := prog.err(); serr != nil {
+		return nil, serr
 	}
 	// Persist the final state: complete on success, partial on
 	// cancellation so the next run picks up exactly here.
@@ -91,6 +80,41 @@ func SweepCheckpointed[W any](ctx context.Context, n, workers int, cfg SweepChec
 		err = serr
 	}
 	return results, err
+}
+
+// ckptProgress is SweepCheckpointed's shared save bookkeeping. Worker
+// callbacks funnel every completion through noteDone, so the sweep
+// callback itself performs no captured writes (sweepsafe-clean without
+// waivers) and the locking discipline on the fields below is
+// machine-checked by the guardedby analyzer.
+type ckptProgress struct {
+	mu sync.Mutex
+	//gclint:guardedby mu
+	sinceSave int // completed points since the last snapshot
+	//gclint:guardedby mu
+	saveErr error // first failed save; sticky, stops further saves
+}
+
+// noteDone records one completed grid point and snapshots every `every`
+// completions. results is written under mu because save reads the whole
+// slice: a concurrent slot write outside the lock would race with an
+// in-progress snapshot.
+func (p *ckptProgress) noteDone(results [][]byte, i int, out []byte, every int, save func() error) {
+	p.mu.Lock()
+	results[i] = out
+	p.sinceSave++
+	if p.sinceSave >= every && p.saveErr == nil {
+		p.sinceSave = 0
+		p.saveErr = save()
+	}
+	p.mu.Unlock()
+}
+
+// err returns the sticky save failure, if any.
+func (p *ckptProgress) err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.saveErr
 }
 
 // sweepSnapshot encodes the completed indices in index order: for each

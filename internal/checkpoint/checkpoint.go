@@ -74,7 +74,7 @@ func (s *Snapshot) Encode() []byte {
 
 	metaKeys := make([]string, 0, len(s.Meta))
 	for k := range s.Meta {
-		metaKeys = append(metaKeys, k) //gclint:orderok sorted below before use
+		metaKeys = append(metaKeys, k)
 	}
 	sort.Strings(metaKeys)
 	out = binary.AppendUvarint(out, uint64(len(metaKeys)))
@@ -85,7 +85,7 @@ func (s *Snapshot) Encode() []byte {
 
 	secNames := make([]string, 0, len(s.Sections))
 	for n := range s.Sections {
-		secNames = append(secNames, n) //gclint:orderok sorted below before use
+		secNames = append(secNames, n)
 	}
 	sort.Strings(secNames)
 	out = binary.AppendUvarint(out, uint64(len(secNames)))

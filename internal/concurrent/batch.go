@@ -138,7 +138,7 @@ type Engine struct {
 	// Per-replay state, written by the coordinator before the generation
 	// bump (or used only by the caller-side producer).
 	streams   []trace.Trace
-	replayCtx context.Context
+	replayCtx context.Context //gclint:ctxok per-replay handoff: coordinator writes before the gen bump, producer goroutines read; cleared when the replay drains
 	cancelled atomic.Bool
 
 	errMu    sync.Mutex
@@ -408,7 +408,7 @@ func (e *Engine) routeChunk(ctx context.Context, ps *producerState, items []mode
 	if len(e.workers) == 1 {
 		// Single lane (deterministic mode or a 1-shard cache): the
 		// partition is the identity, so ship the chunk as one batch.
-		return e.sendChunk(ctx, ps, items)
+		return e.sendChunk(ctx, ps, items) //gclint:allowalloc takeBuf's make runs ≤QueueDepth+2 times per lane, then the free ring recycles
 	}
 	// Pass 1: shard index per item, plus the set of shards touched.
 	idxs := ps.idxs[:len(items)]
@@ -423,7 +423,7 @@ func (e *Engine) routeChunk(ctx context.Context, ps *producerState, items []mode
 	}
 	// Pass 2: one recycled buffer per touched shard, then scatter.
 	for _, x := range touched {
-		ps.bufs[x] = e.takeBuf(&e.lanes[ps.row][x])
+		ps.bufs[x] = e.takeBuf(&e.lanes[ps.row][x]) //gclint:allowalloc bounded warm-up: make runs ≤QueueDepth+2 times per lane, then the free ring recycles
 	}
 	for i, it := range items {
 		x := idxs[i]

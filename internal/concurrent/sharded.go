@@ -33,8 +33,10 @@ type Sharded struct {
 }
 
 type shard struct {
-	mu  sync.Mutex
-	c   cachesim.Cache
+	mu sync.Mutex
+	//gclint:guardedby mu
+	c cachesim.Cache
+	//gclint:guardedby mu
 	rec *cachesim.Recorder
 	// Lock-contention counters (atomics, not extra locks): acquired is
 	// every Access lock acquisition; contended counts the ones where the
@@ -149,11 +151,15 @@ func (s *Sharded) Len() int {
 	return total
 }
 
-// Capacity implements cachesim.Cache.
+// Capacity implements cachesim.Cache. Shard capacities never change
+// after construction, but the policy pointer itself is guarded, so take
+// the lock like Len does — Capacity is nowhere near a hot path.
 func (s *Sharded) Capacity() int {
 	total := 0
 	for i := range s.shards {
+		s.shards[i].mu.Lock()
 		total += s.shards[i].c.Capacity()
+		s.shards[i].mu.Unlock()
 	}
 	return total
 }

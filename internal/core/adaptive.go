@@ -38,6 +38,7 @@ type AdaptiveIBLP struct {
 	loaded  []model.Item
 	evicted []model.Item
 	wantBuf []model.Item // scratch: block enumeration
+	trunc   []model.Item // scratch: truncated admission set (oversized blocks)
 	probe   obs.Probe
 }
 
@@ -172,7 +173,8 @@ func (c *AdaptiveIBLP) admitBlockLayer(blk model.Block, requested model.Item) {
 	c.wantBuf = model.AppendItemsOf(c.geo, c.wantBuf[:0], blk)
 	want := c.wantBuf
 	if len(want) > targetBlock {
-		want = truncateAround(want, requested, targetBlock)
+		c.trunc = truncateAround(c.trunc, want, requested, targetBlock)
+		want = c.trunc
 	}
 	for c.blockUsed+len(want) > targetBlock {
 		victim, ok := c.blocks.Back()

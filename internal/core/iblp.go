@@ -67,6 +67,7 @@ type IBLP struct {
 	loaded  []model.Item
 	evicted []model.Item
 	want    []model.Item // scratch: the item set being admitted
+	trunc   []model.Item // scratch: truncated admission set (oversized blocks)
 	scratch []model.Item // scratch: victim-block enumeration (dense)
 	probe   obs.Probe
 }
@@ -297,7 +298,8 @@ func (c *IBLP) admitBlockLayerDense(blk model.Block, requested model.Item) {
 	c.want = model.AppendItemsOf(c.geo, c.want[:0], blk)
 	want := c.want
 	if len(want) > c.blockSize {
-		want = truncateAround(want, requested, c.blockSize)
+		c.trunc = truncateAround(c.trunc, want, requested, c.blockSize)
+		want = c.trunc
 	}
 	for c.blockUsed+len(want) > c.blockSize {
 		victim, ok := c.blocksDense.Back()
@@ -398,7 +400,8 @@ func (c *IBLP) admitBlockLayer(blk model.Block, requested model.Item) {
 	c.want = model.AppendItemsOf(c.geo, c.want[:0], blk)
 	want := c.want
 	if len(want) > c.blockSize {
-		want = truncateAround(want, requested, c.blockSize)
+		c.trunc = truncateAround(c.trunc, want, requested, c.blockSize)
+		want = c.trunc
 	}
 	for c.blockUsed+len(want) > c.blockSize {
 		victim, ok := c.blocks.Back()
@@ -462,19 +465,22 @@ func (c *IBLP) present(it model.Item) bool {
 	return c.items.Contains(it) || c.inBlockLayer(it)
 }
 
-// truncateAround returns up to n items of all, guaranteed to include must.
-func truncateAround(all []model.Item, must model.Item, n int) []model.Item {
-	out := make([]model.Item, 0, n)
-	out = append(out, must)
+// truncateAround fills dst with up to n items of all, guaranteed to
+// include must, and returns the filled slice. dst is a reusable
+// scratch: it grows to n once, after which truncation is
+// allocation-free (blocks wider than the layer truncate on every
+// admission, so this runs in the replay steady state).
+func truncateAround(dst, all []model.Item, must model.Item, n int) []model.Item {
+	dst = append(dst[:0], must)
 	for _, x := range all {
-		if len(out) >= n {
+		if len(dst) >= n {
 			break
 		}
 		if x != must {
-			out = append(out, x)
+			dst = append(dst, x)
 		}
 	}
-	return out
+	return dst
 }
 
 // Contains implements cachesim.Cache.

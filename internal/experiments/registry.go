@@ -79,6 +79,8 @@ func Registry() []Spec {
 }
 
 // Run executes a spec at the requested scale.
+//
+//gclint:ctxok experiment thunks are presized by the registry; gcrepro is a one-shot batch process
 func (s Spec) Run(quick bool) *Report {
 	if quick && s.Quick != nil {
 		return s.Quick()

@@ -8,6 +8,7 @@
 package hierarchy
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -75,6 +76,28 @@ func (s *Stack) Run(tr trace.Trace) Result {
 		s.Access(it)
 	}
 	return s.Result()
+}
+
+// cancelStride matches cachesim's polling stride: a multi-level access
+// costs a handful of map operations, so checking ctx every 4096 accesses
+// bounds cancellation latency at microseconds without touching the
+// per-access path.
+const cancelStride = 4096
+
+// RunCtx is Run with cooperative cancellation: the replay polls ctx
+// every cancelStride accesses and, when the context ends, returns the
+// per-level statistics accumulated so far together with ctx's error.
+// A completed replay returns a nil error.
+func (s *Stack) RunCtx(ctx context.Context, tr trace.Trace) (Result, error) {
+	for i, it := range tr {
+		if i&(cancelStride-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return s.Result(), err
+			}
+		}
+		s.Access(it)
+	}
+	return s.Result(), nil
 }
 
 // Reset clears every level.

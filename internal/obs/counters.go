@@ -64,18 +64,25 @@ func (c *Counters) Snapshot() [NumKinds]int64 {
 // completed windows in a ring — the "what happened recently" complement
 // to the monotone Counters. Memory is bounded by R windows.
 type Windowed struct {
-	mu      sync.Mutex
-	window  int64
+	mu     sync.Mutex
+	window int64 // immutable after construction
+	//gclint:guardedby mu
 	current [NumKinds]int64
-	width   int64
-	ring    [][NumKinds]int64
-	next    int
-	filled  int
+	//gclint:guardedby mu
+	width int64
+	//gclint:guardedby mu
+	ring [][NumKinds]int64
+	//gclint:guardedby mu
+	next int
+	//gclint:guardedby mu
+	filled int
 	// seenRecorder: once any recorder-view event arrives, only the
 	// recorder clock advances windows, so a fully probed run (policy and
 	// recorder views both attached) counts each access once.
+	//gclint:guardedby mu
 	seenRecorder bool
-	total        int64
+	//gclint:guardedby mu
+	total int64
 }
 
 var _ Probe = (*Windowed)(nil)

@@ -16,11 +16,15 @@ type LoggedEvent struct {
 // fixed-size ring — bounded memory no matter how long the run, and no
 // allocation per event once constructed. Safe for concurrent use.
 type EventLog struct {
-	mu     sync.Mutex
-	ring   []LoggedEvent
-	next   int
+	mu sync.Mutex
+	//gclint:guardedby mu
+	ring []LoggedEvent
+	//gclint:guardedby mu
+	next int
+	//gclint:guardedby mu
 	filled int
-	seq    int64
+	//gclint:guardedby mu
+	seq int64
 }
 
 var _ Probe = (*EventLog)(nil)

@@ -22,13 +22,19 @@ type MissCurvePoint struct {
 // bounded by the ring size; steady-state observation does not allocate.
 type MissCurve struct {
 	mu     sync.Mutex
-	window int64
-	width  int64
+	window int64 // immutable after construction
+	//gclint:guardedby mu
+	width int64
+	//gclint:guardedby mu
 	misses int64
-	ring   []MissCurvePoint
-	next   int
+	//gclint:guardedby mu
+	ring []MissCurvePoint
+	//gclint:guardedby mu
+	next int
+	//gclint:guardedby mu
 	filled int
-	seq    int64
+	//gclint:guardedby mu
+	seq int64
 }
 
 var _ Probe = (*MissCurve)(nil)

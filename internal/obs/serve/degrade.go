@@ -32,8 +32,10 @@ type eventFan struct {
 	seq     atomic.Int64
 	dropped atomic.Int64 // total shed events across all subscribers
 
-	mu   sync.Mutex
+	mu sync.Mutex
+	//gclint:guardedby mu
 	subs map[int]*subscriber
+	//gclint:guardedby mu
 	next int
 }
 
@@ -93,7 +95,7 @@ func (f *eventFan) CloseAll() {
 	f.mu.Lock()
 	subs := make([]*subscriber, 0, len(f.subs))
 	for _, s := range f.subs {
-		subs = append(subs, s) //gclint:orderok close order is irrelevant
+		subs = append(subs, s)
 	}
 	f.subs = make(map[int]*subscriber)
 	f.nsubs.Store(0)

@@ -62,9 +62,11 @@ type Server struct {
 
 	sharded *concurrent.Sharded // nil in flat mode
 
-	mu    sync.Mutex // flat mode: guards cache+rec
+	mu sync.Mutex // flat mode: guards cache+rec
+	//gclint:guardedby mu
 	cache cachesim.Cache
-	rec   *cachesim.Recorder
+	//gclint:guardedby mu
+	rec *cachesim.Recorder
 
 	httpSrv      *http.Server
 	listener     net.Listener

@@ -41,6 +41,7 @@ type BlockLRU struct {
 	loaded  []model.Item
 	evicted []model.Item
 	want    []model.Item // scratch: the item set being admitted
+	trunc   []model.Item // scratch: truncated admission set (oversized blocks)
 	scratch []model.Item // scratch: victim-block enumeration
 	probe   obs.Probe
 }
@@ -121,7 +122,8 @@ func (c *BlockLRU) Access(it model.Item) cachesim.Access {
 	// requested item plus as many siblings as fit.
 	want := c.want
 	if len(want) > c.capacity {
-		want = truncateAround(want, it, c.capacity)
+		c.trunc = truncateAround(c.trunc, want, it, c.capacity)
+		want = c.trunc
 	}
 
 	// Evict whole LRU blocks until the new block fits.
@@ -193,7 +195,8 @@ func (c *BlockLRU) accessDense(it model.Item) cachesim.Access {
 	c.want = model.AppendItemsOf(c.geo, c.want[:0], blk)
 	want := c.want
 	if len(want) > c.capacity {
-		want = truncateAround(want, it, c.capacity)
+		c.trunc = truncateAround(c.trunc, want, it, c.capacity)
+		want = c.trunc
 	}
 
 	for c.size+len(want) > c.capacity {
@@ -241,19 +244,22 @@ func (c *BlockLRU) dropBlockDense(blk model.Block) {
 	c.order.Remove(blk)
 }
 
-// truncateAround returns up to n items of all, guaranteed to include must.
-func truncateAround(all []model.Item, must model.Item, n int) []model.Item {
-	out := make([]model.Item, 0, n)
-	out = append(out, must)
+// truncateAround fills dst with up to n items of all, guaranteed to
+// include must, and returns the filled slice. dst is a reusable
+// scratch: it grows to n once, after which truncation is
+// allocation-free (blocks wider than the layer truncate on every
+// admission, so this runs in the replay steady state).
+func truncateAround(dst, all []model.Item, must model.Item, n int) []model.Item {
+	dst = append(dst[:0], must)
 	for _, x := range all {
-		if len(out) >= n {
+		if len(dst) >= n {
 			break
 		}
 		if x != must {
-			out = append(out, x)
+			dst = append(dst, x)
 		}
 	}
-	return out
+	return dst
 }
 
 // Contains implements cachesim.Cache.

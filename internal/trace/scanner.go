@@ -95,7 +95,7 @@ func (s *Scanner) Next() bool {
 	}
 	delta, err := s.readVarint()
 	if err != nil {
-		s.fail(err)
+		s.fail(err) //gclint:allowalloc terminal error path; Next returns false forever after
 		return false
 	}
 	cur := uint64(int64(s.prev) + delta)
@@ -197,13 +197,13 @@ func (s *TextScanner) Next() bool {
 		}
 		v, ok := parseUint(b)
 		if !ok {
-			s.failParse(b)
+			s.failParse(b) //gclint:allowalloc terminal error path; Next returns false forever after
 			return false
 		}
 		s.cur = model.Item(v)
 		return true
 	}
-	s.failScan(s.sc.Err())
+	s.failScan(s.sc.Err()) //gclint:allowalloc end-of-stream path; runs once per scan
 	return false
 }
 

@@ -7,6 +7,7 @@
 package vsc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -76,6 +77,15 @@ const MaxExactItems = 20
 // program over cached-set bitmasks with dominance pruning (offline VSC is
 // NP-complete; this is exponential and meant for small instances).
 func Exact(in Instance) (int64, error) {
+	return ExactCtx(context.Background(), in)
+}
+
+// ExactCtx is Exact with cooperative cancellation: the solver checks ctx
+// once per trace step (each step enumerates submasks, so a step is the
+// natural polling granularity) and returns ctx's error when cut short.
+// The exponential frontier makes runaway instances easy to hit; ctx is
+// the caller's bound on them.
+func ExactCtx(ctx context.Context, in Instance) (int64, error) {
 	if err := in.Validate(); err != nil {
 		return 0, err
 	}
@@ -92,6 +102,9 @@ func Exact(in Instance) (int64, error) {
 	}
 	frontier := map[uint32]int64{0: 0}
 	for _, x := range in.Trace {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		xbit := uint32(1) << uint(x)
 		next := make(map[uint32]int64, len(frontier))
 		relax := func(mask uint32, cost int64) {
