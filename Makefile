@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-one test race cover bench bench-json bench-floor load-smoke repro repro-quick fuzz stress clean
+.PHONY: all build vet lint lint-one test race cover bench bench-json bench-floor load-smoke scenario-smoke repro repro-quick fuzz stress clean
 
 all: build vet lint test
 
@@ -45,6 +45,15 @@ race:
 # catch a data race in the serving engine's producer/worker plumbing.
 load-smoke:
 	$(GO) run -race ./cmd/gcload -selfcheck
+
+# Scenario-corpus smoke: validate, compile, and fully replay every
+# scenarios/*.gcs under the race detector (universe bounds, exact
+# declared lengths, format round-trips — see corpus_test.go), plus the
+# docs gate that diffs docs/SCENARIOS.md against the combinator
+# registry, and a short parser fuzz pass.
+scenario-smoke:
+	$(GO) test -race -run 'TestScenarioCorpus|TestManual' ./internal/scenario/
+	$(GO) test ./internal/scenario/ -run FuzzScenarioParse -fuzz FuzzScenarioParse -fuzztime 5s
 
 cover:
 	$(GO) test -cover ./...

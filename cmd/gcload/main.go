@@ -18,6 +18,12 @@
 //
 //	gcload -k 4096 -B 64 -policy iblp -shards 8 -streams 8 -ops 1000000
 //	gcload -mode batch -batch 256 -depth 4 -trace requests.gct
+//	gcload -scenario scenarios/diurnal.gcs -streams 8 -ops 1000000
+//
+// With -scenario the program is compiled rather than materialized: in
+// open mode every client stream replays its own copy (seeded seed+i, so
+// clients decorrelate); in batch mode the compiled stream feeds the
+// engine's O(1)-memory ReplayStream path, resetting between rounds.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 	"gccache/internal/model"
 	"gccache/internal/obs"
 	"gccache/internal/policy"
+	"gccache/internal/scenario"
 	"gccache/internal/trace"
 	"gccache/internal/workload"
 )
@@ -47,6 +54,7 @@ func main() {
 		policyArg = flag.String("policy", "iblp", "policy: item-lru, block-lru, iblp, gcm, adaptive")
 		spec      = flag.String("workload", "blockruns:blocks=512,B=64,run=16,len=200000", workload.SpecHelp)
 		traceFile = flag.String("trace", "", "read a gctrace binary file instead of generating a workload")
+		scenFile  = flag.String("scenario", "", scenario.FlagHelp)
 		seed      = flag.Int64("seed", 1, "workload / policy seed")
 		shards    = flag.Int("shards", 8, "lock-striped shard count (power of two)")
 		streams   = flag.Int("streams", 8, "concurrent client streams")
@@ -67,6 +75,18 @@ func main() {
 			cli.Fatal("gcload", err)
 		}
 		fmt.Println("gcload: selfcheck ok")
+		return
+	}
+
+	if *scenFile != "" {
+		if *traceFile != "" {
+			cli.Fatalf("gcload", "-scenario and -trace are mutually exclusive")
+		}
+		runScenarioLoad(scenarioLoadConfig{
+			path: *scenFile, k: *k, B: *B, policy: *policyArg, seed: *seed,
+			shards: *shards, streams: *streams, ops: *ops, rate: *rate,
+			mode: *mode, batch: *batch, depth: *depth, pin: *pin, duration: *duration,
+		})
 		return
 	}
 
@@ -150,6 +170,181 @@ func buildPolicy(name string, geo model.Geometry, seed int64, universe int) (fun
 		return func(k int) cachesim.Cache { return core.NewAdaptiveIBLP(k, geo) }, nil
 	}
 	return nil, fmt.Errorf("unknown policy %q (want item-lru, block-lru, iblp, gcm, or adaptive)", name)
+}
+
+// scenarioLoadConfig carries the flag values the -scenario path needs.
+type scenarioLoadConfig struct {
+	path, policy, mode          string
+	k, B, shards, streams, rate int
+	batch, depth                int
+	pin                         bool
+	seed                        int64
+	ops                         int64
+	duration                    time.Duration
+}
+
+// runScenarioLoad is the -scenario path. The program compiles instead
+// of materializing: open mode gives each client stream its own copy
+// seeded seed+i (clients decorrelate, like independent users running
+// the same workload); batch mode streams one compiled copy through the
+// engine's ReplayStream, resetting between rounds. The universe
+// pre-pass replays each seed once in O(1) memory so the shards can use
+// the dense bounded policies, exactly as the trace path does.
+func runScenarioLoad(c scenarioLoadConfig) {
+	prog, info, err := scenario.Load(c.path)
+	if err != nil {
+		cli.Fatal("gcload", err)
+	}
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	seed := scenario.ResolveSeed(info, c.seed, seedSet)
+	if c.ops < 1 {
+		cli.Fatalf("gcload", "-ops %d < 1", c.ops)
+	}
+
+	geo := model.NewFixed(c.B)
+	nSeeds := 1
+	if c.mode == "open" {
+		nSeeds = c.streams
+	}
+	universe := 0
+	for i := 0; i < nSeeds; i++ {
+		u, uerr := scenario.Universe(prog, seed+int64(i))
+		if uerr != nil {
+			cli.Fatal("gcload", uerr)
+		}
+		if u > universe {
+			universe = u
+		}
+	}
+	universe = model.ItemUniverse(geo, universe)
+	build, err := buildPolicy(c.policy, geo, seed, universe)
+	if err != nil {
+		cli.Fatal("gcload", err)
+	}
+	s, err := concurrent.NewShardedBounded(c.shards, c.k, geo, universe, build)
+	if err != nil {
+		cli.Fatal("gcload", err)
+	}
+
+	ctx := context.Background()
+	if c.duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.duration)
+		defer cancel()
+	}
+
+	fmt.Printf("gcload: scenario %s (%d requests/replay, seed %d), policy %s, k %d, B %d, %d shards, %d streams, mode %s\n",
+		c.path, info.Length, seed, c.policy, c.k, c.B, c.shards, c.streams, c.mode)
+	var r report
+	switch c.mode {
+	case "open":
+		streams := make([]*scenario.Stream, c.streams)
+		for i := range streams {
+			streams[i], err = scenario.Compile(prog, seed+int64(i))
+			if err != nil {
+				cli.Fatal("gcload", err)
+			}
+		}
+		r = runOpenScenario(ctx, s, streams, c.ops, c.rate)
+	case "batch":
+		src, cerr := scenario.Compile(prog, seed)
+		if cerr != nil {
+			cli.Fatal("gcload", cerr)
+		}
+		cfg := concurrent.BatchConfig{BatchSize: c.batch, QueueDepth: c.depth, PinWorkers: c.pin}
+		r, err = runBatchScenario(ctx, s, src, c.ops, cfg)
+		if err != nil && ctx.Err() == nil {
+			cli.Fatal("gcload", err)
+		}
+	default:
+		cli.Fatalf("gcload", "unknown -mode %q (want open or batch)", c.mode)
+	}
+	r.print(os.Stdout, s)
+}
+
+// runOpenScenario mirrors runOpen but drives each client from its own
+// compiled stream, wrapping via Reset when a replay completes — the
+// scenario repeats exactly like the trace slices do under -ops.
+func runOpenScenario(ctx context.Context, s *concurrent.Sharded, streams []*scenario.Stream, ops int64, rate int) report {
+	hist := obs.NewHistogram("access latency", "ns")
+	var interval time.Duration
+	if rate > 0 {
+		interval = time.Duration(float64(len(streams)) / float64(rate) * float64(time.Second))
+	}
+	var issued atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := range streams {
+		quota := ops / int64(len(streams))
+		if int64(w) < ops%int64(len(streams)) {
+			quota++
+		}
+		if quota == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(st *scenario.Stream, quota int64) {
+			defer wg.Done()
+			base := time.Now()
+			for i := int64(0); i < quota; i++ {
+				if i&1023 == 0 && ctx.Err() != nil {
+					return
+				}
+				scheduled := time.Now()
+				if interval > 0 {
+					scheduled = base.Add(time.Duration(i) * interval)
+					if wait := time.Until(scheduled); wait > 0 {
+						time.Sleep(wait)
+					}
+				}
+				if !st.Next() {
+					st.Reset()
+					if !st.Next() {
+						return // zero-length scenario: nothing to replay
+					}
+				}
+				s.Access(st.Item())
+				hist.Record(int64(time.Since(scheduled)))
+				issued.Add(1)
+			}
+		}(streams[w], quota)
+	}
+	wg.Wait()
+	return report{mode: "open", issued: issued.Load(), elapsed: time.Since(start), hist: hist}
+}
+
+// runBatchScenario mirrors runBatch on the engine's O(1)-memory
+// ReplayStream path: one warmup replay outside the timed window, then
+// whole-scenario rounds (Reset between them) until ops accesses have
+// completed or ctx expires.
+func runBatchScenario(ctx context.Context, s *concurrent.Sharded, src *scenario.Stream, ops int64, cfg concurrent.BatchConfig) (report, error) {
+	e, err := concurrent.NewEngine(s, 1, cfg)
+	if err != nil {
+		return report{mode: "batch"}, err
+	}
+	defer e.Close()
+	if _, err := e.ReplayStream(ctx, src); err != nil {
+		return report{mode: "batch"}, err
+	}
+	src.Reset()
+	base := s.Stats().Accesses
+	start := time.Now()
+	var issued int64
+	for issued < ops {
+		st, err := e.ReplayStream(ctx, src)
+		elapsed := time.Since(start)
+		src.Reset()
+		issued = st.Accesses - base
+		if err != nil {
+			return report{mode: "batch", issued: issued, elapsed: elapsed}, err
+		}
+	}
+	return report{mode: "batch", issued: issued, elapsed: time.Since(start)}, nil
 }
 
 // report is one load run's measurements.

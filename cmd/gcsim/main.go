@@ -6,6 +6,11 @@
 //
 //	gcsim -k 4096 -B 64 -workload 'blockruns:blocks=512,B=64,run=16,len=200000'
 //	gcsim -k 1024 -B 16 -policy iblp -trace requests.gct
+//	gcsim -k 1024 -B 16 -scenario scenarios/drift.gcs
+//
+// With -scenario the compiled program replays through the streaming
+// simulator in O(1) memory; -opt, -probe, and checkpointing need the
+// materialized trace and are unavailable on that path.
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"gccache/internal/obs"
 	"gccache/internal/opt"
 	"gccache/internal/render"
+	"gccache/internal/scenario"
 	"gccache/internal/trace"
 	"gccache/internal/workload"
 )
@@ -39,6 +45,7 @@ func main() {
 			"comma-separated: item-lru, block-lru, fifo, marking, gcm, iblp, iblp-even, blie, athreshold2, or 'all'")
 		spec      = flag.String("workload", "blockruns:blocks=512,B=64,run=16,len=200000", workload.SpecHelp)
 		traceFile = flag.String("trace", "", "read a gctrace binary file instead of generating a workload")
+		scenFile  = flag.String("scenario", "", scenario.FlagHelp)
 		seed      = flag.Int64("seed", 1, "workload / policy seed")
 		optimal   = flag.Bool("opt", true, "also compute the offline-optimum bracket")
 		probeSpec = flag.String("probe", "", "attach probes and dump their view per policy; "+obs.SpecHelp)
@@ -55,6 +62,13 @@ func main() {
 	}
 	if *resume && *ckptPath == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
+	if *scenFile != "" {
+		if *traceFile != "" || *probeSpec != "" || *ckptPath != "" || *resume || *deadline != 0 {
+			fatal(fmt.Errorf("-scenario streams in O(1) memory and cannot be combined with -trace/-probe/-checkpoint/-resume/-deadline"))
+		}
+		runScenario(*scenFile, *k, *B, *policies, *seed, *optimal)
+		return
 	}
 
 	var tr trace.Trace
@@ -77,28 +91,8 @@ func main() {
 	fmt.Printf("trace: %d requests, %d items, %d blocks, %.2f items/block, mean run %.2f\n",
 		sum.Requests, sum.DistinctItems, sum.DistinctBlocks, sum.MeanItemsPerBlock, sum.BlockRunLengthMean)
 
-	builders := map[string]func() gccache.Cache{
-		"item-lru":    func() gccache.Cache { return gccache.NewItemLRU(*k) },
-		"block-lru":   func() gccache.Cache { return gccache.NewBlockLRU(*k, geo) },
-		"fifo":        func() gccache.Cache { return gccache.NewFIFO(*k) },
-		"marking":     func() gccache.Cache { return gccache.NewMarking(*k, *seed) },
-		"gcm":         func() gccache.Cache { return gccache.NewGCM(*k, geo, *seed) },
-		"iblp":        func() gccache.Cache { return gccache.NewIBLPEvenSplit(*k, geo) },
-		"iblp-even":   func() gccache.Cache { return gccache.NewIBLPEvenSplit(*k, geo) },
-		"blie":        func() gccache.Cache { return gccache.NewBlockLoadItemEvict(*k, geo) },
-		"athreshold2": func() gccache.Cache { return gccache.NewAThreshold(*k, 2, geo) },
-		"clock":       func() gccache.Cache { return gccache.NewClock(*k) },
-		"footprint":   func() gccache.Cache { return gccache.NewFootprint(*k, geo) },
-		"adaptive":    func() gccache.Cache { return gccache.NewAdaptiveIBLP(*k, geo) },
-	}
-	order := []string{"item-lru", "clock", "block-lru", "blie", "footprint",
-		"athreshold2", "fifo", "marking", "gcm", "iblp", "adaptive"}
-	var names []string
-	if *policies == "all" {
-		names = order
-	} else {
-		names = strings.Split(*policies, ",")
-	}
+	builders := policyBuilders(*k, geo, *seed)
+	names := policyNames(*policies)
 
 	t := &render.Table{
 		Title:   fmt.Sprintf("k=%d, B=%d", *k, *B),
@@ -214,6 +208,82 @@ func main() {
 		if _, err := d.suite.WriteTo(os.Stdout); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// policyBuilders maps policy names to constructors for the given
+// capacity, geometry, and seed — shared by the slice and scenario paths.
+func policyBuilders(k int, geo model.Geometry, seed int64) map[string]func() gccache.Cache {
+	return map[string]func() gccache.Cache{
+		"item-lru":    func() gccache.Cache { return gccache.NewItemLRU(k) },
+		"block-lru":   func() gccache.Cache { return gccache.NewBlockLRU(k, geo) },
+		"fifo":        func() gccache.Cache { return gccache.NewFIFO(k) },
+		"marking":     func() gccache.Cache { return gccache.NewMarking(k, seed) },
+		"gcm":         func() gccache.Cache { return gccache.NewGCM(k, geo, seed) },
+		"iblp":        func() gccache.Cache { return gccache.NewIBLPEvenSplit(k, geo) },
+		"iblp-even":   func() gccache.Cache { return gccache.NewIBLPEvenSplit(k, geo) },
+		"blie":        func() gccache.Cache { return gccache.NewBlockLoadItemEvict(k, geo) },
+		"athreshold2": func() gccache.Cache { return gccache.NewAThreshold(k, 2, geo) },
+		"clock":       func() gccache.Cache { return gccache.NewClock(k) },
+		"footprint":   func() gccache.Cache { return gccache.NewFootprint(k, geo) },
+		"adaptive":    func() gccache.Cache { return gccache.NewAdaptiveIBLP(k, geo) },
+	}
+}
+
+// policyNames expands the -policy argument ("all" or a comma list).
+func policyNames(arg string) []string {
+	if arg == "all" {
+		return []string{"item-lru", "clock", "block-lru", "blie", "footprint",
+			"athreshold2", "fifo", "marking", "gcm", "iblp", "adaptive"}
+	}
+	return strings.Split(arg, ",")
+}
+
+// runScenario is the -scenario path: compile once, stream every policy
+// from the same compiled program via Reset — O(1) memory however long
+// the scenario, and byte-identical output across runs at a fixed seed.
+func runScenario(path string, k, B int, policies string, flagSeed int64, optWanted bool) {
+	prog, info, err := scenario.Load(path)
+	if err != nil {
+		fatal(err)
+	}
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
+	seed := scenario.ResolveSeed(info, flagSeed, seedSet)
+	s, err := scenario.Compile(prog, seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenario: %s: %s; effective seed %d\n", path, scenario.Describe(prog, info), seed)
+	if optWanted {
+		fmt.Fprintln(os.Stderr, "gcsim: note: -opt needs a materialized trace and is skipped for scenarios")
+	}
+
+	geo := model.NewFixed(B)
+	builders := policyBuilders(k, geo, seed)
+	t := &render.Table{
+		Title:   fmt.Sprintf("k=%d, B=%d", k, B),
+		Headers: []string{"policy", "misses", "miss-ratio", "temporal-hits", "spatial-hits", "items-loaded"},
+	}
+	for _, name := range policyNames(policies) {
+		name = strings.TrimSpace(name)
+		mk, ok := builders[name]
+		if !ok {
+			fatal(fmt.Errorf("unknown policy %q", name))
+		}
+		st, rerr := cachesim.RunColdStream(mk(), s)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		s.Reset()
+		t.AddRow(st.Policy, st.Misses, st.MissRatio(), st.TemporalHits, st.SpatialHits, st.ItemsLoaded)
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

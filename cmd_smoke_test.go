@@ -13,10 +13,11 @@ import (
 // (each invocation pays a `go run` compile).
 func TestCommandSmoke(t *testing.T) {
 	if testing.Short() {
-		t.Skip("smoke test compiles all nine binaries")
+		t.Skip("smoke test compiles all ten binaries")
 	}
 	dir := t.TempDir()
 	traceFile := filepath.Join(dir, "t.gct")
+	scnTrace := filepath.Join(dir, "s.gct")
 
 	cases := []struct {
 		name string
@@ -47,6 +48,16 @@ func TestCommandSmoke(t *testing.T) {
 		{"gcopt-deadline-anytime", []string{"run", "./cmd/gcopt", "-workload",
 			"blockruns:blocks=4,B=4,run=2,len=400", "-k", "8", "-B", "4", "-exact",
 			"-deadline", "1ns"}, "incumbent (feasible upper bound)"},
+		{"gcscn-check", []string{"run", "./cmd/gcscn", "scenarios/hotcold.gcs"}, "ok"},
+		{"gcscn-explain", []string{"run", "./cmd/gcscn", "-explain", "scenarios/drift.gcs"}, "drift("},
+		{"gcscn-stats", []string{"run", "./cmd/gcscn", "-stats", "-B", "64", "scenarios/hotcold.gcs"}, "items/block"},
+		{"gcscn-compile", []string{"run", "./cmd/gcscn", "-out", scnTrace, "scenarios/hotcold.gcs"}, "wrote"},
+		{"gcsim-scenario", []string{"run", "./cmd/gcsim", "-k", "256", "-B", "64",
+			"-scenario", "scenarios/hotcold.gcs", "-policy", "item-lru,block-lru"}, "effective seed 17"},
+		{"gcload-scenario-open", []string{"run", "./cmd/gcload", "-scenario", "scenarios/hotcold.gcs",
+			"-k", "256", "-B", "64", "-shards", "2", "-streams", "2", "-ops", "20000"}, "ops/sec"},
+		{"gcload-scenario-batch", []string{"run", "./cmd/gcload", "-scenario", "scenarios/hotcold.gcs",
+			"-mode", "batch", "-k", "256", "-B", "64", "-shards", "2", "-ops", "20000"}, "ops/sec"},
 	}
 	for _, c := range cases {
 		c := c
@@ -111,13 +122,44 @@ func TestGcsimKillResumeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestGcsimScenarioDeterministic runs gcsim twice on the same scenario
+// program with an explicit seed and asserts byte-identical stdout —
+// the DSL's headline contract (docs/SCENARIOS.md §3) held end to end
+// at the CLI level, not just inside internal/scenario's own tests.
+// Skipped under -short (two `go run` invocations).
+func TestGcsimScenarioDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism smoke pays two go run compiles")
+	}
+	args := []string{"run", "./cmd/gcsim", "-k", "1024", "-B", "64",
+		"-scenario", "scenarios/drift.gcs", "-seed", "7", "-policy", "item-lru,block-lru,iblp"}
+	var outs [2]string
+	for i := range outs {
+		cmd := exec.Command("go", args...)
+		cmd.Dir = "."
+		cmd.Env = os.Environ()
+		var stdout strings.Builder
+		cmd.Stdout = &stdout
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("run %d: %v", i+1, err)
+		}
+		outs[i] = stdout.String()
+	}
+	if outs[0] != outs[1] {
+		t.Errorf("two runs of the same scenario+seed differ:\n--- first ---\n%s\n--- second ---\n%s", outs[0], outs[1])
+	}
+	if !strings.Contains(outs[0], "effective seed 7") {
+		t.Errorf("output does not acknowledge the explicit seed:\n%s", outs[0])
+	}
+}
+
 // TestCommandUsage runs every CLI with -h and asserts the uniform
 // usage banner plus a mention of every registered flag. Catches both
 // drift in internal/cli.SetUsage wiring and flags added without help
 // text. Skipped under -short for the same compile-cost reason.
 func TestCommandUsage(t *testing.T) {
 	if testing.Short() {
-		t.Skip("usage test compiles all nine binaries")
+		t.Skip("usage test compiles all ten binaries")
 	}
 	cmds := map[string][]string{
 		"gcadversary": {"construction", "policy", "k", "h", "B", "phases", "p", "seed"},
@@ -125,11 +167,12 @@ func TestCommandUsage(t *testing.T) {
 		"gcbounds":    {"artifact", "k", "h", "B", "size", "points", "csv"},
 		"gcopt":       {"workload", "trace", "k", "B", "seed", "exact", "deadline", "checkpoint", "resume"},
 		"gcrepro":     {"out", "quick"},
-		"gcload": {"k", "B", "policy", "workload", "trace", "seed", "shards", "streams",
+		"gcload": {"k", "B", "policy", "workload", "trace", "scenario", "seed", "shards", "streams",
 			"ops", "rate", "mode", "batch", "depth", "pin", "duration", "selfcheck"},
+		"gcscn": {"fmt", "explain", "stats", "out", "seed", "B"},
 		"gcserve": {"addr", "k", "B", "policy", "workload", "trace", "seed",
 			"shards", "streams", "probe", "loop", "rate", "duration", "selfcheck", "drain"},
-		"gcsim": {"k", "B", "policy", "workload", "trace", "seed", "opt", "probe",
+		"gcsim": {"k", "B", "policy", "workload", "trace", "scenario", "seed", "opt", "probe",
 			"deadline", "checkpoint", "resume"},
 		"gctrace": {"workload", "out", "in", "B", "seed", "format", "mrc", "reuse"},
 	}

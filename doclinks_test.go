@@ -1,0 +1,108 @@
+package gccache_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the markdown documents whose cross-references the repo
+// promises to keep live (docs/README.md is the index tying them
+// together — see that file for the map).
+var docFiles = []string{
+	"README.md",
+	"DESIGN.md",
+	"EXPERIMENTS.md",
+	"ROADMAP.md",
+	filepath.Join("docs", "README.md"),
+	filepath.Join("docs", "SCENARIOS.md"),
+}
+
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinksResolve extracts every relative markdown link from the
+// documentation set and asserts the target exists on disk, resolved
+// against the linking file's directory. External URLs and pure
+// in-page anchors are skipped; a `path#anchor` link is checked for
+// the path half only. Docs restructures (file moves, renames) break
+// links silently otherwise — this is the gate the docs/ index and the
+// scenario manual's cross-references rely on.
+func TestDocLinksResolve(t *testing.T) {
+	for _, doc := range docFiles {
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			t.Errorf("documentation file %s is missing: %v", doc, err)
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(raw), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external
+			}
+			if strings.HasPrefix(target, "#") {
+				continue // in-page anchor
+			}
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			resolved := filepath.Join(filepath.Dir(doc), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s links to %q, which does not resolve (%s)", doc, m[1], resolved)
+			}
+		}
+	}
+}
+
+// TestDocFileTokensResolve spot-checks that backticked path-like
+// tokens naming checked-in files or directories in the documentation
+// actually exist. Only tokens that look like repo paths are checked:
+// they must contain a path separator or end in a known doc/source
+// extension, and templated or flag-like tokens are skipped.
+func TestDocFileTokensResolve(t *testing.T) {
+	token := regexp.MustCompile("`([^`\n]+)`")
+	for _, doc := range docFiles {
+		if doc == "ROADMAP.md" {
+			continue // forward-looking: names packages that don't exist yet
+		}
+		raw, err := os.ReadFile(doc)
+		if err != nil {
+			continue // missing files already reported above
+		}
+		for _, m := range token.FindAllStringSubmatch(string(raw), -1) {
+			tok := m[1]
+			if !looksLikeRepoPath(tok) {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(doc), filepath.FromSlash(tok))
+			if _, err := os.Stat(resolved); err != nil {
+				// Also try repo-root-relative: prose in docs/ often
+				// names paths from the repository root.
+				if _, err2 := os.Stat(filepath.FromSlash(tok)); err2 != nil {
+					t.Errorf("%s mentions `%s`, which exists neither relative to it nor to the repo root", doc, tok)
+				}
+			}
+		}
+	}
+}
+
+func looksLikeRepoPath(tok string) bool {
+	if strings.ContainsAny(tok, " \t(){}<>*$'\"=,:") || strings.Contains(tok, "…") {
+		return false // command lines, templates, flags with values
+	}
+	if strings.HasPrefix(tok, "-") || strings.HasPrefix(tok, "/") || strings.Contains(tok, "..") {
+		return false // flags, absolute paths, relative escapes (checked as links instead)
+	}
+	if !strings.Contains(tok, "/") {
+		return false // bare identifiers (`gcsim`, `trace.Source`, `drift.gcs` in prose)
+	}
+	// Only claim tokens rooted at a real top-level repo entry; things
+	// like `producer/worker` or `f/g` are prose, not paths.
+	root := tok[:strings.IndexByte(tok, '/')]
+	switch root {
+	case "internal", "cmd", "docs", "scenarios", "examples", "results", "bin":
+		return true
+	}
+	return false
+}

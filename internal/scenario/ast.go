@@ -1,0 +1,191 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file defines the typed AST the parser produces and the canonical
+// printer (Format). The printer is the inverse the fuzz target pins:
+// parse → Format → parse must reach a fixpoint, so every syntactic
+// choice the parser accepts (underscored digits, k/M/G suffixes,
+// trailing commas) normalizes to exactly one spelling here.
+
+// Pos is a source position, 1-based.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a positioned scenario error: parse, validation, and compile
+// errors all carry the source coordinates of the offending token.
+type Error struct {
+	File string // file name as given to Parse ("" prints as "scenario")
+	Pos  Pos
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	file := e.File
+	if file == "" {
+		file = "scenario"
+	}
+	return fmt.Sprintf("%s:%s: %s", file, e.Pos, e.Msg)
+}
+
+// errf builds a positioned error.
+func errf(file string, pos Pos, format string, args ...any) *Error {
+	return &Error{File: file, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Program is a parsed scenario: an optional seed, a sequence of let
+// bindings, and exactly one trailing emit statement (the validator
+// enforces the shape; the parser only collects statements).
+type Program struct {
+	File  string
+	Stmts []Stmt
+}
+
+// Stmt is one scenario statement.
+type Stmt interface {
+	stmtPos() Pos
+}
+
+// SeedStmt sets the program's default seed: `seed 42`.
+type SeedStmt struct {
+	Pos  Pos
+	Seed int64
+}
+
+// LetStmt binds a name to a stream expression: `let hot = zipf(n=4096)`.
+type LetStmt struct {
+	Pos  Pos
+	Name string
+	Expr Expr
+}
+
+// EmitStmt names the stream the scenario emits: `emit take(hot, 1M)`.
+type EmitStmt struct {
+	Pos  Pos
+	Expr Expr
+}
+
+func (s *SeedStmt) stmtPos() Pos { return s.Pos }
+func (s *LetStmt) stmtPos() Pos  { return s.Pos }
+func (s *EmitStmt) stmtPos() Pos { return s.Pos }
+
+// Expr is a stream or numeric expression.
+type Expr interface {
+	exprPos() Pos
+}
+
+// Call applies a combinator: `mix(0.8: hot, 0.2: scan)`.
+type Call struct {
+	Pos  Pos
+	Name string
+	Args []Arg
+}
+
+// Arg is one call argument. Exactly one of the three forms holds:
+//
+//   - positional: Name == "" and Weight == nil — a stream operand;
+//   - named:      Name != "" — a numeric parameter (`n=4096`);
+//   - weighted:   Weight != nil — a weighted stream operand (`0.8: hot`).
+type Arg struct {
+	Pos    Pos
+	Name   string  // named parameter, or ""
+	Weight *Number // weighted operand, or nil
+	Value  Expr
+}
+
+// Ref references a let binding by name. Each reference instantiates an
+// independent copy of the bound expression at compile time (streams are
+// not shared; see the manual's "References" section).
+type Ref struct {
+	Pos  Pos
+	Name string
+}
+
+// Number is a numeric literal. The lexer folds underscores and the
+// k/M/G suffixes, so 1_500k and 1.5M both carry Value 1500000.
+type Number struct {
+	Pos   Pos
+	Value float64
+}
+
+func (e *Call) exprPos() Pos   { return e.Pos }
+func (e *Ref) exprPos() Pos    { return e.Pos }
+func (e *Number) exprPos() Pos { return e.Pos }
+
+// IsInt reports whether the literal is an exact integer that fits the
+// int64 parameters the combinators take.
+func (n *Number) IsInt() bool {
+	return n.Value == math.Trunc(n.Value) && math.Abs(n.Value) < 1<<53
+}
+
+// Int returns the literal as an int64; only meaningful when IsInt.
+func (n *Number) Int() int64 { return int64(n.Value) }
+
+// Format renders the program in canonical form: one statement per
+// line, seed first as written, numbers re-printed minimally. Parsing
+// the output yields an equal AST (the fuzz fixpoint).
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, st := range p.Stmts {
+		switch st := st.(type) {
+		case *SeedStmt:
+			fmt.Fprintf(&b, "seed %d\n", st.Seed)
+		case *LetStmt:
+			fmt.Fprintf(&b, "let %s = ", st.Name)
+			formatExpr(&b, st.Expr)
+			b.WriteByte('\n')
+		case *EmitStmt:
+			b.WriteString("emit ")
+			formatExpr(&b, st.Expr)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func formatExpr(b *strings.Builder, e Expr) {
+	switch e := e.(type) {
+	case *Ref:
+		b.WriteString(e.Name)
+	case *Number:
+		b.WriteString(formatNumber(e.Value))
+	case *Call:
+		b.WriteString(e.Name)
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			switch {
+			case a.Name != "":
+				b.WriteString(a.Name)
+				b.WriteByte('=')
+			case a.Weight != nil:
+				b.WriteString(formatNumber(a.Weight.Value))
+				b.WriteString(": ")
+			}
+			formatExpr(b, a.Value)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// formatNumber prints integers without a decimal point and everything
+// else in plain decimal notation ('f', never scientific — the lexer
+// has no exponent syntax, and the parse→Format→parse fixpoint requires
+// every printed number to re-lex).
+func formatNumber(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1<<53 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

@@ -1,0 +1,95 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestManualMatchesRegistry diffs the semantics table in
+// docs/SCENARIOS.md (between the combinators:begin/end markers)
+// against the compiler's combinator registry: every combinator must
+// appear exactly once with its Signature() rendered verbatim and its
+// Doc() string unchanged, and the manual may not document combinators
+// the compiler lacks. This is what keeps the manual and the language
+// from drifting apart.
+func TestManualMatchesRegistry(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "SCENARIOS.md"))
+	if err != nil {
+		t.Fatalf("the manual is a first-class deliverable: %v", err)
+	}
+	text := string(raw)
+	begin := strings.Index(text, "<!-- combinators:begin -->")
+	end := strings.Index(text, "<!-- combinators:end -->")
+	if begin < 0 || end < begin {
+		t.Fatal("docs/SCENARIOS.md is missing the combinators:begin/end markers around the semantics table")
+	}
+	table := text[begin:end]
+
+	// Parse `| `signature` | length | semantics |` rows.
+	documented := make(map[string]string) // combinator name -> doc cell
+	signatures := make(map[string]string) // combinator name -> signature cell
+	for _, line := range strings.Split(table, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "| `") {
+			continue
+		}
+		cells := strings.Split(line, "|")
+		if len(cells) < 5 { // "", sig, length, doc, ""
+			t.Errorf("malformed table row: %s", line)
+			continue
+		}
+		sig := strings.Trim(strings.TrimSpace(cells[1]), "`")
+		doc := strings.TrimSpace(cells[3])
+		name := sig[:strings.Index(sig, "(")]
+		if _, dup := documented[name]; dup {
+			t.Errorf("combinator %q documented twice", name)
+		}
+		documented[name] = doc
+		signatures[name] = sig
+	}
+
+	for _, name := range Combinators() {
+		sig, ok := signatures[name]
+		if !ok {
+			t.Errorf("combinator %q is missing from the manual's semantics table", name)
+			continue
+		}
+		if want := Signature(name); sig != want {
+			t.Errorf("manual signature for %q is %q, registry says %q", name, sig, want)
+		}
+		if doc, want := documented[name], Doc(name); doc != want {
+			t.Errorf("manual semantics for %q drifted:\n  manual:   %s\n  registry: %s", name, doc, want)
+		}
+		delete(documented, name)
+	}
+	for name := range documented {
+		t.Errorf("manual documents %q, which the compiler does not accept", name)
+	}
+}
+
+// TestManualErrorCatalog spot-checks that the manual's error catalog
+// quotes real diagnostics: a sample of messages from the catalog must
+// be producible by the front end verbatim (up to the positioned
+// prefix).
+func TestManualErrorCatalog(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("..", "..", "docs", "SCENARIOS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	manual := string(raw)
+	cases := []string{
+		"emitted stream must be finite — wrap it in take(…, n)",
+		"loop requires a finite operand (it already repeats forever)",
+		"only the last operand of concat may be infinite",
+		"a number is not a stream (did you mean a combinator call?)",
+		"expected ')' to close the argument list",
+		"binding \"zipf\" shadows the combinator of the same name",
+	}
+	for _, want := range cases {
+		if !strings.Contains(manual, want) {
+			t.Errorf("manual's error catalog is missing the diagnostic %q", want)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package scenario
+
+import "testing"
+
+// FuzzScenarioParse feeds arbitrary bytes to the full front end. Two
+// invariants: (1) parse + validate never panic — errors are fine, they
+// are the product; (2) for programs that parse, the canonical printer
+// is a fixpoint: parse → Format → parse → Format converges on the
+// first Format output, so gcscn -fmt is idempotent.
+func FuzzScenarioParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"emit take(seq(), n=10)",
+		"seed 42\nlet hot = zipf(n=4096, s=1.2)\nemit take(hot, n=1M)",
+		"emit take(mix(0.8: zipf(n=10), 0.2: seq()), n=10)",
+		"emit take(interleave(3: seq(), 1: cycle(n=4)), n=12)",
+		"# comment\nemit take(loop(take(seq(), n=3)), n=7,)",
+		"emit concat(take(seq(), n=1_000), take(stride(n=8, step=3), n=2.5k))",
+		"let x = $",
+		"seed 99999999999999999999999999",
+		"emit take(blocks(cycle(n=4), B=8, run=2.5), n=1.)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse("fuzz.gcs", src)
+		if err != nil {
+			return
+		}
+		// Validation must not panic either, whatever it concludes.
+		_, _ = Check(p)
+
+		once := Format(p)
+		p2, err := Parse("fuzz.gcs", once)
+		if err != nil {
+			t.Fatalf("Format output failed to reparse: %v\ninput: %q\nformatted: %q", err, src, once)
+		}
+		if twice := Format(p2); twice != once {
+			t.Fatalf("Format is not a fixpoint:\nonce:  %q\ntwice: %q", once, twice)
+		}
+	})
+}

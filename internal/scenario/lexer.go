@@ -1,0 +1,232 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The lexer is hand-rolled over the raw source bytes: the token set is
+// six punctuation marks, identifiers, and numbers, so a table-driven
+// generator would cost more than it saves. Positions are tracked as
+// 1-based (line, column) in bytes; '#' comments run to end of line and
+// newlines are insignificant (statements are keyword-delimited).
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokLparen
+	tokRparen
+	tokComma
+	tokAssign
+	tokColon
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of file"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLparen:
+		return "'('"
+	case tokRparen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokAssign:
+		return "'='"
+	case tokColon:
+		return "':'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	pos  Pos
+	text string  // identifier text
+	num  float64 // number value, suffixes folded
+}
+
+// describe renders a token for error messages: kind for punctuation,
+// kind plus spelling for identifiers and numbers.
+func (t token) describe() string {
+	switch t.kind {
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokNumber:
+		return fmt.Sprintf("number %s", formatNumber(t.num))
+	default:
+		return t.kind.String()
+	}
+}
+
+type lexer struct {
+	file string
+	src  string
+	off  int
+	line int
+	col  int
+	err  *Error
+}
+
+func newLexer(file, src string) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (l *lexer) failf(pos Pos, format string, args ...any) {
+	if l.err == nil {
+		l.err = errf(l.file, pos, format, args...)
+	}
+}
+
+// advance consumes one byte, maintaining the line/column counters.
+func (l *lexer) advance() {
+	if l.src[l.off] == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	l.off++
+}
+
+// skipSpace consumes whitespace and '#' comments.
+func (l *lexer) skipSpace() {
+	for l.off < len(l.src) {
+		switch c := l.src[l.off]; {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token. After an error (or at end of input) it
+// returns tokEOF forever; the parser surfaces l.err.
+func (l *lexer) next() token {
+	l.skipSpace()
+	pos := Pos{l.line, l.col}
+	if l.err != nil || l.off >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}
+	}
+	c := l.src[l.off]
+	switch c {
+	case '(':
+		l.advance()
+		return token{kind: tokLparen, pos: pos}
+	case ')':
+		l.advance()
+		return token{kind: tokRparen, pos: pos}
+	case ',':
+		l.advance()
+		return token{kind: tokComma, pos: pos}
+	case '=':
+		l.advance()
+		return token{kind: tokAssign, pos: pos}
+	case ':':
+		l.advance()
+		return token{kind: tokColon, pos: pos}
+	}
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(pos)
+	case c >= '0' && c <= '9':
+		return l.lexNumber(pos)
+	}
+	l.failf(pos, "unexpected character %q", string(rune(c)))
+	return token{kind: tokEOF, pos: pos}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func (l *lexer) lexIdent(pos Pos) token {
+	start := l.off
+	for l.off < len(l.src) && isIdentPart(l.src[l.off]) {
+		l.advance()
+	}
+	return token{kind: tokIdent, pos: pos, text: l.src[start:l.off]}
+}
+
+// lexNumber scans DIGITS [ '.' DIGITS ] [ 'k' | 'M' | 'G' ], with '_'
+// allowed between digits (1_000_000). There is no sign (item addresses
+// and parameters are nonnegative) and no exponent syntax.
+func (l *lexer) lexNumber(pos Pos) token {
+	start := l.off
+	digits := func() bool {
+		n := 0
+		for l.off < len(l.src) {
+			c := l.src[l.off]
+			if c >= '0' && c <= '9' {
+				n++
+				l.advance()
+				continue
+			}
+			// Underscores only between digits: 1_0 ok, 1_ or _1 not.
+			if c == '_' && n > 0 && l.off+1 < len(l.src) &&
+				l.src[l.off+1] >= '0' && l.src[l.off+1] <= '9' {
+				l.advance()
+				continue
+			}
+			break
+		}
+		return n > 0
+	}
+	digits()
+	if l.off < len(l.src) && l.src[l.off] == '.' {
+		l.advance()
+		if !digits() {
+			l.failf(pos, "malformed number %q: digits must follow '.'", l.src[start:l.off])
+			return token{kind: tokEOF, pos: pos}
+		}
+	}
+	text := strings.ReplaceAll(l.src[start:l.off], "_", "")
+	mult := 1.0
+	if l.off < len(l.src) {
+		switch l.src[l.off] {
+		case 'k':
+			mult = 1e3
+			l.advance()
+		case 'M':
+			mult = 1e6
+			l.advance()
+		case 'G':
+			mult = 1e9
+			l.advance()
+		}
+	}
+	// A trailing identifier character means a malformed token like 123abc
+	// or 1kx — catch it here so the error points at the number, not at a
+	// confusing identifier that follows it.
+	if l.off < len(l.src) && (isIdentPart(l.src[l.off]) || l.src[l.off] == '.') {
+		end := l.off
+		for end < len(l.src) && (isIdentPart(l.src[end]) || l.src[end] == '.') {
+			end++
+		}
+		l.failf(pos, "malformed number %q", l.src[start:end])
+		return token{kind: tokEOF, pos: pos}
+	}
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		l.failf(pos, "number %q out of range", l.src[start:l.off])
+		return token{kind: tokEOF, pos: pos}
+	}
+	return token{kind: tokNumber, pos: pos, num: v * mult}
+}

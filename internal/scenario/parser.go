@@ -1,0 +1,198 @@
+package scenario
+
+// Recursive-descent parser over the lexer's token stream. The grammar
+// (EBNF, mirrored in docs/SCENARIOS.md):
+//
+//	program = { statement } ;
+//	statement = "seed" number
+//	          | "let" ident "=" expr
+//	          | "emit" expr ;
+//	expr    = call | ident | number ;
+//	call    = ident "(" [ arg { "," arg } [ "," ] ] ")" ;
+//	arg     = ident "=" expr          (named parameter)
+//	        | number ":" expr         (weighted operand)
+//	        | expr ;                  (positional operand)
+//
+// Comments run from '#' to end of line; newlines are insignificant
+// (statements are keyword-delimited). Parsing is purely syntactic —
+// name resolution, combinator signatures, and finiteness live in the
+// validator (see validate.go) so errors carry the most specific
+// position available.
+
+type parser struct {
+	file string
+	lex  *lexer
+	tok  token
+	err  *Error
+}
+
+// Parse lexes and parses src into a Program. file names the source in
+// error messages (conventionally the .gcs path). The result is
+// syntactically well-formed but not yet validated: call Check before
+// Compile, or use Load which does both.
+func Parse(file, src string) (*Program, error) {
+	p := &parser{file: file, lex: newLexer(file, src)}
+	p.advance()
+	prog := &Program{File: file}
+	for p.err == nil && p.tok.kind != tokEOF {
+		st := p.parseStmt()
+		if p.err != nil {
+			break
+		}
+		prog.Stmts = append(prog.Stmts, st)
+	}
+	if p.err != nil {
+		return nil, p.err
+	}
+	if len(prog.Stmts) == 0 {
+		return nil, errf(file, Pos{1, 1}, "empty scenario: expected seed, let, and emit statements")
+	}
+	return prog, nil
+}
+
+func (p *parser) advance() {
+	p.tok = p.lex.next()
+	if p.lex.err != nil && p.err == nil {
+		p.err = p.lex.err
+	}
+}
+
+func (p *parser) failf(pos Pos, format string, args ...any) {
+	if p.err == nil {
+		p.err = errf(p.file, pos, format, args...)
+	}
+}
+
+// expect consumes a token of the given kind or records an error.
+func (p *parser) expect(kind tokenKind, context string) token {
+	t := p.tok
+	if t.kind != kind {
+		p.failf(t.pos, "expected %s %s, got %s", kind, context, t.describe())
+		return t
+	}
+	p.advance()
+	return t
+}
+
+func (p *parser) parseStmt() Stmt {
+	t := p.tok
+	if t.kind != tokIdent {
+		p.failf(t.pos, "expected a statement (seed, let, or emit), got %s", t.describe())
+		return nil
+	}
+	switch t.text {
+	case "seed":
+		p.advance()
+		num := p.expect(tokNumber, "after seed")
+		if p.err != nil {
+			return nil
+		}
+		lit := Number{Pos: num.pos, Value: num.num}
+		if !lit.IsInt() {
+			p.failf(num.pos, "seed must be an integer, got %s", formatNumber(num.num))
+			return nil
+		}
+		return &SeedStmt{Pos: t.pos, Seed: lit.Int()}
+	case "let":
+		p.advance()
+		name := p.expect(tokIdent, "after let")
+		if p.err != nil {
+			return nil
+		}
+		if isKeyword(name.text) {
+			p.failf(name.pos, "cannot bind the keyword %q", name.text)
+			return nil
+		}
+		p.expect(tokAssign, "after the binding name")
+		expr := p.parseExpr()
+		if p.err != nil {
+			return nil
+		}
+		return &LetStmt{Pos: t.pos, Name: name.text, Expr: expr}
+	case "emit":
+		p.advance()
+		expr := p.parseExpr()
+		if p.err != nil {
+			return nil
+		}
+		return &EmitStmt{Pos: t.pos, Expr: expr}
+	}
+	p.failf(t.pos, "expected a statement (seed, let, or emit), got %s", t.describe())
+	return nil
+}
+
+func isKeyword(s string) bool { return s == "seed" || s == "let" || s == "emit" }
+
+func (p *parser) parseExpr() Expr {
+	t := p.tok
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return &Number{Pos: t.pos, Value: t.num}
+	case tokIdent:
+		if isKeyword(t.text) {
+			p.failf(t.pos, "expected an expression, got the keyword %q", t.text)
+			return nil
+		}
+		p.advance()
+		if p.tok.kind == tokLparen {
+			return p.parseCall(t)
+		}
+		return &Ref{Pos: t.pos, Name: t.text}
+	}
+	p.failf(t.pos, "expected an expression (a combinator call, a name, or a number), got %s", t.describe())
+	return nil
+}
+
+// parseCall parses the argument list of name(...). The opening paren is
+// the current token.
+func (p *parser) parseCall(name token) Expr {
+	call := &Call{Pos: name.pos, Name: name.text}
+	p.expect(tokLparen, "to open the argument list")
+	for p.err == nil && p.tok.kind != tokRparen {
+		call.Args = append(call.Args, p.parseArg())
+		if p.err != nil {
+			return nil
+		}
+		if p.tok.kind == tokComma {
+			p.advance() // also permits a trailing comma before ')'
+			continue
+		}
+		break
+	}
+	p.expect(tokRparen, "to close the argument list")
+	if p.err != nil {
+		return nil
+	}
+	return call
+}
+
+func (p *parser) parseArg() Arg {
+	t := p.tok
+	// number ':' expr — weighted operand.
+	if t.kind == tokNumber {
+		p.advance()
+		if p.tok.kind == tokColon {
+			p.advance()
+			val := p.parseExpr()
+			return Arg{Pos: t.pos, Weight: &Number{Pos: t.pos, Value: t.num}, Value: val}
+		}
+		return Arg{Pos: t.pos, Value: &Number{Pos: t.pos, Value: t.num}}
+	}
+	// ident '=' expr — named parameter; otherwise positional expr.
+	if t.kind == tokIdent && !isKeyword(t.text) {
+		p.advance()
+		switch p.tok.kind {
+		case tokAssign:
+			p.advance()
+			val := p.parseExpr()
+			return Arg{Pos: t.pos, Name: t.text, Value: val}
+		case tokLparen:
+			return Arg{Pos: t.pos, Value: p.parseCall(t)}
+		default:
+			return Arg{Pos: t.pos, Value: &Ref{Pos: t.pos, Name: t.text}}
+		}
+	}
+	p.failf(t.pos, "expected an argument (name=value, weight: stream, or a stream), got %s", t.describe())
+	return Arg{Pos: t.pos}
+}

@@ -1,0 +1,268 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// The combinator registry is the single source of truth for the
+// language surface: the validator checks calls against it, the compiler
+// switches on its names, `gcscn -explain` prints it, and a docs test
+// diffs it against the semantics table in docs/SCENARIOS.md so the
+// manual cannot drift from what the compiler accepts.
+
+// paramKind types a named parameter.
+type paramKind int
+
+const (
+	paramInt paramKind = iota
+	paramFloat
+)
+
+// param describes one named parameter of a combinator.
+type param struct {
+	name     string
+	kind     paramKind
+	required bool
+	def      float64 // default when not required
+	min, max float64 // inclusive bounds (math.Inf(1) = unbounded above)
+}
+
+// operandRule describes the stream operands a combinator takes.
+type operandRule int
+
+const (
+	noOperands       operandRule = iota // pure generator
+	oneOperand                          // exactly one positional stream
+	twoOperands                         // exactly two positional streams
+	variadicOperands                    // two or more positional streams
+	weightedOperands                    // two or more `weight: stream` operands
+)
+
+// lengthRule describes how a combinator's output length derives from
+// its operands. The validator uses it to compute the static length of
+// every expression and to enforce the finiteness constraints (emit
+// must be finite; mixing-family combinators need infinite inputs).
+type lengthRule int
+
+const (
+	lenInfinite lengthRule = iota // always infinite; stream operands must be infinite
+	lenSame                       // exactly the operand's length class
+	lenTake                       // min(n, operand length); always finite
+	lenLoop                       // operand must be finite; result infinite
+	lenConcat                     // sum of operands; all but the last must be finite
+)
+
+// combinator is one registry entry.
+type combinator struct {
+	name     string
+	operands operandRule
+	params   []param
+	length   lengthRule
+	// weightInt: weighted operands take integer counts (interleave)
+	// rather than float probabilities (mix).
+	weightInt bool
+	// doc is the one-line semantics used by gcscn -explain.
+	doc string
+}
+
+// registry lists every combinator the compiler accepts, alphabetically.
+var registry = []combinator{
+	{
+		name: "blocks", operands: oneOperand, length: lenInfinite,
+		params: []param{
+			{name: "B", kind: paramInt, required: true, min: 1, max: 1 << 20},
+			{name: "run", kind: paramFloat, def: 1, min: 1, max: math.Inf(1)},
+		},
+		doc: "treat operand values as block IDs; emit geometric runs of consecutive items inside each block (mean length run, clamped to B)",
+	},
+	{
+		name: "concat", operands: variadicOperands, length: lenConcat,
+		doc: "emit each operand to exhaustion, in order; all but the last must be finite",
+	},
+	{
+		name: "cycle", operands: noOperands, length: lenInfinite,
+		params: []param{
+			{name: "n", kind: paramInt, required: true, min: 1, max: 1 << 53},
+			{name: "start", kind: paramInt, def: 0, min: 0, max: 1 << 53},
+		},
+		doc: "repeating sweep start, start+1, …, start+n-1, start, … (the classic LRU-adversary loop)",
+	},
+	{
+		name: "diurnal", operands: twoOperands, length: lenInfinite,
+		params: []param{
+			{name: "period", kind: paramInt, required: true, min: 2, max: 1 << 53},
+		},
+		doc: "sinusoidal mixture of (day, night): the day operand's weight is ½(1+cos 2πi/period), so request i=0 is pure day and i=period/2 pure night",
+	},
+	{
+		name: "drift", operands: oneOperand, length: lenSame,
+		params: []param{
+			{name: "every", kind: paramInt, required: true, min: 1, max: 1 << 53},
+			{name: "step", kind: paramInt, required: true, min: 1, max: 1 << 53},
+		},
+		doc: "add a drifting offset to the operand: the offset grows by step after every `every` requests (hot-set drift)",
+	},
+	{
+		name: "interleave", operands: weightedOperands, length: lenInfinite,
+		weightInt: true,
+		doc:       "deterministic round-robin: k1 requests from the first operand, then k2 from the second, …, repeating (adversary interleavings)",
+	},
+	{
+		name: "loop", operands: oneOperand, length: lenLoop,
+		doc: "repeat a finite operand forever; every pass is byte-identical (positions and RNG state reset between passes)",
+	},
+	{
+		name: "mix", operands: weightedOperands, length: lenInfinite,
+		doc: "seeded probabilistic mixture: each request is drawn from operand i with probability wi/Σw",
+	},
+	{
+		name: "offset", operands: oneOperand, length: lenSame,
+		params: []param{
+			{name: "by", kind: paramInt, required: true, min: 0, max: 1 << 53},
+		},
+		doc: "add the constant `by` to every item (disjoint address regions for mixture components)",
+	},
+	{
+		name: "ramp", operands: twoOperands, length: lenInfinite,
+		params: []param{
+			{name: "over", kind: paramInt, required: true, min: 1, max: 1 << 53},
+		},
+		doc: "linear hand-over from the first operand to the second: request i is drawn from the second with probability min(1, i/over)",
+	},
+	{
+		name: "scatter", operands: oneOperand, length: lenSame,
+		params: []param{
+			{name: "n", kind: paramInt, required: true, min: 1, max: 1 << 53},
+		},
+		doc: "destroy spatial locality, keep the reuse pattern: item v maps to (v·2654435761) mod n, a fixed pseudo-random permutation of [0,n)",
+	},
+	{
+		name: "seq", operands: noOperands, length: lenInfinite,
+		params: []param{
+			{name: "start", kind: paramInt, def: 0, min: 0, max: 1 << 53},
+			{name: "step", kind: paramInt, def: 1, min: 1, max: 1 << 53},
+		},
+		doc: "unbounded ascending addresses start, start+step, … (cold sequential scan; maximal spatial locality at step 1)",
+	},
+	{
+		name: "splice", operands: twoOperands, length: lenInfinite,
+		params: []param{
+			{name: "every", kind: paramInt, required: true, min: 1, max: 1 << 53},
+			{name: "n", kind: paramInt, required: true, min: 1, max: 1 << 53},
+		},
+		doc: "seeded splices: emit the first operand, injecting n-request bursts of the second at geometric intervals with mean `every`",
+	},
+	{
+		name: "spread", operands: oneOperand, length: lenSame,
+		params: []param{
+			{name: "gap", kind: paramInt, required: true, min: 1, max: 1 << 20},
+		},
+		doc: "multiply every item by gap: with gap ≥ B each operand value occupies its own block (pure temporal locality)",
+	},
+	{
+		name: "stride", operands: noOperands, length: lenInfinite,
+		params: []param{
+			{name: "n", kind: paramInt, required: true, min: 1, max: 1 << 53},
+			{name: "step", kind: paramInt, required: true, min: 1, max: 1 << 20},
+		},
+		doc: "cyclic strided walk 0, step, 2·step, … ((i mod n)·step): one item per block when step ≥ B",
+	},
+	{
+		name: "take", operands: oneOperand, length: lenTake,
+		params: []param{
+			{name: "n", kind: paramInt, required: true, min: 1, max: 1 << 53},
+		},
+		doc: "the first n requests of the operand (fewer if it exhausts first); the only way to make an infinite stream finite",
+	},
+	{
+		name: "uniform", operands: noOperands, length: lenInfinite,
+		params: []param{
+			{name: "n", kind: paramInt, required: true, min: 1, max: 1 << 53},
+			{name: "base", kind: paramInt, def: 0, min: 0, max: 1 << 53},
+		},
+		doc: "uniform random item in [base, base+n) (no locality of either kind)",
+	},
+	{
+		name: "zipf", operands: noOperands, length: lenInfinite,
+		params: []param{
+			{name: "n", kind: paramInt, required: true, min: 1, max: 1 << 53},
+			{name: "s", kind: paramFloat, def: 1.2, min: 1.0000001, max: 64},
+			{name: "base", kind: paramInt, def: 0, min: 0, max: 1 << 53},
+		},
+		doc: "Zipf(s)-popular items base+0, base+1, … over a universe of n (rank 0 hottest; heavy temporal locality)",
+	},
+}
+
+// lookup returns the registry entry for name.
+func lookup(name string) (*combinator, bool) {
+	i := sort.Search(len(registry), func(i int) bool { return registry[i].name >= name })
+	if i < len(registry) && registry[i].name == name {
+		return &registry[i], true
+	}
+	return nil, false
+}
+
+// Combinators returns the names of every combinator the compiler
+// accepts, alphabetically — the set the manual's semantics table is
+// diffed against.
+func Combinators() []string {
+	out := make([]string, len(registry))
+	for i, c := range registry {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Signature renders the canonical call shape of a combinator, e.g.
+// "zipf(n, s=1.2, base=0)" or "mix(w1: s1, w2: s2, …)". The manual's
+// semantics table must carry these verbatim (docs_test enforces it).
+func Signature(name string) string {
+	c, ok := lookup(name)
+	if !ok {
+		return ""
+	}
+	var parts []string
+	switch c.operands {
+	case oneOperand:
+		parts = append(parts, "src")
+	case twoOperands:
+		switch c.name {
+		case "diurnal":
+			parts = append(parts, "day", "night")
+		case "ramp":
+			parts = append(parts, "from", "to")
+		case "splice":
+			parts = append(parts, "src", "burst")
+		default:
+			parts = append(parts, "a", "b")
+		}
+	case variadicOperands:
+		parts = append(parts, "s1", "s2", "…")
+	case weightedOperands:
+		if c.weightInt {
+			parts = append(parts, "k1: s1", "k2: s2", "…")
+		} else {
+			parts = append(parts, "w1: s1", "w2: s2", "…")
+		}
+	}
+	for _, p := range c.params {
+		if p.required {
+			parts = append(parts, p.name)
+		} else {
+			parts = append(parts, fmt.Sprintf("%s=%s", p.name, formatNumber(p.def)))
+		}
+	}
+	return c.name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Doc returns the one-line semantics of a combinator ("" if unknown).
+func Doc(name string) string {
+	c, ok := lookup(name)
+	if !ok {
+		return ""
+	}
+	return c.doc
+}

@@ -1,0 +1,312 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+)
+
+// The validator turns a syntactically well-formed Program into a
+// guaranteed-compilable one: every reference resolves to an earlier
+// binding, every call matches its registry signature, every parameter
+// is in range, and the emitted stream has a statically known finite
+// length. Error messages carry the position of the most specific
+// offending token; the full catalog lives in docs/SCENARIOS.md.
+
+// Info is what validation learns about a program beyond "it is valid".
+type Info struct {
+	// Seed is the program's `seed` statement value; HasSeed reports
+	// whether one was present (callers fall back to their own default
+	// or a CLI flag when not).
+	Seed    int64
+	HasSeed bool
+	// Length is the exact number of requests the scenario emits —
+	// statically computable because emit must be finite and every
+	// finite combinator has an exact length rule.
+	Length int64
+}
+
+// maxLength caps the static length of any stream expression: beyond
+// 2^53 requests the float64-derived parameters could not even count
+// them, and no replay finishes anyway.
+const maxLength = int64(1) << 53
+
+// class is the statically computed length of an expression.
+type class struct {
+	finite bool
+	n      int64 // exact length when finite
+}
+
+type checker struct {
+	file string
+	// bound maps binding name -> its computed class; bindings resolve
+	// in order, so lookups only ever see earlier lets.
+	bound map[string]class
+	used  map[string]bool
+	err   *Error
+}
+
+// Check validates p and returns its Info. The error is always a
+// positioned *Error.
+func Check(p *Program) (*Info, error) {
+	c := &checker{
+		file:  p.File,
+		bound: make(map[string]class),
+		used:  make(map[string]bool),
+	}
+	info := &Info{}
+	var seedAt, emitAt *Pos
+	for _, st := range p.Stmts {
+		switch st := st.(type) {
+		case *SeedStmt:
+			if emitAt != nil {
+				return nil, errf(p.File, st.Pos, "emit must be the last statement (emit at %s)", emitAt)
+			}
+			if seedAt != nil {
+				return nil, errf(p.File, st.Pos, "duplicate seed statement (first at %s)", seedAt)
+			}
+			pos := st.Pos
+			seedAt = &pos
+			info.Seed, info.HasSeed = st.Seed, true
+		case *LetStmt:
+			if emitAt != nil {
+				return nil, errf(p.File, st.Pos, "emit must be the last statement (emit at %s)", emitAt)
+			}
+			if _, dup := c.bound[st.Name]; dup {
+				return nil, errf(p.File, st.Pos, "duplicate binding %q", st.Name)
+			}
+			if _, clash := lookup(st.Name); clash {
+				return nil, errf(p.File, st.Pos, "binding %q shadows the combinator of the same name", st.Name)
+			}
+			cl := c.checkExpr(st.Expr)
+			if c.err != nil {
+				return nil, c.err
+			}
+			c.bound[st.Name] = cl
+		case *EmitStmt:
+			if emitAt != nil {
+				return nil, errf(p.File, st.Pos, "multiple emit statements (first at %s)", emitAt)
+			}
+			pos := st.Pos
+			emitAt = &pos
+			cl := c.checkExpr(st.Expr)
+			if c.err != nil {
+				return nil, c.err
+			}
+			if !cl.finite {
+				return nil, errf(p.File, st.Pos, "emitted stream must be finite — wrap it in take(…, n)")
+			}
+			info.Length = cl.n
+		}
+	}
+	if emitAt == nil {
+		last := p.Stmts[len(p.Stmts)-1].stmtPos()
+		return nil, errf(p.File, last, "missing emit statement")
+	}
+	// Unused bindings are dead weight in a corpus meant to be read;
+	// iterate the statement list (not the map) for deterministic order.
+	for _, st := range p.Stmts {
+		if let, ok := st.(*LetStmt); ok && !c.used[let.Name] {
+			return nil, errf(p.File, let.Pos, "unused binding %q", let.Name)
+		}
+	}
+	return info, nil
+}
+
+func (c *checker) failf(pos Pos, format string, args ...any) class {
+	if c.err == nil {
+		c.err = errf(c.file, pos, format, args...)
+	}
+	return class{}
+}
+
+// checkExpr validates a stream expression and returns its length class.
+func (c *checker) checkExpr(e Expr) class {
+	switch e := e.(type) {
+	case *Number:
+		return c.failf(e.Pos, "a number is not a stream (did you mean a combinator call?)")
+	case *Ref:
+		cl, ok := c.bound[e.Name]
+		if !ok {
+			if _, isComb := lookup(e.Name); isComb {
+				return c.failf(e.Pos, "combinator %q needs an argument list: %s", e.Name, Signature(e.Name))
+			}
+			return c.failf(e.Pos, "undefined name %q (bindings must be defined before use)", e.Name)
+		}
+		c.used[e.Name] = true
+		return cl
+	case *Call:
+		return c.checkCall(e)
+	}
+	return c.failf(Pos{1, 1}, "internal: unknown expression kind")
+}
+
+func (c *checker) checkCall(call *Call) class {
+	spec, ok := lookup(call.Name)
+	if !ok {
+		return c.failf(call.Pos, "unknown combinator %q (known: %s)", call.Name, strings.Join(Combinators(), ", "))
+	}
+
+	// Split the argument list into operands, weights, and named
+	// parameters, validating each form against the signature.
+	var operands []class
+	seen := make(map[string]bool)
+	for _, a := range call.Args {
+		switch {
+		case a.Name != "":
+			p := spec.paramNamed(a.Name)
+			if p == nil {
+				return c.failf(a.Pos, "unknown parameter %q of %s (signature: %s)", a.Name, call.Name, Signature(call.Name))
+			}
+			if seen[a.Name] {
+				return c.failf(a.Pos, "duplicate parameter %q", a.Name)
+			}
+			seen[a.Name] = true
+			num, isNum := a.Value.(*Number)
+			if !isNum {
+				return c.failf(a.Value.exprPos(), "parameter %q of %s expects a number", a.Name, call.Name)
+			}
+			if bad := checkParamValue(p, num); bad != "" {
+				return c.failf(num.Pos, "parameter %s=%s of %s %s", a.Name, formatNumber(num.Value), call.Name, bad)
+			}
+		case a.Weight != nil:
+			if spec.operands != weightedOperands {
+				return c.failf(a.Pos, "%s does not take weighted operands (signature: %s)", call.Name, Signature(call.Name))
+			}
+			if spec.weightInt {
+				if !a.Weight.IsInt() || a.Weight.Int() < 1 {
+					return c.failf(a.Weight.Pos, "interleave counts must be integers ≥ 1, got %s", formatNumber(a.Weight.Value))
+				}
+			} else if !(a.Weight.Value > 0) || math.IsInf(a.Weight.Value, 1) {
+				return c.failf(a.Weight.Pos, "mix weights must be > 0, got %s", formatNumber(a.Weight.Value))
+			}
+			operands = append(operands, c.checkExpr(a.Value))
+		default:
+			if spec.operands == weightedOperands {
+				return c.failf(a.Pos, "%s operands need weights (signature: %s)", call.Name, Signature(call.Name))
+			}
+			operands = append(operands, c.checkExpr(a.Value))
+		}
+		if c.err != nil {
+			return class{}
+		}
+	}
+
+	// Required parameters must all be present.
+	for i := range spec.params {
+		p := &spec.params[i]
+		if p.required && !seen[p.name] {
+			return c.failf(call.Pos, "missing required parameter %q of %s (signature: %s)", p.name, call.Name, Signature(call.Name))
+		}
+	}
+
+	// Operand arity.
+	switch spec.operands {
+	case noOperands:
+		if len(operands) != 0 {
+			return c.failf(call.Pos, "%s takes no stream operands (signature: %s)", call.Name, Signature(call.Name))
+		}
+	case oneOperand:
+		if len(operands) != 1 {
+			return c.failf(call.Pos, "%s takes exactly one stream operand, got %d", call.Name, len(operands))
+		}
+	case twoOperands:
+		if len(operands) != 2 {
+			return c.failf(call.Pos, "%s takes exactly two stream operands, got %d", call.Name, len(operands))
+		}
+	case variadicOperands, weightedOperands:
+		if len(operands) < 2 {
+			return c.failf(call.Pos, "%s takes at least two stream operands, got %d", call.Name, len(operands))
+		}
+	}
+
+	// Length rule, which doubles as the finiteness constraint.
+	switch spec.length {
+	case lenInfinite:
+		for i, op := range operands {
+			if op.finite {
+				return c.failf(operandPos(call, i), "%s requires infinite stream operands — wrap finite streams in loop(…)", call.Name)
+			}
+		}
+		return class{finite: false}
+	case lenSame:
+		return operands[0]
+	case lenTake:
+		n := paramInt64(call, spec, "n")
+		if operands[0].finite && operands[0].n < n {
+			n = operands[0].n
+		}
+		return class{finite: true, n: n}
+	case lenLoop:
+		if !operands[0].finite {
+			return c.failf(operandPos(call, 0), "loop requires a finite operand (it already repeats forever)")
+		}
+		return class{finite: false}
+	case lenConcat:
+		total := int64(0)
+		for i, op := range operands {
+			if !op.finite {
+				if i != len(operands)-1 {
+					return c.failf(operandPos(call, i), "only the last operand of concat may be infinite")
+				}
+				return class{finite: false}
+			}
+			total += op.n
+			if total > maxLength {
+				return c.failf(call.Pos, "concat result exceeds %d requests", maxLength)
+			}
+		}
+		return class{finite: true, n: total}
+	}
+	return c.failf(call.Pos, "internal: unhandled length rule for %s", call.Name)
+}
+
+// operandPos returns the position of the i-th stream operand of call.
+func operandPos(call *Call, i int) Pos {
+	n := 0
+	for _, a := range call.Args {
+		if a.Name == "" {
+			if n == i {
+				return a.Pos
+			}
+			n++
+		}
+	}
+	return call.Pos
+}
+
+// paramNamed returns the parameter spec named name, or nil.
+func (c *combinator) paramNamed(name string) *param {
+	for i := range c.params {
+		if c.params[i].name == name {
+			return &c.params[i]
+		}
+	}
+	return nil
+}
+
+// checkParamValue validates a literal against a parameter spec,
+// returning a non-empty complaint on violation.
+func checkParamValue(p *param, num *Number) string {
+	if p.kind == paramInt && !num.IsInt() {
+		return "must be an integer"
+	}
+	if num.Value < p.min {
+		return "is below the minimum " + formatNumber(p.min)
+	}
+	if num.Value > p.max {
+		return "is above the maximum " + formatNumber(p.max)
+	}
+	return ""
+}
+
+// paramInt64 returns the value of an integer parameter, falling back to
+// the registry default. Only valid after checkCall succeeded.
+func paramInt64(call *Call, spec *combinator, name string) int64 {
+	for _, a := range call.Args {
+		if a.Name == name {
+			return a.Value.(*Number).Int()
+		}
+	}
+	p := spec.paramNamed(name)
+	return int64(p.def)
+}

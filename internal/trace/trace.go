@@ -120,6 +120,43 @@ func (t Trace) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// WriteSource serializes a Source to w in the same binary format as
+// Write, in O(1) memory — the streaming encoder that lets a compiled
+// scenario or an adapter emit traces far larger than RAM. declared is
+// the request count written to the header; the source must deliver
+// exactly that many items or WriteSource reports the mismatch (the
+// format's length field is load-bearing for the streaming decoder).
+func WriteSource(w io.Writer, src Source, declared uint64) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], declared)
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return fmt.Errorf("trace: write length: %w", err)
+	}
+	prev := uint64(0)
+	written := uint64(0)
+	for src.Next() {
+		it := src.Item()
+		delta := int64(uint64(it)) - int64(prev)
+		n = binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return fmt.Errorf("trace: write request: %w", err)
+		}
+		prev = uint64(it)
+		written++
+	}
+	if err := src.Err(); err != nil {
+		return fmt.Errorf("trace: source failed after %d requests: %w", written, err)
+	}
+	if written != declared {
+		return fmt.Errorf("trace: source emitted %d requests, header declared %d", written, declared)
+	}
+	return bw.Flush()
+}
+
 // Read deserializes a trace written by Write. The declared length is
 // trusted only up to maxPrealloc items of preallocation: a corrupt or
 // adversarial header cannot reserve gigabytes before the first request

@@ -78,4 +78,25 @@ func TestPackageDocs(t *testing.T) {
 	if len(dirs) < 10 {
 		t.Fatalf("walked only %d package dirs — walker is broken", len(dirs))
 	}
+
+	// Packages whose doc comments carry documented contracts other
+	// tests rely on (e.g. the scenario DSL's determinism and hot-path
+	// guarantees) must be in the walked set — if a restructure moves
+	// them out from under the walker, fail loudly instead of silently
+	// dropping the doc gate.
+	mustCover := []string{
+		filepath.Join("internal", "scenario"),
+		filepath.Join("cmd", "gcscn"),
+		filepath.Join("internal", "trace"),
+		filepath.Join("internal", "concurrent"),
+	}
+	walked := make(map[string]bool, len(dirs))
+	for _, d := range dirs {
+		walked[d] = true
+	}
+	for _, want := range mustCover {
+		if !walked[want] {
+			t.Errorf("package dir %s was not walked — the doc gate no longer covers it", want)
+		}
+	}
 }
