@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-one test race cover bench bench-json bench-floor load-smoke scenario-smoke repro repro-quick fuzz stress clean
+.PHONY: all build vet lint lint-one test race cover bench bench-json bench-floor load-smoke scenario-smoke cluster-smoke cluster-chaos repro repro-quick fuzz stress clean
 
 all: build vet lint test
 
@@ -54,6 +54,22 @@ load-smoke:
 scenario-smoke:
 	$(GO) test -race -run 'TestScenarioCorpus|TestManual' ./internal/scenario/
 	$(GO) test ./internal/scenario/ -run FuzzScenarioParse -fuzz FuzzScenarioParse -fuzztime 5s
+
+# Cluster smoke: the full internal/cluster suite (ring, wire codec,
+# breaker, node lifecycle, byte-identical handoff) plus gcload's
+# in-process three-node loopback ring selfcheck, all under the race
+# detector, and a short wire-decoder fuzz pass.
+cluster-smoke:
+	$(GO) test -race ./internal/cluster/... ./internal/obs/serve/
+	$(GO) run -race ./cmd/gcload -cluster -selfcheck
+	$(GO) test ./internal/cluster/ -run FuzzFrameDecode -fuzz FuzzFrameDecode -fuzztime 5s
+
+# Chaos gate: the seeded kill/partition/heal/restart schedule against a
+# four-node ring behind fault-injecting proxies, under the race
+# detector. Asserts no lost acked ops, the accounting identity, bounded
+# rejections, and per-event recovery (see internal/cluster/chaos_test.go).
+cluster-chaos:
+	$(GO) test -race -run TestClusterChaos -v ./internal/cluster/
 
 cover:
 	$(GO) test -cover ./...

@@ -66,15 +66,36 @@ func main() {
 		pin       = flag.Bool("pin", false, "batch mode: pin each shard worker to an OS thread (BatchConfig.PinWorkers)")
 		duration  = flag.Duration("duration", 0, "stop after this long even if -ops remain (0 = run to completion)")
 		selfcheck = flag.Bool("selfcheck", false, "run a small fixed load in both modes, verify accounting, and exit")
+
+		clusterMode = flag.Bool("cluster", false, "drive a gcserve cache ring over the wire instead of an in-process cache (requires -ring; with -selfcheck, runs an in-process 3-node ring)")
+		ringArg     = flag.String("ring", "", "cluster mode: static ring file, one node address per line")
 	)
 	cli.SetUsage("gcload", "generate open-loop or batched load against a sharded cache and report throughput + latency percentiles")
 	flag.Parse()
 
 	if *selfcheck {
-		if err := runSelfcheck(); err != nil {
+		check := runSelfcheck
+		if *clusterMode {
+			check = runClusterSelfcheck
+		}
+		if err := check(); err != nil {
 			cli.Fatal("gcload", err)
 		}
 		fmt.Println("gcload: selfcheck ok")
+		return
+	}
+
+	if *clusterMode {
+		if *ringArg == "" {
+			cli.Fatalf("gcload", "-cluster requires -ring")
+		}
+		if *scenFile != "" {
+			cli.Fatalf("gcload", "-cluster and -scenario are mutually exclusive")
+		}
+		runClusterLoad(clusterLoadConfig{
+			ringPath: *ringArg, spec: *spec, traceFile: *traceFile, seed: *seed,
+			streams: *streams, ops: *ops, batch: *batch, rate: *rate, duration: *duration,
+		})
 		return
 	}
 

@@ -46,6 +46,10 @@ func main() {
 		duration  = flag.Duration("duration", 0, "stop after this long (0 = run until interrupted)")
 		drain     = flag.Duration("drain", 5*time.Second, "grace period for in-flight responses on shutdown")
 		selfcheck = flag.Bool("selfcheck", false, "start on an ephemeral port, probe own endpoints, and exit")
+
+		clusterMode = flag.Bool("cluster", false, "serve as a cache-ring node (requires -ring and -cluster-addr; disables local replay)")
+		ringFile    = flag.String("ring", "", "cluster mode: static ring file, one node address per line")
+		clusterAddr = flag.String("cluster-addr", "", "cluster mode: this node's wire address (must appear in the ring file)")
 	)
 	cli.SetUsage("gcserve", "serve live cache-replay metrics, event logs, and pprof over HTTP")
 	flag.Parse()
@@ -64,6 +68,12 @@ func main() {
 		Loop:      *loop,
 		Rate:      *rate,
 	}
+	if *clusterMode {
+		if *ringFile == "" || *clusterAddr == "" {
+			cli.Fatalf("gcserve", "-cluster requires -ring and -cluster-addr")
+		}
+		cfg.ClusterRing, cfg.ClusterAddr = *ringFile, *clusterAddr
+	}
 	if *selfcheck {
 		cfg.Addr = "127.0.0.1:0"
 		cfg.Loop = false
@@ -77,9 +87,12 @@ func main() {
 		cli.Fatal("gcserve", err)
 	}
 	fmt.Printf("gcserve: listening on http://%s (policy %s, %s)\n", bound, *policyArg, sourceDesc(cfg))
+	if cfg.ClusterRing != "" {
+		fmt.Printf("gcserve: cluster node %s in ring %s\n", srv.NodeAddr(), cfg.ClusterRing)
+	}
 
 	if *selfcheck {
-		if err := runSelfcheck(srv, bound); err != nil {
+		if err := runSelfcheck(srv, bound, cfg.ClusterRing != ""); err != nil {
 			cli.Fatal("gcserve", err)
 		}
 		srv.Stop()
@@ -101,6 +114,17 @@ func main() {
 		<-interrupt
 	}
 	fmt.Printf("gcserve: shutting down (draining up to %v; interrupt again to force)\n", *drain)
+	if *clusterMode {
+		// Graceful leave: stop accepting wire traffic, then hand the
+		// node's cache state to its ring successor. A failed handoff is
+		// reported but does not block shutdown — the state is lost the
+		// same way it would be on a crash, which the ring tolerates.
+		if err := srv.DrainAndHandoff(*drain); err != nil {
+			fmt.Printf("gcserve: handoff failed: %v\n", err)
+		} else {
+			fmt.Println("gcserve: drained and handed off to ring successor")
+		}
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	done := make(chan error, 1)
@@ -124,10 +148,14 @@ func sourceDesc(cfg serve.Config) string {
 
 // runSelfcheck waits for the replay to produce accesses, then fetches
 // every endpoint once — the scripted version of the README quickstart.
-func runSelfcheck(srv *serve.Server, bound string) error {
-	srv.Wait() // non-looping replay: finishes quickly
+// In cluster mode there is no local replay, so it only checks that the
+// node is up and every probe endpoint answers.
+func runSelfcheck(srv *serve.Server, bound string, clustered bool) error {
+	if !clustered {
+		srv.Wait() // non-looping replay: finishes quickly
+	}
 	base := "http://" + bound
-	for _, path := range []string{"/healthz", "/", "/metrics", "/events", "/sweep", "/debug/pprof/cmdline"} {
+	for _, path := range []string{"/healthz", "/readyz", "/", "/metrics", "/events", "/sweep", "/debug/pprof/cmdline"} {
 		resp, err := http.Get(base + path)
 		if err != nil {
 			return fmt.Errorf("GET %s: %w", path, err)
@@ -143,6 +171,9 @@ func runSelfcheck(srv *serve.Server, bound string) error {
 		if len(body) == 0 {
 			return fmt.Errorf("GET %s: empty body", path)
 		}
+	}
+	if clustered {
+		return nil // no local replay to account for
 	}
 	if st := srv.Stats(); st.Accesses == 0 {
 		return fmt.Errorf("selfcheck replay produced no accesses")

@@ -39,6 +39,7 @@ func TestCommandSmoke(t *testing.T) {
 		{"gcserve-selfcheck", []string{"run", "./cmd/gcserve", "-selfcheck", "-k", "128", "-B", "8",
 			"-workload", "blockruns:blocks=32,B=8,run=4,len=4000", "-policy", "iblp"}, "selfcheck ok"},
 		{"gcload-selfcheck", []string{"run", "./cmd/gcload", "-selfcheck"}, "gcload: selfcheck ok"},
+		{"gcload-cluster-selfcheck", []string{"run", "./cmd/gcload", "-cluster", "-selfcheck"}, "handoff verified"},
 		{"gcload-open", []string{"run", "./cmd/gcload", "-k", "128", "-B", "8", "-shards", "2",
 			"-streams", "2", "-ops", "20000",
 			"-workload", "blockruns:blocks=32,B=8,run=4,len=4000"}, "ops/sec"},
@@ -168,10 +169,11 @@ func TestCommandUsage(t *testing.T) {
 		"gcopt":       {"workload", "trace", "k", "B", "seed", "exact", "deadline", "checkpoint", "resume"},
 		"gcrepro":     {"out", "quick"},
 		"gcload": {"k", "B", "policy", "workload", "trace", "scenario", "seed", "shards", "streams",
-			"ops", "rate", "mode", "batch", "depth", "pin", "duration", "selfcheck"},
+			"ops", "rate", "mode", "batch", "depth", "pin", "duration", "selfcheck", "cluster", "ring"},
 		"gcscn": {"fmt", "explain", "stats", "out", "seed", "B"},
 		"gcserve": {"addr", "k", "B", "policy", "workload", "trace", "seed",
-			"shards", "streams", "probe", "loop", "rate", "duration", "selfcheck", "drain"},
+			"shards", "streams", "probe", "loop", "rate", "duration", "selfcheck", "drain",
+			"cluster", "ring", "cluster-addr"},
 		"gcsim": {"k", "B", "policy", "workload", "trace", "scenario", "seed", "opt", "probe",
 			"deadline", "checkpoint", "resume"},
 		"gctrace": {"workload", "out", "in", "B", "seed", "format", "mrc", "reuse"},

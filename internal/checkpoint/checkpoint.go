@@ -30,13 +30,19 @@ import (
 // magic identifies the gccache checkpoint format, version 1.
 var magic = [8]byte{'g', 'c', 'c', 'k', 'p', 't', 0, 1}
 
-// Limits keep the decoder from over-allocating on adversarial input.
-// Real snapshots are far smaller; the sweep result cap (1<<20 entries)
-// matches the largest grids the experiment harness runs.
+// Limits keep the decoder from over-allocating on adversarial input —
+// the same failure class as the trace-header prealloc DoS: a length
+// field must never be trusted before the bytes it promises exist. Real
+// snapshots are far smaller; the meta cap (1<<20 entries) matches the
+// largest grids the experiment harness runs, while sections are a
+// handful of named blobs (sweep results, solver frontiers, cluster
+// warm sets), so their count and name lengths get much tighter caps.
 const (
-	maxKeyLen   = 1 << 12
-	maxEntries  = 1 << 20
-	maxBodySize = 1 << 31
+	maxKeyLen       = 1 << 12
+	maxEntries      = 1 << 20
+	maxSectionCount = 1 << 12
+	maxNameLen      = 1 << 8
+	maxBodySize     = 1 << 31
 )
 
 // Snapshot is one checkpoint: a kind tag naming the producer, integer
@@ -138,6 +144,17 @@ func (d *decoder) bytes(n uint64, what string) ([]byte, error) {
 	return out, nil
 }
 
+// sizeHint clamps a declared entry count to what the undecoded input
+// could possibly contain (entries occupy at least two bytes each), so
+// map pre-sizing never trusts a count the bytes cannot back.
+func (d *decoder) sizeHint(declared uint64) int {
+	most := uint64(len(d.b)-d.off) / 2
+	if declared > most {
+		return int(most)
+	}
+	return int(declared)
+}
+
 func (d *decoder) str(maxLen uint64, what string) (string, error) {
 	n, err := d.uvarint(what + " length")
 	if err != nil {
@@ -181,7 +198,11 @@ func Decode(raw []byte) (*Snapshot, error) {
 	if nMeta > maxEntries {
 		return nil, fmt.Errorf("checkpoint: implausible meta count %d", nMeta)
 	}
-	s.Meta = make(map[string]int64, nMeta)
+	// Pre-size from the declaration only up to what the remaining input
+	// could physically hold (each entry is ≥ 2 bytes), so a tiny file
+	// declaring the maximum count cannot reserve megabytes up front —
+	// the map simply grows if the declaration turns out honest.
+	s.Meta = make(map[string]int64, d.sizeHint(nMeta))
 	for i := uint64(0); i < nMeta; i++ {
 		k, err := d.str(maxKeyLen, "meta key")
 		if err != nil {
@@ -199,12 +220,12 @@ func Decode(raw []byte) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nSec > maxEntries {
+	if nSec > maxSectionCount {
 		return nil, fmt.Errorf("checkpoint: implausible section count %d", nSec)
 	}
-	s.Sections = make(map[string][]byte, nSec)
+	s.Sections = make(map[string][]byte, d.sizeHint(nSec))
 	for i := uint64(0); i < nSec; i++ {
-		name, err := d.str(maxKeyLen, "section name")
+		name, err := d.str(maxNameLen, "section name")
 		if err != nil {
 			return nil, err
 		}

@@ -2,6 +2,8 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -141,6 +143,117 @@ func TestSaveFailsLoudlyOnBadDir(t *testing.T) {
 func TestLoadMissingFile(t *testing.T) {
 	if _, err := Load(filepath.Join(t.TempDir(), "absent.ckpt")); err == nil {
 		t.Fatal("Load of a missing file succeeded")
+	}
+}
+
+// seal appends the CRC-32 footer to a hand-built body so crafted
+// encodings get past the checksum and exercise the structural checks.
+func seal(body []byte) []byte {
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	return append(append([]byte(nil), body...), crc[:]...)
+}
+
+// craft builds an encoding body from the magic plus parts.
+func craft(parts ...[]byte) []byte {
+	body := append([]byte(nil), magic[:]...)
+	for _, p := range parts {
+		body = append(body, p...)
+	}
+	return body
+}
+
+func uv(v uint64) []byte  { return binary.AppendUvarint(nil, v) }
+func str(s string) []byte { return append(uv(uint64(len(s))), s...) }
+func sv(v int64) []byte   { return binary.AppendVarint(nil, v) }
+
+// TestDecodeRejectsOversizedValues is the hardening audit for the same
+// failure class as the trace-header prealloc DoS: every length or count
+// field a snapshot declares is checked against an explicit cap before a
+// single byte of it is trusted, with an error message naming what blew
+// the limit. Table-driven over hand-crafted (valid-CRC) encodings.
+func TestDecodeRejectsOversizedValues(t *testing.T) {
+	cases := []struct {
+		name    string
+		body    []byte
+		wantErr string // substring of the error message
+	}{
+		{
+			"kind-length-over-cap",
+			craft(uv(maxKeyLen + 1)),
+			"implausible kind length",
+		},
+		{
+			"meta-count-over-cap",
+			craft(str("k"), uv(maxEntries+1)),
+			"implausible meta count",
+		},
+		{
+			"meta-key-length-over-cap",
+			craft(str("k"), uv(1), uv(maxKeyLen+1)),
+			"implausible meta key length",
+		},
+		{
+			"section-count-over-cap",
+			craft(str("k"), uv(0), uv(maxSectionCount+1)),
+			"implausible section count",
+		},
+		{
+			"section-name-length-over-cap",
+			craft(str("k"), uv(0), uv(1), uv(maxNameLen+1)),
+			"implausible section name length",
+		},
+		{
+			"section-length-past-input",
+			craft(str("k"), uv(0), uv(1), str("s"), uv(1<<30)),
+			"exceeds remaining input",
+		},
+		{
+			"section-length-over-cap",
+			craft(str("k"), uv(0), uv(1), str("s"), uv(maxBodySize+1)),
+			"implausible section length",
+		},
+		{
+			"duplicate-meta-key",
+			craft(str("k"), uv(2), str("dup"), sv(1), str("dup"), sv(2), uv(0)),
+			`duplicate meta key "dup"`,
+		},
+		{
+			"duplicate-section",
+			craft(str("k"), uv(0), uv(2), str("dup"), uv(0), str("dup"), uv(0)),
+			`duplicate section "dup"`,
+		},
+		{
+			"trailing-garbage",
+			craft(str("k"), uv(0), uv(0), []byte{0xFF, 0xFF}),
+			"trailing bytes",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Decode(seal(c.body))
+			if err == nil {
+				t.Fatalf("decode accepted a %s encoding", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestDecodeCapsBoundAllocation decodes an adversarial encoding that
+// declares maximal counts with no backing bytes and asserts the
+// rejection happens without the declared memory ever being reserved:
+// the caps fire on the declaration, so peak allocation stays
+// proportional to the (tiny) input.
+func TestDecodeCapsBoundAllocation(t *testing.T) {
+	// Declares 2^20 meta entries in a 20-byte file. Decode pre-sizes the
+	// map from the declaration only after the cap check passes — so this
+	// must error on the first missing key, not OOM.
+	body := craft(str("k"), uv(maxEntries))
+	if _, err := Decode(seal(body)); err == nil {
+		t.Fatal("decode accepted a count-without-content encoding")
 	}
 }
 

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker states.
+const (
+	bkClosed   = iota // normal: requests flow
+	bkOpen            // tripped: requests short-circuit until the cooldown passes
+	bkHalfOpen        // probing: exactly one request allowed through
+)
+
+// Breaker is a per-node circuit breaker: it trips open after a run of
+// consecutive failures, short-circuits requests for a cooldown, then
+// lets a single half-open probe decide whether the node is back. Time
+// is passed in explicitly so tests drive transitions without sleeping.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	//gclint:guardedby mu
+	state int
+	//gclint:guardedby mu
+	consecutive int
+	//gclint:guardedby mu
+	openUntil time.Time
+	//gclint:guardedby mu
+	probing bool
+	//gclint:guardedby mu
+	trips int64
+}
+
+// NewBreaker returns a breaker that opens after threshold consecutive
+// failures and stays open for cooldown before probing. threshold < 1
+// disables tripping entirely.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may be sent at time now. In the open
+// state it returns false until the cooldown expires, then admits
+// exactly one probe (half-open); further requests are refused until
+// that probe's Record call settles the state.
+func (b *Breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkClosed:
+		return true
+	case bkOpen:
+		if now.Before(b.openUntil) {
+			return false
+		}
+		b.state = bkHalfOpen
+		b.probing = true
+		return true
+	default: // bkHalfOpen
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Record reports the outcome of a request issued at Allow time. A
+// success closes the breaker; a failure re-opens a half-open breaker
+// immediately and trips a closed one once the consecutive-failure run
+// reaches the threshold.
+func (b *Breaker) Record(ok bool, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.state = bkClosed
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.state == bkHalfOpen || (b.threshold > 0 && b.consecutive >= b.threshold) {
+		if b.state != bkOpen {
+			b.trips++
+		}
+		b.state = bkOpen
+		b.openUntil = now.Add(b.cooldown)
+	}
+}
+
+// Trips returns how many times the breaker has transitioned to open.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// State returns the current state name, for logs and tests.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case bkOpen:
+		return "open"
+	case bkHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

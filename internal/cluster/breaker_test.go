@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(3, time.Second)
+	for i := 0; i < 2; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Record(false, now)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state %q after 2 of 3 failures", b.State())
+	}
+	b.Allow(now)
+	b.Record(false, now)
+	if b.State() != "open" {
+		t.Fatalf("state %q after 3 consecutive failures, want open", b.State())
+	}
+	if b.Allow(now.Add(500 * time.Millisecond)) {
+		t.Error("open breaker admitted a request inside the cooldown")
+	}
+	if b.Trips() != 1 {
+		t.Errorf("Trips = %d, want 1", b.Trips())
+	}
+}
+
+func TestBreakerSuccessResetsRun(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(3, time.Second)
+	// Interleaved failures never reach 3 consecutive.
+	for i := 0; i < 10; i++ {
+		b.Allow(now)
+		b.Record(false, now)
+		b.Allow(now)
+		b.Record(false, now)
+		b.Allow(now)
+		b.Record(true, now)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("state %q, want closed: success must reset the failure run", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(1, time.Second)
+	b.Allow(now)
+	b.Record(false, now) // trips immediately at threshold 1
+	after := now.Add(1100 * time.Millisecond)
+	if !b.Allow(after) {
+		t.Fatal("cooldown expired but probe refused")
+	}
+	if b.State() != "half-open" {
+		t.Fatalf("state %q, want half-open", b.State())
+	}
+	// Exactly one probe: a second concurrent request is refused.
+	if b.Allow(after) {
+		t.Fatal("second request admitted while the probe is outstanding")
+	}
+	// Failed probe re-opens for a fresh cooldown.
+	b.Record(false, after)
+	if b.State() != "open" {
+		t.Fatalf("state %q after failed probe, want open", b.State())
+	}
+	if b.Allow(after.Add(500 * time.Millisecond)) {
+		t.Error("re-opened breaker admitted a request inside the new cooldown")
+	}
+	// Successful probe closes.
+	again := after.Add(1100 * time.Millisecond)
+	if !b.Allow(again) {
+		t.Fatal("second probe refused")
+	}
+	b.Record(true, again)
+	if b.State() != "closed" {
+		t.Fatalf("state %q after successful probe, want closed", b.State())
+	}
+	if !b.Allow(again) {
+		t.Error("closed breaker refused a request")
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := NewBreaker(0, time.Second)
+	for i := 0; i < 50; i++ {
+		if !b.Allow(now) {
+			t.Fatal("disabled breaker refused a request")
+		}
+		b.Record(false, now)
+	}
+	if b.State() != "closed" {
+		t.Fatalf("disabled breaker state %q", b.State())
+	}
+}

@@ -1,0 +1,385 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gccache/internal/cluster/ring"
+	"gccache/internal/model"
+)
+
+// ClientConfig tunes the cluster client. The zero value gets sane
+// defaults from NewClient.
+type ClientConfig struct {
+	// Timeout is the per-request deadline (dial + write + read).
+	Timeout time.Duration
+	// Retries is how many times one node is retried after its first
+	// failure before the client fails over to the next ring successor.
+	Retries int
+	// Failover is how many distinct successors to try after the owner:
+	// 0 (the zero value) means every other node in the ring, negative
+	// means none — the owner is the only node tried.
+	Failover int
+	// BackoffBase and BackoffCap bound the capped exponential backoff
+	// slept between retries; the actual sleep is jittered in
+	// [50%, 100%] of the nominal value by a seeded hash, so reruns
+	// back off identically and herds of clients do not synchronize.
+	BackoffBase, BackoffCap time.Duration
+	// BreakerThreshold consecutive failures trip a node's breaker open
+	// for BreakerCooldown; an open breaker short-circuits the node
+	// without burning the request deadline. Threshold < 1 disables.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Seed drives the backoff jitter.
+	Seed int64
+}
+
+func (c *ClientConfig) fill() {
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffCap <= 0 {
+		c.BackoffCap = 250 * time.Millisecond
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
+}
+
+// ClientStats is a snapshot of the client's accounting counters. The
+// identity Issued == ServedFirstTry + RetriedOK + Rejected holds at
+// every quiescent point; the chaos harness asserts it after every run.
+type ClientStats struct {
+	// Issued counts batch requests handed to Do.
+	Issued int64
+	// ServedFirstTry counts batches acked by the first attempt on the
+	// owning node.
+	ServedFirstTry int64
+	// RetriedOK counts batches acked only after a retry or failover.
+	RetriedOK int64
+	// Rejected counts batches that exhausted every node in the chain.
+	Rejected int64
+	// Attempts counts individual request attempts (≥ Issued).
+	Attempts int64
+	// Failovers counts attempts routed past the owning node.
+	Failovers int64
+	// BreakerSkips counts nodes short-circuited by an open breaker.
+	BreakerSkips int64
+	// AckMismatches counts acked responses whose served count did not
+	// cover the batch — always zero unless a node violates the
+	// protocol; "no lost acknowledged ops" rests on it.
+	AckMismatches int64
+	// Hits and Misses accumulate the per-batch outcome counts reported
+	// by acking nodes.
+	Hits, Misses int64
+}
+
+// clientConn is one pooled connection to a node, used serially.
+type clientConn struct {
+	mu sync.Mutex
+	//gclint:guardedby mu
+	conn net.Conn
+	//gclint:guardedby mu
+	br *bufio.Reader
+	//gclint:guardedby mu
+	bw *bufio.Writer
+	//gclint:guardedby mu
+	seq uint64
+	//gclint:guardedby mu
+	buf []byte // frame read scratch
+	//gclint:guardedby mu
+	out []byte // frame write scratch
+}
+
+// Client routes access batches to the ring, with per-request deadlines,
+// capped-backoff retries, per-node circuit breakers, and ring-successor
+// failover. Safe for concurrent use; connections are per-node and
+// serialized, so concurrency across nodes is free and concurrency to
+// one node queues.
+type Client struct {
+	ring *ring.Ring
+	cfg  ClientConfig
+
+	mu sync.Mutex
+	//gclint:guardedby mu
+	conns map[int]*clientConn
+	//gclint:guardedby mu
+	breakers map[int]*Breaker
+
+	issued, servedFirst, retriedOK, rejected atomic.Int64
+	attempts, failovers, breakerSkips        atomic.Int64
+	ackMismatches, hits, misses              atomic.Int64
+}
+
+// NewClient returns a client over r. See ClientConfig for defaults.
+func NewClient(r *ring.Ring, cfg ClientConfig) *Client {
+	cfg.fill()
+	switch {
+	case cfg.Failover == 0, cfg.Failover > r.Len()-1:
+		cfg.Failover = r.Len() - 1
+	case cfg.Failover < 0:
+		cfg.Failover = 0
+	}
+	return &Client{
+		ring:     r,
+		cfg:      cfg,
+		conns:    make(map[int]*clientConn),
+		breakers: make(map[int]*Breaker),
+	}
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Issued:         c.issued.Load(),
+		ServedFirstTry: c.servedFirst.Load(),
+		RetriedOK:      c.retriedOK.Load(),
+		Rejected:       c.rejected.Load(),
+		Attempts:       c.attempts.Load(),
+		Failovers:      c.failovers.Load(),
+		BreakerSkips:   c.breakerSkips.Load(),
+		AckMismatches:  c.ackMismatches.Load(),
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+	}
+}
+
+// Identity reports whether the accounting identity holds for s.
+func (s ClientStats) Identity() bool {
+	return s.Issued == s.ServedFirstTry+s.RetriedOK+s.Rejected
+}
+
+func (c *Client) connTo(node int) *clientConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cc := c.conns[node]
+	if cc == nil {
+		cc = &clientConn{}
+		c.conns[node] = cc
+	}
+	return cc
+}
+
+func (c *Client) breakerFor(node int) *Breaker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b := c.breakers[node]
+	if b == nil {
+		b = NewBreaker(c.cfg.BreakerThreshold, c.cfg.BreakerCooldown)
+		c.breakers[node] = b
+	}
+	return b
+}
+
+// backoff returns the jittered sleep before retry number n (0-based) of
+// attempt counter a. Deterministic in (seed, a): reruns back off the
+// same way.
+func (c *Client) backoff(n int, a uint64) time.Duration {
+	d := c.cfg.BackoffBase << uint(n)
+	if d > c.cfg.BackoffCap || d <= 0 {
+		d = c.cfg.BackoffCap
+	}
+	// Jitter into [50%, 100%] with the SplitMix64 finalizer over
+	// (seed, attempt) so concurrent clients spread out.
+	h := uint64(c.cfg.Seed)*0x9e3779b97f4a7c15 + a
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	frac := float64(h>>11) / (1 << 53) // [0, 1)
+	return time.Duration(float64(d) * (0.5 + frac/2))
+}
+
+// Do routes one batch of accesses to the node owning its first item and
+// blocks until the batch is acked or every node in the failover chain
+// is exhausted. Batches built by a ring-aware caller (see Route) are
+// single-owner; Do itself does not split mixed batches — the owning
+// node of items[0] serves them all, which keeps an ack atomic.
+func (c *Client) Do(items []model.Item) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if len(items) > maxBatchItems {
+		return fmt.Errorf("cluster: batch of %d items exceeds protocol cap %d", len(items), maxBatchItems)
+	}
+	c.issued.Add(1)
+	chain := c.ring.Chain(items[0], 1+c.cfg.Failover)
+	var lastErr error
+	for hop, node := range chain {
+		br := c.breakerFor(node)
+		for try := 0; try <= c.cfg.Retries; try++ {
+			now := time.Now()
+			if !br.Allow(now) {
+				c.breakerSkips.Add(1)
+				break // next node in the chain
+			}
+			a := c.attempts.Add(1)
+			if hop > 0 {
+				c.failovers.Add(1)
+			}
+			resp, err := c.exchange(node, items)
+			br.Record(err == nil, time.Now())
+			if err == nil {
+				if resp.Served != uint64(len(items)) {
+					c.ackMismatches.Add(1)
+				}
+				c.hits.Add(int64(resp.Hits))
+				c.misses.Add(int64(resp.Misses))
+				if hop == 0 && try == 0 {
+					c.servedFirst.Add(1)
+				} else {
+					c.retriedOK.Add(1)
+				}
+				return nil
+			}
+			lastErr = err
+			if we, ok := err.(*WireError); ok && we.IsDraining() {
+				break // the node told us to go elsewhere; don't retry it
+			}
+			if try < c.cfg.Retries {
+				time.Sleep(c.backoff(try, uint64(a)))
+			}
+		}
+	}
+	c.rejected.Add(1)
+	return fmt.Errorf("cluster: batch rejected after %d-node chain: %w", len(chain), lastErr)
+}
+
+// Route appends each item of batch to by[owner], allocating per-owner
+// slices in by as needed. Callers reuse by across batches to group a
+// mixed stream into the single-owner sub-batches Do expects.
+func (c *Client) Route(batch []model.Item, by map[int][]model.Item) {
+	for _, it := range batch {
+		o := c.ring.Owner(it)
+		by[o] = append(by[o], it)
+	}
+}
+
+// Health asks node (by ring index) for its lifecycle state.
+func (c *Client) Health(node int) (state string, accesses uint64, err error) {
+	h, err := c.health(node)
+	if err != nil {
+		return "", 0, err
+	}
+	switch h.State {
+	case stateReady:
+		state = "ready"
+	case stateDraining:
+		state = "draining"
+	default:
+		state = "stopped"
+	}
+	return state, h.Accesses, nil
+}
+
+func (c *Client) health(node int) (healthResp, error) {
+	cc := c.connTo(node)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	typ, payload, err := c.roundTrip(cc, node, fHealthReq, nil)
+	if err != nil {
+		return healthResp{}, err
+	}
+	if typ != fHealthResp {
+		return healthResp{}, fmt.Errorf("cluster: node answered health with frame type %#02x", typ)
+	}
+	return decodeHealthResp(payload)
+}
+
+// exchange performs one access request/response on node's pooled
+// connection, dialing if needed. Any transport failure closes the
+// connection so the next attempt redials.
+func (c *Client) exchange(node int, items []model.Item) (accessResp, error) {
+	cc := c.connTo(node)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	cc.seq++
+	cc.out = appendAccessReq(cc.out[:0], cc.seq, items)
+	typ, payload, err := c.roundTrip(cc, node, fAccessReq, cc.out)
+	if err != nil {
+		return accessResp{}, err
+	}
+	if typ != fAccessResp {
+		return accessResp{}, fmt.Errorf("cluster: node answered access with frame type %#02x", typ)
+	}
+	resp, err := decodeAccessResp(payload)
+	if err != nil {
+		return accessResp{}, err
+	}
+	if resp.Seq != cc.seq {
+		// A stale response (e.g. from before a timeout) desynchronizes
+		// the stream; drop the connection rather than mis-attribute it.
+		cc.reset()
+		return accessResp{}, fmt.Errorf("cluster: response seq %d, want %d", resp.Seq, cc.seq)
+	}
+	return resp, nil
+}
+
+// roundTrip sends one frame and reads the reply under the deadline,
+// with cc.mu held. Error frames decode to *WireError; transport errors
+// reset the connection.
+func (c *Client) roundTrip(cc *clientConn, node int, typ byte, payload []byte) (byte, []byte, error) {
+	deadline := time.Now().Add(c.cfg.Timeout)
+	if cc.conn == nil { //gclint:guardok caller holds cc.mu; documented on the method
+		conn, err := net.DialTimeout("tcp", c.ring.Node(node), time.Until(deadline))
+		if err != nil {
+			return 0, nil, err
+		}
+		cc.conn, cc.br, cc.bw = conn, bufio.NewReader(conn), bufio.NewWriter(conn) //gclint:guardok caller holds cc.mu
+	}
+	if err := cc.conn.SetDeadline(deadline); err != nil { //gclint:guardok caller holds cc.mu
+		cc.reset()
+		return 0, nil, err
+	}
+	if err := writeFrame(cc.bw, typ, payload); err != nil { //gclint:guardok caller holds cc.mu
+		cc.reset()
+		return 0, nil, err
+	}
+	rtyp, rp, err := readFrame(cc.br, cc.buf[:0]) //gclint:guardok caller holds cc.mu
+	if err != nil {
+		cc.reset()
+		return 0, nil, err
+	}
+	cc.buf = rp[:0] //gclint:guardok caller holds cc.mu
+	if rtyp == fError {
+		we, err := decodeErrorFrame(rp)
+		if err != nil {
+			cc.reset()
+			return 0, nil, err
+		}
+		return 0, nil, we
+	}
+	return rtyp, rp, nil
+}
+
+// reset drops the pooled connection; the next attempt redials. Called
+// with cc.mu held.
+func (cc *clientConn) reset() {
+	if cc.conn != nil { //gclint:guardok caller holds cc.mu; documented on the method
+		cc.conn.Close()                       //gclint:guardok caller holds cc.mu
+		cc.conn, cc.br, cc.bw = nil, nil, nil //gclint:guardok caller holds cc.mu
+	}
+}
+
+// Close drops every pooled connection.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, cc := range c.conns {
+		cc.mu.Lock()
+		cc.reset()
+		cc.mu.Unlock()
+	}
+}

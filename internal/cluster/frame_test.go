@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"gccache/internal/model"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var net bytes.Buffer
+	bw := bufio.NewWriter(&net)
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 3000)}
+	for i, p := range payloads {
+		if err := writeFrame(bw, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(&net)
+	var buf []byte
+	for i, p := range payloads {
+		typ, got, err := readFrame(br, buf[:0])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if typ != byte(i+1) {
+			t.Fatalf("frame %d: type %d, want %d", i, typ, i+1)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: payload %x, want %x", i, got, p)
+		}
+		buf = got[:0]
+	}
+}
+
+// TestReadFrameRejectsOversizedDeclaration pins the prealloc-DoS guard:
+// a header declaring more than the cap fails before any payload is
+// read or allocated.
+func TestReadFrameRejectsOversizedDeclaration(t *testing.T) {
+	hdr := append([]byte{fAccessReq}, binary.AppendUvarint(nil, maxFramePayload+1)...)
+	_, _, err := readFrame(bufio.NewReader(bytes.NewReader(hdr)), nil)
+	if err == nil {
+		t.Fatal("oversized frame declaration accepted")
+	}
+	if !strings.Contains(err.Error(), "exceeds cap") {
+		t.Errorf("error %q does not name the cap", err)
+	}
+}
+
+func TestReadFrameRejectsTruncation(t *testing.T) {
+	var b bytes.Buffer
+	bw := bufio.NewWriter(&b)
+	if err := writeFrame(bw, fAccessReq, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	full := b.Bytes()
+	for n := 0; n < len(full); n++ {
+		if _, _, err := readFrame(bufio.NewReader(bytes.NewReader(full[:n])), nil); err == nil {
+			t.Fatalf("truncation to %d bytes read a frame", n)
+		}
+	}
+}
+
+func TestWriteFrameRefusesOversizedPayload(t *testing.T) {
+	err := writeFrame(bufio.NewWriter(&bytes.Buffer{}), fHandoffReq, make([]byte, maxFramePayload+1))
+	if err == nil {
+		t.Fatal("oversized payload sent")
+	}
+}
+
+func TestAccessReqRoundTrip(t *testing.T) {
+	items := []model.Item{0, 1, 2, 100, 50, 1 << 40, 7}
+	p := appendAccessReq(nil, 42, items)
+	seq, got, err := decodeAccessReq(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 42 || len(got) != len(items) {
+		t.Fatalf("decoded seq=%d n=%d, want 42/%d", seq, len(got), len(items))
+	}
+	for i := range items {
+		if got[i] != items[i] {
+			t.Fatalf("item %d: %d, want %d", i, got[i], items[i])
+		}
+	}
+	// Dense runs must cost ~1 byte per item (the point of delta coding).
+	dense := make([]model.Item, 1000)
+	for i := range dense {
+		dense[i] = model.Item(i)
+	}
+	if n := len(appendAccessReq(nil, 1, dense)); n > 1100 {
+		t.Errorf("dense 1000-item batch encoded to %d bytes, want ≈1000", n)
+	}
+}
+
+func TestDecodeAccessReqRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		wantErr string
+	}{
+		{"empty", nil, "truncated access seq"},
+		{"no-count", binary.AppendUvarint(nil, 1), "truncated access item count"},
+		{"count-over-cap", append(binary.AppendUvarint(nil, 1), binary.AppendUvarint(nil, maxBatchItems+1)...), "implausible batch"},
+		{"count-past-input", append(binary.AppendUvarint(nil, 1), binary.AppendUvarint(nil, 60000)...), "exceeds remaining input"},
+		{"truncated-items", append(append(binary.AppendUvarint(nil, 1), 3), 0), "truncated access item delta"},
+		{"negative-item", append(append(binary.AppendUvarint(nil, 1), 1), binary.AppendVarint(nil, -5)...), "negative item"},
+		{"trailing", append(appendAccessReq(nil, 1, []model.Item{4}), 9), "trailing bytes"},
+		// Found by FuzzFrameDecode: a zero-padded varint decodes to the
+		// same value but re-encodes shorter, breaking canonical form.
+		{"non-minimal-varint", []byte{0xe5, 0xe5, 0x00, 0x00}, "non-minimal varint"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := decodeAccessReq(c.payload, nil)
+			if err == nil {
+				t.Fatalf("accepted %s payload", c.name)
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestAccessRespRoundTrip(t *testing.T) {
+	want := accessResp{Seq: 9, Served: 16, Hits: 11, Misses: 5}
+	got, err := decodeAccessResp(appendAccessResp(nil, want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip changed response: %+v vs %+v", got, want)
+	}
+	if _, err := decodeAccessResp(append(appendAccessResp(nil, want), 1)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	if _, err := decodeAccessResp(nil); err == nil {
+		t.Error("empty response accepted")
+	}
+}
+
+func TestHealthRespRoundTrip(t *testing.T) {
+	for _, want := range []healthResp{{stateReady, 0}, {stateDraining, 123}, {stateStopped, 1 << 40}} {
+		got, err := decodeHealthResp(appendHealthResp(nil, want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("round trip changed health: %+v vs %+v", got, want)
+		}
+	}
+	if _, err := decodeHealthResp(nil); err == nil {
+		t.Error("empty health accepted")
+	}
+	if _, err := decodeHealthResp(append([]byte{9}, binary.AppendUvarint(nil, 1)...)); err == nil {
+		t.Error("unknown state accepted")
+	}
+}
+
+func TestErrorFrameRoundTrip(t *testing.T) {
+	we, err := decodeErrorFrame(appendErrorFrame(nil, errDraining, "node is draining"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we.Code != errDraining || we.Msg != "node is draining" || !we.IsDraining() {
+		t.Fatalf("decoded %+v", we)
+	}
+	if we.Error() == "" {
+		t.Error("empty Error() text")
+	}
+	// Oversized messages are truncated on encode, rejected on decode.
+	p := appendErrorFrame(nil, errInternal, strings.Repeat("x", maxErrMsgLen*2))
+	if we, err := decodeErrorFrame(p); err != nil || len(we.Msg) != maxErrMsgLen {
+		t.Errorf("truncated encode round trip: %v, msg len %d", err, len(we.Msg))
+	}
+	bad := append(binary.AppendUvarint(nil, 1), binary.AppendUvarint(nil, maxErrMsgLen+1)...)
+	if _, err := decodeErrorFrame(bad); err == nil {
+		t.Error("oversized message declaration accepted")
+	}
+	if _, err := decodeErrorFrame(append(binary.AppendUvarint(nil, 1), binary.AppendUvarint(nil, 4)...)); err == nil {
+		t.Error("message past input accepted")
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"gccache/internal/model"
+)
+
+// FuzzFrameDecode drives the wire decoder with arbitrary byte streams:
+// it must never panic, never hand back a payload beyond the frame cap,
+// and every payload it accepts must re-encode byte-identically (the
+// codec is canonical, so a decode/encode cycle is a fixed point).
+func FuzzFrameDecode(f *testing.F) {
+	seed := func(typ byte, payload []byte) []byte { return appendFrame(nil, typ, payload) }
+	f.Add(seed(fAccessReq, appendAccessReq(nil, 7, []model.Item{1, 2, 3, 900, 4})))
+	f.Add(seed(fAccessResp, appendAccessResp(nil, accessResp{Seq: 7, Served: 5, Hits: 2, Misses: 3})))
+	f.Add(seed(fHealthReq, nil))
+	f.Add(seed(fHealthResp, appendHealthResp(nil, healthResp{State: stateDraining, Accesses: 99})))
+	f.Add(seed(fError, appendErrorFrame(nil, errDraining, "node is draining")))
+	// Two frames back to back.
+	f.Add(append(seed(fHealthReq, nil), seed(fHandoffResp, nil)...))
+	// Oversized length declaration: must be rejected before allocation.
+	f.Add(append([]byte{fAccessReq}, binary.AppendUvarint(nil, maxFramePayload+1)...))
+	f.Add(append([]byte{fHandoffReq}, binary.AppendUvarint(nil, 1<<40)...))
+	// Truncated frame: header promises more payload than follows.
+	f.Add(append([]byte{fAccessResp}, binary.AppendUvarint(nil, 500)...))
+	f.Add(seed(fAccessReq, appendAccessReq(nil, 7, []model.Item{1, 2, 3}))[:5])
+	// Batch count larger than the batch.
+	f.Add(seed(fAccessReq, append(binary.AppendUvarint(nil, 1), binary.AppendUvarint(nil, maxBatchItems)...)))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		for {
+			typ, p, err := readFrame(br, buf[:0])
+			if err != nil {
+				return // clean rejection ends the stream
+			}
+			if len(p) > maxFramePayload {
+				t.Fatalf("readFrame returned %d bytes, cap is %d", len(p), maxFramePayload)
+			}
+			switch typ {
+			case fAccessReq:
+				if seq, items, err := decodeAccessReq(p, nil); err == nil {
+					if len(items) > maxBatchItems {
+						t.Fatalf("accepted a batch of %d items", len(items))
+					}
+					if got := appendAccessReq(nil, seq, items); !bytes.Equal(got, p) {
+						t.Fatalf("access request is not canonical:\n%x\n%x", p, got)
+					}
+				}
+			case fAccessResp:
+				if r, err := decodeAccessResp(p); err == nil {
+					if got := appendAccessResp(nil, r); !bytes.Equal(got, p) {
+						t.Fatalf("access response is not canonical:\n%x\n%x", p, got)
+					}
+				}
+			case fHealthResp:
+				if h, err := decodeHealthResp(p); err == nil {
+					if got := appendHealthResp(nil, h); !bytes.Equal(got, p) {
+						t.Fatalf("health response is not canonical:\n%x\n%x", p, got)
+					}
+				}
+			case fError:
+				if we, err := decodeErrorFrame(p); err == nil {
+					if got := appendErrorFrame(nil, we.Code, we.Msg); !bytes.Equal(got, p) {
+						t.Fatalf("error frame is not canonical:\n%x\n%x", p, got)
+					}
+				}
+			}
+			buf = p[:0]
+		}
+	})
+}

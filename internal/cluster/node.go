@@ -1,0 +1,253 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gccache/internal/cachesim"
+	"gccache/internal/model"
+)
+
+// NodeConfig describes one cluster node.
+type NodeConfig struct {
+	// Addr is the TCP listen address ("127.0.0.1:0" for an ephemeral
+	// test port).
+	Addr string
+	// K and B are the cache capacity and block size; handoff refuses
+	// snapshots from a differently-shaped node.
+	K, B int
+	// Universe is the bounded item universe (0 = unbounded), recorded
+	// in handoff snapshots for the same shape check.
+	Universe int
+	// NewCache constructs the node's cache policy. Required.
+	NewCache func() cachesim.Cache
+}
+
+// Node is one member of the cache ring: a TCP server applying access
+// batches to a single cache under a mutex, with a drain/handoff
+// lifecycle. Wire concurrency is per-connection; the cache itself is
+// serialized, mirroring one shard of the sharded engine.
+type Node struct {
+	cfg   NodeConfig
+	state atomic.Int32 // stateReady / stateDraining / stateStopped
+
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu sync.Mutex
+	//gclint:guardedby mu
+	cache cachesim.Cache
+	//gclint:guardedby mu
+	accesses int64
+	//gclint:guardedby mu
+	hits int64
+	//gclint:guardedby mu
+	misses int64
+	//gclint:guardedby mu
+	conns map[net.Conn]struct{}
+	//gclint:guardedby mu
+	itemScratch []model.Item
+}
+
+// NewNode validates cfg and builds the node (not yet listening).
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.NewCache == nil {
+		return nil, fmt.Errorf("cluster: NodeConfig.NewCache is required")
+	}
+	if cfg.K < 1 || cfg.B < 1 {
+		return nil, fmt.Errorf("cluster: node needs k ≥ 1 and B ≥ 1 (got k=%d B=%d)", cfg.K, cfg.B)
+	}
+	n := &Node{
+		cfg:   cfg,
+		cache: cfg.NewCache(),
+		conns: make(map[net.Conn]struct{}),
+	}
+	n.state.Store(stateReady)
+	return n, nil
+}
+
+// Start binds the listener and begins serving. It returns the bound
+// address (useful with ":0").
+func (n *Node) Start() (string, error) {
+	ln, err := net.Listen("tcp", n.cfg.Addr)
+	if err != nil {
+		return "", fmt.Errorf("cluster: node listen %s: %w", n.cfg.Addr, err)
+	}
+	n.ln = ln
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address, or the configured one before Start.
+func (n *Node) Addr() string {
+	if n.ln != nil {
+		return n.ln.Addr().String()
+	}
+	return n.cfg.Addr
+}
+
+// Ready reports whether the node accepts new access batches.
+func (n *Node) Ready() bool { return n.state.Load() == stateReady }
+
+// Draining reports whether the node is refusing new work while
+// remaining reachable for health checks and handoff.
+func (n *Node) Draining() bool { return n.state.Load() == stateDraining }
+
+// Drain moves the node to the draining state: access batches are
+// rejected with a structured draining error (clients fail over), while
+// health and handoff frames still work.
+func (n *Node) Drain() { n.state.CompareAndSwap(stateReady, stateDraining) }
+
+// Resume returns a draining node to ready — the back-out path when a
+// planned handoff is aborted.
+func (n *Node) Resume() { n.state.CompareAndSwap(stateDraining, stateReady) }
+
+// Stats returns the node's accounting counters.
+func (n *Node) Stats() cachesim.Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return cachesim.Stats{
+		Policy:   n.cache.Name(),
+		Accesses: n.accesses,
+		Hits:     n.hits,
+		Misses:   n.misses,
+	}
+}
+
+// Close stops the node: the listener and every live connection are
+// closed and the handlers joined. Idempotent.
+func (n *Node) Close() error {
+	n.state.Store(stateStopped)
+	var err error
+	if n.ln != nil {
+		err = n.ln.Close()
+		if errors.Is(err, net.ErrClosed) {
+			err = nil
+		}
+	}
+	n.mu.Lock()
+	for c := range n.conns {
+		c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return
+		}
+		n.mu.Lock()
+		stopped := n.state.Load() == stateStopped
+		if !stopped {
+			n.conns[conn] = struct{}{}
+		}
+		n.mu.Unlock()
+		if stopped {
+			conn.Close()
+			return
+		}
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+func (n *Node) dropConn(conn net.Conn) {
+	conn.Close()
+	n.mu.Lock()
+	delete(n.conns, conn)
+	n.mu.Unlock()
+}
+
+// serveConn handles one client connection: a loop of request frames,
+// each answered with a response or a structured error frame. Malformed
+// frames get an error answer and close the connection; the decoder's
+// caps guarantee a hostile peer cannot make the node allocate beyond
+// the frame cap.
+func (n *Node) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer n.dropConn(conn)
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	var buf, out []byte
+	var items []model.Item
+	for {
+		// An idle-read ceiling so stopped nodes' handlers never linger.
+		conn.SetReadDeadline(time.Now().Add(time.Minute)) //nolint:errcheck // best-effort
+		typ, payload, err := readFrame(br, buf[:0])
+		if err != nil {
+			return
+		}
+		buf = payload[:0]
+		switch typ {
+		case fAccessReq:
+			seq, batch, err := decodeAccessReq(payload, items[:0])
+			items = batch[:0]
+			if err != nil {
+				writeFrame(bw, fError, appendErrorFrame(out[:0], errBadFrame, err.Error())) //nolint:errcheck // closing anyway
+				return
+			}
+			if n.state.Load() != stateReady {
+				if writeFrame(bw, fError, appendErrorFrame(out[:0], errDraining, "node is draining")) != nil {
+					return
+				}
+				continue
+			}
+			resp := n.apply(seq, batch)
+			if writeFrame(bw, fAccessResp, appendAccessResp(out[:0], resp)) != nil {
+				return
+			}
+		case fHealthReq:
+			n.mu.Lock()
+			acc := n.accesses
+			n.mu.Unlock()
+			h := healthResp{State: byte(n.state.Load()), Accesses: uint64(acc)}
+			if writeFrame(bw, fHealthResp, appendHealthResp(out[:0], h)) != nil {
+				return
+			}
+		case fHandoffReq:
+			if err := n.acceptHandoff(payload); err != nil {
+				if writeFrame(bw, fError, appendErrorFrame(out[:0], errInternal, err.Error())) != nil {
+					return
+				}
+				continue
+			}
+			if writeFrame(bw, fHandoffResp, nil) != nil {
+				return
+			}
+		default:
+			writeFrame(bw, fError, appendErrorFrame(out[:0], errBadFrame, fmt.Sprintf("unknown frame type %#02x", typ))) //nolint:errcheck // closing anyway
+			return
+		}
+	}
+}
+
+// apply runs one acked batch against the cache. The ack covers the
+// whole batch: every item is applied and counted before the response
+// is built.
+func (n *Node) apply(seq uint64, batch []model.Item) accessResp {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	resp := accessResp{Seq: seq, Served: uint64(len(batch))}
+	for _, it := range batch {
+		if n.cache.Access(it).Hit {
+			resp.Hits++
+		} else {
+			resp.Misses++
+		}
+	}
+	n.accesses += int64(len(batch))
+	n.hits += int64(resp.Hits)
+	n.misses += int64(resp.Misses)
+	return resp
+}

@@ -1,0 +1,229 @@
+// Package ring implements the consistent-hash placement function of the
+// gcserve cluster: a fixed set of named nodes, each projected onto a
+// 64-bit hash circle as a configurable number of virtual points, with
+// every item owned by the first point clockwise from its hash.
+//
+// Placement is a pure function of (seed, node names, replica count) —
+// no wall clock, no map iteration, no global randomness — so two
+// processes given the same ring file route every item identically, and
+// a rerun of a chaos scenario exercises the same owners. The file-level
+// //gclint:repro directive below opts the package into gclint's
+// determinism analyzer, which enforces exactly that.
+//
+//gclint:repro
+package ring
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"gccache/internal/model"
+)
+
+// golden is the SplitMix64 increment; mix is its avalanche finalizer.
+// The same constants drive internal/faults' injection schedules, so the
+// two stay comparable when debugging a seeded chaos run.
+const golden = 0x9e3779b97f4a7c15
+
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// strhash is FNV-1a over the node name: stable across processes and Go
+// versions, unlike the runtime's seeded map hash.
+func strhash(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// point is one virtual node on the hash circle.
+type point struct {
+	hash uint64
+	node int32
+}
+
+// Ring is an immutable consistent-hash ring over a static node set. All
+// methods are safe for concurrent use.
+type Ring struct {
+	seed     uint64
+	replicas int
+	nodes    []string
+	points   []point // sorted by (hash, node) — the circle
+}
+
+// New builds a ring placing each of nodes as replicas virtual points,
+// seeded so that equal inputs produce identical placement. Node names
+// must be non-empty and unique.
+func New(nodes []string, replicas int, seed int64) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("ring: no nodes")
+	}
+	if replicas < 1 {
+		return nil, fmt.Errorf("ring: %d virtual points per node (want ≥ 1)", replicas)
+	}
+	r := &Ring{
+		seed:     uint64(seed),
+		replicas: replicas,
+		nodes:    append([]string(nil), nodes...),
+		points:   make([]point, 0, len(nodes)*replicas),
+	}
+	seen := make(map[string]bool, len(nodes))
+	for i, n := range r.nodes {
+		if n == "" {
+			return nil, fmt.Errorf("ring: node %d has an empty name", i)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("ring: duplicate node %q", n)
+		}
+		seen[n] = true
+		h := r.seed ^ strhash(n)
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, point{
+				hash: mix(h ^ uint64(v+1)*golden),
+				node: int32(i),
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (astronomically rare) break by node index so the
+		// circle order never depends on input order alone.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Len returns the number of nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Replicas returns the virtual points per node.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Node returns the name of node i.
+func (r *Ring) Node(i int) string { return r.nodes[i] }
+
+// Nodes returns a copy of the node names in their configured order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// itemHash projects an item onto the circle.
+func (r *Ring) itemHash(it model.Item) uint64 {
+	return mix(r.seed ^ uint64(it)*golden)
+}
+
+// search returns the index of the first point clockwise from hash h.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		return 0 // wrap
+	}
+	return i
+}
+
+// Owner returns the index of the node owning item it.
+func (r *Ring) Owner(it model.Item) int {
+	return int(r.points[r.search(r.itemHash(it))].node)
+}
+
+// Chain returns up to max distinct node indices for item it: the owner
+// first, then the failover successors in circle order. It always
+// returns at least the owner.
+func (r *Ring) Chain(it model.Item, max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	if max > len(r.nodes) {
+		max = len(r.nodes)
+	}
+	out := make([]int, 0, max)
+	seen := make([]bool, len(r.nodes))
+	at := r.search(r.itemHash(it))
+	for i := 0; i < len(r.points) && len(out) < max; i++ {
+		n := r.points[(at+i)%len(r.points)].node
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, int(n))
+		}
+	}
+	return out
+}
+
+// Successor returns the name of the first distinct node clockwise from
+// node's first virtual point — the natural handoff target when node
+// leaves the ring. ok is false when node is unknown or alone.
+func (r *Ring) Successor(node string) (string, bool) {
+	self := int32(-1)
+	for i, n := range r.nodes {
+		if n == node {
+			self = int32(i)
+		}
+	}
+	if self < 0 || len(r.nodes) < 2 {
+		return "", false
+	}
+	first := -1
+	for i, p := range r.points {
+		if p.node == self {
+			first = i
+			break
+		}
+	}
+	for i := 1; i < len(r.points); i++ {
+		if n := r.points[(first+i)%len(r.points)].node; n != self {
+			return r.nodes[n], true
+		}
+	}
+	return "", false
+}
+
+// Parse reads a ring file: one node address per line, blank lines and
+// #-comments ignored.
+func Parse(rd io.Reader) ([]string, error) {
+	var nodes []string
+	sc := bufio.NewScanner(rd)
+	for line := 1; sc.Scan(); line++ {
+		s := strings.TrimSpace(sc.Text())
+		if s == "" || strings.HasPrefix(s, "#") {
+			continue
+		}
+		if strings.ContainsAny(s, " \t") {
+			return nil, fmt.Errorf("ring: line %d: address %q contains whitespace", line, s)
+		}
+		nodes = append(nodes, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ring: %w", err)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("ring: file lists no nodes")
+	}
+	return nodes, nil
+}
+
+// LoadFile reads and parses the ring file at path.
+func LoadFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ring: %w", err)
+	}
+	defer f.Close()
+	nodes, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return nodes, nil
+}

@@ -1,0 +1,160 @@
+package ring
+
+import (
+	"strings"
+	"testing"
+
+	"gccache/internal/model"
+)
+
+func mustRing(t *testing.T, nodes []string, replicas int, seed int64) *Ring {
+	t.Helper()
+	r, err := New(nodes, replicas, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(nil, 8, 1); err == nil {
+		t.Error("empty node set accepted")
+	}
+	if _, err := New([]string{"a", "a"}, 8, 1); err == nil {
+		t.Error("duplicate node accepted")
+	}
+	if _, err := New([]string{"a", ""}, 8, 1); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if _, err := New([]string{"a"}, 0, 1); err == nil {
+		t.Error("zero replicas accepted")
+	}
+}
+
+// TestPlacementIsDeterministic pins the contract the whole cluster
+// leans on: equal (nodes, replicas, seed) route every item to the same
+// owner with the same failover chain, across independently built rings
+// and regardless of node-slice identity.
+func TestPlacementIsDeterministic(t *testing.T) {
+	nodes := []string{"10.0.0.1:9000", "10.0.0.2:9000", "10.0.0.3:9000"}
+	a := mustRing(t, nodes, 32, 77)
+	b := mustRing(t, append([]string(nil), nodes...), 32, 77)
+	for it := model.Item(0); it < 5000; it++ {
+		if a.Owner(it) != b.Owner(it) {
+			t.Fatalf("owner of %d diverged: %d vs %d", it, a.Owner(it), b.Owner(it))
+		}
+		ca, cb := a.Chain(it, 3), b.Chain(it, 3)
+		if len(ca) != len(cb) {
+			t.Fatalf("chain of %d diverged in length", it)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("chain of %d diverged at %d", it, i)
+			}
+		}
+	}
+}
+
+func TestSeedChangesPlacement(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	a := mustRing(t, nodes, 32, 1)
+	b := mustRing(t, nodes, 32, 2)
+	diff := 0
+	for it := model.Item(0); it < 2000; it++ {
+		if a.Owner(it) != b.Owner(it) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical placement")
+	}
+}
+
+// TestPlacementRoughlyBalances checks virtual nodes do their job: no
+// node owns a wildly disproportionate share of a uniform item range.
+func TestPlacementRoughlyBalances(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r := mustRing(t, nodes, 64, 9)
+	counts := make([]int, len(nodes))
+	const n = 40000
+	for it := model.Item(0); it < n; it++ {
+		counts[r.Owner(it)]++
+	}
+	want := n / len(nodes)
+	for i, c := range counts {
+		if c < want/3 || c > want*3 {
+			t.Errorf("node %d owns %d of %d items (want ≈%d): balance broken", i, c, n, want)
+		}
+	}
+}
+
+// TestChainIsDistinctAndStartsAtOwner verifies the failover chain.
+func TestChainIsDistinctAndStartsAtOwner(t *testing.T) {
+	r := mustRing(t, []string{"a", "b", "c", "d", "e"}, 16, 3)
+	for it := model.Item(0); it < 500; it++ {
+		chain := r.Chain(it, 5)
+		if len(chain) != 5 {
+			t.Fatalf("item %d: chain has %d nodes, want 5", it, len(chain))
+		}
+		if chain[0] != r.Owner(it) {
+			t.Fatalf("item %d: chain starts at %d, owner is %d", it, chain[0], r.Owner(it))
+		}
+		seen := map[int]bool{}
+		for _, n := range chain {
+			if seen[n] {
+				t.Fatalf("item %d: chain repeats node %d", it, n)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Chain(0, 99); len(got) != 5 {
+		t.Errorf("oversized max returned %d nodes, want 5", len(got))
+	}
+	if got := r.Chain(0, 0); len(got) != 1 || got[0] != r.Owner(0) {
+		t.Errorf("max=0 chain = %v, want just the owner", got)
+	}
+}
+
+func TestSuccessor(t *testing.T) {
+	nodes := []string{"a", "b", "c"}
+	r := mustRing(t, nodes, 16, 5)
+	for _, n := range nodes {
+		s, ok := r.Successor(n)
+		if !ok {
+			t.Fatalf("Successor(%q) not found", n)
+		}
+		if s == n {
+			t.Fatalf("Successor(%q) = itself", n)
+		}
+	}
+	if _, ok := r.Successor("ghost"); ok {
+		t.Error("Successor of an unknown node reported ok")
+	}
+	solo := mustRing(t, []string{"a"}, 4, 1)
+	if _, ok := solo.Successor("a"); ok {
+		t.Error("single-node ring reported a successor")
+	}
+}
+
+func TestParseRingFile(t *testing.T) {
+	in := "# cluster ring\n127.0.0.1:9101\n\n  127.0.0.1:9102\n# tail\n127.0.0.1:9103\n"
+	nodes, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"127.0.0.1:9101", "127.0.0.1:9102", "127.0.0.1:9103"}
+	if len(nodes) != len(want) {
+		t.Fatalf("parsed %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("parsed %v, want %v", nodes, want)
+		}
+	}
+	if _, err := Parse(strings.NewReader("# only comments\n")); err == nil {
+		t.Error("empty ring file accepted")
+	}
+	if _, err := Parse(strings.NewReader("host one:9000\n")); err == nil {
+		t.Error("address with whitespace accepted")
+	}
+}

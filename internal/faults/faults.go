@@ -4,7 +4,9 @@
 //
 // An Injector is built from a Plan — a seed plus per-fault-kind
 // fractions — and decides purely from (seed, index, attempt) which grid
-// indices panic, stall, or corrupt their result. The decisions are
+// indices panic, stall, or corrupt their result, and (in the network
+// wiring, see Proxy) which connections are dropped, blackholed, or
+// slowed. The decisions are
 // stable hash functions, not draws from a shared rng, so an injected
 // failure reproduces exactly regardless of how many workers run the
 // sweep, which worker claims the index, or how many indices run in
@@ -49,6 +51,23 @@ type Plan struct {
 	// perturbs — for testing that downstream verification catches
 	// silently wrong per-index results.
 	CorruptFrac float64
+	// DropFrac is the fraction of indices (connections, in the network
+	// wiring) that are dropped outright: the netfaults proxy closes a
+	// drop-scheduled connection before forwarding a byte, modelling a
+	// crashed peer or a RST-happy middlebox.
+	DropFrac float64
+	// PartitionFrac is the fraction of indices that are partitioned:
+	// the proxy accepts the connection but never forwards traffic in
+	// either direction, modelling a network partition (packets
+	// blackholed, no RST) — the failure mode that distinguishes a
+	// timeout-aware client from one that hangs forever.
+	PartitionFrac float64
+	// ConnDelayFrac is the fraction of indices whose connections are
+	// slowed: the proxy sleeps ConnDelay before starting to forward,
+	// modelling a slow link or an overloaded peer.
+	ConnDelayFrac float64
+	// ConnDelay is the injected connection-level delay duration.
+	ConnDelay time.Duration
 }
 
 // Injected is the panic value of an injected worker panic. It carries
@@ -104,9 +123,12 @@ func (in *Injector) chosen(i int, salt uint64, frac float64) bool {
 }
 
 const (
-	saltPanic   = 0xfa017c_0001
-	saltDelay   = 0xfa017c_0002
-	saltCorrupt = 0xfa017c_0003
+	saltPanic     = 0xfa017c_0001
+	saltDelay     = 0xfa017c_0002
+	saltCorrupt   = 0xfa017c_0003
+	saltDrop      = 0xfa017c_0004
+	saltPartition = 0xfa017c_0005
+	saltConnDelay = 0xfa017c_0006
 )
 
 // ShouldPanic reports whether the given attempt (0-based) at index i is
@@ -127,6 +149,41 @@ func (in *Injector) ShouldDelay(i int) bool {
 // perturbed.
 func (in *Injector) ShouldCorrupt(i int) bool {
 	return in.chosen(i, saltCorrupt, in.plan.CorruptFrac)
+}
+
+// ShouldDrop reports whether connection (or generic index) i is
+// scheduled to be dropped outright. Like every other decision it is a
+// pure function of (seed, i), so a proxy replaying the same connection
+// sequence drops exactly the same connections on every run.
+func (in *Injector) ShouldDrop(i int) bool {
+	return in.chosen(i, saltDrop, in.plan.DropFrac)
+}
+
+// ShouldPartition reports whether connection i is scheduled to be
+// blackholed: accepted, never served, never reset.
+func (in *Injector) ShouldPartition(i int) bool {
+	return in.chosen(i, saltPartition, in.plan.PartitionFrac)
+}
+
+// ConnDelay returns the connection-level delay scheduled for index i:
+// Plan.ConnDelay when i is delay-scheduled, 0 otherwise.
+func (in *Injector) ConnDelay(i int) time.Duration {
+	if in.chosen(i, saltConnDelay, in.plan.ConnDelayFrac) {
+		return in.plan.ConnDelay
+	}
+	return 0
+}
+
+// DropIndices returns the sorted indices in [0, n) scheduled to drop —
+// the oracle the chaos tests compare proxy behaviour against.
+func (in *Injector) DropIndices(n int) []int {
+	return in.schedule(n, in.ShouldDrop)
+}
+
+// PartitionIndices returns the sorted indices in [0, n) scheduled to be
+// blackholed.
+func (in *Injector) PartitionIndices(n int) []int {
+	return in.schedule(n, in.ShouldPartition)
 }
 
 // Step records one execution attempt at index i and injects that

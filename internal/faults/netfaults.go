@@ -1,0 +1,205 @@
+package faults
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy is a fault-injecting TCP forwarder: it listens on its own
+// address and pipes every accepted connection to a backend, consulting
+// an Injector (indexed by accept order) to decide per connection
+// whether to drop it (close immediately), blackhole it (accept, never
+// forward, never reset — a partition), or delay it before forwarding.
+//
+// The chaos harness puts one Proxy in front of every cluster node so a
+// seeded Plan turns into a deterministic schedule of network faults on
+// an otherwise healthy loopback ring. On top of the scheduled faults,
+// SetPartitioned flips a whole-link partition on and off at runtime —
+// the knob the harness uses to partition a specific node at a specific
+// point in the script, independent of the per-connection hash schedule.
+//
+// Connections admitted before a partition began keep flowing (a real
+// partition severs new flows first; in-flight TCP lingers until
+// timeout); the harness kills them implicitly when the client's
+// per-request deadline fires and it reconnects through the proxy.
+type Proxy struct {
+	backend string
+	inj     *Injector
+	ln      net.Listener
+
+	partitioned atomic.Bool
+	accepted    atomic.Int64 // connection index source
+	dropped     atomic.Int64
+	blackholed  atomic.Int64
+
+	mu sync.Mutex
+	//gclint:guardedby mu
+	closed bool
+	//gclint:guardedby mu
+	parked []net.Conn // blackholed conns, held open until Close
+	//gclint:guardedby mu
+	live map[net.Conn]struct{} // forwarding conns, torn down on Close
+	wg   sync.WaitGroup
+}
+
+// NewProxy starts a proxy on addr (use "127.0.0.1:0" for an ephemeral
+// port) forwarding to backend. inj may be nil, which injects nothing
+// until SetPartitioned is used.
+func NewProxy(addr, backend string, inj *Injector) (*Proxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{backend: backend, inj: inj, ln: ln, live: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address — what clients should dial
+// instead of the backend.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// SetPartitioned severs (or heals) the whole link: while set, every new
+// connection is blackholed regardless of the injector schedule.
+func (p *Proxy) SetPartitioned(v bool) { p.partitioned.Store(v) }
+
+// Partitioned reports whether the whole-link partition is active.
+func (p *Proxy) Partitioned() bool { return p.partitioned.Load() }
+
+// Dropped returns how many connections were closed on arrival.
+func (p *Proxy) Dropped() int64 { return p.dropped.Load() }
+
+// Blackholed returns how many connections were accepted and parked.
+func (p *Proxy) Blackholed() int64 { return p.blackholed.Load() }
+
+// Accepted returns how many connections have arrived.
+func (p *Proxy) Accepted() int64 { return p.accepted.Load() }
+
+// Close stops accepting, resets parked connections, and waits for the
+// forwarding goroutines to finish.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	already := p.closed
+	p.closed = true
+	parked := p.parked
+	p.parked = nil
+	live := make([]net.Conn, 0, len(p.live))
+	for c := range p.live {
+		live = append(live, c)
+	}
+	p.mu.Unlock()
+	if already {
+		return nil
+	}
+	err := p.ln.Close()
+	for _, c := range parked {
+		c.Close()
+	}
+	for _, c := range live {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+// track registers a forwarding connection for teardown on Close; it
+// reports false when the proxy is already closed.
+func (p *Proxy) track(conn net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.live[conn] = struct{}{}
+	return true
+}
+
+// untrack removes a finished forwarding connection.
+func (p *Proxy) untrack(conn net.Conn) {
+	p.mu.Lock()
+	delete(p.live, conn)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		i := int(p.accepted.Add(1) - 1)
+		switch {
+		case p.inj != nil && p.inj.ShouldDrop(i):
+			p.dropped.Add(1)
+			conn.Close()
+		case p.partitioned.Load() || (p.inj != nil && p.inj.ShouldPartition(i)):
+			p.blackholed.Add(1)
+			if !p.park(conn) {
+				conn.Close() // proxy already closed
+			}
+		default:
+			p.wg.Add(1)
+			go p.forward(conn, i)
+		}
+	}
+}
+
+// park holds a blackholed connection open until Close; it reports false
+// when the proxy is already closed.
+func (p *Proxy) park(conn net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.parked = append(p.parked, conn)
+	return true
+}
+
+// forward pipes conn to a fresh backend connection, applying the
+// scheduled connection delay first. Either side closing tears down
+// both.
+func (p *Proxy) forward(conn net.Conn, i int) {
+	defer p.wg.Done()
+	defer conn.Close()
+	if !p.track(conn) {
+		return
+	}
+	defer p.untrack(conn)
+	if p.inj != nil {
+		if d := p.inj.ConnDelay(i); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	back, err := net.Dial("tcp", p.backend)
+	if err != nil {
+		return
+	}
+	defer back.Close()
+	if !p.track(back) {
+		return
+	}
+	defer p.untrack(back)
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(back, conn) //nolint:errcheck // teardown path
+		if tc, ok := back.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		io.Copy(conn, back) //nolint:errcheck // teardown path
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

@@ -1,0 +1,183 @@
+package faults
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes every byte back until the
+// listener closes. Returns the address and a stop function.
+func echoServer(t *testing.T) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				io.Copy(conn, conn) //nolint:errcheck // test echo
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close(); <-done }
+}
+
+// roundTrip dials addr through d, writes a ping, and reads the echo
+// under the deadline.
+func roundTrip(addr string, deadline time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, deadline)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(deadline))
+	if _, err := conn.Write([]byte("ping")); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return err
+	}
+	if string(buf) != "ping" {
+		return fmt.Errorf("echoed %q, want %q", buf, "ping")
+	}
+	return nil
+}
+
+// TestProxyForwardsCleanly pipes traffic through a fault-free proxy.
+func TestProxyForwardsCleanly(t *testing.T) {
+	backend, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy("127.0.0.1:0", backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	for i := 0; i < 5; i++ {
+		if err := roundTrip(p.Addr(), 2*time.Second); err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+	}
+	if got := p.Accepted(); got != 5 {
+		t.Errorf("Accepted = %d, want 5", got)
+	}
+	if p.Dropped() != 0 || p.Blackholed() != 0 {
+		t.Errorf("fault-free proxy injected faults: dropped=%d blackholed=%d", p.Dropped(), p.Blackholed())
+	}
+}
+
+// TestProxyDropsScheduledConnections drives connections through a
+// proxy whose injector drops everything and asserts no round trip
+// succeeds — and that the drop count matches the schedule oracle.
+func TestProxyDropsScheduledConnections(t *testing.T) {
+	backend, stop := echoServer(t)
+	defer stop()
+	inj := New(Plan{Seed: 4, DropFrac: 1})
+	p, err := NewProxy("127.0.0.1:0", backend, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	const n = 4
+	for i := 0; i < n; i++ {
+		if err := roundTrip(p.Addr(), 500*time.Millisecond); err == nil {
+			t.Fatalf("round trip %d succeeded through a DropFrac=1 proxy", i)
+		}
+	}
+	if got := len(inj.DropIndices(n)); got != n {
+		t.Fatalf("oracle says %d drops for DropFrac=1, want %d", got, n)
+	}
+	// The proxy may observe fewer accepts than dials (a dial can fail
+	// before accept during teardown), but every accepted one dropped.
+	if p.Dropped() != p.Accepted() {
+		t.Errorf("dropped %d of %d accepted connections, want all", p.Dropped(), p.Accepted())
+	}
+}
+
+// TestProxyPartitionBlackholes verifies both partition paths — the
+// seeded schedule and the runtime SetPartitioned switch — hang the
+// client until its own deadline instead of resetting the connection.
+func TestProxyPartitionBlackholes(t *testing.T) {
+	backend, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy("127.0.0.1:0", backend, New(Plan{Seed: 4, PartitionFrac: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	start := time.Now()
+	err = roundTrip(p.Addr(), 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("round trip succeeded through a PartitionFrac=1 proxy")
+	}
+	if d := time.Since(start); d < 250*time.Millisecond {
+		t.Errorf("partitioned round trip failed fast (%v) — got a reset, want a deadline hang", d)
+	}
+
+	// Runtime switch on an otherwise clean proxy.
+	p2, err := NewProxy("127.0.0.1:0", backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if err := roundTrip(p2.Addr(), 2*time.Second); err != nil {
+		t.Fatalf("pre-partition round trip: %v", err)
+	}
+	p2.SetPartitioned(true)
+	if err := roundTrip(p2.Addr(), 300*time.Millisecond); err == nil {
+		t.Fatal("round trip succeeded through a partitioned link")
+	}
+	p2.SetPartitioned(false)
+	if err := roundTrip(p2.Addr(), 2*time.Second); err != nil {
+		t.Fatalf("post-heal round trip: %v", err)
+	}
+	if got := p2.Blackholed(); got != 1 {
+		t.Errorf("Blackholed = %d, want 1", got)
+	}
+}
+
+// TestProxyCloseUnblocksParkedConnections asserts Close resets
+// blackholed connections so nothing leaks or hangs at teardown.
+func TestProxyCloseUnblocksParkedConnections(t *testing.T) {
+	backend, stop := echoServer(t)
+	defer stop()
+	p, err := NewProxy("127.0.0.1:0", backend, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetPartitioned(true)
+	conn, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	done := make(chan error, 1)
+	go func() {
+		buf := make([]byte, 1)
+		_, err := conn.Read(buf)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the proxy park the conn
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("read on a parked connection returned data after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock the parked connection")
+	}
+}

@@ -190,14 +190,28 @@ func TestShutdownDrainsAndReportsUnavailable(t *testing.T) {
 	}
 }
 
-func TestHealthzDuringShutdownReturns503(t *testing.T) {
+// TestLivenessReadinessSplitDuringShutdown pins the probe contract: a
+// draining server is still alive (/healthz 200 — killing it would cut
+// in-flight work) but no longer ready (/readyz 503 — routing anything
+// new to it would be lost).
+func TestLivenessReadinessSplitDuringShutdown(t *testing.T) {
 	s := newTestServer(t, Config{Policy: "iblp"})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
+
+	code, body := get(t, ts.URL+"/readyz")
+	if code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("fresh server /readyz: %d %q", code, body)
+	}
+
 	s.shuttingDown.Store(true)
-	code, body := get(t, ts.URL+"/healthz")
+	code, body = get(t, ts.URL+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "shutting down") {
+		t.Errorf("/healthz during shutdown: %d %q, want 200 with the reason listed", code, body)
+	}
+	code, body = get(t, ts.URL+"/readyz")
 	if code != http.StatusServiceUnavailable || !strings.Contains(body, "shutting down") {
-		t.Errorf("/healthz during shutdown: %d %q", code, body)
+		t.Errorf("/readyz during shutdown: %d %q, want 503", code, body)
 	}
 	code, _ = get(t, ts.URL+"/events/stream")
 	if code != http.StatusServiceUnavailable {

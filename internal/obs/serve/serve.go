@@ -25,6 +25,8 @@ import (
 	"time"
 
 	"gccache/internal/cachesim"
+	"gccache/internal/cluster"
+	"gccache/internal/cluster/ring"
 	"gccache/internal/concurrent"
 	"gccache/internal/core"
 	"gccache/internal/model"
@@ -48,6 +50,14 @@ type Config struct {
 	Probe     string // probe suite spec (obs.NewSuite); default "all"
 	Loop      bool   // replay the trace forever instead of once
 	Rate      int    // accesses/second per stream; 0 = unthrottled
+
+	// ClusterRing switches the server into cluster-node mode: instead
+	// of replaying a local workload, it serves cache traffic from
+	// gcload -cluster clients as one member of the ring file at this
+	// path. ClusterAddr is this node's wire address and must appear in
+	// the ring file (it is how the node finds its handoff successor).
+	ClusterRing string
+	ClusterAddr string
 }
 
 // Server replays the configured workload and serves the probe suite's
@@ -67,6 +77,9 @@ type Server struct {
 	cache cachesim.Cache
 	//gclint:guardedby mu
 	rec *cachesim.Recorder
+
+	node      *cluster.Node // cluster mode: the wire-serving ring member
+	ringNodes []string      // cluster mode: the static ring membership
 
 	httpSrv      *http.Server
 	listener     net.Listener
@@ -114,6 +127,49 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, geo: model.NewFixed(cfg.B)}
 
 	var err error
+	if s.suite, err = obs.NewSuite(cfg.Probe, 0); err != nil {
+		return nil, err
+	}
+	s.fan = newEventFan()
+	probe := obs.Multi{s.suite, s.fan}
+
+	if cfg.ClusterRing != "" {
+		// Cluster-node mode: no local replay — the traffic arrives over
+		// the wire. The node's cache carries the same probe suite, so
+		// the dashboard and event stream observe ring traffic live.
+		if s.ringNodes, err = ring.LoadFile(cfg.ClusterRing); err != nil {
+			return nil, err
+		}
+		listed := false
+		for _, n := range s.ringNodes {
+			listed = listed || n == cfg.ClusterAddr
+		}
+		if !listed {
+			return nil, fmt.Errorf("serve: cluster addr %q is not in ring file %s (nodes: %v)",
+				cfg.ClusterAddr, cfg.ClusterRing, s.ringNodes)
+		}
+		if _, err := buildPolicy(cfg.Policy, cfg.K, s.geo, cfg.Seed); err != nil {
+			return nil, err
+		}
+		s.node, err = cluster.NewNode(cluster.NodeConfig{
+			Addr: cfg.ClusterAddr, K: cfg.K, B: cfg.B,
+			NewCache: func() cachesim.Cache {
+				c, cerr := buildPolicy(cfg.Policy, cfg.K, s.geo, cfg.Seed)
+				if cerr != nil {
+					return nil
+				}
+				if in, ok := c.(cachesim.Instrumented); ok {
+					in.SetProbe(probe)
+				}
+				return c
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+
 	if cfg.TraceFile != "" {
 		f, ferr := os.Open(cfg.TraceFile)
 		if ferr != nil {
@@ -130,12 +186,6 @@ func New(cfg Config) (*Server, error) {
 	if len(s.tr) == 0 {
 		return nil, fmt.Errorf("serve: empty trace")
 	}
-
-	if s.suite, err = obs.NewSuite(cfg.Probe, 0); err != nil {
-		return nil, err
-	}
-	s.fan = newEventFan()
-	probe := obs.Multi{s.suite, s.fan}
 
 	if cfg.Shards > 1 {
 		s.sharded, err = concurrent.NewSharded(cfg.Shards, cfg.K, s.geo,
@@ -164,12 +214,21 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Start begins listening on cfg.Addr and launches the replay
-// goroutines. It returns the bound address (useful with port 0).
+// Start begins listening on cfg.Addr, starts the cluster node when
+// configured, and launches the replay goroutines. It returns the bound
+// HTTP address (useful with port 0). Every error return closes any
+// listener already bound, so a failed Start never strands a port — the
+// regression test in serve_cluster_test.go holds it to that.
 func (s *Server) Start() (string, error) {
 	l, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return "", err
+	}
+	if s.node != nil {
+		if _, err := s.node.Start(); err != nil {
+			l.Close()
+			return "", err
+		}
 	}
 	s.listener = l
 	s.httpSrv = &http.Server{Handler: s.Handler()}
@@ -182,6 +241,35 @@ func (s *Server) Start() (string, error) {
 	return l.Addr().String(), nil
 }
 
+// NodeAddr returns the cluster node's wire address, or "" outside
+// cluster mode.
+func (s *Server) NodeAddr() string {
+	if s.node == nil {
+		return ""
+	}
+	return s.node.Addr()
+}
+
+// DrainAndHandoff takes the cluster node out of the ring gracefully:
+// it stops accepting new batches (clients fail over immediately), then
+// streams its cache state to the ring successor so the warm set and
+// accounting survive the departure. Outside cluster mode it is a no-op.
+func (s *Server) DrainAndHandoff(timeout time.Duration) error {
+	if s.node == nil {
+		return nil
+	}
+	s.node.Drain()
+	r, err := ring.New(s.ringNodes, cluster.DefaultReplicas, s.cfg.Seed)
+	if err != nil {
+		return err
+	}
+	succ, ok := r.Successor(s.cfg.ClusterAddr)
+	if !ok {
+		return nil // single-node ring: nowhere to hand off, state retires
+	}
+	return s.node.HandoffTo(succ, timeout)
+}
+
 // Stop halts the replay and the HTTP server immediately, abandoning
 // in-flight responses. Prefer Shutdown for interactive use.
 func (s *Server) Stop() {
@@ -191,6 +279,9 @@ func (s *Server) Stop() {
 	}
 	s.wg.Wait()
 	s.fan.CloseAll()
+	if s.node != nil {
+		s.node.Close()
+	}
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
 	}
@@ -207,6 +298,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.wg.Wait()
 	s.fan.CloseAll()
+	if s.node != nil {
+		s.node.Close()
+	}
 	if s.httpSrv == nil {
 		return nil
 	}
@@ -232,13 +326,32 @@ func (s *Server) Health() (bool, []string) {
 	return len(reasons) == 0, reasons
 }
 
+// Ready reports whether the server should receive new traffic: alive,
+// not shutting down, not degraded, and — in cluster mode — with the
+// node accepting batches. Liveness (Health) and readiness differ
+// exactly while draining: the process is healthy enough to finish
+// in-flight work but must not be routed anything new.
+func (s *Server) Ready() (bool, []string) {
+	ok, reasons := s.Health()
+	if s.node != nil && !s.node.Ready() {
+		ok = false
+		reasons = append(reasons, "cluster node draining")
+		sort.Strings(reasons)
+	}
+	return ok, reasons
+}
+
 // Wait blocks until the replay goroutines finish (immediately useful
 // only for non-looping replays).
 func (s *Server) Wait() { s.wg.Wait() }
 
 // startReplay launches the replay goroutines: one per stream in
-// sharded mode, a single batched one in flat mode.
+// sharded mode, a single batched one in flat mode, none in cluster
+// mode (the traffic comes over the wire).
 func (s *Server) startReplay(ctx context.Context) {
+	if len(s.tr) == 0 {
+		return
+	}
 	if s.sharded != nil {
 		streams := concurrent.SplitStreams(s.tr, s.cfg.Streams)
 		for _, st := range streams {
@@ -294,6 +407,9 @@ func (s *Server) replayStream(ctx context.Context, tr trace.Trace, access func(m
 
 // Stats returns the merged recorder statistics so far.
 func (s *Server) Stats() cachesim.Stats {
+	if s.node != nil {
+		return s.node.Stats()
+	}
 	if s.sharded != nil {
 		return s.sharded.Stats()
 	}
@@ -316,6 +432,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/events/stream", s.handleEventStream)
 	mux.HandleFunc("/sweep", s.handleSweep)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -332,7 +449,9 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	st := s.Stats()
 	fmt.Fprintf(w, "gcserve — %s  k=%d B=%d shards=%d\n", st.Policy, s.cfg.K, s.cfg.B, maxInt(1, s.cfg.Shards))
-	if s.cfg.TraceFile != "" {
+	if s.node != nil {
+		fmt.Fprintf(w, "cluster: node %s in ring %s (%d nodes)\n", s.node.Addr(), s.cfg.ClusterRing, len(s.ringNodes))
+	} else if s.cfg.TraceFile != "" {
 		fmt.Fprintf(w, "trace: %s (%d requests%s)\n", s.cfg.TraceFile, len(s.tr), loopSuffix(s.cfg.Loop))
 	} else {
 		fmt.Fprintf(w, "workload: %s (%d requests%s, seed %d)\n", s.cfg.Workload, len(s.tr), loopSuffix(s.cfg.Loop), s.cfg.Seed)
@@ -353,7 +472,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "shard %d: acquired=%d contended=%d (%.2f%%)\n", i, l.Acquired, l.Contended, 100*ratio)
 		}
 	}
-	fmt.Fprintf(w, "\nendpoints: /metrics /events /events/stream /sweep /healthz /debug/pprof/\n")
+	fmt.Fprintf(w, "\nendpoints: /metrics /events /events/stream /sweep /healthz /readyz /debug/pprof/\n")
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -381,7 +500,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	if len(reasons) > 0 {
 		m["degraded_reasons"] = reasons
 	}
-	if s.sharded != nil {
+	if s.node != nil {
+		m["cluster.node"] = s.node.Addr()
+		m["cluster.ring_nodes"] = len(s.ringNodes)
+		m["cluster.draining"] = s.node.Draining()
+	} else if s.sharded != nil {
 		for i, l := range s.sharded.ShardLoads() {
 			m[fmt.Sprintf("shard.%d.acquired", i)] = l.Acquired
 			m[fmt.Sprintf("shard.%d.contended", i)] = l.Contended
@@ -400,9 +523,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(m) //nolint:errcheck // client gone
 }
 
-// handleHealthz reports ok, degraded (with one reason per line), or —
-// during shutdown — 503, so orchestration stops routing before the
-// drain deadline cuts connections.
+// handleHealthz is the liveness probe: it answers 200 whenever the
+// process is up and serving HTTP — including while draining, when
+// in-flight work must be allowed to finish. Degradation reasons are
+// listed informationally; the routing decision lives in /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	ok, reasons := s.Health()
@@ -410,10 +534,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 		return
 	}
-	if s.shuttingDown.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-	}
 	fmt.Fprintln(w, "degraded")
+	for _, r := range reasons {
+		fmt.Fprintf(w, "- %s\n", r)
+	}
+}
+
+// handleReadyz is the readiness probe: 200 only while the server
+// should receive new traffic. Shutting down, degraded, or (cluster
+// mode) draining all answer 503 with one reason per line, so
+// orchestration stops routing before the drain deadline cuts
+// connections.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	ok, reasons := s.Ready()
+	if ok {
+		fmt.Fprintln(w, "ready")
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "not ready")
 	for _, r := range reasons {
 		fmt.Fprintf(w, "- %s\n", r)
 	}

@@ -93,6 +93,18 @@ func (c *ItemLRU) Access(it model.Item) cachesim.Access {
 // unobserved fast path.
 func (c *ItemLRU) SetProbe(p obs.Probe) { c.probe = p }
 
+// AppendRecency appends the cached items to dst in recency order, most
+// recently used first, and returns the extended slice. Cluster handoff
+// ships this ordering so the receiving node can rebuild the identical
+// LRU state by replaying it back-to-front.
+func (c *ItemLRU) AppendRecency(dst []model.Item) []model.Item {
+	c.order.Each(func(it model.Item) bool {
+		dst = append(dst, it)
+		return true
+	})
+	return dst
+}
+
 // Contains implements cachesim.Cache.
 func (c *ItemLRU) Contains(it model.Item) bool { return c.order.Contains(it) }
 

@@ -110,3 +110,29 @@ func checkInvariants(t *testing.T, c cachesim.Cache) {
 		t.Fatalf("%s: Len %d > Capacity %d", c.Name(), c.Len(), c.Capacity())
 	}
 }
+
+// TestItemLRUAppendRecency pins the MRU-first dump order cluster
+// handoff replays: the dump after a known access pattern lists items
+// from most to least recently used, for both list and dense backings.
+func TestItemLRUAppendRecency(t *testing.T) {
+	for _, c := range []*ItemLRU{NewItemLRU(4), NewItemLRUBounded(4, 64)} {
+		for _, it := range []model.Item{1, 2, 3, 4, 2, 1} {
+			c.Access(it)
+		}
+		got := c.AppendRecency(nil)
+		want := []model.Item{1, 2, 4, 3}
+		if len(got) != len(want) {
+			t.Fatalf("dumped %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dumped %v, want %v", got, want)
+			}
+		}
+		// Append semantics: an existing prefix is preserved.
+		pre := c.AppendRecency([]model.Item{99})
+		if pre[0] != 99 || len(pre) != 5 {
+			t.Fatalf("AppendRecency clobbered the prefix: %v", pre)
+		}
+	}
+}

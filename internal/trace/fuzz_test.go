@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc32"
 	"testing"
 
 	"gccache/internal/checkpoint"
@@ -99,6 +101,15 @@ func FuzzCheckpointDecode(f *testing.F) {
 	f.Add(raw[:8])
 	f.Add([]byte{})
 	f.Add([]byte("gcckpt\x00\x01garbage"))
+	// Oversized-declaration seeds (valid CRC, implausible lengths): the
+	// decoder must reject each on the declaration itself — same failure
+	// class as the trace-header prealloc DoS. ckptSeal/ckptCraft build
+	// raw bodies the public API cannot produce.
+	f.Add(ckptSeal(ckptCraft(ckptUv(1 << 20))))                                                 // kind length 2^20
+	f.Add(ckptSeal(ckptCraft(ckptStr("k"), ckptUv(1<<21))))                                     // meta count 2^21
+	f.Add(ckptSeal(ckptCraft(ckptStr("k"), ckptUv(0), ckptUv(1<<20))))                          // section count 2^20
+	f.Add(ckptSeal(ckptCraft(ckptStr("k"), ckptUv(0), ckptUv(1), ckptUv(1<<16))))               // section name 2^16
+	f.Add(ckptSeal(ckptCraft(ckptStr("k"), ckptUv(0), ckptUv(1), ckptStr("s"), ckptUv(1<<40)))) // section body 2^40
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := checkpoint.Decode(data)
 		if err != nil {
@@ -118,6 +129,27 @@ func FuzzCheckpointDecode(f *testing.F) {
 		}
 	})
 }
+
+// ckptCraft, ckptSeal, ckptUv, and ckptStr hand-assemble checkpoint
+// encodings (magic + fields + CRC-32 footer) so the fuzz seeds above
+// can declare counts and lengths the real encoder never would.
+func ckptCraft(parts ...[]byte) []byte {
+	body := []byte("gcckpt\x00\x01")
+	for _, p := range parts {
+		body = append(body, p...)
+	}
+	return body
+}
+
+func ckptSeal(body []byte) []byte {
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	return append(body, crc[:]...)
+}
+
+func ckptUv(v uint64) []byte { return binary.AppendUvarint(nil, v) }
+
+func ckptStr(s string) []byte { return append(ckptUv(uint64(len(s))), s...) }
 
 // FuzzReadText asserts the text decoder never panics.
 func FuzzReadText(f *testing.F) {
