@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-one test race cover bench bench-json bench-floor load-smoke scenario-smoke cluster-smoke cluster-chaos repro repro-quick fuzz stress clean
+.PHONY: all build vet lint lint-one test race cover bench bench-json bench-floor load-smoke scenario-smoke autotune-smoke cluster-smoke cluster-chaos repro repro-quick fuzz stress clean
 
 all: build vet lint test
 
@@ -54,6 +54,16 @@ load-smoke:
 scenario-smoke:
 	$(GO) test -race -run 'TestScenarioCorpus|TestManual' ./internal/scenario/
 	$(GO) test ./internal/scenario/ -run FuzzScenarioParse -fuzz FuzzScenarioParse -fuzztime 5s
+
+# Autotune smoke: the §5.3 closed-loop acceptance gate under the race
+# detector — on the drift scenario the controller must fire at least
+# one live resize and land within 10% of the offline-optimal fixed
+# split (internal/autotune/smoke_test.go), plus the serve-layer
+# differential (autotune off ⇒ byte-identical replay) and the
+# cluster-mode accounting check across a live resize.
+autotune-smoke:
+	$(GO) test -race -run 'TestAutotuneSmokeDrift' -v ./internal/autotune/
+	$(GO) test -race -run 'TestAutotune' ./internal/obs/serve/
 
 # Cluster smoke: the full internal/cluster suite (ring, wire codec,
 # breaker, node lifecycle, byte-identical handoff) plus gcload's

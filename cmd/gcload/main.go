@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gccache/internal/autotune"
 	"gccache/internal/cachesim"
 	"gccache/internal/cli"
 	"gccache/internal/concurrent"
@@ -67,6 +68,9 @@ func main() {
 		duration  = flag.Duration("duration", 0, "stop after this long even if -ops remain (0 = run to completion)")
 		selfcheck = flag.Bool("selfcheck", false, "run a small fixed load in both modes, verify accounting, and exit")
 
+		autotuneOn = flag.Bool("autotune", false,
+			"attach the §5.3 autotune controller to the load run and apply live resizes (requires -shards 1 and a resizable policy)")
+
 		clusterMode = flag.Bool("cluster", false, "drive a gcserve cache ring over the wire instead of an in-process cache (requires -ring; with -selfcheck, runs an in-process 3-node ring)")
 		ringArg     = flag.String("ring", "", "cluster mode: static ring file, one node address per line")
 	)
@@ -89,6 +93,9 @@ func main() {
 		if *ringArg == "" {
 			cli.Fatalf("gcload", "-cluster requires -ring")
 		}
+		if *autotuneOn {
+			cli.Fatalf("gcload", "-autotune drives the in-process engine; in cluster mode the controller lives server-side (gcserve -autotune)")
+		}
 		if *scenFile != "" {
 			cli.Fatalf("gcload", "-cluster and -scenario are mutually exclusive")
 		}
@@ -107,6 +114,7 @@ func main() {
 			path: *scenFile, k: *k, B: *B, policy: *policyArg, seed: *seed,
 			shards: *shards, streams: *streams, ops: *ops, rate: *rate,
 			mode: *mode, batch: *batch, depth: *depth, pin: *pin, duration: *duration,
+			autotune: *autotuneOn,
 		})
 		return
 	}
@@ -147,6 +155,14 @@ func main() {
 	if err != nil {
 		cli.Fatal("gcload", err)
 	}
+	var tn *autotune.Tuner
+	if *autotuneOn {
+		if tn, err = attachAutotune(s, *shards, *k, *B, geo, universe); err != nil {
+			cli.Fatal("gcload", err)
+		}
+		stop := startAutotuneApply(s, tn)
+		defer stop()
+	}
 
 	ctx := context.Background()
 	if *duration > 0 {
@@ -171,6 +187,76 @@ func main() {
 		cli.Fatalf("gcload", "unknown -mode %q (want open or batch)", *mode)
 	}
 	r.print(os.Stdout, s)
+	if tn != nil {
+		printAutotune(os.Stdout, tn, s)
+	}
+}
+
+// attachAutotune wires the §5.3 controller into a single-shard load
+// run: the tuner rides the shard's probe stream, and startAutotuneApply
+// enacts its proposals under the shard's Access mutex.
+func attachAutotune(s *concurrent.Sharded, shards, k, B int, geo model.Geometry, universe int) (*autotune.Tuner, error) {
+	if shards != 1 {
+		// Each shard is an independent cache at k/shards; a single global
+		// split target is meaningless across them.
+		return nil, fmt.Errorf("-autotune requires -shards 1 (got %d)", shards)
+	}
+	resizable := false
+	s.WithShardCache(0, func(c cachesim.Cache) { _, resizable = c.(cachesim.LayerResizable) })
+	if !resizable {
+		return nil, fmt.Errorf("policy does not support layer resizing (autotune needs iblp or adaptive)")
+	}
+	tn, err := autotune.New(autotune.Config{K: k, B: B, Geometry: geo, Universe: universe})
+	if err != nil {
+		return nil, err
+	}
+	s.WithShardCache(0, func(c cachesim.Cache) {
+		tn.SetLiveTarget(c.(cachesim.LayerResizable).ItemLayerTarget())
+	})
+	s.SetProbe(tn)
+	return tn, nil
+}
+
+// startAutotuneApply polls the tuner and applies pending resizes to
+// shard 0's cache, returning a stop function that joins the loop.
+func startAutotuneApply(s *concurrent.Sharded, tn *autotune.Tuner) (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(20 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				if _, ok := tn.Pending(); !ok {
+					continue
+				}
+				s.WithShardCache(0, func(c cachesim.Cache) {
+					if rz, ok := c.(cachesim.LayerResizable); ok {
+						tn.Apply(rz)
+					}
+				})
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+// printAutotune reports the controller's end-of-run standing.
+func printAutotune(w *os.File, tn *autotune.Tuner, s *concurrent.Sharded) {
+	st := tn.State()
+	final := -1
+	s.WithShardCache(0, func(c cachesim.Cache) {
+		if rz, ok := c.(cachesim.LayerResizable); ok {
+			final = rz.ItemLayerTarget()
+		}
+	})
+	fmt.Fprintf(w, "gcload: autotune: %d windows (W=%d), %d resizes, final split %d (formula %d, working set %d)\n",
+		st.Windows, st.Window, st.Resizes, final, st.Formula, st.WorkingSet)
 }
 
 // buildPolicy returns a per-shard cache constructor — the same policy
@@ -199,6 +285,7 @@ type scenarioLoadConfig struct {
 	k, B, shards, streams, rate int
 	batch, depth                int
 	pin                         bool
+	autotune                    bool
 	seed                        int64
 	ops                         int64
 	duration                    time.Duration
@@ -251,6 +338,14 @@ func runScenarioLoad(c scenarioLoadConfig) {
 	if err != nil {
 		cli.Fatal("gcload", err)
 	}
+	var tn *autotune.Tuner
+	if c.autotune {
+		if tn, err = attachAutotune(s, c.shards, c.k, c.B, geo, universe); err != nil {
+			cli.Fatal("gcload", err)
+		}
+		stop := startAutotuneApply(s, tn)
+		defer stop()
+	}
 
 	ctx := context.Background()
 	if c.duration > 0 {
@@ -286,6 +381,9 @@ func runScenarioLoad(c scenarioLoadConfig) {
 		cli.Fatalf("gcload", "unknown -mode %q (want open or batch)", c.mode)
 	}
 	r.print(os.Stdout, s)
+	if tn != nil {
+		printAutotune(os.Stdout, tn, s)
+	}
 }
 
 // runOpenScenario mirrors runOpen but drives each client from its own

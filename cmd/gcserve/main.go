@@ -47,6 +47,9 @@ func main() {
 		drain     = flag.Duration("drain", 5*time.Second, "grace period for in-flight responses on shutdown")
 		selfcheck = flag.Bool("selfcheck", false, "start on an ephemeral port, probe own endpoints, and exit")
 
+		autotune       = flag.Bool("autotune", false, "close the §5.3 loop: shadow candidate layer splits and apply winning resizes live (iblp/adaptive, shards=1)")
+		autotuneWindow = flag.Int("autotune-window", 0, "autotune decision window in requests (0 = default)")
+
 		clusterMode = flag.Bool("cluster", false, "serve as a cache-ring node (requires -ring and -cluster-addr; disables local replay)")
 		ringFile    = flag.String("ring", "", "cluster mode: static ring file, one node address per line")
 		clusterAddr = flag.String("cluster-addr", "", "cluster mode: this node's wire address (must appear in the ring file)")
@@ -67,6 +70,9 @@ func main() {
 		Probe:     *probeSpec,
 		Loop:      *loop,
 		Rate:      *rate,
+
+		Autotune:       *autotune,
+		AutotuneWindow: *autotuneWindow,
 	}
 	if *clusterMode {
 		if *ringFile == "" || *clusterAddr == "" {

@@ -53,12 +53,17 @@ func main() {
 			"time budget for the policy replays; on expiry save -checkpoint (if set) and exit 1 (0 = none)")
 		ckptPath = flag.String("checkpoint", "",
 			"persist per-policy results to this file after each policy completes")
-		resume = flag.Bool("resume", false, "skip policies already completed in -checkpoint")
+		resume   = flag.Bool("resume", false, "skip policies already completed in -checkpoint")
+		autoMode = flag.Bool("autotune", false,
+			"§5.3 closed-loop evaluation: replay through the live autotuner and report regret vs the offline-optimal fixed split")
 	)
 	cli.SetUsage("gcsim", "replay a workload through GC caching policies and report hit/miss statistics")
 	flag.Parse()
 	if *probeSpec != "" && (*deadline != 0 || *ckptPath != "" || *resume) {
 		fatal(fmt.Errorf("-probe cannot be combined with -deadline/-checkpoint/-resume"))
+	}
+	if *autoMode && (*probeSpec != "" || *deadline != 0 || *ckptPath != "" || *resume) {
+		fatal(fmt.Errorf("-autotune cannot be combined with -probe/-deadline/-checkpoint/-resume"))
 	}
 	if *resume && *ckptPath == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
@@ -67,7 +72,7 @@ func main() {
 		if *traceFile != "" || *probeSpec != "" || *ckptPath != "" || *resume || *deadline != 0 {
 			fatal(fmt.Errorf("-scenario streams in O(1) memory and cannot be combined with -trace/-probe/-checkpoint/-resume/-deadline"))
 		}
-		runScenario(*scenFile, *k, *B, *policies, *seed, *optimal)
+		runScenario(*scenFile, *k, *B, *policies, *seed, *optimal, *autoMode)
 		return
 	}
 
@@ -86,6 +91,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *autoMode {
+		runAutotuneEval(tr, *k, *B)
+		return
+	}
+
 	geo := model.NewFixed(*B)
 	sum := trace.Summarize(tr, geo)
 	fmt.Printf("trace: %d requests, %d items, %d blocks, %.2f items/block, mean run %.2f\n",
@@ -242,7 +252,7 @@ func policyNames(arg string) []string {
 // runScenario is the -scenario path: compile once, stream every policy
 // from the same compiled program via Reset — O(1) memory however long
 // the scenario, and byte-identical output across runs at a fixed seed.
-func runScenario(path string, k, B int, policies string, flagSeed int64, optWanted bool) {
+func runScenario(path string, k, B int, policies string, flagSeed int64, optWanted, autoMode bool) {
 	prog, info, err := scenario.Load(path)
 	if err != nil {
 		fatal(err)
@@ -254,11 +264,22 @@ func runScenario(path string, k, B int, policies string, flagSeed int64, optWant
 		}
 	})
 	seed := scenario.ResolveSeed(info, flagSeed, seedSet)
+	fmt.Printf("scenario: %s: %s; effective seed %d\n", path, scenario.Describe(prog, info), seed)
+	if autoMode {
+		// The closed-loop evaluation needs the materialized trace (for
+		// the offline sweep and the shadows' universe bound), so it gives
+		// up the O(1)-memory streaming path.
+		tr, terr := scenario.Trace(prog, seed)
+		if terr != nil {
+			fatal(terr)
+		}
+		runAutotuneEval(tr, k, B)
+		return
+	}
 	s, err := scenario.Compile(prog, seed)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("scenario: %s: %s; effective seed %d\n", path, scenario.Describe(prog, info), seed)
 	if optWanted {
 		fmt.Fprintln(os.Stderr, "gcsim: note: -opt needs a materialized trace and is skipped for scenarios")
 	}

@@ -1,0 +1,79 @@
+package hotfixture
+
+// The shadow-cache shape (internal/autotune): a dense candidate replica
+// whose Access runs on every request of the live stream, so the whole
+// struct is preallocated in the constructor and the access path reuses
+// epoch-stamped arrays and field-owned scratch. This fixture pins the
+// idioms hotalloc must accept — and the per-window tempting shortcuts
+// it must reject.
+
+type shadowShape struct {
+	// membership bitset + dense LRU links, sized once at construction.
+	bits []uint64
+	next []int32
+	prev []int32
+	// epoch-stamped working-set presence: "clearing" is epoch++ rather
+	// than reallocating or zeroing per window.
+	seenEpoch []uint32
+	epoch     uint32
+	// victim scratch, reset via [:0]; a third slice exists in the real
+	// code because admission still aliases the second during eviction.
+	want    []uint64
+	evict   []uint64
+	scratch []uint64
+	misses  uint64
+}
+
+// shadowAccess is the sanctioned steady-state shape: bit tests, dense
+// link surgery through field slices, epoch-stamp working-set updates,
+// and scratch reuse — zero allocating constructs.
+//
+//gclint:hotpath
+func (s *shadowShape) shadowAccess(it uint64, block uint64) bool {
+	if s.seenEpoch[it] != s.epoch {
+		s.seenEpoch[it] = s.epoch
+	}
+	w := block >> 6
+	if s.bits[w]&(1<<(block&63)) != 0 {
+		return true
+	}
+	s.misses++
+	s.scratch = s.scratch[:0]
+	s.scratch = append(s.scratch, it)
+	s.next[it] = s.prev[it]
+	return false
+}
+
+// shadowWindow rolls the window clock: epoch-stamped reset, no per
+// window reallocation.
+//
+//gclint:hotpath
+func (s *shadowShape) shadowWindow() uint64 {
+	s.epoch++
+	m := s.misses
+	s.misses = 0
+	return m
+}
+
+// shadowWindowRealloc is the tempting per-window shortcut: rebuilding
+// the presence set with make. One window is 4096 requests; this turns
+// the "zero-alloc alongside the live policy" guarantee into an
+// allocation per window per candidate.
+//
+//gclint:hotpath
+func (s *shadowShape) shadowWindowRealloc(universe int) {
+	s.seenEpoch = make([]uint32, universe) // want `hot path allocates with make`
+	s.epoch = 0
+}
+
+// shadowEvictLocal grows a fresh victim list per access instead of
+// reusing the field-owned scratch.
+//
+//gclint:hotpath
+func (s *shadowShape) shadowEvictLocal(block uint64) int {
+	var victims []uint64
+	for it := block * 4; it < block*4+4; it++ {
+		victims = append(victims, it) // want `hot path appends to function-local slice victims`
+	}
+	return len(victims)
+}

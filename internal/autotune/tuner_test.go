@@ -1,0 +1,309 @@
+package autotune
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"gccache/internal/core"
+	"gccache/internal/model"
+	"gccache/internal/obs"
+)
+
+// fakeResizable records SetItemLayerTarget calls.
+type fakeResizable struct {
+	target int
+	calls  int
+}
+
+func (f *fakeResizable) ItemLayerTarget() int     { return f.target }
+func (f *fakeResizable) SetItemLayerTarget(i int) { f.target = i; f.calls++ }
+
+// feedRequests pushes n policy-view request events for the cyclic item
+// range [0, span) into t.
+func feedRequests(t *Tuner, n, span int) {
+	for i := 0; i < n; i++ {
+		t.Observe(obs.Event{Kind: obs.EvHitItemLayer, Item: model.Item(i % span)})
+	}
+}
+
+// newTestTuner builds a two-candidate tuner where the workload of
+// feedRequests(_, n, 48) makes i=64 (pure item cache) a runaway winner
+// over i=32: with B=1 there is no spatial locality to reward the block
+// layer, so 48 cycling items fit a 64-slot LRU entirely (48 cold misses
+// in the first window, none after) but thrash both 32-slot halves of
+// the split (96 misses every window).
+func newTestTuner(t *testing.T, patience, minInterval int) *Tuner {
+	t.Helper()
+	tn, err := New(Config{
+		K: 64, B: 1, Universe: 512, Window: 96,
+		Candidates:  []int{32, 64},
+		Patience:    patience,
+		MinInterval: minInterval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.SetLiveTarget(32)
+	return tn
+}
+
+// TestTunerProposesAfterPatience pins the hysteresis contract: a
+// challenger that wins by MinGain must keep winning for Patience
+// consecutive windows before a proposal appears, and Apply enacts it
+// exactly once.
+func TestTunerProposesAfterPatience(t *testing.T) {
+	tn := newTestTuner(t, 2, 1)
+	feedRequests(tn, 96, 48) // window 1
+	s := tn.State()
+	if s.Windows != 1 || s.Streak != 1 {
+		t.Fatalf("after window 1: windows=%d streak=%d, want 1/1", s.Windows, s.Streak)
+	}
+	if _, ok := tn.Pending(); ok {
+		t.Fatal("proposal after a single winning window with Patience=2")
+	}
+	feedRequests(tn, 96, 48) // window 2
+	p, ok := tn.Pending()
+	if !ok || p != 64 {
+		t.Fatalf("after window 2: pending=%d ok=%v, want 64", p, ok)
+	}
+
+	rz := &fakeResizable{target: 32}
+	target, applied := tn.Apply(rz)
+	if !applied || target != 64 || rz.target != 64 || rz.calls != 1 {
+		t.Fatalf("Apply: target=%d applied=%v rz=%+v", target, applied, rz)
+	}
+	if _, again := tn.Apply(rz); again {
+		t.Fatal("second Apply re-fired a consumed proposal")
+	}
+	if got := tn.Resizes(); got != 1 {
+		t.Fatalf("Resizes=%d, want 1", got)
+	}
+	// The live target moved to the winner, so the same traffic must not
+	// generate further proposals.
+	feedRequests(tn, 96*4, 48)
+	if _, ok := tn.Pending(); ok {
+		t.Fatal("proposal to resize to the already-live target")
+	}
+}
+
+// TestTunerRateCap pins the resize-rate cap: after an applied resize,
+// no new proposal may appear until MinInterval further windows have
+// elapsed, even with Patience long since satisfied. The cap spaces
+// consecutive moves — it does not delay the first one, which fires as
+// soon as Patience allows.
+func TestTunerRateCap(t *testing.T) {
+	tn := newTestTuner(t, 1, 3)
+	rz := &fakeResizable{target: 32}
+
+	// First move: Patience=1, so one winning window suffices.
+	feedRequests(tn, 96, 48)
+	if p, ok := tn.Pending(); !ok || p != 64 {
+		t.Fatalf("first proposal: pending=%d ok=%v, want 64", p, ok)
+	}
+	if _, applied := tn.Apply(rz); !applied {
+		t.Fatal("first Apply did not fire")
+	}
+
+	// An operator moves the split back; the tuner re-detects the win but
+	// must now respect the spacing.
+	tn.SetLiveTarget(32)
+	for w := 1; w <= 2; w++ {
+		feedRequests(tn, 96, 48)
+		if _, ok := tn.Pending(); ok {
+			t.Fatalf("proposal %d windows after an applied resize with MinInterval=3", w)
+		}
+	}
+	feedRequests(tn, 96, 48)
+	if p, ok := tn.Pending(); !ok || p != 64 {
+		t.Fatalf("after the interval: pending=%d ok=%v, want 64", p, ok)
+	}
+}
+
+// TestTunerHoldsWithoutGain pins the dead-band: when the challenger's
+// advantage is inside MinGain the incumbent is kept indefinitely.
+func TestTunerHoldsWithoutGain(t *testing.T) {
+	tn, err := New(Config{
+		K: 64, B: 1, Universe: 1 << 14, Window: 128,
+		Candidates:  []int{32, 64},
+		Patience:    1,
+		MinInterval: 1,
+		MinGain:     0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.SetLiveTarget(64)
+	// Fresh items every access: with B=1 every candidate misses every
+	// time — zero gain for anyone, so never a proposal.
+	for i := 0; i < 128*6; i++ {
+		tn.Observe(obs.Event{Kind: obs.EvHit, Item: model.Item(i)})
+	}
+	if _, ok := tn.Pending(); ok {
+		t.Fatal("proposal despite zero miss-count gain")
+	}
+	if s := tn.State(); s.Streak != 0 {
+		t.Fatalf("streak=%d under tied candidates, want 0", s.Streak)
+	}
+}
+
+// TestTunerTiebreakPrefersFormula: when candidates tie on window
+// misses, the winner must be the one nearest the §5.3 formula target.
+// With B=1 the formula always says i=k (the block layer can never pay
+// off), so the all-miss workload's winner is the largest item layer.
+func TestTunerTiebreakPrefersFormula(t *testing.T) {
+	tn, err := New(Config{
+		K: 64, B: 1, Universe: 1 << 14, Window: 128,
+		Candidates: []int{0, 16, 32, 48, 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		tn.Observe(obs.Event{Kind: obs.EvHit, Item: model.Item(i)})
+	}
+	s := tn.State()
+	if s.Formula != 64 {
+		t.Fatalf("formula target = %d with B=1, want k=64", s.Formula)
+	}
+	if s.Winner != 64 {
+		t.Fatalf("tied winner = %d, want formula side 64", s.Winner)
+	}
+}
+
+// TestTunerTracksLiveFromResizeEvents: EvLayerResize events — whoever
+// causes them — update the incumbent the comparisons run against.
+func TestTunerTracksLiveFromResizeEvents(t *testing.T) {
+	tn := newTestTuner(t, 2, 1)
+	tn.Observe(obs.Event{Kind: obs.EvLayerResize, N: 64})
+	if s := tn.State(); s.Live != 64 {
+		t.Fatalf("live=%d after EvLayerResize(64)", s.Live)
+	}
+	// i=64 is already live, so its winning streak must not propose.
+	feedRequests(tn, 96*4, 48)
+	if _, ok := tn.Pending(); ok {
+		t.Fatal("proposal to move to the already-live split")
+	}
+}
+
+// TestTunerSkipsOutOfUniverse: items beyond the configured universe
+// are counted and ignored — they must not panic the dense shadows or
+// advance the window clock.
+func TestTunerSkipsOutOfUniverse(t *testing.T) {
+	tn, err := New(Config{K: 16, B: 4, Universe: 64, Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		tn.Observe(obs.Event{Kind: obs.EvHit, Item: model.Item(1 << 20)})
+	}
+	s := tn.State()
+	if s.Skipped != 100 || s.Requests != 0 || s.Windows != 0 {
+		t.Fatalf("skipped=%d requests=%d windows=%d, want 100/0/0", s.Skipped, s.Requests, s.Windows)
+	}
+}
+
+// TestTunerApplyReentrancy: Apply calls SetItemLayerTarget on a live
+// cache whose probe is this same tuner, so the resulting EvLayerResize
+// re-enters Observe. This must not deadlock and must leave the tuner's
+// live target in sync.
+func TestTunerApplyReentrancy(t *testing.T) {
+	const universe = 1 << 12
+	g := model.NewFixed(1)
+	live := core.NewIBLPBounded(32, 32, g, universe)
+	tn := newTestTuner(t, 1, 1)
+	tn.SetLiveTarget(32)
+	live.SetProbe(tn)
+	defer live.SetProbe(nil)
+
+	for i := 0; i < 96*2; i++ {
+		live.Access(model.Item(i % 48))
+	}
+	if p, ok := tn.Pending(); !ok || p != 64 {
+		t.Fatalf("pending=%d ok=%v, want 64", p, ok)
+	}
+	target, applied := tn.Apply(live)
+	if !applied || target != 64 {
+		t.Fatalf("Apply: target=%d applied=%v", target, applied)
+	}
+	if got := live.ItemLayerTarget(); got != 64 {
+		t.Fatalf("live cache target=%d after Apply", got)
+	}
+	if s := tn.State(); s.Live != 64 {
+		t.Fatalf("tuner live=%d after Apply", s.Live)
+	}
+}
+
+// TestTunerZeroAllocSteadyState is the satellite-4 proof at system
+// level: a dense live cache with the tuner attached as its probe must
+// serve accesses at 0 allocs/op — including the accesses that cross
+// decision-window boundaries, so the whole endWindow step (formula,
+// comparison, history ring) is covered.
+func TestTunerZeroAllocSteadyState(t *testing.T) {
+	const universe = 1 << 12
+	g := model.NewFixed(16)
+	live := core.NewIBLPEvenSplitBounded(512, g, universe)
+	tn, err := New(Config{K: 512, B: 16, Universe: universe, Window: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.SetLiveTarget(live.ItemLayerTarget())
+	live.SetProbe(tn)
+	defer live.SetProbe(nil)
+	for i := 0; i < universe*2; i++ {
+		live.Access(model.Item(i % universe))
+	}
+	i := 0
+	// 2000 runs with Window=64 crosses ~60 window boundaries (plus
+	// history-ring wraps with History=32), incl. in the measured runs.
+	if avg := testing.AllocsPerRun(2000, func() {
+		live.Access(model.Item(i % universe))
+		i += 37
+	}); avg != 0 {
+		t.Errorf("live access with tuner probe: %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestTunerStateAndRendering sanity-checks the dashboard surface.
+func TestTunerStateAndRendering(t *testing.T) {
+	tn := newTestTuner(t, 2, 1)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 96*5; i++ {
+		tn.Observe(obs.Event{Kind: obs.EvHit, Item: model.Item(rng.Intn(400))})
+	}
+	s := tn.State()
+	if s.Windows != 5 || len(s.Samples) != 5 {
+		t.Fatalf("windows=%d samples=%d, want 5/5", s.Windows, len(s.Samples))
+	}
+	for _, smp := range s.Samples {
+		if len(smp.Misses) != len(s.Candidates) {
+			t.Fatalf("sample misses len %d, candidates %d", len(smp.Misses), len(s.Candidates))
+		}
+	}
+	var sb strings.Builder
+	if _, err := tn.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"autotune:", "item layer", "live"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteTo output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTunerConfigValidation covers New's error paths.
+func TestTunerConfigValidation(t *testing.T) {
+	if _, err := New(Config{K: 0, B: 8, Universe: 64}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := New(Config{K: 64, B: 0, Universe: 64}); err == nil {
+		t.Error("B=0 accepted")
+	}
+	if _, err := New(Config{K: 64, B: 8, Universe: 0}); err == nil {
+		t.Error("Universe=0 accepted")
+	}
+	if _, err := New(Config{K: 64, B: 8, Universe: 64, Candidates: []int{7, 7}}); err == nil {
+		t.Error("single distinct candidate accepted")
+	}
+}

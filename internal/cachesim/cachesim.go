@@ -62,6 +62,26 @@ type Instrumented interface {
 	SetProbe(p obs.Probe)
 }
 
+// LayerResizable is implemented by layered caches whose item/block
+// partition can be repartitioned at runtime (core.IBLP and
+// core.AdaptiveIBLP). SetItemLayerTarget(i) moves the item layer to i
+// and the block layer to Capacity()−i, enforcing the new occupancy
+// bounds immediately (evicting as needed) rather than lazily on future
+// admissions — so the layer invariants hold before the next Access.
+// Implementations report the move to any attached probe as
+// EvLayerResize followed by per-item EvEvict events.
+//
+// SetItemLayerTarget is not safe for concurrent use with Access;
+// callers (the autotune controller's apply path) must serialize with
+// the same lock that guards Access.
+type LayerResizable interface {
+	// ItemLayerTarget returns the current item-layer size target.
+	ItemLayerTarget() int
+	// SetItemLayerTarget repartitions to an item layer of i items,
+	// clamped to [0, Capacity()].
+	SetItemLayerTarget(i int)
+}
+
 // Stats aggregates the outcome of running a trace through a cache.
 type Stats struct {
 	Policy   string

@@ -232,6 +232,17 @@ func (n *Node) serveConn(conn net.Conn) {
 	}
 }
 
+// WithCache runs f on the node's cache under the same mutex that
+// serializes batch application. It is the control-plane entry point for
+// mutations that must not race Access — the autotune controller's
+// resize apply in particular (cachesim.LayerResizable requires callers
+// to hold the Access lock). f must not call back into the Node.
+func (n *Node) WithCache(f func(cachesim.Cache)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f(n.cache)
+}
+
 // apply runs one acked batch against the cache. The ack covers the
 // whole batch: every item is applied and counted before the response
 // is built.

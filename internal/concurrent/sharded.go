@@ -195,6 +195,18 @@ func (s *Sharded) SetProbe(p obs.Probe) {
 	}
 }
 
+// WithShardCache runs f on shard i's cache under that shard's Access
+// mutex. It is the control-plane entry point for mutations that must
+// not race Access — cachesim.LayerResizable's contract, which the
+// autotune controller relies on when applying a layer resize to a
+// single-shard load run. f must not call back into s.
+func (s *Sharded) WithShardCache(i int, f func(cachesim.Cache)) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f(sh.c)
+}
+
 // ShardLoad is one shard's lock-traffic snapshot.
 type ShardLoad struct {
 	Acquired  int64 // Access lock acquisitions

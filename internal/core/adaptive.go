@@ -43,8 +43,9 @@ type AdaptiveIBLP struct {
 }
 
 var (
-	_ cachesim.Cache        = (*AdaptiveIBLP)(nil)
-	_ cachesim.Instrumented = (*AdaptiveIBLP)(nil)
+	_ cachesim.Cache          = (*AdaptiveIBLP)(nil)
+	_ cachesim.Instrumented   = (*AdaptiveIBLP)(nil)
+	_ cachesim.LayerResizable = (*AdaptiveIBLP)(nil)
 )
 
 // NewAdaptiveIBLP returns an adaptive-partition IBLP of total capacity k
@@ -74,6 +75,30 @@ func (c *AdaptiveIBLP) Name() string { return fmt.Sprintf("adaptive-iblp(k=%d)",
 
 // ItemLayerTarget returns the current adaptive item-layer target.
 func (c *AdaptiveIBLP) ItemLayerTarget() int { return c.targetItem }
+
+// SetItemLayerTarget implements cachesim.LayerResizable: move the
+// adaptive target to i (clamped to [0, capacity]) and rebalance
+// immediately, so an external controller's move is enacted before the
+// next access instead of lazily on future evictions. The internal ghost
+// votes keep fine-tuning ±1 around the new setpoint afterwards. The
+// move is reported as EvLayerResize (via setTargetItem) followed by one
+// EvEvict per item the rebalance pushed out. Not safe for concurrent
+// use with Access.
+func (c *AdaptiveIBLP) SetItemLayerTarget(i int) {
+	i = minInt(c.capacity, maxInt(0, i))
+	if i == c.targetItem {
+		return
+	}
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
+	c.setTargetItem(i)
+	c.rebalance()
+	if c.probe != nil {
+		for _, x := range c.evicted {
+			c.probe.Observe(obs.Event{Kind: obs.EvEvict, Item: x, Block: c.geo.BlockOf(x)})
+		}
+	}
+}
 
 // Access implements cachesim.Cache.
 func (c *AdaptiveIBLP) Access(it model.Item) cachesim.Access {

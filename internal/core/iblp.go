@@ -73,8 +73,9 @@ type IBLP struct {
 }
 
 var (
-	_ cachesim.Cache        = (*IBLP)(nil)
-	_ cachesim.Instrumented = (*IBLP)(nil)
+	_ cachesim.Cache          = (*IBLP)(nil)
+	_ cachesim.Instrumented   = (*IBLP)(nil)
+	_ cachesim.LayerResizable = (*IBLP)(nil)
 )
 
 // NewIBLP returns an IBLP cache with item layer i and block layer b under
@@ -154,6 +155,75 @@ func (c *IBLP) ItemLayerSize() int { return c.itemSize }
 
 // BlockLayerSize returns b.
 func (c *IBLP) BlockLayerSize() int { return c.blockSize }
+
+// ItemLayerTarget implements cachesim.LayerResizable; for a fixed-split
+// IBLP the target is the item-layer size itself.
+func (c *IBLP) ItemLayerTarget() int { return c.itemSize }
+
+// SetItemLayerTarget implements cachesim.LayerResizable: repartition to
+// an item layer of i (clamped to [0, i+b]) and a block layer of the
+// remainder, enforcing the new bounds immediately so the occupancy
+// invariants hold before the next access. The move is reported as
+// EvLayerResize followed by one EvEvict per item the shrink pushed out.
+// Not safe for concurrent use with Access.
+func (c *IBLP) SetItemLayerTarget(i int) {
+	k := c.itemSize + c.blockSize
+	if i < 0 {
+		i = 0
+	}
+	if i > k {
+		i = k
+	}
+	if i == c.itemSize {
+		return
+	}
+	c.itemSize, c.blockSize = i, k-i
+	c.loaded = c.loaded[:0]
+	c.evicted = c.evicted[:0]
+	c.enforceTargets()
+	if c.probe != nil {
+		c.probe.Observe(obs.Event{Kind: obs.EvLayerResize, N: int32(i)})
+		for _, x := range c.evicted {
+			c.probe.Observe(obs.Event{Kind: obs.EvEvict, Item: x, Block: c.geo.BlockOf(x)})
+		}
+	}
+}
+
+// enforceTargets shrinks whichever layer exceeds its configured size —
+// the resize path's analogue of the admit loops, which only enforce the
+// bounds while admitting.
+func (c *IBLP) enforceTargets() {
+	if c.itemsDense != nil {
+		for c.itemsDense.Len() > c.itemSize {
+			victim, _ := c.itemsDense.PopBack()
+			c.inItemBits.unset(uint64(victim))
+			if !c.presentDense(victim) {
+				c.evicted = append(c.evicted, victim)
+			}
+		}
+		for c.blockUsed > c.blockSize {
+			victim, ok := c.blocksDense.Back()
+			if !ok {
+				break
+			}
+			c.dropBlockLayerDense(victim)
+		}
+		return
+	}
+	for c.items.Len() > c.itemSize {
+		victim, _ := c.items.PopBack()
+		if !c.present(victim) {
+			c.evicted = append(c.evicted, victim)
+		}
+	}
+	for c.blockUsed > c.blockSize {
+		victim, ok := c.blocks.Back()
+		if !ok {
+			break
+		}
+		c.dropBlockLayer(victim)
+	}
+}
 
 // Name implements cachesim.Cache.
 func (c *IBLP) Name() string {

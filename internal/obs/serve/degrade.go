@@ -15,22 +15,84 @@ type fanEvent struct {
 	obs.Event
 }
 
-// subscriber is one /events/stream consumer: a bounded channel plus its
-// personal shed count.
+// ctrlRingSize bounds the per-subscriber control-plane ring. Control
+// actions are rate-capped at the source (the autotune controller fires
+// at most one resize per window interval), so 64 slots cover minutes of
+// history; overwrites are counted, never silent.
+const ctrlRingSize = 64
+
+// isControlPlane reports whether k is a control-plane event: one that
+// records a management action on the cache rather than per-request data
+// traffic. These must reach the dashboard even under shedding — a
+// missed layer-resize makes the following miss-ratio shift look
+// spontaneous.
+func isControlPlane(k obs.Kind) bool { return k == obs.EvLayerResize }
+
+// subscriber is one /events/stream consumer: a bounded channel for data
+// events plus its personal shed count, and a tiny dedicated ring for
+// control-plane events so they are never displaced by data floods.
 type subscriber struct {
 	ch      chan fanEvent
 	dropped atomic.Int64
+
+	// notify wakes the stream handler (capacity 1, non-blocking send)
+	// when a control event lands while the data channel is quiet.
+	notify chan struct{}
+
+	ctrlMu sync.Mutex
+	//gclint:guardedby ctrlMu
+	ctrl [ctrlRingSize]fanEvent
+	//gclint:guardedby ctrlMu
+	ctrlStart int
+	//gclint:guardedby ctrlMu
+	ctrlLen int
+}
+
+// pushCtrl appends a control event to the ring, overwriting the oldest
+// entry when full, and reports whether an overwrite happened.
+func (s *subscriber) pushCtrl(fe fanEvent) (overwrote bool) {
+	s.ctrlMu.Lock()
+	if s.ctrlLen == ctrlRingSize {
+		s.ctrlStart = (s.ctrlStart + 1) % ctrlRingSize
+		s.ctrlLen--
+		overwrote = true
+	}
+	s.ctrl[(s.ctrlStart+s.ctrlLen)%ctrlRingSize] = fe
+	s.ctrlLen++
+	s.ctrlMu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+	return overwrote
+}
+
+// popCtrl removes and returns the oldest pending control event.
+func (s *subscriber) popCtrl() (fanEvent, bool) {
+	s.ctrlMu.Lock()
+	defer s.ctrlMu.Unlock()
+	if s.ctrlLen == 0 {
+		return fanEvent{}, false
+	}
+	fe := s.ctrl[s.ctrlStart]
+	s.ctrlStart = (s.ctrlStart + 1) % ctrlRingSize
+	s.ctrlLen--
+	return fe, true
 }
 
 // eventFan fans live probe events to HTTP stream subscribers over
 // bounded channels. Delivery never blocks: when a subscriber's buffer
 // is full the event is shed for that subscriber and counted, so a slow
 // or stalled consumer degrades its own stream instead of stalling the
-// replay. With no subscribers Observe is a single atomic load.
+// replay. Control-plane events (layer-resize) are exempt from shedding:
+// they route through a tiny dedicated per-subscriber ring, so a data
+// flood can never hide the control actions that explain it. With no
+// subscribers Observe is a single atomic load.
 type eventFan struct {
-	nsubs   atomic.Int64
-	seq     atomic.Int64
-	dropped atomic.Int64 // total shed events across all subscribers
+	nsubs          atomic.Int64
+	seq            atomic.Int64
+	dropped        atomic.Int64 // total shed data events across all subscribers
+	ctrlOverwrites atomic.Int64 // control events overwritten in full rings
 
 	mu sync.Mutex
 	//gclint:guardedby mu
@@ -51,8 +113,15 @@ func (f *eventFan) Observe(e obs.Event) {
 		return
 	}
 	fe := fanEvent{Seq: f.seq.Add(1), Event: e}
+	ctrl := isControlPlane(e.Kind)
 	f.mu.Lock()
 	for _, s := range f.subs {
+		if ctrl {
+			if s.pushCtrl(fe) {
+				f.ctrlOverwrites.Add(1)
+			}
+			continue
+		}
 		select {
 		case s.ch <- fe:
 		default:
@@ -70,7 +139,7 @@ func (f *eventFan) Subscribe(buf int) (*subscriber, func()) {
 	if buf < 1 {
 		buf = 1
 	}
-	s := &subscriber{ch: make(chan fanEvent, buf)}
+	s := &subscriber{ch: make(chan fanEvent, buf), notify: make(chan struct{}, 1)}
 	f.mu.Lock()
 	id := f.next
 	f.next++
@@ -105,8 +174,13 @@ func (f *eventFan) CloseAll() {
 	}
 }
 
-// Dropped returns the total events shed across all subscribers.
+// Dropped returns the total data events shed across all subscribers.
 func (f *eventFan) Dropped() int64 { return f.dropped.Load() }
+
+// CtrlOverwrites returns the control-plane events lost to full control
+// rings — nonzero only when a subscriber ignores its stream across more
+// than ctrlRingSize control actions.
+func (f *eventFan) CtrlOverwrites() int64 { return f.ctrlOverwrites.Load() }
 
 // Subscribers returns the current consumer count.
 func (f *eventFan) Subscribers() int64 { return f.nsubs.Load() }

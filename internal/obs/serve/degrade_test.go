@@ -59,6 +59,134 @@ func TestEventFanShedsSlowConsumerWithoutBlocking(t *testing.T) {
 	}
 }
 
+// TestEventFanNeverShedsControlPlane pins the satellite fix: a data
+// flood that saturates the subscriber buffer must shed only data —
+// every layer-resize event is still delivered, via the dedicated
+// control ring, in order.
+func TestEventFanNeverShedsControlPlane(t *testing.T) {
+	f := newEventFan()
+	sub, cancel := f.Subscribe(1)
+	defer cancel()
+	const resizes = 10
+	for i := 0; i < resizes; i++ {
+		for j := 0; j < 100; j++ { // unread: data floods and sheds
+			f.Observe(obs.Event{Kind: obs.EvHit})
+		}
+		f.Observe(obs.Event{Kind: obs.EvLayerResize, N: int32(i)})
+	}
+	if f.Dropped() == 0 {
+		t.Fatal("setup failed to shed data events")
+	}
+	var got []int32
+	for {
+		e, ok := sub.popCtrl()
+		if !ok {
+			break
+		}
+		if e.Kind != obs.EvLayerResize {
+			t.Fatalf("control ring held a %s event", e.Kind)
+		}
+		got = append(got, e.N)
+	}
+	if len(got) != resizes {
+		t.Fatalf("delivered %d control events, want all %d", len(got), resizes)
+	}
+	for i, n := range got {
+		if n != int32(i) {
+			t.Fatalf("control events out of order: position %d has N=%d", i, n)
+		}
+	}
+	if f.CtrlOverwrites() != 0 {
+		t.Errorf("control ring overwrote %d events with only %d pending", f.CtrlOverwrites(), resizes)
+	}
+}
+
+// TestEventFanControlRingOverwritesOldest checks the bounded-ring
+// degradation mode: past ctrlRingSize pending control events the oldest
+// are overwritten — counted, never silent, and the newest always kept.
+func TestEventFanControlRingOverwritesOldest(t *testing.T) {
+	f := newEventFan()
+	sub, cancel := f.Subscribe(1)
+	defer cancel()
+	total := ctrlRingSize + 7
+	for i := 0; i < total; i++ {
+		f.Observe(obs.Event{Kind: obs.EvLayerResize, N: int32(i)})
+	}
+	if got := f.CtrlOverwrites(); got != 7 {
+		t.Fatalf("CtrlOverwrites = %d, want 7", got)
+	}
+	first, ok := sub.popCtrl()
+	if !ok || first.N != 7 {
+		t.Fatalf("oldest surviving control event N=%d ok=%v, want N=7", first.N, ok)
+	}
+	n := 1
+	last := first
+	for {
+		e, ok := sub.popCtrl()
+		if !ok {
+			break
+		}
+		last = e
+		n++
+	}
+	if n != ctrlRingSize || last.N != int32(total-1) {
+		t.Fatalf("ring drained %d events ending N=%d, want %d ending N=%d", n, last.N, ctrlRingSize, total-1)
+	}
+}
+
+// TestEventStreamDeliversResizesUnderFlood is the end-to-end version:
+// an /events/stream reader that connects while the fan is flooding
+// still sees every layer-resize line.
+func TestEventStreamDeliversResizesUnderFlood(t *testing.T) {
+	s := newTestServer(t, Config{Policy: "iblp"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/events/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Wait for the subscription to land, then flood: bursts far beyond
+	// the channel buffer with one resize in each.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.fan.Subscribers() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	const resizes = 5
+	go func() {
+		for i := 0; i < resizes; i++ {
+			for j := 0; j < 5000; j++ {
+				s.fan.Observe(obs.Event{Kind: obs.EvHit})
+			}
+			s.fan.Observe(obs.Event{Kind: obs.EvLayerResize, N: int32(100 + i)})
+		}
+	}()
+
+	seen := make(map[string]bool)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.Contains(line, "kind=layer-resize") {
+			seen[line[strings.Index(line, "n="):]] = true
+			if len(seen) == resizes {
+				break
+			}
+		}
+	}
+	if len(seen) != resizes {
+		t.Fatalf("stream delivered %d/%d layer-resize events: %v (scan err %v)",
+			len(seen), resizes, seen, sc.Err())
+	}
+}
+
 func TestEventFanUnsubscribeAndCloseAll(t *testing.T) {
 	f := newEventFan()
 	_, cancel1 := f.Subscribe(1)

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gccache/internal/autotune"
 	"gccache/internal/cachesim"
 	"gccache/internal/cluster"
 	"gccache/internal/cluster/ring"
@@ -50,6 +51,21 @@ type Config struct {
 	Probe     string // probe suite spec (obs.NewSuite); default "all"
 	Loop      bool   // replay the trace forever instead of once
 	Rate      int    // accesses/second per stream; 0 = unthrottled
+
+	// Autotune attaches the §5.3 shadow-cache controller: candidate
+	// layer splits are shadowed off the live probe stream and winning
+	// splits are applied to the live policy as layer-resize moves. It
+	// requires a resizable policy (iblp, adaptive) and Shards == 1.
+	// Disabled (the default), the replay path is byte-identical to a
+	// server built without it — serve_test.go holds it to that.
+	Autotune bool
+	// AutotuneWindow overrides the controller's decision window in
+	// requests (0 = the autotune package default).
+	AutotuneWindow int
+	// AutotuneUniverse bounds the dense shadows' item universe in
+	// cluster mode, where no local trace exists to derive it from
+	// (0 = 1<<20). Out-of-universe items are counted and skipped.
+	AutotuneUniverse int
 
 	// ClusterRing switches the server into cluster-node mode: instead
 	// of replaying a local workload, it serves cache traffic from
@@ -80,6 +96,14 @@ type Server struct {
 
 	node      *cluster.Node // cluster mode: the wire-serving ring member
 	ringNodes []string      // cluster mode: the static ring membership
+
+	// tuner is the §5.3 closed-loop controller (nil unless
+	// cfg.Autotune). It rides the probe Multi; proposals are pulled —
+	// flat mode polls at replay batch boundaries under s.mu, cluster
+	// mode from a ticker goroutine under the node's apply mutex.
+	tuner *autotune.Tuner
+	//gclint:guardedby mu
+	resizable cachesim.LayerResizable // flat mode: s.cache, pre-asserted
 
 	httpSrv      *http.Server
 	listener     net.Listener
@@ -148,8 +172,30 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: cluster addr %q is not in ring file %s (nodes: %v)",
 				cfg.ClusterAddr, cfg.ClusterRing, s.ringNodes)
 		}
-		if _, err := buildPolicy(cfg.Policy, cfg.K, s.geo, cfg.Seed); err != nil {
+		// The throwaway build both validates the policy name and, with
+		// autotune on, proves the policy is resizable before any node
+		// cache exists.
+		throwaway, err := buildPolicy(cfg.Policy, cfg.K, s.geo, cfg.Seed)
+		if err != nil {
 			return nil, err
+		}
+		if cfg.Autotune {
+			rz, ok := throwaway.(cachesim.LayerResizable)
+			if !ok {
+				return nil, fmt.Errorf("serve: policy %q does not support layer resizing (autotune needs iblp or adaptive)", cfg.Policy)
+			}
+			universe := cfg.AutotuneUniverse
+			if universe <= 0 {
+				universe = 1 << 20 // wire traffic has no trace to bound it
+			}
+			if s.tuner, err = autotune.New(autotune.Config{
+				K: cfg.K, B: cfg.B, Geometry: s.geo,
+				Universe: universe, Window: cfg.AutotuneWindow,
+			}); err != nil {
+				return nil, err
+			}
+			s.tuner.SetLiveTarget(rz.ItemLayerTarget())
+			probe = append(probe, s.tuner)
 		}
 		s.node, err = cluster.NewNode(cluster.NodeConfig{
 			Addr: cfg.ClusterAddr, K: cfg.K, B: cfg.B,
@@ -188,6 +234,11 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	if cfg.Shards > 1 {
+		if cfg.Autotune {
+			// Each shard is an independent cache at k/shards; one global
+			// split controller has no meaningful target there.
+			return nil, fmt.Errorf("serve: -autotune requires shards=1 (got %d)", cfg.Shards)
+		}
 		s.sharded, err = concurrent.NewSharded(cfg.Shards, cfg.K, s.geo,
 			func(per int) cachesim.Cache {
 				c, cerr := buildPolicy(cfg.Policy, per, s.geo, cfg.Seed)
@@ -205,6 +256,21 @@ func New(cfg Config) (*Server, error) {
 
 	if s.cache, err = buildPolicy(cfg.Policy, cfg.K, s.geo, cfg.Seed); err != nil {
 		return nil, err
+	}
+	if cfg.Autotune {
+		rz, ok := s.cache.(cachesim.LayerResizable)
+		if !ok {
+			return nil, fmt.Errorf("serve: policy %q does not support layer resizing (autotune needs iblp or adaptive)", cfg.Policy)
+		}
+		s.resizable = rz
+		if s.tuner, err = autotune.New(autotune.Config{
+			K: cfg.K, B: cfg.B, Geometry: s.geo,
+			Universe: s.tr.Universe(), Window: cfg.AutotuneWindow,
+		}); err != nil {
+			return nil, err
+		}
+		s.tuner.SetLiveTarget(rz.ItemLayerTarget())
+		probe = append(probe, s.tuner)
 	}
 	if in, ok := s.cache.(cachesim.Instrumented); ok {
 		in.SetProbe(probe)
@@ -237,8 +303,40 @@ func (s *Server) Start() (string, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.cancel = cancel
 	s.startReplay(ctx)
+	if s.node != nil && s.tuner != nil {
+		s.startClusterApply(ctx)
+	}
 	s.start = time.Now()
 	return l.Addr().String(), nil
+}
+
+// startClusterApply polls the tuner for pending resize proposals and
+// enacts them on the cluster node's cache. Node.WithCache holds the
+// mutex that serializes wire batches, satisfying LayerResizable's
+// locking contract; the cheap Pending peek keeps the ticker from
+// touching that mutex when there is nothing to do.
+func (s *Server) startClusterApply(ctx context.Context) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				if _, ok := s.tuner.Pending(); !ok {
+					continue
+				}
+				s.node.WithCache(func(c cachesim.Cache) {
+					if rz, ok := c.(cachesim.LayerResizable); ok {
+						s.tuner.Apply(rz)
+					}
+				})
+			}
+		}
+	}()
 }
 
 // NodeAddr returns the cluster node's wire address, or "" outside
@@ -358,10 +456,21 @@ func (s *Server) startReplay(ctx context.Context) {
 			s.wg.Add(1)
 			go func(tr trace.Trace) {
 				defer s.wg.Done()
-				s.replayStream(ctx, tr, func(it model.Item) { s.sharded.Access(it) })
+				s.replayStream(ctx, tr, func(it model.Item) { s.sharded.Access(it) }, nil)
 			}(st)
 		}
 		return
+	}
+	// Flat mode: with autotune on, pending resize proposals are applied
+	// at batch boundaries — under s.mu, the lock that serializes Access,
+	// as cachesim.LayerResizable requires.
+	var onBatch func()
+	if s.tuner != nil {
+		onBatch = func() {
+			s.mu.Lock()
+			s.tuner.Apply(s.resizable)
+			s.mu.Unlock()
+		}
 	}
 	s.wg.Add(1)
 	go func() {
@@ -370,13 +479,14 @@ func (s *Server) startReplay(ctx context.Context) {
 			s.mu.Lock()
 			s.rec.Observe(it, s.cache.Access(it))
 			s.mu.Unlock()
-		})
+		}, onBatch)
 	}()
 }
 
 // replayStream drives access over tr, looping when configured,
-// checking ctx and throttling once per batch.
-func (s *Server) replayStream(ctx context.Context, tr trace.Trace, access func(model.Item)) {
+// checking ctx, throttling, and running onBatch (when non-nil) once
+// per batch.
+func (s *Server) replayStream(ctx context.Context, tr trace.Trace, access func(model.Item), onBatch func()) {
 	const batch = 256
 	var pause time.Duration
 	if s.cfg.Rate > 0 {
@@ -387,6 +497,9 @@ func (s *Server) replayStream(ctx context.Context, tr trace.Trace, access func(m
 			access(it)
 			if i%batch != batch-1 {
 				continue
+			}
+			if onBatch != nil {
+				onBatch()
 			}
 			if ctx.Err() != nil {
 				return
@@ -420,6 +533,9 @@ func (s *Server) Stats() cachesim.Stats {
 
 // Suite exposes the attached probe suite.
 func (s *Server) Suite() *obs.Suite { return s.suite }
+
+// Tuner exposes the autotune controller, or nil when Autotune is off.
+func (s *Server) Tuner() *autotune.Tuner { return s.tuner }
 
 // Handler returns the HTTP surface: the dashboard at /, JSON metrics
 // at /metrics, the event log at /events, a live sweep-engine demo at
@@ -462,6 +578,12 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	if _, err := s.suite.WriteTo(w); err != nil {
 		return
 	}
+	if s.tuner != nil {
+		fmt.Fprintf(w, "\n")
+		if _, err := s.tuner.WriteTo(w); err != nil {
+			return
+		}
+	}
 	if s.sharded != nil {
 		fmt.Fprintf(w, "\n== shard lock traffic ==\n")
 		for i, l := range s.sharded.ShardLoads() {
@@ -495,6 +617,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	m["stream.subscribers"] = s.fan.Subscribers()
 	m["stream.dropped"] = s.fan.Dropped()
+	if s.tuner != nil {
+		ts := s.tuner.State()
+		m["autotune.windows"] = ts.Windows
+		m["autotune.requests"] = ts.Requests
+		m["autotune.skipped"] = ts.Skipped
+		m["autotune.resizes"] = ts.Resizes
+		m["autotune.live_target"] = ts.Live
+		m["autotune.formula_target"] = ts.Formula
+		m["autotune.working_set"] = ts.WorkingSet
+		m["autotune.winner"] = ts.Winner
+		m["autotune.pending"] = ts.Pending
+	}
 	healthy, reasons := s.Health()
 	m["healthy"] = healthy
 	if len(reasons) > 0 {
@@ -573,20 +707,38 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	sub, cancel := s.fan.Subscribe(1024)
 	defer cancel()
+	writeEvent := func(e fanEvent) bool {
+		_, err := fmt.Fprintf(w, "seq=%d kind=%s item=%d block=%d n=%d\n",
+			e.Seq, e.Kind, e.Item, e.Block, e.N)
+		return err == nil
+	}
 	for {
+		// Control-plane events (the non-sheddable ring) drain ahead of
+		// buffered data, so a resize is on the wire before the data
+		// events that follow it — even mid-flood.
+		for {
+			e, ok := sub.popCtrl()
+			if !ok {
+				break
+			}
+			if !writeEvent(e) {
+				return
+			}
+		}
+		if flusher != nil && len(sub.ch) == 0 {
+			flusher.Flush()
+		}
 		select {
 		case <-r.Context().Done():
 			return
+		case <-sub.notify:
+			// Loop back to drain the control ring.
 		case e, open := <-sub.ch:
 			if !open {
 				return // shutdown disconnected us
 			}
-			if _, err := fmt.Fprintf(w, "seq=%d kind=%s item=%d block=%d n=%d\n",
-				e.Seq, e.Kind, e.Item, e.Block, e.N); err != nil {
+			if !writeEvent(e) {
 				return
-			}
-			if flusher != nil && len(sub.ch) == 0 {
-				flusher.Flush()
 			}
 		}
 	}

@@ -1,0 +1,63 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"gccache/internal/model"
+	"gccache/internal/trace"
+)
+
+// TestBestIBLPSplitPrefersBlocksOnScans: on a pure cyclic scan wider
+// than the cache, the block layer is the only source of hits (each
+// block load serves B−1 follow-up requests), so the sweep must put the
+// whole budget there.
+func TestBestIBLPSplitPrefersBlocksOnScans(t *testing.T) {
+	const B = 16
+	g := model.NewFixed(B)
+	var tr trace.Trace
+	for rep := 0; rep < 10; rep++ {
+		for i := 0; i < 4096; i++ {
+			tr = append(tr, model.Item(i))
+		}
+	}
+	best, all := BestIBLPSplit(tr, g, 256, []int{0, 64, 128, 192, 256})
+	if len(all) != 5 {
+		t.Fatalf("evaluated %d candidates, want 5", len(all))
+	}
+	if best.ItemLayer != 0 {
+		t.Fatalf("best split i=%d on a scan, want 0 (all block layer): %+v", best.ItemLayer, all)
+	}
+	if best.MissRatio >= all[len(all)-1].MissRatio {
+		t.Fatalf("best ratio %.4f not better than pure item cache %.4f",
+			best.MissRatio, all[len(all)-1].MissRatio)
+	}
+}
+
+// TestBestIBLPSplitPrefersItemsOnReuse: a small hot set hammered in
+// random order has pure temporal locality; the item layer should take
+// everything.
+func TestBestIBLPSplitPrefersItemsOnReuse(t *testing.T) {
+	g := model.NewFixed(16)
+	rng := rand.New(rand.NewSource(3))
+	var tr trace.Trace
+	for i := 0; i < 40000; i++ {
+		// 200 hot items scattered one per block: no spatial payoff.
+		tr = append(tr, model.Item(rng.Intn(200)*16))
+	}
+	best, _ := BestIBLPSplit(tr, g, 256, []int{0, 64, 128, 192, 256})
+	if best.ItemLayer != 256 {
+		t.Fatalf("best split i=%d on scattered reuse, want 256 (all item layer)", best.ItemLayer)
+	}
+}
+
+// TestBestIBLPSplitClampsAndDedups: out-of-range and duplicate
+// candidates collapse to one evaluation each.
+func TestBestIBLPSplitClampsAndDedups(t *testing.T) {
+	g := model.NewFixed(4)
+	tr := trace.Trace{0, 1, 2, 3, 0, 1, 2, 3}
+	_, all := BestIBLPSplit(tr, g, 16, []int{-5, 0, 0, 99, 16, 8})
+	if len(all) != 3 { // {0, 16, 8}
+		t.Fatalf("evaluated %d candidates, want 3: %+v", len(all), all)
+	}
+}
